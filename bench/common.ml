@@ -1,0 +1,83 @@
+(* Shared state and helpers for the experiment harness. Heavy DSE sweeps are
+   memoized so figures that share a sweep (7, 8, 11, Table 4) evaluate it
+   once. *)
+
+open Core
+
+let results_dir = "results"
+
+let section title =
+  print_newline ();
+  print_endline (String.make 72 '=');
+  print_endline title;
+  print_endline (String.make 72 '=')
+
+let note fmt = Format.printf (fmt ^^ "@.")
+
+let csv name header rows =
+  let path = Filename.concat results_dir name in
+  Csv.write ~path ~header rows;
+  note "[csv] wrote %s (%d rows)" path (List.length rows)
+
+let pct x = Printf.sprintf "%+.1f%%" (100. *. x)
+let ms s = Units.to_ms s
+
+(* Baselines: the modeled A100 running each model. *)
+
+let a100_gpt3 = lazy (Engine.simulate Presets.a100 Model.gpt3_175b)
+let a100_llama = lazy (Engine.simulate Presets.a100 Model.llama3_8b)
+
+let baseline = function
+  | m when m == Model.gpt3_175b -> Lazy.force a100_gpt3
+  | m when m == Model.llama3_8b -> Lazy.force a100_llama
+  | m -> Engine.simulate Presets.a100 m
+
+(* Memoized sweeps. *)
+
+let memo_table : (string, Design.t list) Hashtbl.t = Hashtbl.create 8
+
+let sweep_designs ~key ~model ~tpp_target sweep =
+  match Hashtbl.find_opt memo_table key with
+  | Some designs -> designs
+  | None ->
+      let designs = Design.evaluate_sweep ~model ~tpp_target sweep in
+      Hashtbl.add memo_table key designs;
+      designs
+
+let oct2022 model name =
+  sweep_designs ~key:("oct2022-" ^ name) ~model ~tpp_target:4800. Space.oct2022
+
+let oct2023 model name tpp =
+  sweep_designs
+    ~key:(Printf.sprintf "oct2023-%s-%.0f" name tpp)
+    ~model ~tpp_target:tpp Space.oct2023
+
+let restricted model name =
+  sweep_designs ~key:("restricted-" ^ name) ~model ~tpp_target:4800.
+    Space.restricted
+
+let model_tag m = if m == Model.gpt3_175b then "gpt3" else "llama3"
+
+let design_row (d : Design.t) =
+  [
+    string_of_int d.Design.params.Space.systolic_dim;
+    string_of_int d.Design.params.Space.lanes;
+    Printf.sprintf "%.0f" d.Design.params.Space.l1;
+    Printf.sprintf "%.0f" d.Design.params.Space.l2;
+    Printf.sprintf "%.1f" d.Design.params.Space.memory_bw;
+    Printf.sprintf "%.0f" d.Design.params.Space.device_bw;
+    Printf.sprintf "%.1f" d.Design.area_mm2;
+    Printf.sprintf "%.2f" (Spec.performance_density d.Design.spec);
+    Printf.sprintf "%.4f" (ms d.Design.ttft_s);
+    Printf.sprintf "%.5f" (ms d.Design.tbt_s);
+    Printf.sprintf "%.2f" d.Design.die_cost_usd;
+    Acr_2023.tier_to_string d.Design.acr2023_dc;
+    string_of_bool d.Design.within_reticle;
+  ]
+
+let design_header =
+  [
+    "systolic"; "lanes"; "l1_kb"; "l2_mb"; "membw_tb_s"; "devbw_gb_s";
+    "area_mm2"; "pd"; "ttft_ms"; "tbt_ms"; "die_cost_usd"; "acr2023_dc";
+    "within_reticle";
+  ]

@@ -1,0 +1,114 @@
+(* The paper's economic framing, quantified: die binning/salvage (Secs.
+   2.2-2.3, 6.3) and market distortion / deadweight loss (Sec. 2.4). *)
+
+open Core
+open Common
+
+(* --- binning --- *)
+
+let ga100 =
+  {
+    Binning.die_area_mm2 = 826.;
+    total_cores = 128;
+    regions = { Binning.core_fraction = 0.55; io_fraction = 0.1 };
+  }
+
+let flagship = { Binning.sku_name = "A100 (flagship)"; min_good_cores = 108; requires_io = true; price_usd = 10_000. }
+let export_sku = { Binning.sku_name = "A800 (export, BW-capped)"; min_good_cores = 108; requires_io = false; price_usd = 9_000. }
+let derated = { Binning.sku_name = "A30-class (derated)"; min_good_cores = 56; requires_io = false; price_usd = 3_500. }
+
+let run_binning () =
+  let immature = { Cost_model.n7 with Cost_model.defect_density_per_cm2 = 0.5 } in
+  let scenarios =
+    [
+      ("flagship only (export SKU banned)", [ flagship; derated ]);
+      ("flagship + export salvage SKU", [ flagship; export_sku; derated ]);
+    ]
+  in
+  let t =
+    Table.create
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Left ]
+      [ "scenario"; "revenue/wafer"; "scrap"; "sku mix" ]
+  in
+  let rows =
+    List.map
+      (fun (name, skus) ->
+        let e = Binning.wafer_economics ~process:immature ga100 skus in
+        let mix =
+          String.concat ", "
+            (List.map
+               (fun (sku, p) -> Printf.sprintf "%s %.1f%%" sku (100. *. p))
+               e.Binning.sku_mix)
+        in
+        let cells =
+          [
+            name;
+            Printf.sprintf "$%.0f" e.Binning.revenue_per_wafer_usd;
+            Printf.sprintf "%.1f%%" (100. *. e.Binning.scrap_fraction);
+            mix;
+          ]
+        in
+        Table.add_row t cells;
+        cells)
+      scenarios
+  in
+  Table.print
+    ~title:
+      "Die salvage on a GA100-class die (0.5 defects/cm2): the A800/H800 \
+       mechanism"
+    t;
+  note "Dies whose interconnect region is defective cannot ship as \
+        flagships but are exactly the BW-capped export part the October \
+        2022 rules permitted - the salvage channel is worth the revenue \
+        delta above, which is what a rule change destroys overnight.";
+  csv "binning.csv" [ "scenario"; "revenue_per_wafer"; "scrap"; "mix" ] rows
+
+(* --- deadweight loss --- *)
+
+let run_market () =
+  (* A stylized accelerator market: thousands of units per quarter, prices
+     in the 10-40k range. *)
+  let m =
+    Market.make ~demand_choke_price:40_000. ~demand_slope:10.
+      ~supply_reserve_price:5_000. ~supply_slope:4.
+  in
+  let eq = Market.equilibrium m in
+  note "free market: %.0f units at $%.0f" eq.Market.quantity eq.Market.price;
+  let t =
+    Table.create
+      ~aligns:[ Table.Right; Table.Right; Table.Right; Table.Right ]
+      [ "supply restricted to"; "buyer price"; "price increase"; "deadweight loss" ]
+  in
+  let rows =
+    List.map
+      (fun share ->
+        let o = Market.restrict m ~max_quantity:(share *. eq.Market.quantity) in
+        let cells =
+          [
+            Printf.sprintf "%.0f%%" (100. *. share);
+            Printf.sprintf "$%.0f" o.Market.buyer_price;
+            Printf.sprintf "$%.0f" o.Market.price_increase;
+            Printf.sprintf "$%.2gM" (o.Market.deadweight_loss /. 1e6);
+          ]
+        in
+        Table.add_row t cells;
+        cells)
+      [ 1.0; 0.9; 0.75; 0.5; 0.25 ]
+  in
+  Table.print ~title:"Export restriction as a quantity cap (Sec. 2.4)" t;
+  (* The externality: the Oct-2023 rules also captured gaming devices. *)
+  let a = Marketing.analyze Database.survey in
+  let gaming_captured = List.length a.Marketing.false_ndc in
+  note "The marketing-based rules additionally capture %d gaming/workstation \
+        products (Fig. 9's false non-DC set under rebranding); restricting \
+        a market segment the policy never targeted is pure additional \
+        deadweight loss - the paper's negative externality."
+    gaming_captured;
+  csv "market_dwl.csv"
+    [ "restricted_share"; "buyer_price"; "price_increase"; "dwl" ]
+    rows
+
+let run () =
+  section "Economics: die salvage and deadweight loss";
+  run_binning ();
+  run_market ()

@@ -1,0 +1,134 @@
+(* Figure 11: TTFT/TBT distributions of the 4800-TPP Fig. 7 configurations
+   within the reticle limit, grouped by one fixed architectural parameter.
+   Narrow distributions identify strong performance indicators. *)
+
+open Core
+open Common
+
+let groups =
+  Grouping.
+    [
+      lanes_fixed 1;
+      l1_fixed_kb 1024.;
+      l2_fixed_mb 48.;
+      memory_bw_fixed_tb_s 2.8;
+      device_bw_fixed_gb_s 500.;
+    ]
+
+let print_reports title reports =
+  let t =
+    Table.create
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ]
+      [ "grouping"; "n"; "median (ms)"; "range (ms)"; "narrowing"; "median vs A100" ]
+  in
+  List.iter
+    (fun (r : Grouping.report) ->
+      Table.add_row t
+        [
+          r.Grouping.grouping;
+          string_of_int r.Grouping.count;
+          Printf.sprintf "%.4g" (1e3 *. r.Grouping.summary.Stats.median);
+          Printf.sprintf "%.4g"
+            (1e3 *. (r.Grouping.summary.Stats.max -. r.Grouping.summary.Stats.min));
+          Printf.sprintf "%.2fx" r.Grouping.narrowing_vs_all;
+          (match r.Grouping.median_change_vs_baseline with
+          | Some c -> pct c
+          | None -> "-");
+        ])
+    reports;
+  Table.print ~title t;
+  t
+
+let boxplot title ~metric ~designs =
+  let series_of (g : Grouping.t) =
+    {
+      Boxplot.label = g.Grouping.label;
+      values =
+        List.filter_map
+          (fun d -> if g.Grouping.matches d then Some (1e3 *. metric d) else None)
+          designs;
+    }
+  in
+  Boxplot.print ~title (List.map series_of (Grouping.all_designs :: groups))
+
+let correlation_table name ~designs =
+  (* "Narrow distributions indicate strong performance correlation": the
+     Pearson correlations behind the distribution panels. *)
+  let params =
+    [
+      ("lanes", fun d -> float_of_int d.Design.params.Space.lanes);
+      ("L1 KB", fun d -> d.Design.params.Space.l1);
+      ("L2 MB", fun d -> d.Design.params.Space.l2);
+      ("mem BW", fun d -> d.Design.params.Space.memory_bw);
+      ("dev BW", fun d -> d.Design.params.Space.device_bw);
+      ("systolic dim", fun d -> float_of_int d.Design.params.Space.systolic_dim);
+    ]
+  in
+  let t =
+    Table.create ~aligns:[ Table.Left; Table.Right; Table.Right ]
+      [ "parameter"; "corr with TTFT"; "corr with TBT" ]
+  in
+  List.iter
+    (fun (label, value) ->
+      let corr metric =
+        Stats.correlation (List.map (fun d -> (value d, metric d)) designs)
+      in
+      Table.add_row t
+        [
+          label;
+          Printf.sprintf "%+.2f" (corr (fun d -> d.Design.ttft_s));
+          Printf.sprintf "%+.2f" (corr (fun d -> d.Design.tbt_s));
+        ])
+    params;
+  Table.print ~title:(Printf.sprintf "Fig 11: %s parameter/latency correlations" name) t
+
+let analyze model name =
+  let designs =
+    List.filter Design.manufacturable (oct2023 model name 4800.)
+  in
+  let base = baseline model in
+  let ttft_reports =
+    Grouping.analyze ~baseline:base.Engine.ttft_s
+      ~metric:(fun d -> d.Design.ttft_s)
+      ~designs groups
+  in
+  let tbt_reports =
+    Grouping.analyze ~baseline:base.Engine.tbt_s
+      ~metric:(fun d -> d.Design.tbt_s)
+      ~designs groups
+  in
+  ignore (print_reports (Printf.sprintf "Fig 11: %s TTFT distributions" name) ttft_reports);
+  boxplot (Printf.sprintf "Fig 11: %s TTFT (ms)" name)
+    ~metric:(fun d -> d.Design.ttft_s) ~designs;
+  ignore (print_reports (Printf.sprintf "Fig 11: %s TBT distributions" name) tbt_reports);
+  boxplot (Printf.sprintf "Fig 11: %s TBT (ms)" name)
+    ~metric:(fun d -> d.Design.tbt_s) ~designs;
+  correlation_table name ~designs;
+  (ttft_reports, tbt_reports)
+
+let report_rows metric reports =
+  List.map
+    (fun (r : Grouping.report) ->
+      [
+        metric;
+        r.Grouping.grouping;
+        string_of_int r.Grouping.count;
+        Printf.sprintf "%.6g" r.Grouping.summary.Stats.median;
+        Printf.sprintf "%.6g" r.Grouping.summary.Stats.min;
+        Printf.sprintf "%.6g" r.Grouping.summary.Stats.max;
+        Printf.sprintf "%.4g" r.Grouping.narrowing_vs_all;
+      ])
+    reports
+
+let run () =
+  section "Figure 11: indicator distributions for 4800-TPP designs (Fig 7 DSE)";
+  let g_ttft, g_tbt = analyze Model.gpt3_175b "gpt3" in
+  note "(paper: 1-lane gives 5x narrower TTFT; 2.8 TB/s gives 20.6x narrower \
+        TBT for GPT-3; 500 GB/s device BW narrows TTFT only 5.7%%)";
+  let l_ttft, l_tbt = analyze Model.llama3_8b "llama3" in
+  note "(paper: 3.3x / 10.7x for Llama 3)";
+  csv "fig11.csv"
+    [ "model_metric"; "grouping"; "n"; "median_s"; "min_s"; "max_s"; "narrowing" ]
+    (report_rows "gpt3_ttft" g_ttft @ report_rows "gpt3_tbt" g_tbt
+    @ report_rows "llama3_ttft" l_ttft
+    @ report_rows "llama3_tbt" l_tbt)

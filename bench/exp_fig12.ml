@@ -1,0 +1,102 @@
+(* Figure 12 (with Table 5): the restricted design space (parameters at or
+   below the A100's) at the 4800 TPP target, grouped distributions. This is
+   the paper's argument that L1 capacity limits TTFT and memory bandwidth
+   limits TBT far more predictably than TPP alone. *)
+
+open Core
+open Common
+
+let print_table5 () =
+  let t =
+    Table.create ~aligns:[ Table.Left; Table.Left ]
+      [ "parameter"; "swept values (Table 5)" ]
+  in
+  Table.add_row t [ "systolic array"; "4x4, 8x8, 16x16" ];
+  Table.add_row t [ "lanes per core"; "1, 2, 4, 8" ];
+  Table.add_row t [ "private L1 (KB)"; "32, 64, 128, 192" ];
+  Table.add_row t [ "shared L2 (MB)"; "8, 16, 32, 40" ];
+  Table.add_row t [ "HBM bandwidth (TB/s)"; "0.8, 1.2, 1.6, 2.0" ];
+  Table.add_row t [ "device bandwidth (GB/s)"; "400, 500, 600" ];
+  Table.print ~title:"Table 5: restricted DSE parameters (2304 configs)" t
+
+let groups =
+  Grouping.
+    [
+      lanes_fixed 8;
+      l1_fixed_kb 32.;
+      l2_fixed_mb 8.;
+      memory_bw_fixed_tb_s 0.8;
+      device_bw_fixed_gb_s 400.;
+      (* The paper's "combined metrics" construction. *)
+      both (l1_fixed_kb 32.) (memory_bw_fixed_tb_s 0.8);
+    ]
+
+let analyze model name =
+  let designs = List.filter Design.manufacturable (restricted model name) in
+  let base = baseline model in
+  let report metric_name metric baseline_v =
+    let reports = Grouping.analyze ~baseline:baseline_v ~metric ~designs groups in
+    let t =
+      Table.create
+        ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ]
+        [ "grouping"; "n"; "median (ms)"; "range (ms)"; "narrowing"; "median vs A100" ]
+    in
+    List.iter
+      (fun (r : Grouping.report) ->
+        Table.add_row t
+          [
+            r.Grouping.grouping;
+            string_of_int r.Grouping.count;
+            Printf.sprintf "%.4g" (1e3 *. r.Grouping.summary.Stats.median);
+            Printf.sprintf "%.4g"
+              (1e3 *. (r.Grouping.summary.Stats.max -. r.Grouping.summary.Stats.min));
+            Printf.sprintf "%.2fx" r.Grouping.narrowing_vs_all;
+            (match r.Grouping.median_change_vs_baseline with
+            | Some c -> pct c
+            | None -> "-");
+          ])
+      reports;
+    Table.print ~title:(Printf.sprintf "Fig 12: %s %s distributions" name metric_name) t;
+    let series_of (g : Grouping.t) =
+      {
+        Boxplot.label = g.Grouping.label;
+        values =
+          List.filter_map
+            (fun d -> if g.Grouping.matches d then Some (1e3 *. metric d) else None)
+            designs;
+      }
+    in
+    Boxplot.print
+      ~title:(Printf.sprintf "Fig 12: %s %s (ms)" name metric_name)
+      (List.map series_of (Grouping.all_designs :: groups));
+    reports
+  in
+  let ttft = report "TTFT" (fun d -> d.Design.ttft_s) base.Engine.ttft_s in
+  let tbt = report "TBT" (fun d -> d.Design.tbt_s) base.Engine.tbt_s in
+  (ttft, tbt)
+
+let run () =
+  section "Figure 12 / Table 5: restricted design space distributions";
+  print_table5 ();
+  let _g_ttft, g_tbt = analyze Model.gpt3_175b "gpt3" in
+  note "(paper GPT-3: 32 KB L1 -> median TTFT +58.7%%, 1.59x narrower; \
+        0.8 TB/s -> median TBT +110%%, 41.8x narrower)";
+  let _l_ttft, l_tbt = analyze Model.llama3_8b "llama3" in
+  note "(paper Llama 3: 32 KB L1 -> +52.6%%, 1.43x; 0.8 TB/s -> +58.7%%, 42.4x)";
+  (* Headline regression: the combined TPP + memory-bandwidth policy. *)
+  let find label reports =
+    List.find (fun (r : Grouping.report) -> r.Grouping.grouping = label) reports
+  in
+  let g_bw = find "0.8 TB/s M.BW" g_tbt in
+  let l_bw = find "0.8 TB/s M.BW" l_tbt in
+  note "combined TPP+membw policy: GPT-3 median TBT %s (%.0fx narrower); \
+        Llama 3 %s (%.0fx narrower)"
+    (match g_bw.Grouping.median_change_vs_baseline with Some c -> pct c | None -> "-")
+    g_bw.Grouping.narrowing_vs_all
+    (match l_bw.Grouping.median_change_vs_baseline with Some c -> pct c | None -> "-")
+    l_bw.Grouping.narrowing_vs_all;
+  let dump tag designs =
+    csv (Printf.sprintf "fig12_%s.csv" tag) design_header (List.map design_row designs)
+  in
+  dump "gpt3" (restricted Model.gpt3_175b "gpt3");
+  dump "llama3" (restricted Model.llama3_8b "llama3")

@@ -1,0 +1,85 @@
+(* Figure 5: prefill/decoding latency when scaling one October-2022 knob
+   while capping the other, GPT-3 175B.
+
+   - "TPP series": device bandwidth capped at 500 GB/s (< 600 so the rule
+     never applies), core count swept to hit TPP 4000..8000.
+   - "BW series": TPP capped at 4759 (103 cores), device bandwidth swept
+     500..1000 GB/s. *)
+
+open Core
+open Common
+
+let a100_like ~cores ~devbw =
+  Device.make
+    ~name:(Printf.sprintf "fig5-%d-%.0f" cores devbw)
+    ~core_count:cores ~lanes_per_core:4 ~systolic:(Systolic.square 16)
+    ~l1_kb:192. ~l2_mb:40.
+    ~memory:(Memory.make ~capacity_gb:80. ~bandwidth_tb_s:2.)
+    ~interconnect:(Interconnect.of_total_gb_s devbw)
+    ()
+
+let run () =
+  section "Figure 5: Oct 2022 - TPP vs device-bandwidth scaling (GPT-3 175B)";
+  let simulate dev = Engine.simulate dev Model.gpt3_175b in
+  let t =
+    Table.create
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ]
+      [ "series"; "TPP"; "dev BW (GB/s)"; "TTFT (ms)"; "TBT (ms)" ]
+  in
+  let plot = Scatter.create ~xlabel:"TTFT (ms)" ~ylabel:"TBT (ms)" () in
+  let rows = ref [] in
+  let record series marker dev =
+    let r = simulate dev in
+    let tpp = Device.tpp dev in
+    let bw = Device.device_bandwidth_gb_s dev in
+    Scatter.add plot ~marker ~x:(ms r.Engine.ttft_s) ~y:(ms r.Engine.tbt_s);
+    let cells =
+      [
+        series;
+        Printf.sprintf "%.0f" tpp;
+        Printf.sprintf "%.0f" bw;
+        Printf.sprintf "%.1f" (ms r.Engine.ttft_s);
+        Printf.sprintf "%.4f" (ms r.Engine.tbt_s);
+      ]
+    in
+    Table.add_row t cells;
+    rows := cells :: !rows;
+    r
+  in
+  let tpp_results =
+    List.map
+      (fun tpp ->
+        let cores =
+          Device.cores_for_tpp ~tpp ~lanes_per_core:4
+            ~systolic:(Systolic.square 16) ()
+        in
+        (tpp, record "tpp-sweep (BW<600)" 'o' (a100_like ~cores ~devbw:500.)))
+      [ 4000.; 4500.; 5000.; 5500.; 6000.; 6500.; 7000.; 7500.; 8000. ]
+  in
+  List.iter
+    (fun devbw ->
+      ignore (record "bw-sweep (TPP 4759)" 's' (a100_like ~cores:103 ~devbw)))
+    [ 500.; 600.; 700.; 800.; 900.; 1000. ];
+  let baseline = record "modeled A100" 'A' Presets.a100 in
+  Table.print t;
+  Scatter.print
+    ~legend:
+      [ ('o', "TPP sweep @ 500 GB/s"); ('s', "BW sweep @ 4759 TPP"); ('A', "A100") ]
+    plot;
+  let ttft_at tpp = (List.assoc tpp tpp_results).Engine.ttft_s in
+  note "TPP 4000 -> 5000: TTFT %s (paper: -16.2%%)"
+    (pct ((ttft_at 5000. -. ttft_at 4000.) /. ttft_at 4000.));
+  note "TPP 4000 -> 7000: TTFT %s (paper: -34.1%%)"
+    (pct ((ttft_at 7000. -. ttft_at 4000.) /. ttft_at 4000.));
+  let tbt_600 = (Engine.simulate (a100_like ~cores:103 ~devbw:600.) Model.gpt3_175b).Engine.tbt_s in
+  let tbt_1000 = (Engine.simulate (a100_like ~cores:103 ~devbw:1000.) Model.gpt3_175b).Engine.tbt_s in
+  note "device BW 600 -> 1000 GB/s: TBT %s (paper: -0.27%%)"
+    (pct ((tbt_1000 -. tbt_600) /. tbt_600));
+  note "7000-TPP die area: %.0f mm2 (paper: 854, at the reticle limit)"
+    (Area_model.total_mm2
+       (a100_like
+          ~cores:(Device.cores_for_tpp ~tpp:7000. ~lanes_per_core:4 ~systolic:(Systolic.square 16) ())
+          ~devbw:500.));
+  ignore baseline;
+  csv "fig5.csv" [ "series"; "tpp"; "devbw_gb_s"; "ttft_ms"; "tbt_ms" ]
+    (List.rev !rows)

@@ -1,0 +1,107 @@
+(* Figure 6 (with Table 3): the October 2022 design space exploration at
+   4800 TPP / 600 GB/s, for GPT-3 175B and Llama 3 8B. Prints the sweep,
+   the per-panel scatters, and the optimized-design headline (paper:
+   GPT-3 -1.2% TTFT / -27% TBT, Llama 3 -4% / -14.2% vs the A100). *)
+
+open Core
+open Common
+
+let print_table3 () =
+  let t =
+    Table.create ~aligns:[ Table.Left; Table.Left ]
+      [ "parameter"; "swept values (Table 3)" ]
+  in
+  Table.add_row t [ "systolic array"; "16x16, 32x32" ];
+  Table.add_row t [ "lanes per core"; "1, 2, 4, 8" ];
+  Table.add_row t [ "private L1 (KB)"; "192, 256, 512, 1024" ];
+  Table.add_row t [ "shared L2 (MB)"; "32, 48, 64, 80" ];
+  Table.add_row t [ "HBM bandwidth (TB/s)"; "2.0, 2.4, 2.8, 3.2" ];
+  Table.add_row t [ "device bandwidth (GB/s)"; "600 (Fig 6) / 500,700,900 (Fig 7)" ];
+  Table.print ~title:"Table 3: DSE parameters" t
+
+let scatter_panel ~title ~xlabel ~ylabel ~x ~y ~marker designs baseline_x
+    baseline_y =
+  let plot = Scatter.create ~xlabel ~ylabel () in
+  List.iter
+    (fun d -> Scatter.add plot ~marker:(marker d) ~x:(x d) ~y:(y d))
+    designs;
+  Scatter.add plot ~marker:'A' ~x:baseline_x ~y:baseline_y;
+  Scatter.print ~title
+    ~legend:
+      [
+        ('.', "within reticle"); ('w', "violates 860 mm2 reticle"); ('A', "A100");
+      ]
+    plot
+
+let reticle_marker d = if Design.manufacturable d then '.' else 'w'
+
+let panels model name =
+  let designs = oct2022 model name in
+  let base = baseline model in
+  scatter_panel
+    ~title:(Printf.sprintf "Fig 6: %s prefill vs die area" name)
+    ~xlabel:"die area (mm2)" ~ylabel:"TTFT (ms)"
+    ~x:(fun d -> d.Design.area_mm2)
+    ~y:(fun d -> ms d.Design.ttft_s)
+    ~marker:reticle_marker designs Presets.a100_die_area_mm2
+    (ms base.Engine.ttft_s);
+  scatter_panel
+    ~title:(Printf.sprintf "Fig 6: %s decoding vs die area" name)
+    ~xlabel:"die area (mm2)" ~ylabel:"TBT (ms)"
+    ~x:(fun d -> d.Design.area_mm2)
+    ~y:(fun d -> ms d.Design.tbt_s)
+    ~marker:reticle_marker designs Presets.a100_die_area_mm2
+    (ms base.Engine.tbt_s);
+  scatter_panel
+    ~title:(Printf.sprintf "Fig 6: %s prefill vs decoding" name)
+    ~xlabel:"TTFT (ms)" ~ylabel:"TBT (ms)"
+    ~x:(fun d -> ms d.Design.ttft_s)
+    ~y:(fun d -> ms d.Design.tbt_s)
+    ~marker:reticle_marker designs (ms base.Engine.ttft_s)
+    (ms base.Engine.tbt_s);
+  designs
+
+let optimized model name paper_ttft paper_tbt =
+  let designs = oct2022 model name in
+  let base = baseline model in
+  let filters = [ Design.compliant_2022; Design.manufacturable ] in
+  let best_ttft = Optimum.best_exn ~filters Optimum.Ttft designs in
+  let best_tbt = Optimum.best_exn ~filters Optimum.Tbt designs in
+  note "%s optimized (manufacturable, Oct-2022 compliant):" name;
+  note "  best TTFT: %s vs A100 (paper: %s)  [%s]"
+    (pct ((best_ttft.Design.ttft_s -. base.Engine.ttft_s) /. base.Engine.ttft_s))
+    paper_ttft
+    (Format.asprintf "%a" Design.pp best_ttft);
+  note "  best TBT:  %s vs A100 (paper: %s)  [%s]"
+    (pct ((best_tbt.Design.tbt_s -. base.Engine.tbt_s) /. base.Engine.tbt_s))
+    paper_tbt
+    (Format.asprintf "%a" Design.pp best_tbt)
+
+let pareto_frontier model name =
+  let designs =
+    List.filter
+      (fun d -> Design.compliant_2022 d && Design.manufacturable d)
+      (oct2022 model name)
+  in
+  let show label fy =
+    let front =
+      Pareto.frontier ~fx:(fun d -> d.Design.area_mm2) ~fy designs
+    in
+    note "%s area/%s Pareto frontier (%d of %d compliant designs):" name label
+      (List.length front) (List.length designs);
+    List.iter (fun d -> note "  %s" (Format.asprintf "%a" Design.pp d)) front
+  in
+  show "TTFT" (fun d -> d.Design.ttft_s);
+  show "TBT" (fun d -> d.Design.tbt_s)
+
+let run () =
+  section "Figure 6 / Table 3: October 2022 design space exploration";
+  print_table3 ();
+  let d_gpt = panels Model.gpt3_175b "gpt3" in
+  let d_llama = panels Model.llama3_8b "llama3" in
+  optimized Model.gpt3_175b "gpt3" "-1.2%" "-27.0%";
+  optimized Model.llama3_8b "llama3" "-4.0%" "-14.2%";
+  pareto_frontier Model.gpt3_175b "gpt3";
+  pareto_frontier Model.llama3_8b "llama3";
+  csv "fig6_gpt3.csv" design_header (List.map design_row d_gpt);
+  csv "fig6_llama3.csv" design_header (List.map design_row d_llama)

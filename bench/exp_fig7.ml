@@ -1,0 +1,91 @@
+(* Figure 7: the October 2023 design space exploration at 1600 / 2400 /
+   4800 TPP targets (Table 3 parameters with device bandwidth in
+   {500, 700, 900}). White markers violate the PD floor or the reticle
+   limit. *)
+
+open Core
+open Common
+
+let targets = [ 1600.; 2400.; 4800. ]
+
+let marker_of_target tpp =
+  if tpp = 1600. then '1' else if tpp = 2400. then '2' else '4'
+
+let valid d = Acs_dse.Design.compliant_2023 d && Acs_dse.Design.manufacturable d
+
+let panel ~title ~xlabel ~ylabel ~x ~y per_target baseline_x baseline_y =
+  let plot = Scatter.create ~xlabel ~ylabel () in
+  List.iter
+    (fun (tpp, designs) ->
+      List.iter
+        (fun d ->
+          let marker = if valid d then marker_of_target tpp else 'w' in
+          Scatter.add plot ~marker ~x:(x d) ~y:(y d))
+        designs)
+    per_target;
+  Scatter.add plot ~marker:'A' ~x:baseline_x ~y:baseline_y;
+  Scatter.print ~title
+    ~legend:
+      [
+        ('1', "1600 TPP valid"); ('2', "2400 TPP valid"); ('4', "4800 TPP valid");
+        ('w', "violates PD or reticle"); ('A', "A100");
+      ]
+    plot
+
+let summarize model name =
+  let base = baseline model in
+  let per_target = List.map (fun tpp -> (tpp, oct2023 model name tpp)) targets in
+  panel
+    ~title:(Printf.sprintf "Fig 7: %s prefill vs die area" name)
+    ~xlabel:"die area (mm2)" ~ylabel:"TTFT (ms)"
+    ~x:(fun d -> d.Design.area_mm2)
+    ~y:(fun d -> ms d.Design.ttft_s)
+    per_target Presets.a100_die_area_mm2 (ms base.Engine.ttft_s);
+  panel
+    ~title:(Printf.sprintf "Fig 7: %s decoding vs die area" name)
+    ~xlabel:"die area (mm2)" ~ylabel:"TBT (ms)"
+    ~x:(fun d -> d.Design.area_mm2)
+    ~y:(fun d -> ms d.Design.tbt_s)
+    per_target Presets.a100_die_area_mm2 (ms base.Engine.tbt_s);
+  panel
+    ~title:(Printf.sprintf "Fig 7: %s prefill vs decoding" name)
+    ~xlabel:"TTFT (ms)" ~ylabel:"TBT (ms)"
+    ~x:(fun d -> ms d.Design.ttft_s)
+    ~y:(fun d -> ms d.Design.tbt_s)
+    per_target (ms base.Engine.ttft_s) (ms base.Engine.tbt_s);
+  List.iter
+    (fun (tpp, designs) ->
+      let valid_designs = List.filter valid designs in
+      note "%s @ %.0f TPP: %d/%d valid (unregulated + manufacturable)" name tpp
+        (List.length valid_designs) (List.length designs);
+      match valid_designs with
+      | [] -> note "  no valid designs (paper: all 4800-TPP designs invalid)"
+      | _ :: _ ->
+          let bt = Optimum.best_exn ~filters:[ valid ] Optimum.Ttft designs in
+          let bb = Optimum.best_exn ~filters:[ valid ] Optimum.Tbt designs in
+          note "  fastest TTFT: %s vs A100  [%s]"
+            (pct ((bt.Design.ttft_s -. base.Engine.ttft_s) /. base.Engine.ttft_s))
+            (Format.asprintf "%a" Design.pp bt);
+          note "  fastest TBT:  %s vs A100  [%s]"
+            (pct ((bb.Design.tbt_s -. base.Engine.tbt_s) /. base.Engine.tbt_s))
+            (Format.asprintf "%a" Design.pp bb))
+    per_target;
+  per_target
+
+let run () =
+  section "Figure 7: October 2023 design space exploration";
+  let g = summarize Model.gpt3_175b "gpt3" in
+  note "(paper: 2400-TPP fastest TTFT +78.8%%; fastest TBT -20.9%% @1600, \
+        -26.1%% @2400 for GPT-3)";
+  let l = summarize Model.llama3_8b "llama3" in
+  note "(paper: 2400-TPP fastest TTFT +54.6%%; fastest TBT -12.0%% @1600, \
+        -12.8%% @2400 for Llama 3)";
+  List.iter
+    (fun (tag, per_target) ->
+      List.iter
+        (fun (tpp, designs) ->
+          csv
+            (Printf.sprintf "fig7_%s_%.0ftpp.csv" tag tpp)
+            design_header (List.map design_row designs))
+        per_target)
+    [ ("gpt3", g); ("llama3", l) ]

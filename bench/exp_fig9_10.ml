@@ -1,0 +1,90 @@
+(* Figures 9 and 10: marketing-based vs architecture-based device
+   classification over the 65-device survey. *)
+
+open Core
+open Common
+
+let gpu_row g status =
+  [
+    g.Gpu.name;
+    Gpu.vendor_to_string g.Gpu.vendor;
+    string_of_int g.Gpu.year;
+    Gpu.segment_to_string g.Gpu.segment;
+    Printf.sprintf "%.0f" g.Gpu.tpp;
+    Printf.sprintf "%.2f" (Gpu.performance_density g);
+    Printf.sprintf "%.0f" g.Gpu.memory_gb;
+    Printf.sprintf "%.0f" g.Gpu.memory_bw_gb_s;
+    status;
+  ]
+
+let header =
+  [ "device"; "vendor"; "year"; "segment"; "tpp"; "pd"; "mem_gb"; "mem_bw_gb_s"; "status" ]
+
+let run_fig9 () =
+  section "Figure 9: marketing-based classification (65-device survey)";
+  let a = Marketing.analyze Database.survey in
+  let plot = Scatter.create ~xlabel:"performance density" ~ylabel:"TPP" () in
+  let mark marker gpus =
+    List.iter
+      (fun g -> Scatter.add plot ~marker ~x:(Gpu.performance_density g) ~y:g.Gpu.tpp)
+      gpus
+  in
+  mark 'D' a.Marketing.consistent_dc;
+  mark 'F' a.Marketing.false_dc;
+  mark '.' a.Marketing.consistent_ndc;
+  mark 'X' a.Marketing.false_ndc;
+  Scatter.print
+    ~legend:
+      [
+        ('D', "consistent DC"); ('F', "false DC"); ('.', "consistent non-DC");
+        ('X', "false non-DC");
+      ]
+    plot;
+  let name_list gpus = String.concat ", " (List.map (fun g -> g.Gpu.name) gpus) in
+  note "false data center (%d, paper: 4): %s"
+    (List.length a.Marketing.false_dc) (name_list a.Marketing.false_dc);
+  note "false non-data center (%d, paper: 7): %s"
+    (List.length a.Marketing.false_ndc) (name_list a.Marketing.false_ndc);
+  let rows =
+    List.map (fun g -> gpu_row g (Marketing.status_to_string (Marketing.status g)))
+      Database.survey
+  in
+  csv "fig9.csv" header rows
+
+let run_fig10 () =
+  section "Figure 10: architecture-based classification (>=32 GB or >1600 GB/s)";
+  let a = Arch_classifier.analyze Database.survey in
+  let plot = Scatter.create ~xlabel:"memory capacity (GB)" ~ylabel:"memory BW (GB/s)" () in
+  let mark marker gpus =
+    List.iter
+      (fun g -> Scatter.add plot ~marker ~x:g.Gpu.memory_gb ~y:g.Gpu.memory_bw_gb_s)
+      gpus
+  in
+  mark 'D' a.Arch_classifier.consistent_dc;
+  mark 'F' a.Arch_classifier.false_dc;
+  mark '.' a.Arch_classifier.consistent_ndc;
+  mark 'X' a.Arch_classifier.false_ndc;
+  Scatter.print
+    ~legend:
+      [
+        ('D', "consistent DC"); ('F', "false DC"); ('.', "consistent non-DC");
+        ('X', "false non-DC");
+      ]
+    plot;
+  let name_list gpus = String.concat ", " (List.map (fun g -> g.Gpu.name) gpus) in
+  note "false data center (%d, paper: 2 - L2 and L4): %s"
+    (List.length a.Arch_classifier.false_dc)
+    (name_list a.Arch_classifier.false_dc);
+  note "false non-data center (%d, paper: 0): %s"
+    (List.length a.Arch_classifier.false_ndc)
+    (name_list a.Arch_classifier.false_ndc);
+  let rows =
+    List.map
+      (fun g -> gpu_row g (Arch_classifier.status_to_string (Arch_classifier.status g)))
+      Database.survey
+  in
+  csv "fig10.csv" header rows
+
+let run () =
+  run_fig9 ();
+  run_fig10 ()

@@ -1,0 +1,95 @@
+(* The post-October-2023 rules the paper's background covers: the December
+   2024 HBM package control and the (since rescinded) January 2025 AI
+   diffusion quantity framework. *)
+
+open Core
+open Common
+
+(* name, package bandwidth GB/s, package area mm2 *)
+let hbm_packages =
+  [
+    ("HBM2 (4-high, 256 GB/s)", 256., 92.);
+    ("HBM2e (8-high, 460 GB/s)", 460., 110.);
+    ("HBM3 (8-high, 819 GB/s)", 819., 110.);
+    ("HBM3e (12-high, 1229 GB/s)", 1229., 110.);
+  ]
+
+let run_hbm () =
+  let t =
+    Table.create
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Left ]
+      [ "package"; "BW (GB/s)"; "density (GB/s/mm2)"; "Dec 2024 status" ]
+  in
+  let rows =
+    List.map
+      (fun (name, bw, area) ->
+        let c = Hbm_2024.classify ~bandwidth_gb_s:bw ~package_area_mm2:area () in
+        let cells =
+          [
+            name;
+            Printf.sprintf "%.0f" bw;
+            Printf.sprintf "%.2f" (bw /. area);
+            Hbm_2024.classification_to_string c;
+          ]
+        in
+        Table.add_row t cells;
+        cells)
+      hbm_packages
+  in
+  Table.print ~title:"December 2024 HBM memory-bandwidth-density rule" t;
+  note "Every HBM3-class package is controlled as a commodity, yet the same \
+        stacks installed in an H20 ship with the device: the rule regulates \
+        the part, not the system.";
+  csv "hbm_2024.csv" [ "package"; "bw_gb_s"; "density"; "status" ] rows
+
+let run_diffusion () =
+  let ledger = Diffusion_2025.create () in
+  let t =
+    Table.create
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Left; Table.Right ]
+      [ "order"; "units"; "order TPP (M)"; "outcome"; "allocation left (M TPP)" ]
+  in
+  let rows = ref [] in
+  let place consignee name units device_tpp =
+    let order = { Diffusion_2025.consignee; device_tpp; units } in
+    let outcome =
+      match Diffusion_2025.record ledger order with
+      | Ok c -> Diffusion_2025.classification_to_string c
+      | Error _ -> "REFUSED (allocation exhausted)"
+    in
+    let cells =
+      [
+        Printf.sprintf "%s: %s" consignee name;
+        string_of_int units;
+        Printf.sprintf "%.1f" (Diffusion_2025.order_tpp order /. 1e6);
+        outcome;
+        Printf.sprintf "%.0f" (Diffusion_2025.remaining_allocation_tpp ledger /. 1e6);
+      ]
+    in
+    Table.add_row t cells;
+    rows := cells :: !rows
+  in
+  let h100 = (Option.get (Database.find "H100")).Gpu.tpp in
+  let h20 = (Option.get (Database.find "H20")).Gpu.tpp in
+  place "university" "H100 cluster" 1_500 h100;
+  place "cloud-a" "H100 build-out" 25_000 h100;
+  place "cloud-a" "H100 expansion" 12_000 h100;
+  place "cloud-b" "H20 fleet" 11_000 h20;
+  place "cloud-b" "H100 mega-order" 30_000 h100;
+  place "cloud-c" "H100 late order" 6_000 h100;
+  Table.print
+    ~title:
+      "January 2025 diffusion framework: a Tier-2 country's ledger (790M \
+       TPP allocation, 26.9M TPP/yr LPP exception)"
+    t;
+  note "Quantity controls change the game from per-device architecture to \
+        aggregate TPP budgeting: low-TPP compliant devices (H20) stretch an \
+        allocation ~6.7x further per unit than flagships.";
+  csv "diffusion_2025.csv"
+    [ "order"; "units"; "order_mtpp"; "outcome"; "remaining_mtpp" ]
+    (List.rev !rows)
+
+let run () =
+  section "December 2024 and January 2025 rules";
+  run_hbm ();
+  run_diffusion ()

@@ -1,0 +1,68 @@
+(* Sec. 4.4 power extension: the PD floor pads dies with SRAM, whose
+   leakage and switching raise both TDP and the energy per generated
+   token - the "operating costs" the paper points at. *)
+
+open Core
+open Common
+
+let run () =
+  section "Power study: what the PD floor costs in watts (Table 4 designs)";
+  let designs = oct2023 Model.gpt3_175b "gpt3" 2400. in
+  let compliant d = Design.compliant_2023 d && Design.manufacturable d in
+  let non_compliant d = (not (Design.compliant_2023 d)) && Design.manufacturable d in
+  let pdc = Optimum.best_exn ~filters:[ compliant ] Optimum.Ttft designs in
+  let npc = Optimum.best_exn ~filters:[ non_compliant ] Optimum.Ttft designs in
+  let t =
+    Table.create
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+      [ "quantity"; "PD compliant"; "non-compliant"; "A100 (ref)" ]
+  in
+  let a100 = Presets.a100 in
+  let row name f =
+    Table.add_row t
+      [ name; f pdc.Design.device; f npc.Design.device; f a100 ]
+  in
+  row "on-chip SRAM (MB)" (fun d -> Printf.sprintf "%.0f" (Area_model.sram_mb d));
+  row "static power (W)" (fun d -> Printf.sprintf "%.0f" (Power_model.static_watts d));
+  row "TDP (W)" (fun d -> Printf.sprintf "%.0f" (Power_model.tdp_watts d));
+  row "avg decode power (W)" (fun d ->
+      Printf.sprintf "%.0f"
+        (Power_model.average_watts d Model.gpt3_175b Layer.Decode));
+  row "decode J/token (group)" (fun d ->
+      Printf.sprintf "%.2f" (Power_model.decode_energy_per_token_j d Model.gpt3_175b));
+  row "electricity $/Mtok" (fun d ->
+      Printf.sprintf "%.3f" (Power_model.electricity_usd_per_mtok d Model.gpt3_175b));
+  Table.print t;
+  let static_delta =
+    Power_model.static_watts pdc.Design.device
+    -. Power_model.static_watts npc.Design.device
+  in
+  note "PD compliance adds %.0f W of leakage on this pair; across 1M \
+        deployed devices at $0.10/kWh that is ~$%.0fM/year of idle power \
+        alone."
+    static_delta
+    (static_delta *. 24. *. 365. /. 1000. *. 0.10 *. 1e6 /. 1e6);
+  (* Energy breakdown of the two phases on the A100 reference. *)
+  List.iter
+    (fun phase ->
+      let e = Power_model.phase_energy a100 Model.gpt3_175b phase in
+      note "A100 %s energy/layer: %s"
+        (Layer.phase_to_string phase)
+        (Format.asprintf "%a" Power_model.pp_phase_energy e))
+    [ Layer.Prefill; Layer.Decode ];
+  csv "power_study.csv"
+    [ "variant"; "sram_mb"; "static_w"; "tdp_w"; "decode_j_per_token" ]
+    (List.map
+       (fun (name, d) ->
+         [
+           name;
+           Printf.sprintf "%.1f" (Area_model.sram_mb d);
+           Printf.sprintf "%.1f" (Power_model.static_watts d);
+           Printf.sprintf "%.1f" (Power_model.tdp_watts d);
+           Printf.sprintf "%.3f" (Power_model.decode_energy_per_token_j d Model.gpt3_175b);
+         ])
+       [
+         ("pd_compliant", pdc.Design.device);
+         ("non_compliant", npc.Design.device);
+         ("a100", a100);
+       ])

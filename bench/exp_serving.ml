@@ -1,0 +1,67 @@
+(* Request-level serving comparison: does the per-layer story (compliant
+   hardware keeps decode throughput) survive a realistic continuous-
+   batching scheduler with queueing? *)
+
+open Core
+open Common
+
+let h20_style =
+  Device.make ~name:"H20-style" ~core_count:51 ~lanes_per_core:4
+    ~systolic:(Systolic.square 16) ~l1_kb:256. ~l2_mb:60.
+    ~memory:(Memory.make ~capacity_gb:96. ~bandwidth_tb_s:4.)
+    ~interconnect:(Interconnect.of_total_gb_s 900.)
+    ()
+
+let ai_limited =
+  (* A device shaped by the paper's proposed AI-targeted policy. *)
+  Device.make ~name:"ai-targeted" ~core_count:103 ~lanes_per_core:4
+    ~systolic:(Systolic.square 16) ~l1_kb:32. ~l2_mb:40.
+    ~memory:(Memory.make ~capacity_gb:80. ~bandwidth_tb_s:0.8)
+    ~interconnect:(Interconnect.of_total_gb_s 400.)
+    ()
+
+let run () =
+  section "Serving study: continuous batching on restricted vs compliant parts";
+  let trace =
+    Trace.synthetic ~rate_per_s:3. ~duration_s:120. ~mean_input:512
+      ~mean_output:128 ()
+  in
+  note "trace: %d requests, %d output tokens (Poisson 3 req/s for 120 s, \
+        seed 42)"
+    (List.length trace)
+    (Trace.total_output_tokens trace);
+  let t =
+    Table.create
+      ~aligns:
+        [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ]
+      [ "device"; "tok/s"; "p50 TTFT (ms)"; "p95 TTFT (ms)"; "p50 TBT (ms)";
+        "p95 TBT (ms)"; "batch occ" ]
+  in
+  let rows =
+    List.map
+      (fun dev ->
+        let s = Simulator.run dev Model.llama3_8b trace in
+        let cells =
+          [
+            dev.Device.name;
+            Printf.sprintf "%.0f" s.Simulator.throughput_tokens_per_s;
+            Printf.sprintf "%.0f" (1e3 *. s.Simulator.p50_ttft_s);
+            Printf.sprintf "%.0f" (1e3 *. s.Simulator.p95_ttft_s);
+            Printf.sprintf "%.1f" (1e3 *. s.Simulator.p50_tbt_s);
+            Printf.sprintf "%.1f" (1e3 *. s.Simulator.p95_tbt_s);
+            Printf.sprintf "%.1f" s.Simulator.mean_batch_occupancy;
+          ]
+        in
+        Table.add_row t cells;
+        cells)
+      [ Presets.a100; h20_style; ai_limited ]
+  in
+  Table.print ~title:"Llama 3 8B serving (tp=4, max batch 64)" t;
+  note "The H20-style compliant part (low TPP, huge bandwidth) serves \
+        decode-heavy traffic essentially as well as the restricted A100; \
+        the architecture-first 'AI-targeted' limits are what actually \
+        degrade token latency - the paper's policy argument at the \
+        request level.";
+  csv "serving_study.csv"
+    [ "device"; "tok_s"; "p50_ttft_ms"; "p95_ttft_ms"; "p50_tbt_ms"; "p95_tbt_ms"; "occupancy" ]
+    rows

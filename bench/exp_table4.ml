@@ -1,0 +1,70 @@
+(* Table 4: the fastest-TTFT PD-compliant vs PD-non-compliant 2400-TPP
+   designs for GPT-3, with silicon and good-die costs. *)
+
+open Core
+open Common
+
+let run () =
+  section "Table 4: performance density and cost at the 2400 TPP target (GPT-3)";
+  let designs = oct2023 Model.gpt3_175b "gpt3" 2400. in
+  let compliant d = Design.compliant_2023 d && Design.manufacturable d in
+  let non_compliant d = (not (Design.compliant_2023 d)) && Design.manufacturable d in
+  let best filter = Optimum.best_exn ~filters:[ filter ] Optimum.Ttft designs in
+  let pdc = best compliant and npc = best non_compliant in
+  let row name f =
+    [ name; f pdc; f npc ]
+  in
+  let t =
+    Table.create ~aligns:[ Table.Left; Table.Right; Table.Right ]
+      [ "parameter"; "PD compliant"; "non-compliant" ]
+  in
+  let money v = Printf.sprintf "$%.0f" v in
+  List.iter (Table.add_row t)
+    [
+      row "die area (mm2)" (fun d -> Printf.sprintf "%.0f" d.Design.area_mm2);
+      row "PD" (fun d -> Printf.sprintf "%.2f" (Spec.performance_density d.Design.spec));
+      row "TTFT (ms)" (fun d -> Printf.sprintf "%.0f" (ms d.Design.ttft_s));
+      row "TBT (ms)" (fun d -> Printf.sprintf "%.3f" (ms d.Design.tbt_s));
+      row "on-chip SRAM (MB)" (fun d -> Printf.sprintf "%.0f" d.Design.sram_mb);
+      row "silicon die cost (7nm)" (fun d -> money d.Design.die_cost_usd);
+      row "1M good dies cost" (fun d ->
+          Printf.sprintf "$%.0fM"
+            (Cost_model.cost_of_good_dies_usd ~process:Cost_model.n7
+               ~die_area_mm2:d.Design.area_mm2 ~count:1_000_000 ()
+            /. 1e6));
+      row "config" (fun d -> Format.asprintf "%a" Design.pp d);
+    ];
+  Table.print t;
+  note "paper: 753 vs 523 mm2, PD 3.18 vs 4.59, TTFT 465 vs 470 ms, TBT \
+        1.062 vs 1.053 ms, $134 vs $88, $350M vs $177M";
+  note "area premium for PD compliance: %s; die-cost premium: %s; good-die \
+        cost premium: %.2fx"
+    (pct ((pdc.Design.area_mm2 -. npc.Design.area_mm2) /. npc.Design.area_mm2))
+    (pct
+       ((pdc.Design.die_cost_usd -. npc.Design.die_cost_usd)
+       /. npc.Design.die_cost_usd))
+    (pdc.Design.good_die_cost_usd /. npc.Design.good_die_cost_usd);
+  (* Validity census, paper Sec. 4.4: 56 valid, 1429 PD violations, 51
+     reticle violations. *)
+  let pd_viol = List.filter (fun d -> not (Design.compliant_2023 d)) designs in
+  let reticle_viol = List.filter (fun d -> not (Design.manufacturable d)) designs in
+  let valid = List.filter compliant designs in
+  note "census of %d designs: %d valid, %d violate PD, %d violate the reticle \
+        (paper: 56 / 1429 / 51)"
+    (List.length designs) (List.length valid) (List.length pd_viol)
+    (List.length reticle_viol);
+  csv "table4.csv"
+    [ "variant"; "area_mm2"; "pd"; "ttft_ms"; "tbt_ms"; "sram_mb"; "die_cost"; "good_die_cost" ]
+    (List.map
+       (fun (name, d) ->
+         [
+           name;
+           Printf.sprintf "%.1f" d.Design.area_mm2;
+           Printf.sprintf "%.2f" (Spec.performance_density d.Design.spec);
+           Printf.sprintf "%.2f" (ms d.Design.ttft_s);
+           Printf.sprintf "%.4f" (ms d.Design.tbt_s);
+           Printf.sprintf "%.1f" d.Design.sram_mb;
+           Printf.sprintf "%.2f" d.Design.die_cost_usd;
+           Printf.sprintf "%.2f" d.Design.good_die_cost_usd;
+         ])
+       [ ("pd_compliant", pdc); ("non_compliant", npc) ])

@@ -1,0 +1,77 @@
+(* Training extension: the rules are motivated by training compute. How do
+   compliant devices change a GPT-3-class training timeline, and which
+   architectural knob does the damage? *)
+
+open Core
+open Common
+
+let h20_style =
+  Device.make ~name:"H20-style (Oct23 compliant)" ~core_count:51
+    ~lanes_per_core:4 ~systolic:(Systolic.square 16) ~l1_kb:256. ~l2_mb:60.
+    ~memory:(Memory.make ~capacity_gb:96. ~bandwidth_tb_s:4.)
+    ~interconnect:(Interconnect.of_total_gb_s 900.)
+    ()
+
+let a800_style =
+  Device.make ~name:"A800-style (Oct22 compliant)" ~core_count:108
+    ~lanes_per_core:4 ~systolic:(Systolic.square 16) ~l1_kb:192. ~l2_mb:40.
+    ~memory:(Memory.make ~capacity_gb:80. ~bandwidth_tb_s:2.)
+    ~interconnect:(Interconnect.of_total_gb_s 400.)
+    ()
+
+let ai_targeted =
+  Device.make ~name:"AI-targeted policy device" ~core_count:103
+    ~lanes_per_core:4 ~systolic:(Systolic.square 16) ~l1_kb:32. ~l2_mb:40.
+    ~memory:(Memory.make ~capacity_gb:80. ~bandwidth_tb_s:0.8)
+    ~interconnect:(Interconnect.of_total_gb_s 400.)
+    ()
+
+let run () =
+  section "Training study: compliant clusters vs a GPT-3-scale run";
+  let cfg = Training.default_config in
+  note "configuration: %d devices (tp %d x dp %d), micro batch %d x %d \
+        accumulation, sequence %d; 300B training tokens"
+    (Training.devices cfg) cfg.Training.tp cfg.Training.dp
+    cfg.Training.micro_batch cfg.Training.accumulation cfg.Training.seq_len;
+  let t =
+    Table.create
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ]
+      [ "device"; "TPP"; "step (s)"; "tokens/s"; "MFU"; "days for 300B tokens" ]
+  in
+  let base = Training.step Presets.a100 Model.gpt3_175b cfg in
+  let rows =
+    List.map
+      (fun dev ->
+        let s = Training.step dev Model.gpt3_175b cfg in
+        let days =
+          Training.days_to_train ~tokens:300e9 dev Model.gpt3_175b cfg
+        in
+        let cells =
+          [
+            dev.Device.name;
+            Printf.sprintf "%.0f" (Device.tpp dev);
+            Printf.sprintf "%.1f" s.Training.step_s;
+            Printf.sprintf "%.0f" s.Training.tokens_per_s;
+            Printf.sprintf "%.1f%%" (100. *. s.Training.mfu);
+            Printf.sprintf "%.0f" days;
+          ]
+        in
+        Table.add_row t cells;
+        cells)
+      [ Presets.a100; a800_style; h20_style; ai_targeted ]
+  in
+  Table.print ~title:"GPT-3 175B training on 128-device clusters" t;
+  let slowdown dev =
+    (Training.step dev Model.gpt3_175b cfg).Training.step_s
+    /. base.Training.step_s
+  in
+  note "Training is the compute-bound regime the rules aim at: the Oct-2022 \
+        interconnect cap costs only %.0f%% (gradients tolerate the slower \
+        all-reduce), while the Oct-2023 TPP cut stretches the run %.1fx and \
+        the architecture-first device %.1fx - compliant inference hardware \
+        is NOT compliant training hardware."
+    (100. *. (slowdown a800_style -. 1.))
+    (slowdown h20_style) (slowdown ai_targeted);
+  csv "training_study.csv"
+    [ "device"; "tpp"; "step_s"; "tokens_per_s"; "mfu"; "days_300b" ]
+    rows

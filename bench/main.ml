@@ -1,0 +1,58 @@
+(* Experiment harness: regenerates every table and figure of the paper's
+   evaluation. Run all experiments with `dune exec bench/main.exe`, or a
+   subset with e.g. `dune exec bench/main.exe -- fig6 fig7`. Text output
+   goes to stdout; machine-readable series land under results/. *)
+
+let experiments =
+  [
+    ("table1", "Table 1: rule definitions + survey classification", Acs_experiments.Exp_table1.run);
+    ("fig1", "Figures 1a/1b and 2: real-device classification", Acs_experiments.Exp_fig1.run);
+    ("fig5", "Figure 5: TPP vs bandwidth scaling", Acs_experiments.Exp_fig5.run);
+    ("fig6", "Figure 6 / Table 3: October 2022 DSE", Acs_experiments.Exp_fig6.run);
+    ("fig7", "Figure 7: October 2023 DSE", Acs_experiments.Exp_fig7.run);
+    ("table4", "Table 4: PD compliance cost", Acs_experiments.Exp_table4.run);
+    ("fig8", "Figure 8: latency-cost products", Acs_experiments.Exp_fig8.run);
+    ("fig9", "Figures 9 and 10: classification externalities", Acs_experiments.Exp_fig9_10.run);
+    ("fig11", "Figure 11: indicator distributions (Fig 7 DSE)", Acs_experiments.Exp_fig11.run);
+    ("fig12", "Figure 12 / Table 5: restricted DSE distributions", Acs_experiments.Exp_fig12.run);
+    ("sec54", "Sec 5.4: policy ablations", Acs_experiments.Exp_sec54.run);
+    ("chiplet", "Secs 2.3/2.5: multi-chip compliance and economics", Acs_experiments.Exp_chiplet.run);
+    ("history", "Sec 6.1: CTP/APP/TPP metric evolution", Acs_experiments.Exp_history.run);
+    ("power", "Sec 4.4 extension: power cost of the PD floor", Acs_experiments.Exp_power.run);
+    ("serving", "request-level serving on compliant hardware", Acs_experiments.Exp_serving.run);
+    ("newrules", "Dec 2024 HBM rule and Jan 2025 diffusion framework", Acs_experiments.Exp_newrules.run);
+    ("economics", "die salvage and deadweight loss", Acs_experiments.Exp_economics.run);
+    ("ablation", "calibration robustness of the conclusions", Acs_experiments.Exp_ablation.run);
+    ("workload", "workload-sensitivity sweep", Acs_experiments.Exp_workload.run);
+    ("training", "training timelines on compliant clusters", Acs_experiments.Exp_training.run);
+    ("scorecard", "paper-vs-measured reproduction scorecard", Acs_experiments.Exp_scorecard.run);
+    ("speed", "bechamel microbenchmarks", Acs_experiments.Speed.run);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ :: [] | [] -> List.map (fun (name, _, _) -> name) experiments
+  in
+  let unknown =
+    List.filter
+      (fun name -> not (List.exists (fun (n, _, _) -> n = name) experiments))
+      requested
+  in
+  if unknown <> [] then begin
+    Printf.eprintf "unknown experiment(s): %s\navailable: %s\n"
+      (String.concat ", " unknown)
+      (String.concat ", " (List.map (fun (n, _, _) -> n) experiments));
+    exit 2
+  end;
+  let t0 = Sys.time () in
+  List.iter
+    (fun (name, descr, run) ->
+      if List.mem name requested then begin
+        Printf.printf "\n>>> %s - %s\n%!" name descr;
+        run ()
+      end)
+    experiments;
+  Printf.printf "\nAll requested experiments completed in %.1f s (CPU).\n"
+    (Sys.time () -. t0)

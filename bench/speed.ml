@@ -1,0 +1,70 @@
+(* Bechamel microbenchmarks of the simulator itself: how fast one design
+   evaluation is determines how large a DSE is practical. *)
+
+open Bechamel
+open Toolkit
+
+let tests =
+  let a100 = Core.Presets.a100 in
+  let params =
+    {
+      Core.Space.systolic_dim = 16;
+      lanes = 4;
+      l1 = 192.;
+      l2 = 40.;
+      memory_bw = 2.;
+      device_bw = 600.;
+    }
+  in
+  Test.make_grouped ~name:"acs"
+    [
+      Test.make ~name:"simulate-gpt3"
+        (Staged.stage (fun () ->
+             ignore (Core.Engine.simulate a100 Core.Model.gpt3_175b)));
+      Test.make ~name:"simulate-llama3"
+        (Staged.stage (fun () ->
+             ignore (Core.Engine.simulate a100 Core.Model.llama3_8b)));
+      Test.make ~name:"design-evaluate"
+        (Staged.stage (fun () ->
+             ignore
+               (Core.Design.evaluate ~model:Core.Model.llama3_8b params a100)));
+      Test.make ~name:"area-model"
+        (Staged.stage (fun () -> ignore (Core.Area_model.total_mm2 a100)));
+      Test.make ~name:"classify-survey"
+        (Staged.stage (fun () ->
+             List.iter
+               (fun g -> ignore (Core.Gpu.classify_2023 g))
+               Core.Database.survey));
+      Test.make ~name:"good-die-cost"
+        (Staged.stage (fun () ->
+             ignore
+               (Core.Cost_model.good_die_cost_usd ~process:Core.Cost_model.n7
+                  ~die_area_mm2:753. ())));
+    ]
+
+let run () =
+  Common.section "Microbenchmarks (bechamel): simulator throughput";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ est ] -> rows := (name, est) :: !rows
+      | Some _ | None -> ())
+    results;
+  let t =
+    Core.Table.create ~aligns:[ Core.Table.Left; Core.Table.Right ]
+      [ "benchmark"; "ns/run" ]
+  in
+  List.iter
+    (fun (name, est) -> Core.Table.add_row t [ name; Printf.sprintf "%.0f" est ])
+    (List.sort compare !rows);
+  Core.Table.print t

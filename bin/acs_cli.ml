@@ -1,0 +1,1 @@
+let () = exit (Cmdliner.Cmd.eval Acs_cli.Cli.main)

@@ -1,0 +1,93 @@
+(* Prefill/decode disaggregation under export rules.
+
+   The paper's DSE shows the two inference phases want different compliant
+   hardware: prefill wants every FLOP the TPP cap allows, decoding wants
+   memory bandwidth the rules do not regulate. Phase-splitting serving
+   systems (Splitwise-style, the paper's ref [59]) can exploit that by
+   running each phase on its own machine pool, each built from the design
+   with the best latency-cost product for that phase (Fig. 8's metric).
+
+   Run with: dune exec examples/disaggregation.exe *)
+
+open Core
+
+let model = Model.llama3_8b
+
+(* Cost-efficiency optima from the October 2022 DSE. *)
+let optima =
+  lazy
+    (let sweep = Design.evaluate_sweep ~model ~tpp_target:4800. Space.oct2022 in
+     let filters = [ Design.compliant_2022; Design.manufacturable ] in
+     ( Optimum.best_exn ~filters Optimum.Ttft_cost sweep,
+       Optimum.best_exn ~filters Optimum.Tbt_cost sweep ))
+
+let batch = 16
+
+let rates device ~prompt ~generation =
+  let request = Request.make ~batch ~input_len:prompt ~output_len:generation in
+  let r = Engine.simulate ~request device model in
+  ( float_of_int batch /. Engine.model_ttft_s r,
+    float_of_int batch /. Engine.model_tbt_s r )
+
+let group_cost device =
+  let area = Area_model.total_mm2 device in
+  4. *. Cost_model.good_die_cost_usd ~process:Cost_model.n7 ~die_area_mm2:area ()
+
+let fleet_cost ~prompt ~generation ~request_rate prefill_dev decode_dev =
+  let prefill_rate, _ = rates prefill_dev ~prompt ~generation in
+  let _, decode_rate = rates decode_dev ~prompt ~generation in
+  let prefill_machines = Float.ceil (request_rate /. prefill_rate) in
+  let decode_machines =
+    Float.ceil (request_rate *. float_of_int generation /. decode_rate)
+  in
+  ( prefill_machines,
+    decode_machines,
+    (prefill_machines *. group_cost prefill_dev)
+    +. (decode_machines *. group_cost decode_dev) )
+
+let scenario name ~prompt ~generation ~request_rate =
+  let best_prefill, best_decode = Lazy.force optima in
+  let t =
+    Table.create
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ]
+      [ "fleet"; "prefill groups"; "decode groups"; "silicon cost"; "vs A100" ]
+  in
+  let a100_cost = ref 0. in
+  let add fleet_name prefill_dev decode_dev =
+    let p, d, cost = fleet_cost ~prompt ~generation ~request_rate prefill_dev decode_dev in
+    if !a100_cost = 0. then a100_cost := cost;
+    Table.add_row t
+      [
+        fleet_name;
+        Printf.sprintf "%.0f" p;
+        Printf.sprintf "%.0f" d;
+        Printf.sprintf "$%.0f" cost;
+        Table.fmt_pct ((cost -. !a100_cost) /. !a100_cost);
+      ]
+  in
+  add "homogeneous A100 (restricted)" Presets.a100 Presets.a100;
+  add "homogeneous compliant (decode-optimal)" best_decode.Design.device
+    best_decode.Design.device;
+  add "disaggregated compliant" best_prefill.Design.device
+    best_decode.Design.device;
+  Table.print
+    ~title:
+      (Printf.sprintf "%s: %.0f req/s, %d-token prompts, %d-token replies"
+         name request_rate prompt generation)
+    t
+
+let () =
+  let best_prefill, best_decode = Lazy.force optima in
+  Format.printf "prefill-pool machine (best TTFT x cost): %a@." Design.pp best_prefill;
+  Format.printf "decode-pool machine  (best TBT x cost):  %a@.@." Design.pp best_decode;
+  scenario "chatty traffic" ~prompt:512 ~generation:256 ~request_rate:200.;
+  scenario "prompt-heavy traffic (RAG-style)" ~prompt:6144 ~generation:32
+    ~request_rate:200.;
+  print_endline
+    "Per silicon dollar, the compliant fleets beat the restricted A100\n\
+     fleet outright: the rules leave decoding bandwidth free, and the\n\
+     cost-optimal compliant designs buy it on smaller dies than the\n\
+     flagship's. This is the serving-economics face of the paper's\n\
+     warning that TPP-only rules barely constrain inference. Phase\n\
+     disaggregation adds a further trim when the pools want different\n\
+     designs - largest for prompt-heavy traffic."

@@ -1,0 +1,120 @@
+(* Policy lab: the regulator's problem from Sec. 5 of the paper.
+
+   Draft a hypothetical rule, then measure (a) which real products it would
+   capture - including products it was presumably not aimed at - and (b) how
+   predictable the performance of compliant future designs would be. The
+   paper's thesis: rules built from architectural parameters (memory
+   bandwidth, L1 capacity) target AI workloads with far less collateral
+   damage than TPP alone.
+
+   Run with: dune exec examples/policy_lab.exe *)
+
+open Core
+
+type draft_rule = {
+  title : string;
+  captures : Gpu.t -> bool;  (** real products the rule would restrict *)
+  design_limits : Proposals.limits;  (** what future designs must obey *)
+}
+
+let drafts =
+  [
+    {
+      title = "Status quo analogue: TPP >= 1600";
+      captures = (fun g -> g.Gpu.tpp >= 1600.);
+      design_limits = Proposals.tpp_only 1600.;
+    };
+    {
+      title = "Architecture-first: memory BW > 1.2 TB/s";
+      captures = (fun g -> g.Gpu.memory_bw_gb_s > 1200.);
+      design_limits =
+        { Proposals.unconstrained with Proposals.max_memory_bw_tb_s = Some 1.2 };
+    };
+    {
+      title = "Combined: TPP >= 1600 AND memory BW > 1.2 TB/s";
+      captures = (fun g -> g.Gpu.tpp >= 1600. && g.Gpu.memory_bw_gb_s > 1200.);
+      design_limits =
+        {
+          (Proposals.tpp_only 1600.) with
+          Proposals.max_memory_bw_tb_s = Some 1.2;
+        };
+    };
+  ]
+
+let collateral rule =
+  (* Gaming/workstation devices the rule captures = negative externality. *)
+  List.partition
+    (fun g -> g.Gpu.segment = Gpu.Data_center)
+    (List.filter rule.captures Database.survey)
+
+let predictability rule =
+  (* Simulate the restricted design space, generated just under the rule's
+     TPP cap (future compliant designs sit at the cap), and ask how tight
+     the TBT distribution of rule-compliant designs is: tight = the rule
+     actually pins down attainable AI performance. *)
+  let tpp_target =
+    match rule.design_limits.Proposals.max_tpp with
+    | Some cap -> cap
+    | None -> 4800.
+  in
+  let designs =
+    Design.evaluate_sweep ~model:Model.gpt3_175b ~tpp_target Space.restricted
+    |> List.filter Design.manufacturable
+  in
+  let all_tbt = List.map (fun d -> d.Design.tbt_s) designs in
+  let compliant =
+    List.filter
+      (fun d -> Proposals.compliant rule.design_limits d.Design.device)
+      designs
+  in
+  match compliant with
+  | [] -> None
+  | _ :: _ ->
+      let tbt = List.map (fun d -> d.Design.tbt_s) compliant in
+      Some
+        ( List.length compliant,
+          Stats.median tbt,
+          Stats.narrowing_factor ~baseline:all_tbt tbt )
+
+let () =
+  let base = Engine.simulate Presets.a100 Model.gpt3_175b in
+  let t =
+    Table.create
+      ~aligns:
+        [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ]
+      [ "draft rule"; "DC captured"; "non-DC captured (externality)";
+        "compliant designs"; "median TBT vs A100"; "TBT narrowing" ]
+  in
+  List.iter
+    (fun rule ->
+      let dc, non_dc = collateral rule in
+      let designs_cell, median_cell, narrow_cell =
+        match predictability rule with
+        | None -> ("0", "-", "-")
+        | Some (n, med, narrowing) ->
+            ( string_of_int n,
+              Table.fmt_pct ((med -. base.Engine.tbt_s) /. base.Engine.tbt_s),
+              Printf.sprintf "%.1fx" narrowing )
+      in
+      Table.add_row t
+        [
+          rule.title;
+          string_of_int (List.length dc);
+          string_of_int (List.length non_dc);
+          designs_cell;
+          median_cell;
+          narrow_cell;
+        ])
+    drafts;
+  Table.print ~title:"Draft export rules: collateral capture vs predictive power" t;
+  print_endline
+    "Reading: the TPP-only draft captures a dozen gaming/workstation parts\n\
+     (pure externality) yet barely constrains what TBT compliant designs can\n\
+     reach. The bandwidth-scoped drafts capture almost no consumer parts and\n\
+     pin compliant decoding performance in a band dozens of times narrower.";
+  print_newline ();
+  (* Show the captured non-DC devices by name for the first draft. *)
+  let first = List.hd drafts in
+  let _, non_dc = collateral first in
+  Format.printf "non-DC devices captured by %S:@." first.title;
+  List.iter (fun g -> Format.printf "  - %a@." Gpu.pp g) non_dc

@@ -1,0 +1,74 @@
+module Device = Acs_hardware.Device
+module Systolic = Acs_hardware.Systolic
+
+type coefficients = {
+  mac_mm2 : float;
+  vector_alu_mm2 : float;
+  sram_mm2_per_mb : float;
+  hbm_phy_mm2 : float;
+  device_phy_mm2 : float;
+  fixed_mm2 : float;
+}
+
+let default =
+  {
+    mac_mm2 = 0.003;
+    vector_alu_mm2 = 0.006;
+    sram_mm2_per_mb = 2.318;
+    hbm_phy_mm2 = 14.0;
+    device_phy_mm2 = 1.5;
+    fixed_mm2 = 66.0;
+  }
+
+type breakdown = {
+  compute_mm2 : float;
+  l1_mm2 : float;
+  l2_mm2 : float;
+  hbm_phy_mm2 : float;
+  device_phy_mm2 : float;
+  fixed_mm2 : float;
+}
+
+let sram_coeff coeff = coeff.sram_mm2_per_mb /. Acs_util.Units.mega
+
+let breakdown ?(coeff = default) (dev : Device.t) =
+  let lane_mm2 =
+    (coeff.mac_mm2 *. float_of_int (Systolic.macs_per_cycle dev.Device.systolic))
+    +. (coeff.vector_alu_mm2 *. float_of_int dev.Device.vector_width)
+  in
+  let cores = float_of_int dev.Device.core_count in
+  let lanes = float_of_int dev.Device.lanes_per_core in
+  let links =
+    float_of_int dev.Device.interconnect.Acs_hardware.Interconnect.links
+  in
+  {
+    compute_mm2 = cores *. lanes *. lane_mm2;
+    l1_mm2 = cores *. dev.Device.l1_bytes *. sram_coeff coeff;
+    l2_mm2 = dev.Device.l2_bytes *. sram_coeff coeff;
+    hbm_phy_mm2 =
+      coeff.hbm_phy_mm2 *. float_of_int dev.Device.memory.Acs_hardware.Memory.stacks;
+    device_phy_mm2 = coeff.device_phy_mm2 *. links;
+    fixed_mm2 = coeff.fixed_mm2;
+  }
+
+let total_mm2 ?(coeff = default) dev =
+  let b = breakdown ~coeff dev in
+  b.compute_mm2 +. b.l1_mm2 +. b.l2_mm2 +. b.hbm_phy_mm2 +. b.device_phy_mm2
+  +. b.fixed_mm2
+
+let sram_mb (dev : Device.t) =
+  ((float_of_int dev.Device.core_count *. dev.Device.l1_bytes)
+  +. dev.Device.l2_bytes)
+  /. Acs_util.Units.mega
+
+let performance_density ?(coeff = default) dev =
+  Device.tpp dev /. total_mm2 ~coeff dev
+
+let within_reticle ?(coeff = default) dev =
+  total_mm2 ~coeff dev <= Acs_hardware.Presets.reticle_limit_mm2
+
+let pp_breakdown ppf b =
+  Format.fprintf ppf
+    "compute %.1f + L1 %.1f + L2 %.1f + HBM PHY %.1f + dev PHY %.1f + fixed \
+     %.1f mm^2"
+    b.compute_mm2 b.l1_mm2 b.l2_mm2 b.hbm_phy_mm2 b.device_phy_mm2 b.fixed_mm2

@@ -1,0 +1,42 @@
+(** 7 nm die-area model for the hardware template.
+
+    Coefficients are fitted to the paper's published design points
+    (see DESIGN.md "Calibration anchors"): the two Table 4 designs
+    (103 cores x 2 lanes x 16x16, identical except caches) pin SRAM at
+    ~2.318 mm^2/MB and, with the lane-compute, PHY and fixed terms below,
+    land at 523 and 753 mm^2 exactly. *)
+
+type coefficients = {
+  mac_mm2 : float;  (** per systolic FP16 MAC *)
+  vector_alu_mm2 : float;  (** per vector ALU *)
+  sram_mm2_per_mb : float;  (** L1 and L2, including arrays + periphery *)
+  hbm_phy_mm2 : float;  (** per 400 GB/s HBM stack PHY + controller *)
+  device_phy_mm2 : float;  (** per 50 GB/s interconnect link *)
+  fixed_mm2 : float;  (** IO ring, command processors, schedulers *)
+}
+
+val default : coefficients
+
+type breakdown = {
+  compute_mm2 : float;
+  l1_mm2 : float;
+  l2_mm2 : float;
+  hbm_phy_mm2 : float;
+  device_phy_mm2 : float;
+  fixed_mm2 : float;
+}
+
+val breakdown : ?coeff:coefficients -> Acs_hardware.Device.t -> breakdown
+val total_mm2 : ?coeff:coefficients -> Acs_hardware.Device.t -> float
+
+val sram_mb : Acs_hardware.Device.t -> float
+(** Total on-chip SRAM (all L1s plus L2) in MB, the quantity compared in
+    Sec. 4.4. *)
+
+val performance_density : ?coeff:coefficients -> Acs_hardware.Device.t -> float
+(** TPP / modeled die area, the October 2023 metric. *)
+
+val within_reticle : ?coeff:coefficients -> Acs_hardware.Device.t -> bool
+(** Modeled area <= 860 mm^2. *)
+
+val pp_breakdown : Format.formatter -> breakdown -> unit

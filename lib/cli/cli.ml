@@ -1,0 +1,342 @@
+(* Command-line front end: classify devices, simulate designs, run DSEs and
+   inspect the device survey without writing any OCaml. *)
+
+open Cmdliner
+open Core
+
+(* --- shared argument converters --- *)
+
+let model_conv =
+  let parse s =
+    match Model.find_preset s with
+    | Some m -> Ok m
+    | None ->
+        let known = String.concat ", " (List.map (fun m -> m.Model.name) Model.presets) in
+        Error (`Msg (Printf.sprintf "unknown model %S (known: %s)" s known))
+  in
+  Arg.conv (parse, fun ppf m -> Format.pp_print_string ppf m.Model.name)
+
+let model_arg =
+  Arg.(
+    value
+    & opt model_conv Model.gpt3_175b
+    & info [ "model" ] ~docv:"MODEL" ~doc:"LLM preset, e.g. 'GPT-3 175B' or 'Llama 3 8B'.")
+
+let gpu_conv =
+  let parse s =
+    match Database.find s with
+    | Some g -> Ok g
+    | None -> Error (`Msg (Printf.sprintf "unknown device %S (see `acs survey`)" s))
+  in
+  Arg.conv (parse, fun ppf g -> Format.pp_print_string ppf g.Gpu.name)
+
+let device_args =
+  let like =
+    Arg.(value & opt (some gpu_conv) None
+         & info [ "like" ]
+             ~doc:"Approximate a real product from the database (e.g. 'H20') \
+                   instead of specifying template parameters.")
+  in
+  let cores = Arg.(value & opt int 108 & info [ "cores" ] ~doc:"Core count.") in
+  let lanes = Arg.(value & opt int 4 & info [ "lanes" ] ~doc:"Lanes per core.") in
+  let dim = Arg.(value & opt int 16 & info [ "systolic" ] ~doc:"Systolic array dimension (square).") in
+  let l1 = Arg.(value & opt float 192. & info [ "l1" ] ~doc:"L1 per core, KB.") in
+  let l2 = Arg.(value & opt float 40. & info [ "l2" ] ~doc:"Shared L2, MB.") in
+  let membw = Arg.(value & opt float 2. & info [ "membw" ] ~doc:"HBM bandwidth, TB/s.") in
+  let memgb = Arg.(value & opt float 80. & info [ "memgb" ] ~doc:"HBM capacity, GB.") in
+  let devbw = Arg.(value & opt float 600. & info [ "devbw" ] ~doc:"Device interconnect, GB/s.") in
+  let build like cores lanes dim l1 l2 membw memgb devbw =
+    match like with
+    | Some gpu -> Gpu.to_template gpu
+    | None ->
+        Device.make ~name:"cli-device" ~core_count:cores ~lanes_per_core:lanes
+          ~systolic:(Systolic.square dim) ~l1_kb:l1 ~l2_mb:l2
+          ~memory:(Memory.make ~capacity_gb:memgb ~bandwidth_tb_s:membw)
+          ~interconnect:(Interconnect.of_total_gb_s devbw)
+          ()
+  in
+  Term.(const build $ like $ cores $ lanes $ dim $ l1 $ l2 $ membw $ memgb $ devbw)
+
+(* --- classify --- *)
+
+let classify_spec spec =
+  Format.printf "spec: %a@." Spec.pp spec;
+  Format.printf "October 2022: %s@."
+    (Acr_2022.classification_to_string (Acr_2022.classify spec));
+  List.iter
+    (fun market ->
+      Format.printf "October 2023 (%s): %s@."
+        (Acr_2023.market_to_string market)
+        (Acr_2023.tier_to_string (Acr_2023.classify market spec)))
+    [ Acr_2023.Data_center; Acr_2023.Non_data_center ];
+  (match Acr_2023.min_area_unregulated ~tpp:spec.Spec.tpp with
+  | Some floor_ when floor_ > spec.Spec.die_area_mm2 ->
+      Format.printf "area floor to be unregulated (DC): %.0f mm^2@." floor_
+  | Some _ | None -> ());
+  Format.printf "timeline (as a data-center part):@.";
+  List.iter
+    (fun (regime, ruling) ->
+      Format.printf "  %-18s %s@."
+        (Timeline.regime_to_string regime)
+        (Timeline.ruling_to_string ruling))
+    (Timeline.history ~market:Acr_2023.Data_center spec)
+
+let classify_cmd =
+  let device_name =
+    Arg.(value & opt (some string) None & info [ "device" ] ~doc:"Classify a real device from the database by name, e.g. 'H100'.")
+  in
+  let tpp = Arg.(value & opt (some float) None & info [ "tpp" ] ~doc:"TPP of a hypothetical device.") in
+  let bw = Arg.(value & opt float 600. & info [ "bw" ] ~doc:"Device bandwidth, GB/s.") in
+  let area = Arg.(value & opt float 800. & info [ "area" ] ~doc:"Die area, mm^2.") in
+  let run device_name tpp bw area =
+    match (device_name, tpp) with
+    | Some n, _ -> begin
+        match Database.find n with
+        | Some g ->
+            Format.printf "%a@." Gpu.pp g;
+            classify_spec (Gpu.spec g);
+            `Ok ()
+        | None -> `Error (false, Printf.sprintf "unknown device %S" n)
+      end
+    | None, Some tpp ->
+        classify_spec (Spec.make ~tpp ~device_bw_gb_s:bw ~die_area_mm2:area ());
+        `Ok ()
+    | None, None -> `Error (true, "pass either --device or --tpp")
+  in
+  Cmd.v (Cmd.info "classify" ~doc:"Classify a device under the Advanced Computing Rules.")
+    Term.(ret (const run $ device_name $ tpp $ bw $ area))
+
+(* --- simulate --- *)
+
+let simulate_cmd =
+  let tp = Arg.(value & opt int 4 & info [ "tp" ] ~doc:"Tensor-parallel devices.") in
+  let batch = Arg.(value & opt int 32 & info [ "batch" ] ~doc:"Batch size.") in
+  let input = Arg.(value & opt int 2048 & info [ "input" ] ~doc:"Input sequence length.") in
+  let output = Arg.(value & opt int 1024 & info [ "output" ] ~doc:"Output sequence length.") in
+  let report = Arg.(value & flag & info [ "report" ] ~doc:"Print per-operator bottleneck reports.") in
+  let run device model tp batch input output report =
+    let request = Request.make ~batch ~input_len:input ~output_len:output in
+    let r = Engine.simulate ~tp ~request device model in
+    if report then
+      List.iter
+        (fun phase ->
+          Format.printf "%a@."
+            Report.pp_phase_report
+            (Report.phase_report ~tp ~request device model phase))
+        [ Layer.Prefill; Layer.Decode ];
+    Format.printf "%a@." Device.pp device;
+    Format.printf "%a@." Engine.pp_result r;
+    Format.printf "whole model: TTFT %a, TBT %a, e2e %a, %.0f tokens/s@."
+      Units.pp_time (Engine.model_ttft_s r) Units.pp_time (Engine.model_tbt_s r)
+      Units.pp_time (Engine.end_to_end_s r)
+      (Engine.throughput_tokens_per_s r);
+    let area = Area_model.total_mm2 device in
+    Format.printf "area %.0f mm^2, die cost $%.0f, good-die cost $%.0f@." area
+      (Cost_model.die_cost_usd ~process:Cost_model.n7 ~die_area_mm2:area)
+      (Cost_model.good_die_cost_usd ~process:Cost_model.n7 ~die_area_mm2:area ());
+    classify_spec (Spec.of_device ~area_mm2:area device)
+  in
+  Cmd.v (Cmd.info "simulate" ~doc:"Simulate LLM inference on a template device.")
+    Term.(const run $ device_args $ model_arg $ tp $ batch $ input $ output
+          $ report)
+
+(* --- dse --- *)
+
+let dse_cmd =
+  let rule =
+    Arg.(value & opt (enum [ ("oct2022", `Oct2022); ("oct2023", `Oct2023); ("restricted", `Restricted) ]) `Oct2022
+         & info [ "space" ] ~doc:"Sweep: oct2022, oct2023 or restricted.")
+  in
+  let target = Arg.(value & opt float 4800. & info [ "tpp-target" ] ~doc:"TPP target.") in
+  let top = Arg.(value & opt int 5 & info [ "top" ] ~doc:"How many designs to print.") in
+  let objective =
+    Arg.(value & opt (enum [ ("ttft", Optimum.Ttft); ("tbt", Optimum.Tbt);
+                             ("ttft-cost", Optimum.Ttft_cost); ("tbt-cost", Optimum.Tbt_cost) ])
+           Optimum.Tbt
+         & info [ "objective" ] ~doc:"ttft, tbt, ttft-cost or tbt-cost.")
+  in
+  let run space model target top objective =
+    let sweep =
+      match space with
+      | `Oct2022 -> Space.oct2022
+      | `Oct2023 -> Space.oct2023
+      | `Restricted -> Space.restricted
+    in
+    let designs = Design.evaluate_sweep ~model ~tpp_target:target sweep in
+    let compliant =
+      match space with
+      | `Oct2022 | `Restricted -> Design.compliant_2022
+      | `Oct2023 -> Design.compliant_2023
+    in
+    let ok =
+      List.filter (fun d -> compliant d && Design.manufacturable d) designs
+    in
+    Format.printf "%d designs, %d compliant and manufacturable@."
+      (List.length designs) (List.length ok);
+    let sorted =
+      List.sort
+        (fun a b -> compare (Optimum.objective_value objective a) (Optimum.objective_value objective b))
+        ok
+    in
+    List.iteri
+      (fun i d -> if i < top then Format.printf "%2d. %a@." (i + 1) Design.pp d)
+      sorted;
+    let base = Engine.simulate Presets.a100 model in
+    match sorted with
+    | best :: _ ->
+        Format.printf "best vs modeled A100: TTFT %+.1f%%, TBT %+.1f%%@."
+          (100. *. (best.Design.ttft_s -. base.Engine.ttft_s) /. base.Engine.ttft_s)
+          (100. *. (best.Design.tbt_s -. base.Engine.tbt_s) /. base.Engine.tbt_s)
+    | [] -> Format.printf "no compliant designs@."
+  in
+  Cmd.v (Cmd.info "dse" ~doc:"Run a design space exploration and print the best compliant designs.")
+    Term.(const run $ rule $ model_arg $ target $ top $ objective)
+
+(* --- fps --- *)
+
+let fps_cmd =
+  let run device =
+    Format.printf "%a@." Device.pp device;
+    List.iter
+      (fun scene ->
+        Format.printf "%-14s %a@." scene.Graphics.name
+          Graphics_model.pp_breakdown
+          (Graphics_model.frame_breakdown device scene))
+      Graphics.presets
+  in
+  Cmd.v
+    (Cmd.info "fps" ~doc:"Estimate gaming frame rates of a template device.")
+    Term.(const run $ device_args)
+
+(* --- serve --- *)
+
+let serve_cmd =
+  let rate = Arg.(value & opt float 3. & info [ "rate" ] ~doc:"Requests per second.") in
+  let duration = Arg.(value & opt float 60. & info [ "duration" ] ~doc:"Trace duration, seconds.") in
+  let mean_input = Arg.(value & opt int 512 & info [ "mean-input" ] ~doc:"Mean prompt length.") in
+  let mean_output = Arg.(value & opt int 128 & info [ "mean-output" ] ~doc:"Mean generation length.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Trace RNG seed.") in
+  let run device model rate duration mean_input mean_output seed =
+    let trace =
+      Trace.synthetic ~seed ~rate_per_s:rate ~duration_s:duration ~mean_input
+        ~mean_output ()
+    in
+    Format.printf "%a@." Device.pp device;
+    Format.printf "trace: %d requests, %d output tokens@." (List.length trace)
+      (Trace.total_output_tokens trace);
+    let stats = Simulator.run device model trace in
+    Format.printf "%a@." Simulator.pp_stats stats
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Simulate continuous-batching serving of a synthetic trace.")
+    Term.(const run $ device_args $ model_arg $ rate $ duration $ mean_input
+          $ mean_output $ seed)
+
+(* --- package --- *)
+
+let package_cmd =
+  let dies = Arg.(value & opt int 4 & info [ "dies" ] ~doc:"Compute chiplets.") in
+  let die_area = Arg.(value & opt float 750. & info [ "die-area" ] ~doc:"Area per chiplet, mm^2.") in
+  let die_tpp = Arg.(value & opt float 1199. & info [ "die-tpp" ] ~doc:"TPP target per chiplet.") in
+  let run dies die_area die_tpp =
+    let cores =
+      Device.cores_for_tpp ~tpp:die_tpp ~lanes_per_core:2
+        ~systolic:(Systolic.square 16) ()
+    in
+    let die =
+      Device.make ~name:"chiplet" ~core_count:cores ~lanes_per_core:2
+        ~systolic:(Systolic.square 16) ~l1_kb:192. ~l2_mb:16.
+        ~memory:(Memory.make ~capacity_gb:24. ~bandwidth_tb_s:0.8)
+        ~interconnect:(Interconnect.of_total_gb_s 200.)
+        ()
+    in
+    let pkg =
+      Package.make ~compute_die:die ~compute_die_area_mm2:die_area
+        ~compute_dies:dies ()
+    in
+    Format.printf "%a@." Package.pp pkg;
+    let spec =
+      Spec.make ~tpp:(Package.total_tpp pkg) ~device_bw_gb_s:400.
+        ~die_area_mm2:(Package.total_area_mm2 pkg) ()
+    in
+    Format.printf "October 2023 (data center): %s@."
+      (Acr_2023.tier_to_string (Acr_2023.classify Acr_2023.Data_center spec));
+    Format.printf "package cost: $%.0f@."
+      (Cost_model.package_cost_usd ~process:Cost_model.n7
+         ~die_areas_mm2:(Package.die_areas pkg) ())
+  in
+  Cmd.v
+    (Cmd.info "package"
+       ~doc:"Build a multi-chip module and classify/cost it.")
+    Term.(const run $ dies $ die_area $ die_tpp)
+
+(* --- plan --- *)
+
+let plan_cmd =
+  let max_devices = Arg.(value & opt int 64 & info [ "max-devices" ] ~doc:"Device budget.") in
+  let max_tp = Arg.(value & opt int 8 & info [ "max-tp" ] ~doc:"Largest tensor-parallel group.") in
+  let run device model max_devices max_tp =
+    match Cluster.choose_plan ~max_tp ~max_devices device model with
+    | Some r ->
+        Format.printf "%a@." Device.pp device;
+        Format.printf "%a@." Cluster.pp_result r;
+        `Ok ()
+    | None ->
+        `Error
+          (false,
+           Printf.sprintf "%s does not fit on %d of these devices"
+             model.Core.Model.name max_devices)
+  in
+  Cmd.v
+    (Cmd.info "plan"
+       ~doc:"Pick a tensor/pipeline-parallel plan that fits the model.")
+    Term.(ret (const run $ device_args $ model_arg $ max_devices $ max_tp))
+
+(* --- survey --- *)
+
+let survey_cmd =
+  let only =
+    Arg.(value & opt (some (enum [ ("dc", `Dc); ("consumer", `Consumer) ])) None
+         & info [ "only" ] ~doc:"Restrict to 'dc' or 'consumer'.")
+  in
+  let run only =
+    let gpus =
+      match only with
+      | Some `Dc -> Database.data_center Database.survey
+      | Some `Consumer -> Database.non_data_center Database.survey
+      | None -> Database.survey
+    in
+    let t =
+      Table.create
+        ~aligns:[ Table.Left; Table.Left; Table.Right; Table.Right; Table.Left; Table.Left; Table.Left ]
+        [ "device"; "segment"; "TPP"; "PD"; "Oct 2022"; "Oct 2023"; "marketing vs arch" ]
+    in
+    List.iter
+      (fun g ->
+        Table.add_row t
+          [
+            g.Gpu.name;
+            Gpu.segment_to_string g.Gpu.segment;
+            Printf.sprintf "%.0f" g.Gpu.tpp;
+            Printf.sprintf "%.2f" (Gpu.performance_density g);
+            Acr_2022.classification_to_string (Gpu.classify_2022 g);
+            Acr_2023.tier_to_string (Gpu.classify_2023 g);
+            Arch_classifier.status_to_string (Arch_classifier.status g);
+          ])
+      gpus;
+    Table.print t
+  in
+  Cmd.v (Cmd.info "survey" ~doc:"Print the 65-device survey with classifications.")
+    Term.(const run $ only)
+
+let main =
+  let info =
+    Cmd.info "acs" ~version:"1.0.0"
+      ~doc:"Chip architectures under advanced computing sanctions: simulator, policy engine and DSE."
+  in
+  Cmd.group info
+    [ classify_cmd; simulate_cmd; dse_cmd; survey_cmd; fps_cmd; serve_cmd;
+      package_cmd; plan_cmd ]
+
+

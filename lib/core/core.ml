@@ -1,0 +1,69 @@
+(** Umbrella module: the public API of the sanctions-architecture library.
+
+    {2 Substrates}
+    - {!Stats}, {!Table}, {!Scatter}, {!Csv}, {!Units}: utilities
+    - {!Systolic}, {!Memory}, {!Interconnect}, {!Process}, {!Device},
+      {!Presets}: the hardware template
+    - {!Model}, {!Request}, {!Op}, {!Layer}: LLM workloads
+    - {!Calib}, {!Op_model}, {!Engine}: the analytical performance model
+    - {!Area_model}, {!Cost_model}: silicon area and cost
+
+    {2 The paper's contribution}
+    - {!Spec}, {!Acr_2022}, {!Acr_2023}, {!Hbm_2024}, {!Proposals}: the
+      Advanced Computing Rules and the proposed architecture-first policies
+    - {!Gpu}, {!Database}: the real-device survey
+    - {!Space}, {!Design}, {!Pareto}, {!Optimum}: design space exploration
+    - {!Grouping}: architecture-first performance indicators
+    - {!Marketing}, {!Arch_classifier}: externality analyses *)
+
+module Stats = Acs_util.Stats
+module Table = Acs_util.Table
+module Scatter = Acs_util.Scatter
+module Boxplot = Acs_util.Boxplot
+module Csv = Acs_util.Csv
+module Units = Acs_util.Units
+module Systolic = Acs_hardware.Systolic
+module Memory = Acs_hardware.Memory
+module Interconnect = Acs_hardware.Interconnect
+module Process = Acs_hardware.Process
+module Device = Acs_hardware.Device
+module Presets = Acs_hardware.Presets
+module Package = Acs_hardware.Package
+module Model = Acs_workload.Model
+module Request = Acs_workload.Request
+module Op = Acs_workload.Op
+module Graphics = Acs_workload.Graphics
+module Layer = Acs_workload.Layer
+module Calib = Acs_perfmodel.Calib
+module Op_model = Acs_perfmodel.Op_model
+module Engine = Acs_perfmodel.Engine
+module Graphics_model = Acs_perfmodel.Graphics_model
+module Report = Acs_perfmodel.Report
+module Cluster = Acs_perfmodel.Cluster
+module Training = Acs_perfmodel.Training
+module Area_model = Acs_area.Area_model
+module Cost_model = Acs_cost.Cost_model
+module Binning = Acs_cost.Binning
+module Power_model = Acs_power.Power_model
+module Spec = Acs_policy.Spec
+module Acr_2022 = Acs_policy.Acr_2022
+module Acr_2023 = Acs_policy.Acr_2023
+module Hbm_2024 = Acs_policy.Hbm_2024
+module Proposals = Acs_policy.Proposals
+module Historical = Acs_policy.Historical
+module Diffusion_2025 = Acs_policy.Diffusion_2025
+module Derate = Acs_policy.Derate
+module Timeline = Acs_policy.Timeline
+module Gpu = Acs_devicedb.Gpu
+module Database = Acs_devicedb.Database
+module Space = Acs_dse.Space
+module Design = Acs_dse.Design
+module Pareto = Acs_dse.Pareto
+module Optimum = Acs_dse.Optimum
+module Search = Acs_dse.Search
+module Grouping = Acs_indicators.Grouping
+module Market = Acs_externality.Market
+module Marketing = Acs_externality.Marketing
+module Arch_classifier = Acs_externality.Arch_classifier
+module Trace = Acs_serving.Trace
+module Simulator = Acs_serving.Simulator

@@ -1,0 +1,130 @@
+type regions = { core_fraction : float; io_fraction : float }
+
+type die_spec = {
+  die_area_mm2 : float;
+  total_cores : int;
+  regions : regions;
+}
+
+type sku = {
+  sku_name : string;
+  min_good_cores : int;
+  requires_io : bool;
+  price_usd : float;
+}
+
+type state = { good_cores : int; io_intact : bool }
+
+let validate spec =
+  if spec.die_area_mm2 <= 0. then invalid_arg "Binning: die area";
+  if spec.total_cores <= 0 then invalid_arg "Binning: core count";
+  let { core_fraction; io_fraction } = spec.regions in
+  if core_fraction < 0. || io_fraction < 0.
+     || core_fraction +. io_fraction > 1. +. 1e-9
+  then invalid_arg "Binning: region fractions must be in [0,1] and sum <= 1"
+
+let poisson_pmf lambda n =
+  (* Computed iteratively to avoid overflow for moderate n. *)
+  let rec go i acc =
+    if i > n then acc else go (i + 1) (acc *. lambda /. float_of_int i)
+  in
+  go 1 (exp (-.lambda))
+
+let state_distribution ~process spec =
+  validate spec;
+  let lambda =
+    spec.die_area_mm2 /. 100.
+    *. process.Cost_model.defect_density_per_cm2
+  in
+  let lambda_core = lambda *. spec.regions.core_fraction in
+  let lambda_io = lambda *. spec.regions.io_fraction in
+  let lambda_fatal = lambda -. lambda_core -. lambda_io in
+  let p_no_fatal = exp (-.lambda_fatal) in
+  let p_io_intact = exp (-.lambda_io) in
+  (* Independent thinned Poisson processes per region. Truncate the
+     core-defect count when the remaining tail is negligible (and never
+     beyond the physical core count - more defects than cores lands in the
+     all-cores-dead bucket, which no SKU can use anyway). *)
+  let max_n =
+    min spec.total_cores
+      (int_of_float (Float.ceil ((4. *. lambda_core) +. 20.)))
+  in
+  let states = ref [] in
+  for n = 0 to max_n do
+    let p_cores = poisson_pmf lambda_core n in
+    let good_cores = spec.total_cores - n in
+    let base = p_no_fatal *. p_cores in
+    states :=
+      ({ good_cores; io_intact = false }, base *. (1. -. p_io_intact))
+      :: ({ good_cores; io_intact = true }, base *. p_io_intact)
+      :: !states
+  done;
+  List.filter (fun (_, p) -> p > 0.) (List.rev !states)
+
+let survival_probability ~process spec =
+  List.fold_left (fun acc (_, p) -> acc +. p) 0.
+    (state_distribution ~process spec)
+
+let assign skus state =
+  let eligible =
+    List.filter
+      (fun sku ->
+        state.good_cores >= sku.min_good_cores
+        && ((not sku.requires_io) || state.io_intact))
+      skus
+  in
+  match eligible with
+  | [] -> None
+  | first :: rest ->
+      Some
+        (List.fold_left
+           (fun best sku -> if sku.price_usd > best.price_usd then sku else best)
+           first rest)
+
+type economics = {
+  sku_mix : (string * float) list;
+  scrap_fraction : float;
+  revenue_per_wafer_usd : float;
+  profit_per_wafer_usd : float;
+}
+
+let wafer_economics ~process spec skus =
+  if skus = [] then invalid_arg "Binning.wafer_economics: no SKUs";
+  validate spec;
+  let states = state_distribution ~process spec in
+  let tally = Hashtbl.create (List.length skus) in
+  let sellable = ref 0. in
+  let revenue_per_die = ref 0. in
+  List.iter
+    (fun (state, p) ->
+      match assign skus state with
+      | Some sku ->
+          sellable := !sellable +. p;
+          revenue_per_die := !revenue_per_die +. (p *. sku.price_usd);
+          let prev =
+            Option.value ~default:0. (Hashtbl.find_opt tally sku.sku_name)
+          in
+          Hashtbl.replace tally sku.sku_name (prev +. p)
+      | None -> ())
+    states;
+  let dies =
+    float_of_int
+      (Cost_model.dies_per_wafer ~process ~die_area_mm2:spec.die_area_mm2)
+  in
+  let revenue = dies *. !revenue_per_die in
+  {
+    sku_mix =
+      List.filter_map
+        (fun sku -> Option.map (fun p -> (sku.sku_name, p)) (Hashtbl.find_opt tally sku.sku_name))
+        (List.sort_uniq compare skus);
+    scrap_fraction = 1. -. !sellable;
+    revenue_per_wafer_usd = revenue;
+    profit_per_wafer_usd = revenue -. process.Cost_model.wafer_cost_usd;
+  }
+
+let pp_economics ppf e =
+  Format.fprintf ppf "revenue $%.0f/wafer (profit $%.0f), scrap %.1f%%; mix:"
+    e.revenue_per_wafer_usd e.profit_per_wafer_usd (100. *. e.scrap_fraction);
+  List.iter
+    (fun (name, p) -> Format.fprintf ppf " %s %.1f%%" name (100. *. p))
+    e.sku_mix

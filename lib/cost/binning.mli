@@ -1,0 +1,62 @@
+(** Die binning and salvage economics.
+
+    The paper (Secs. 2.2-2.3, 6.3) describes how export-compliant SKUs are
+    built from the same dies as flagships: partially defective dies are
+    salvaged by disabling cores (A100 -> A30-style) or by shipping dies
+    whose interconnect did not meet flagship spec as bandwidth-capped
+    export parts (H100 -> H800-style). This module models that pipeline:
+
+    Defects are Poisson with the process defect density over the die area.
+    Each defect lands in the core region (disabling one core), the IO
+    region (losing the flagship interconnect spec), or the uncore region
+    (fatal), with probabilities proportional to the configured area
+    fractions. A SKU is a minimum good-core count, an intact-IO
+    requirement, and a price; each die sells as the highest-priced SKU it
+    qualifies for. *)
+
+type regions = {
+  core_fraction : float;  (** area share where a defect disables one core *)
+  io_fraction : float;  (** area share where a defect breaks the IO spec *)
+}
+(** The remaining area share is fatal. Fractions must be non-negative and
+    sum to at most 1. *)
+
+type die_spec = {
+  die_area_mm2 : float;
+  total_cores : int;
+  regions : regions;
+}
+
+type sku = {
+  sku_name : string;
+  min_good_cores : int;
+  requires_io : bool;
+  price_usd : float;
+}
+
+type state = { good_cores : int; io_intact : bool }
+
+val state_distribution :
+  process:Cost_model.process_cost -> die_spec -> (state * float) list
+(** Probability of each non-dead die state; probabilities sum to the die's
+    survival probability (< 1). Core-defect counts are truncated once the
+    tail probability is negligible. *)
+
+val survival_probability :
+  process:Cost_model.process_cost -> die_spec -> float
+
+val assign : sku list -> state -> sku option
+(** Highest-priced SKU the state qualifies for. *)
+
+type economics = {
+  sku_mix : (string * float) list;  (** probability a die sells as each SKU *)
+  scrap_fraction : float;  (** dead or unsellable *)
+  revenue_per_wafer_usd : float;
+  profit_per_wafer_usd : float;  (** revenue minus wafer cost *)
+}
+
+val wafer_economics :
+  process:Cost_model.process_cost -> die_spec -> sku list -> economics
+(** Raises [Invalid_argument] on an empty SKU list or invalid spec. *)
+
+val pp_economics : Format.formatter -> economics -> unit

@@ -1,0 +1,94 @@
+type process_cost = {
+  wafer_cost_usd : float;
+  wafer_diameter_mm : float;
+  defect_density_per_cm2 : float;
+}
+
+let n7 =
+  {
+    wafer_cost_usd = 9346.;
+    wafer_diameter_mm = 300.;
+    defect_density_per_cm2 = 0.13;
+  }
+
+let n5 =
+  {
+    wafer_cost_usd = 16988.;
+    wafer_diameter_mm = 300.;
+    defect_density_per_cm2 = 0.10;
+  }
+
+type yield_model = Seeds | Murphy | Negative_binomial of float
+
+let pi = 4. *. atan 1.
+
+let dies_per_wafer ~process ~die_area_mm2 =
+  if die_area_mm2 <= 0. then
+    invalid_arg "Cost_model.dies_per_wafer: area must be positive";
+  let d = process.wafer_diameter_mm in
+  let r = d /. 2. in
+  let gross =
+    (pi *. r *. r /. die_area_mm2) -. (pi *. d /. sqrt (2. *. die_area_mm2))
+  in
+  if gross < 1. then
+    invalid_arg "Cost_model.dies_per_wafer: die does not fit the wafer";
+  int_of_float gross
+
+let yield_ ?(model = Seeds) ~process ~die_area_mm2 () =
+  if die_area_mm2 <= 0. then
+    invalid_arg "Cost_model.yield_: area must be positive";
+  let defects = die_area_mm2 /. 100. *. process.defect_density_per_cm2 in
+  match model with
+  | Seeds -> exp (-.defects)
+  | Murphy ->
+      if defects = 0. then 1.
+      else ((1. -. exp (-.defects)) /. defects) ** 2.
+  | Negative_binomial alpha ->
+      if alpha <= 0. then
+        invalid_arg "Cost_model.yield_: alpha must be positive"
+      else (1. +. (defects /. alpha)) ** -.alpha
+
+let die_cost_usd ~process ~die_area_mm2 =
+  process.wafer_cost_usd
+  /. float_of_int (dies_per_wafer ~process ~die_area_mm2)
+
+let good_die_cost_usd ?(model = Seeds) ~process ~die_area_mm2 () =
+  die_cost_usd ~process ~die_area_mm2
+  /. yield_ ~model ~process ~die_area_mm2 ()
+
+let cost_of_good_dies_usd ?(model = Seeds) ~process ~die_area_mm2 ~count () =
+  if count < 0 then
+    invalid_arg "Cost_model.cost_of_good_dies_usd: negative count";
+  float_of_int count *. good_die_cost_usd ~model ~process ~die_area_mm2 ()
+
+let package_cost_usd ?(model = Seeds) ?(assembly_yield_per_die = 0.99)
+    ?(substrate_usd_per_mm2 = 0.08) ?(assembly_fixed_usd = 25.) ~process
+    ~die_areas_mm2 () =
+  if die_areas_mm2 = [] then
+    invalid_arg "Cost_model.package_cost_usd: no dies";
+  if assembly_yield_per_die <= 0. || assembly_yield_per_die > 1. then
+    invalid_arg "Cost_model.package_cost_usd: assembly yield outside (0,1]";
+  let silicon =
+    List.fold_left
+      (fun acc area ->
+        acc +. good_die_cost_usd ~model ~process ~die_area_mm2:area ())
+      0. die_areas_mm2
+  in
+  let dies = List.length die_areas_mm2 in
+  let assembly_yield = assembly_yield_per_die ** float_of_int dies in
+  let total_area = List.fold_left ( +. ) 0. die_areas_mm2 in
+  (silicon /. assembly_yield)
+  +. (substrate_usd_per_mm2 *. total_area)
+  +. assembly_fixed_usd
+
+let chiplet_advantage ?(model = Seeds) ~process ~total_area_mm2 ~dies () =
+  if dies <= 0 then invalid_arg "Cost_model.chiplet_advantage: dies";
+  let split =
+    List.init dies (fun _ -> total_area_mm2 /. float_of_int dies)
+  in
+  match
+    package_cost_usd ~model ~process ~die_areas_mm2:[ total_area_mm2 ] ()
+  with
+  | monolithic ->
+      Some (monolithic /. package_cost_usd ~model ~process ~die_areas_mm2:split ())
+  | exception Invalid_argument _ -> None

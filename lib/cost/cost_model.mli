@@ -1,0 +1,80 @@
+(** Silicon manufacturing cost model.
+
+    Reverse-engineered from the paper's Table 4 (see DESIGN.md): a 300 mm
+    7 nm wafer at $9,346, the circular dies-per-wafer approximation
+    [pi r^2 / A - pi d / sqrt(2 A)], and a Seeds yield model
+    [exp(-area_cm2 * d0)] with defect density 0.13 /cm^2. These reproduce
+    the paper's $134 / $88 die costs and $350M / $177M per-million-good-dies
+    figures within ~1%. *)
+
+type process_cost = {
+  wafer_cost_usd : float;
+  wafer_diameter_mm : float;
+  defect_density_per_cm2 : float;
+}
+
+val n7 : process_cost
+(** The 7 nm point used throughout the paper. *)
+
+val n5 : process_cost
+(** A 5 nm point ($16,988 wafer, 0.10 /cm^2) for what-if studies. *)
+
+type yield_model =
+  | Seeds  (** Y = exp(-A D0); the paper's implied model *)
+  | Murphy  (** Y = ((1 - exp(-A D0)) / (A D0))^2 *)
+  | Negative_binomial of float  (** alpha clustering parameter *)
+
+val dies_per_wafer : process:process_cost -> die_area_mm2:float -> int
+(** Raises [Invalid_argument] when the die does not fit the wafer or the
+    area is non-positive. *)
+
+val yield_ : ?model:yield_model -> process:process_cost -> die_area_mm2:float -> unit -> float
+(** Fraction of dies that are defect-free, in (0, 1]. Defaults to
+    [Seeds]. *)
+
+val die_cost_usd : process:process_cost -> die_area_mm2:float -> float
+(** Wafer cost divided by dies per wafer ("silicon die cost" in Table 4:
+    not yield-adjusted). *)
+
+val good_die_cost_usd :
+  ?model:yield_model -> process:process_cost -> die_area_mm2:float -> unit -> float
+(** [die_cost / yield]. *)
+
+val cost_of_good_dies_usd :
+  ?model:yield_model ->
+  process:process_cost ->
+  die_area_mm2:float ->
+  count:int ->
+  unit ->
+  float
+(** Total silicon cost to obtain [count] good dies (Table 4's "1M Good
+    Dies Cost"). *)
+
+val package_cost_usd :
+  ?model:yield_model ->
+  ?assembly_yield_per_die:float ->
+  ?substrate_usd_per_mm2:float ->
+  ?assembly_fixed_usd:float ->
+  process:process_cost ->
+  die_areas_mm2:float list ->
+  unit ->
+  float
+(** Cost of one known-good multi-die package: the good-die cost of every
+    die, divided by the compound assembly yield (default 99% per die
+    placed), plus an interposer/substrate charge (default $0.08/mm^2 of
+    total silicon) and a fixed assembly-and-test charge (default $25).
+    A singleton list gives the monolithic packaged cost. Raises
+    [Invalid_argument] on an empty list. *)
+
+val chiplet_advantage :
+  ?model:yield_model ->
+  process:process_cost ->
+  total_area_mm2:float ->
+  dies:int ->
+  unit ->
+  float option
+(** Ratio (monolithic packaged cost) / (cost split over [dies] equal
+    chiplets) for the same total silicon; [None] when the monolithic die
+    cannot be manufactured (beyond wafer/reticle practicality the caller
+    checks reticle separately - this returns [None] only when the die does
+    not fit the wafer at all). *)

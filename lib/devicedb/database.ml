@@ -1,0 +1,242 @@
+open Gpu
+module Process = Acs_hardware.Process
+
+let gpu ?(dies = 1) ?(survey = true) name vendor year segment ~tpp ~area ~nm
+    ~mem ~membw ~devbw =
+  {
+    name;
+    vendor;
+    year;
+    segment;
+    tpp;
+    die_area_mm2 = area;
+    die_count = dies;
+    process = Process.of_nm nm;
+    memory_gb = mem;
+    memory_bw_gb_s = membw;
+    device_bw_gb_s = devbw;
+    in_survey = survey;
+  }
+
+let nvidia_data_center =
+  [
+    gpu "A100" Nvidia 2020 Data_center ~tpp:4992. ~area:826. ~nm:7 ~mem:80.
+      ~membw:2039. ~devbw:600.;
+    gpu "A800" Nvidia 2022 Data_center ~tpp:4992. ~area:826. ~nm:7 ~mem:80.
+      ~membw:2039. ~devbw:400.;
+    gpu "H100" Nvidia 2023 Data_center ~tpp:15824. ~area:814. ~nm:4 ~mem:80.
+      ~membw:3350. ~devbw:900.;
+    gpu "H800" Nvidia 2023 Data_center ~tpp:15824. ~area:814. ~nm:4 ~mem:80.
+      ~membw:3350. ~devbw:400.;
+    gpu "H20" Nvidia 2023 Data_center ~tpp:2368. ~area:814. ~nm:4 ~mem:96.
+      ~membw:4000. ~devbw:900.;
+    gpu "L40" Nvidia 2022 Data_center ~tpp:2897. ~area:608.5 ~nm:5 ~mem:48.
+      ~membw:864. ~devbw:64.;
+    gpu "L20" Nvidia 2023 Data_center ~tpp:1912. ~area:608.5 ~nm:5 ~mem:48.
+      ~membw:864. ~devbw:64.;
+    gpu "L4" Nvidia 2023 Data_center ~tpp:968. ~area:294.5 ~nm:5 ~mem:24.
+      ~membw:300. ~devbw:64.;
+    gpu "L2" Nvidia 2023 Data_center ~tpp:773. ~area:294.5 ~nm:5 ~mem:24.
+      ~membw:300. ~devbw:64.;
+    gpu "A40" Nvidia 2020 Data_center ~tpp:2395. ~area:628.4 ~nm:8 ~mem:48.
+      ~membw:696. ~devbw:112.5;
+    (* Fig. 1 flagships outside the 65-device marketing survey. *)
+    gpu ~survey:false "A30" Nvidia 2021 Data_center ~tpp:2640. ~area:826.
+      ~nm:7 ~mem:24. ~membw:933. ~devbw:200.;
+    gpu ~survey:false "A10" Nvidia 2021 Data_center ~tpp:2000. ~area:628.4
+      ~nm:8 ~mem:24. ~membw:600. ~devbw:64.;
+    gpu ~survey:false "T4" Nvidia 2018 Data_center ~tpp:1040. ~area:545.
+      ~nm:12 ~mem:16. ~membw:320. ~devbw:32.;
+    gpu ~survey:false "V100S" Nvidia 2019 Data_center ~tpp:2096. ~area:815.
+      ~nm:12 ~mem:32. ~membw:1134. ~devbw:300.;
+    (* Post-survey or survey-distorting parts, kept for lookups and the
+       CLI (see DESIGN.md on curation). *)
+    gpu ~survey:false "L40S" Nvidia 2023 Data_center ~tpp:2930. ~area:608.5
+      ~nm:5 ~mem:48. ~membw:864. ~devbw:64.;
+    gpu ~survey:false "H200" Nvidia 2024 Data_center ~tpp:15824. ~area:814.
+      ~nm:4 ~mem:141. ~membw:4800. ~devbw:900.;
+    gpu ~survey:false ~dies:2 "B200" Nvidia 2024 Data_center ~tpp:36000.
+      ~area:1628. ~nm:4 ~mem:192. ~membw:8000. ~devbw:1800.;
+    gpu ~survey:false "RTX 5090" Nvidia 2025 Consumer ~tpp:6704. ~area:750.
+      ~nm:4 ~mem:32. ~membw:1792. ~devbw:64.;
+  ]
+
+let amd_data_center =
+  [
+    gpu "MI100" Amd 2020 Data_center ~tpp:2954. ~area:750. ~nm:7 ~mem:32.
+      ~membw:1228. ~devbw:276.;
+    gpu "MI210" Amd 2021 Data_center ~tpp:2896. ~area:770. ~nm:6 ~mem:64.
+      ~membw:1638. ~devbw:300.;
+    gpu ~dies:2 "MI250X" Amd 2021 Data_center ~tpp:6128. ~area:1540. ~nm:6
+      ~mem:128. ~membw:3277. ~devbw:800.;
+    gpu ~dies:12 "MI300X" Amd 2023 Data_center ~tpp:20912. ~area:1017. ~nm:5
+      ~mem:192. ~membw:5300. ~devbw:1024.;
+    gpu ~survey:false ~dies:12 "MI325X" Amd 2024 Data_center ~tpp:20912.
+      ~area:1017. ~nm:5 ~mem:256. ~membw:6000. ~devbw:1024.;
+  ]
+
+let nvidia_ada_consumer =
+  [
+    gpu "RTX 4090" Nvidia 2022 Consumer ~tpp:5285. ~area:608.5 ~nm:5 ~mem:24.
+      ~membw:1008. ~devbw:32.;
+    gpu "RTX 4090 D" Nvidia 2023 Consumer ~tpp:4708. ~area:608.5 ~nm:5
+      ~mem:24. ~membw:1008. ~devbw:32.;
+    gpu "RTX 4080 Super" Nvidia 2024 Consumer ~tpp:3342. ~area:378.6 ~nm:5
+      ~mem:16. ~membw:736. ~devbw:32.;
+    gpu "RTX 4080" Nvidia 2022 Consumer ~tpp:3118. ~area:378.6 ~nm:5 ~mem:16.
+      ~membw:717. ~devbw:32.;
+    gpu "RTX 4070 Ti Super" Nvidia 2024 Consumer ~tpp:2826. ~area:378.6 ~nm:5
+      ~mem:16. ~membw:672. ~devbw:32.;
+    gpu "RTX 4070 Ti" Nvidia 2023 Consumer ~tpp:2566. ~area:294.5 ~nm:5
+      ~mem:12. ~membw:504. ~devbw:32.;
+    gpu "RTX 4070" Nvidia 2023 Consumer ~tpp:1866. ~area:294.5 ~nm:5 ~mem:12.
+      ~membw:504. ~devbw:32.;
+    gpu "RTX 4060 Ti" Nvidia 2023 Consumer ~tpp:1413. ~area:187.8 ~nm:5
+      ~mem:8. ~membw:288. ~devbw:32.;
+    gpu "RTX 4060" Nvidia 2023 Consumer ~tpp:966. ~area:158.7 ~nm:5 ~mem:8.
+      ~membw:272. ~devbw:32.;
+  ]
+
+let nvidia_ampere_consumer =
+  [
+    gpu "RTX 3090 Ti" Nvidia 2022 Consumer ~tpp:1280. ~area:628.4 ~nm:8
+      ~mem:24. ~membw:1008. ~devbw:32.;
+    gpu "RTX 3090" Nvidia 2020 Consumer ~tpp:1136. ~area:628.4 ~nm:8 ~mem:24.
+      ~membw:936. ~devbw:32.;
+    gpu "RTX 3080 Ti" Nvidia 2021 Consumer ~tpp:1093. ~area:628.4 ~nm:8
+      ~mem:12. ~membw:912. ~devbw:32.;
+    gpu "RTX 3080" Nvidia 2020 Consumer ~tpp:952. ~area:628.4 ~nm:8 ~mem:10.
+      ~membw:760. ~devbw:32.;
+    gpu "RTX 3070 Ti" Nvidia 2021 Consumer ~tpp:696. ~area:392.5 ~nm:8 ~mem:8.
+      ~membw:608. ~devbw:32.;
+    gpu "RTX 3070" Nvidia 2020 Consumer ~tpp:650. ~area:392.5 ~nm:8 ~mem:8.
+      ~membw:448. ~devbw:32.;
+    gpu "RTX 3060 Ti" Nvidia 2020 Consumer ~tpp:519. ~area:392.5 ~nm:8 ~mem:8.
+      ~membw:448. ~devbw:32.;
+    gpu "RTX 3060" Nvidia 2021 Consumer ~tpp:410. ~area:276. ~nm:8 ~mem:12.
+      ~membw:360. ~devbw:32.;
+    gpu "RTX 3050" Nvidia 2022 Consumer ~tpp:290. ~area:276. ~nm:8 ~mem:8.
+      ~membw:224. ~devbw:32.;
+  ]
+
+let nvidia_turing_consumer =
+  [
+    gpu "TITAN RTX" Nvidia 2018 Consumer ~tpp:2088. ~area:754. ~nm:12 ~mem:24.
+      ~membw:672. ~devbw:32.;
+    gpu "RTX 2080 Ti" Nvidia 2018 Consumer ~tpp:1722. ~area:754. ~nm:12
+      ~mem:11. ~membw:616. ~devbw:32.;
+    gpu "RTX 2080 Super" Nvidia 2019 Consumer ~tpp:1427. ~area:545. ~nm:12
+      ~mem:8. ~membw:496. ~devbw:32.;
+    gpu "RTX 2080" Nvidia 2018 Consumer ~tpp:1357. ~area:545. ~nm:12 ~mem:8.
+      ~membw:448. ~devbw:32.;
+    gpu "RTX 2070 Super" Nvidia 2019 Consumer ~tpp:1160. ~area:545. ~nm:12
+      ~mem:8. ~membw:448. ~devbw:32.;
+    gpu "RTX 2070" Nvidia 2018 Consumer ~tpp:955. ~area:445. ~nm:12 ~mem:8.
+      ~membw:448. ~devbw:32.;
+    gpu "RTX 2060 Super" Nvidia 2019 Consumer ~tpp:918. ~area:445. ~nm:12
+      ~mem:8. ~membw:448. ~devbw:32.;
+    gpu "RTX 2060" Nvidia 2019 Consumer ~tpp:826. ~area:445. ~nm:12 ~mem:6.
+      ~membw:336. ~devbw:32.;
+    gpu "GTX 1660 Ti" Nvidia 2019 Consumer ~tpp:176. ~area:284. ~nm:12 ~mem:6.
+      ~membw:288. ~devbw:32.;
+    gpu "GTX 1660 Super" Nvidia 2019 Consumer ~tpp:160. ~area:284. ~nm:12
+      ~mem:6. ~membw:336. ~devbw:32.;
+    gpu "GTX 1650" Nvidia 2019 Consumer ~tpp:96. ~area:200. ~nm:12 ~mem:4.
+      ~membw:128. ~devbw:32.;
+  ]
+
+let nvidia_workstation =
+  [
+    gpu "Quadro RTX 6000" Nvidia 2018 Workstation ~tpp:2088. ~area:754. ~nm:12
+      ~mem:24. ~membw:672. ~devbw:100.;
+    gpu "Quadro RTX 5000" Nvidia 2018 Workstation ~tpp:1427. ~area:545. ~nm:12
+      ~mem:16. ~membw:448. ~devbw:100.;
+    gpu "RTX A5000" Nvidia 2021 Workstation ~tpp:889. ~area:628.4 ~nm:8
+      ~mem:24. ~membw:768. ~devbw:112.5;
+    gpu "RTX A4000" Nvidia 2021 Workstation ~tpp:614. ~area:392.5 ~nm:8
+      ~mem:16. ~membw:448. ~devbw:32.;
+    gpu "RTX 4500 Ada" Nvidia 2023 Workstation ~tpp:1589. ~area:294.5 ~nm:5
+      ~mem:24. ~membw:432. ~devbw:32.;
+    gpu "RTX 4000 Ada" Nvidia 2023 Workstation ~tpp:1328. ~area:294.5 ~nm:5
+      ~mem:20. ~membw:360. ~devbw:32.;
+  ]
+
+let amd_consumer =
+  [
+    gpu ~dies:7 "RX 7900 XTX" Amd 2022 Consumer ~tpp:1965. ~area:529. ~nm:5
+      ~mem:24. ~membw:960. ~devbw:32.;
+    gpu ~dies:7 "RX 7900 XT" Amd 2022 Consumer ~tpp:1648. ~area:529. ~nm:5
+      ~mem:20. ~membw:800. ~devbw:32.;
+    gpu ~dies:7 "RX 7900 GRE" Amd 2023 Consumer ~tpp:1471. ~area:529. ~nm:5
+      ~mem:16. ~membw:576. ~devbw:32.;
+    gpu ~dies:5 "RX 7800 XT" Amd 2023 Consumer ~tpp:1194. ~area:346. ~nm:5
+      ~mem:16. ~membw:624. ~devbw:32.;
+    gpu ~dies:5 "RX 7700 XT" Amd 2023 Consumer ~tpp:1125. ~area:346. ~nm:5
+      ~mem:12. ~membw:432. ~devbw:32.;
+    gpu "RX 7600" Amd 2023 Consumer ~tpp:696. ~area:204. ~nm:6 ~mem:8.
+      ~membw:288. ~devbw:32.;
+    gpu "RX 6950 XT" Amd 2022 Consumer ~tpp:757. ~area:520. ~nm:7 ~mem:16.
+      ~membw:576. ~devbw:32.;
+    gpu "RX 6900 XT" Amd 2020 Consumer ~tpp:737. ~area:520. ~nm:7 ~mem:16.
+      ~membw:512. ~devbw:32.;
+    gpu "RX 6800 XT" Amd 2020 Consumer ~tpp:663. ~area:520. ~nm:7 ~mem:16.
+      ~membw:512. ~devbw:32.;
+    gpu "RX 6800" Amd 2020 Consumer ~tpp:517. ~area:520. ~nm:7 ~mem:16.
+      ~membw:512. ~devbw:32.;
+    gpu "RX 6700 XT" Amd 2021 Consumer ~tpp:423. ~area:335. ~nm:7 ~mem:12.
+      ~membw:384. ~devbw:32.;
+    gpu "RX 6600 XT" Amd 2021 Consumer ~tpp:339. ~area:237. ~nm:7 ~mem:8.
+      ~membw:256. ~devbw:32.;
+    gpu "RX 6600" Amd 2021 Consumer ~tpp:286. ~area:237. ~nm:7 ~mem:8.
+      ~membw:224. ~devbw:32.;
+    gpu "RX 5700 XT" Amd 2019 Consumer ~tpp:312. ~area:251. ~nm:7 ~mem:8.
+      ~membw:448. ~devbw:32.;
+    gpu "RX 5600 XT" Amd 2020 Consumer ~tpp:231. ~area:251. ~nm:7 ~mem:6.
+      ~membw:288. ~devbw:32.;
+    gpu "Radeon VII" Amd 2019 Consumer ~tpp:430. ~area:331. ~nm:7 ~mem:16.
+      ~membw:1024. ~devbw:32.;
+  ]
+
+let all =
+  nvidia_data_center @ amd_data_center @ nvidia_ada_consumer
+  @ nvidia_ampere_consumer @ nvidia_turing_consumer @ nvidia_workstation
+  @ amd_consumer
+
+let survey = List.filter (fun g -> g.in_survey) all
+
+let of_names names =
+  let find_exn name =
+    match List.find_opt (fun g -> g.name = name) all with
+    | Some g -> g
+    | None -> invalid_arg ("Database: unknown device " ^ name)
+  in
+  List.map find_exn names
+
+let flagships_2022 =
+  of_names
+    [
+      "A100"; "A800"; "A30"; "H100"; "H800"; "H20"; "MI250X"; "MI210";
+      "MI300X";
+    ]
+
+let flagships_2023 =
+  of_names
+    [
+      "A100"; "A800"; "A30"; "H100"; "H800"; "H20"; "L40"; "L20"; "L4"; "L2";
+      "MI250X"; "MI210"; "MI300X";
+    ]
+
+let find name =
+  let norm s = String.lowercase_ascii (String.trim s) in
+  List.find_opt (fun g -> norm g.name = norm name) all
+
+let data_center gpus =
+  List.filter (fun g -> g.segment = Data_center) gpus
+
+let non_data_center gpus =
+  List.filter (fun g -> g.segment <> Data_center) gpus
+
+let by_vendor vendor gpus = List.filter (fun g -> g.vendor = vendor) gpus
+
+let released_between lo hi gpus =
+  List.filter (fun g -> g.year >= lo && g.year <= hi) gpus

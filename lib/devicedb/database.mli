@@ -1,0 +1,27 @@
+(** The GPU product database: the 65-device 2018-2024 survey behind the
+    paper's Figs. 9-10 plus the flagship devices of Figs. 1-2.
+
+    Specs were transcribed from vendor datasheets and public spec
+    databases. Devices whose inclusion would contradict the paper's
+    published classification counts (4 false-DC / 7 false-NDC marketing
+    mismatches; 2 false-DC / 0 false-NDC architectural mismatches) carry
+    [in_survey = false] and only appear in the flagship figures; DESIGN.md
+    documents this curation. *)
+
+val all : Gpu.t list
+val survey : Gpu.t list
+(** The 65 devices of the marketing study. *)
+
+val flagships_2022 : Gpu.t list
+(** The devices plotted in Fig. 1a. *)
+
+val flagships_2023 : Gpu.t list
+(** The devices plotted in Figs. 1b and 2. *)
+
+val find : string -> Gpu.t option
+(** Case-insensitive lookup by name. *)
+
+val data_center : Gpu.t list -> Gpu.t list
+val non_data_center : Gpu.t list -> Gpu.t list
+val by_vendor : Gpu.vendor -> Gpu.t list -> Gpu.t list
+val released_between : int -> int -> Gpu.t list -> Gpu.t list

@@ -1,0 +1,70 @@
+module Area_model = Acs_area.Area_model
+module Cost_model = Acs_cost.Cost_model
+
+type t = {
+  params : Space.params;
+  device : Acs_hardware.Device.t;
+  area_mm2 : float;
+  sram_mb : float;
+  within_reticle : bool;
+  spec : Acs_policy.Spec.t;
+  acr2022 : Acs_policy.Acr_2022.classification;
+  acr2023_dc : Acs_policy.Acr_2023.tier;
+  die_cost_usd : float;
+  good_die_cost_usd : float;
+  ttft_s : float;
+  tbt_s : float;
+}
+
+let evaluate ?calib ?tp ?request ~model params device =
+  let area_mm2 = Area_model.total_mm2 device in
+  let spec = Acs_policy.Spec.of_device ~area_mm2 device in
+  let result = Acs_perfmodel.Engine.simulate ?calib ?tp ?request device model in
+  let process = Cost_model.n7 in
+  (* Designs far beyond the reticle limit may not even fit a wafer; give
+     them infinite cost instead of failing (they are filtered out as
+     non-manufacturable anyway). *)
+  let die_cost_usd, good_die_cost_usd =
+    match Cost_model.die_cost_usd ~process ~die_area_mm2:area_mm2 with
+    | cost ->
+        (cost, Cost_model.good_die_cost_usd ~process ~die_area_mm2:area_mm2 ())
+    | exception Invalid_argument _ -> (infinity, infinity)
+  in
+  {
+    params;
+    device;
+    area_mm2;
+    sram_mb = Area_model.sram_mb device;
+    within_reticle = area_mm2 <= Acs_hardware.Presets.reticle_limit_mm2;
+    spec;
+    acr2022 = Acs_policy.Acr_2022.classify spec;
+    acr2023_dc = Acs_policy.Acr_2023.classify Acs_policy.Acr_2023.Data_center spec;
+    die_cost_usd;
+    good_die_cost_usd;
+    ttft_s = result.Acs_perfmodel.Engine.ttft_s;
+    tbt_s = result.Acs_perfmodel.Engine.tbt_s;
+  }
+
+let evaluate_sweep ?calib ?tp ?request ~model ~tpp_target sweep =
+  let params = Space.enumerate sweep in
+  List.map
+    (fun p -> evaluate ?calib ?tp ?request ~model p (Space.build ~tpp_target p))
+    params
+
+let compliant_2022 d = d.acr2022 = Acs_policy.Acr_2022.Not_applicable
+let compliant_2023 d = d.acr2023_dc = Acs_policy.Acr_2023.Not_applicable
+let manufacturable d = d.within_reticle
+
+let ttft_cost_product d = Acs_util.Units.to_ms d.ttft_s *. d.die_cost_usd
+let tbt_cost_product d = Acs_util.Units.to_ms d.tbt_s *. d.die_cost_usd
+
+let pp ppf d =
+  Format.fprintf ppf
+    "%dx%d x%d lanes, L1 %.0fKB, L2 %.0fMB, %.1fTB/s, %.0fGB/s: %.0f mm^2, \
+     TTFT %.4g ms, TBT %.4g ms, $%.0f"
+    d.params.Space.systolic_dim d.params.Space.systolic_dim
+    d.params.Space.lanes d.params.Space.l1 d.params.Space.l2
+    d.params.Space.memory_bw d.params.Space.device_bw d.area_mm2
+    (Acs_util.Units.to_ms d.ttft_s)
+    (Acs_util.Units.to_ms d.tbt_s)
+    d.die_cost_usd

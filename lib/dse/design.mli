@@ -1,0 +1,53 @@
+(** Evaluated design points: hardware + simulated performance + area +
+    cost + regulatory classification. *)
+
+type t = {
+  params : Space.params;
+  device : Acs_hardware.Device.t;
+  area_mm2 : float;
+  sram_mb : float;
+  within_reticle : bool;
+  spec : Acs_policy.Spec.t;
+  acr2022 : Acs_policy.Acr_2022.classification;
+  acr2023_dc : Acs_policy.Acr_2023.tier;
+      (** tier under the data-center rules, which is how the paper judges
+          simulated designs *)
+  die_cost_usd : float;
+  good_die_cost_usd : float;
+  ttft_s : float;
+  tbt_s : float;
+}
+
+val evaluate :
+  ?calib:Acs_perfmodel.Calib.t ->
+  ?tp:int ->
+  ?request:Acs_workload.Request.t ->
+  model:Acs_workload.Model.t ->
+  Space.params ->
+  Acs_hardware.Device.t ->
+  t
+
+val evaluate_sweep :
+  ?calib:Acs_perfmodel.Calib.t ->
+  ?tp:int ->
+  ?request:Acs_workload.Request.t ->
+  model:Acs_workload.Model.t ->
+  tpp_target:float ->
+  Space.sweep ->
+  t list
+
+val compliant_2022 : t -> bool
+(** Not regulated by the October 2022 rule. *)
+
+val compliant_2023 : t -> bool
+(** Fully unregulated under October 2023 data-center rules (the paper
+    excludes NAC-eligible designs since NAC licenses may be denied). *)
+
+val manufacturable : t -> bool
+(** Within the 860 mm^2 reticle limit. *)
+
+val ttft_cost_product : t -> float
+(** TTFT(ms) x die cost($): Fig. 8's y-axis. *)
+
+val tbt_cost_product : t -> float
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,22 @@
+type objective = Ttft | Tbt | Ttft_cost | Tbt_cost
+
+let objective_value obj (d : Design.t) =
+  match obj with
+  | Ttft -> d.Design.ttft_s
+  | Tbt -> d.Design.tbt_s
+  | Ttft_cost -> Design.ttft_cost_product d
+  | Tbt_cost -> Design.tbt_cost_product d
+
+let best ?(filters = []) obj designs =
+  let pass d = List.for_all (fun f -> f d) filters in
+  match List.filter pass designs with
+  | [] -> None
+  | survivors -> Some (Acs_util.Stats.argmin (objective_value obj) survivors)
+
+let best_exn ?filters obj designs =
+  match best ?filters obj designs with
+  | Some d -> d
+  | None -> invalid_arg "Optimum.best_exn: no design passes the filters"
+
+let improvement_vs ~baseline value =
+  Acs_util.Stats.relative_change ~baseline value

@@ -1,0 +1,17 @@
+(** Optimal-design selection under compliance filters (the per-experiment
+    winners the paper reports, e.g. Fig. 6's "optimized design" and
+    Table 4's compliant/non-compliant pair). *)
+
+type objective = Ttft | Tbt | Ttft_cost | Tbt_cost
+
+val objective_value : objective -> Design.t -> float
+
+val best :
+  ?filters:(Design.t -> bool) list -> objective -> Design.t list -> Design.t option
+(** Minimizer of the objective among designs passing all filters. *)
+
+val best_exn :
+  ?filters:(Design.t -> bool) list -> objective -> Design.t list -> Design.t
+
+val improvement_vs : baseline:float -> float -> float
+(** Relative change, negative = faster than the baseline. *)

@@ -1,0 +1,10 @@
+let dominates ~fx ~fy a b =
+  (* [a] dominates [b]. *)
+  fx a <= fx b && fy a <= fy b && (fx a < fx b || fy a < fy b)
+
+let dominated ~fx ~fy p points =
+  List.exists (fun q -> dominates ~fx ~fy q p) points
+
+let frontier ~fx ~fy points =
+  let keep = List.filter (fun p -> not (dominated ~fx ~fy p points)) points in
+  List.sort (fun a b -> compare (fx a, fy a) (fx b, fy b)) keep

@@ -1,0 +1,8 @@
+(** Pareto-frontier extraction for two-objective minimization. *)
+
+val frontier : fx:('a -> float) -> fy:('a -> float) -> 'a list -> 'a list
+(** Points not strictly dominated by any other (dominated = another point
+    is <= on both objectives and < on at least one). Result is sorted by
+    [fx] ascending. *)
+
+val dominated : fx:('a -> float) -> fy:('a -> float) -> 'a -> 'a list -> bool

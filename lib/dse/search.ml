@@ -1,0 +1,128 @@
+let adjacent values current =
+  (* Previous and next swept value around [current], if present. *)
+  let sorted = List.sort_uniq compare values in
+  let rec walk = function
+    | a :: b :: rest ->
+        if b = current then (if rest = [] then [ a ] else [ a; List.hd rest ])
+        else if a = current then [ b ]
+        else walk (b :: rest)
+    | [ _ ] | [] -> []
+  in
+  match sorted with
+  | [ _ ] | [] -> []
+  | a :: _ when a = current -> walk sorted
+  | _ -> walk sorted
+
+let neighbors (sweep : Space.sweep) (p : Space.params) =
+  let with_dim values current rebuild =
+    List.map rebuild (adjacent values current)
+  in
+  with_dim sweep.Space.systolic_dims p.Space.systolic_dim (fun v ->
+      { p with Space.systolic_dim = v })
+  @ with_dim sweep.Space.lanes_per_core p.Space.lanes (fun v ->
+        { p with Space.lanes = v })
+  @ with_dim sweep.Space.l1_kb p.Space.l1 (fun v -> { p with Space.l1 = v })
+  @ with_dim sweep.Space.l2_mb p.Space.l2 (fun v -> { p with Space.l2 = v })
+  @ with_dim sweep.Space.memory_bw_tb_s p.Space.memory_bw (fun v ->
+        { p with Space.memory_bw = v })
+  @ with_dim sweep.Space.device_bw_gb_s p.Space.device_bw (fun v ->
+        { p with Space.device_bw = v })
+
+type outcome = { best : Design.t; evaluated : int; steps : int }
+
+let local_search ?(max_steps = 100) ?calib ~sweep ~tpp_target ~model ~objective
+    ~feasible start =
+  let evaluated = ref 0 in
+  let eval p =
+    incr evaluated;
+    Design.evaluate ?calib ~model p (Space.build ~tpp_target p)
+  in
+  let score d = if feasible d then Some (objective d) else None in
+  let rec climb current current_score steps =
+    if steps >= max_steps then (current, steps)
+    else begin
+      let candidates =
+        List.filter_map
+          (fun p ->
+            let d = eval p in
+            Option.map (fun s -> (d, s)) (score d))
+          (neighbors sweep current.Design.params)
+      in
+      match candidates with
+      | [] -> (current, steps)
+      | _ :: _ ->
+          let best, best_score =
+            Acs_util.Stats.argmin snd
+              (List.map (fun (d, s) -> ((d, s), s)) candidates)
+            |> fst
+          in
+          if best_score < current_score then climb best best_score (steps + 1)
+          else (current, steps)
+    end
+  in
+  let start_design = eval start in
+  match score start_design with
+  | Some s ->
+      let best, steps = climb start_design s 0 in
+      Some { best; evaluated = !evaluated; steps }
+  | None -> begin
+      (* Start from the best feasible neighbor instead, if any. *)
+      let feasible_neighbors =
+        List.filter_map
+          (fun p ->
+            let d = eval p in
+            Option.map (fun s -> (d, s)) (score d))
+          (neighbors sweep start)
+      in
+      match feasible_neighbors with
+      | [] -> None
+      | _ :: _ ->
+          let d, s =
+            Acs_util.Stats.argmin snd
+              (List.map (fun (d, s) -> ((d, s), s)) feasible_neighbors)
+            |> fst
+          in
+          let best, steps = climb d s 1 in
+          Some { best; evaluated = !evaluated; steps }
+    end
+
+type picker = { pick : 'a. 'a list -> 'a }
+
+let lo = { pick = (fun l -> List.hd l) }
+let hi = { pick = (fun l -> List.nth l (List.length l - 1)) }
+let mid = { pick = (fun l -> List.nth l (List.length l / 2)) }
+
+let corners (sweep : Space.sweep) =
+  let corner f =
+    {
+      Space.systolic_dim = f.pick sweep.Space.systolic_dims;
+      lanes = f.pick sweep.Space.lanes_per_core;
+      l1 = f.pick sweep.Space.l1_kb;
+      l2 = f.pick sweep.Space.l2_mb;
+      memory_bw = f.pick sweep.Space.memory_bw_tb_s;
+      device_bw = f.pick sweep.Space.device_bw_gb_s;
+    }
+  in
+  [ corner lo; corner hi; corner mid ]
+
+let optimize ?calib ~sweep ~tpp_target ~model ~objective ~feasible () =
+  let outcomes =
+    List.filter_map
+      (fun start ->
+        local_search ?calib ~sweep ~tpp_target ~model ~objective ~feasible
+          start)
+      (corners sweep)
+  in
+  match outcomes with
+  | [] -> None
+  | first :: rest ->
+      let total_evals =
+        List.fold_left (fun acc o -> acc + o.evaluated) 0 outcomes
+      in
+      let best =
+        List.fold_left
+          (fun acc o ->
+            if objective o.best < objective acc.best then o else acc)
+          first rest
+      in
+      Some { best with evaluated = total_evals }

@@ -1,0 +1,44 @@
+(** Local search over the discrete design grid.
+
+    Exhaustive sweeps (1536-4608 simulations) are cheap for this analytical
+    model, but a designer iterating on constraints wants answers in a
+    handful of evaluations. [local_search] runs steepest-descent hill
+    climbing over the sweep's parameter lattice (one step changes one
+    parameter to an adjacent swept value); [optimize] restarts it from a
+    deterministic set of corners plus the lattice center. *)
+
+val neighbors : Space.sweep -> Space.params -> Space.params list
+(** Lattice neighbors: for each dimension, the previous and next swept
+    value (other dimensions unchanged). Parameters whose value is not in
+    the sweep contribute no neighbors for that dimension. *)
+
+type outcome = {
+  best : Design.t;
+  evaluated : int;  (** design evaluations performed *)
+  steps : int;  (** accepted moves *)
+}
+
+val local_search :
+  ?max_steps:int ->
+  ?calib:Acs_perfmodel.Calib.t ->
+  sweep:Space.sweep ->
+  tpp_target:float ->
+  model:Acs_workload.Model.t ->
+  objective:(Design.t -> float) ->
+  feasible:(Design.t -> bool) ->
+  Space.params ->
+  outcome option
+(** Minimizes [objective] over feasible designs starting from the given
+    point; [None] when the start itself is infeasible and no feasible
+    neighbor exists. Default [max_steps] 100. *)
+
+val optimize :
+  ?calib:Acs_perfmodel.Calib.t ->
+  sweep:Space.sweep ->
+  tpp_target:float ->
+  model:Acs_workload.Model.t ->
+  objective:(Design.t -> float) ->
+  feasible:(Design.t -> bool) ->
+  unit ->
+  outcome option
+(** Multi-start local search from the lattice corners and center. *)

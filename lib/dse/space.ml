@@ -1,0 +1,94 @@
+module Device = Acs_hardware.Device
+module Systolic = Acs_hardware.Systolic
+
+type sweep = {
+  systolic_dims : int list;
+  lanes_per_core : int list;
+  l1_kb : float list;
+  l2_mb : float list;
+  memory_bw_tb_s : float list;
+  device_bw_gb_s : float list;
+}
+
+let table3 ~device_bw =
+  {
+    systolic_dims = [ 16; 32 ];
+    lanes_per_core = [ 1; 2; 4; 8 ];
+    l1_kb = [ 192.; 256.; 512.; 1024. ];
+    l2_mb = [ 32.; 48.; 64.; 80. ];
+    memory_bw_tb_s = [ 2.; 2.4; 2.8; 3.2 ];
+    device_bw_gb_s = device_bw;
+  }
+
+let oct2022 = table3 ~device_bw:[ 600. ]
+let oct2023 = table3 ~device_bw:[ 500.; 700.; 900. ]
+
+let restricted =
+  {
+    systolic_dims = [ 4; 8; 16 ];
+    lanes_per_core = [ 1; 2; 4; 8 ];
+    l1_kb = [ 32.; 64.; 128.; 192. ];
+    l2_mb = [ 8.; 16.; 32.; 40. ];
+    memory_bw_tb_s = [ 0.8; 1.2; 1.6; 2. ];
+    device_bw_gb_s = [ 400.; 500.; 600. ];
+  }
+
+let size s =
+  List.length s.systolic_dims * List.length s.lanes_per_core
+  * List.length s.l1_kb * List.length s.l2_mb
+  * List.length s.memory_bw_tb_s
+  * List.length s.device_bw_gb_s
+
+type params = {
+  systolic_dim : int;
+  lanes : int;
+  l1 : float;
+  l2 : float;
+  memory_bw : float;
+  device_bw : float;
+}
+
+let enumerate s =
+  let acc = ref [] in
+  List.iter
+    (fun systolic_dim ->
+      List.iter
+        (fun lanes ->
+          List.iter
+            (fun l1 ->
+              List.iter
+                (fun l2 ->
+                  List.iter
+                    (fun memory_bw ->
+                      List.iter
+                        (fun device_bw ->
+                          acc :=
+                            { systolic_dim; lanes; l1; l2; memory_bw; device_bw }
+                            :: !acc)
+                        s.device_bw_gb_s)
+                    s.memory_bw_tb_s)
+                s.l2_mb)
+            s.l1_kb)
+        s.lanes_per_core)
+    s.systolic_dims;
+  List.rev !acc
+
+let build ?(memory_gb = 80.) ~tpp_target p =
+  let systolic = Systolic.square p.systolic_dim in
+  let cores =
+    Device.cores_for_tpp ~tpp:tpp_target ~lanes_per_core:p.lanes ~systolic ()
+  in
+  (* [cores_for_tpp] keeps TPP <= target; the rules use ">= threshold", so
+     back off one core when the bound is hit exactly. *)
+  let probe c =
+    Device.make ~name:(Printf.sprintf "dse-%.0f" tpp_target) ~core_count:c
+      ~lanes_per_core:p.lanes ~systolic ~l1_kb:p.l1 ~l2_mb:p.l2
+      ~memory:(Acs_hardware.Memory.make ~capacity_gb:memory_gb ~bandwidth_tb_s:p.memory_bw)
+      ~interconnect:(Acs_hardware.Interconnect.of_total_gb_s p.device_bw)
+      ()
+  in
+  let dev = probe cores in
+  if Device.tpp dev >= tpp_target && cores > 1 then probe (cores - 1) else dev
+
+let designs ?memory_gb ~tpp_target s =
+  List.map (build ?memory_gb ~tpp_target) (enumerate s)

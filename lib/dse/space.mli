@@ -1,0 +1,45 @@
+(** Design-space definitions and design-point generation.
+
+    Each parameter combination is turned into a device whose core count is
+    the largest that keeps TPP strictly below the target (Eq. 1), mirroring
+    how the paper's "4800 TPP" sweep actually lands at 4759 TPP with
+    103 cores. *)
+
+type sweep = {
+  systolic_dims : int list;  (** square array sizes *)
+  lanes_per_core : int list;
+  l1_kb : float list;
+  l2_mb : float list;
+  memory_bw_tb_s : float list;
+  device_bw_gb_s : float list;
+}
+
+val oct2022 : sweep
+(** Table 3 with fixed 600 GB/s device bandwidth: 512 designs. *)
+
+val oct2023 : sweep
+(** Table 3 with device bandwidth in {500, 700, 900}: 1536 designs per TPP
+    target. *)
+
+val restricted : sweep
+(** Table 5 (parameters at or below the A100's): 2304 designs. *)
+
+val size : sweep -> int
+
+type params = {
+  systolic_dim : int;
+  lanes : int;
+  l1 : float;  (** KB *)
+  l2 : float;  (** MB *)
+  memory_bw : float;  (** TB/s *)
+  device_bw : float;  (** GB/s *)
+}
+
+val enumerate : sweep -> params list
+(** Cartesian product in a deterministic order. *)
+
+val build : ?memory_gb:float -> tpp_target:float -> params -> Acs_hardware.Device.t
+(** Instantiate a device under the TPP target (strictly below it).
+    Memory capacity defaults to 80 GB. *)
+
+val designs : ?memory_gb:float -> tpp_target:float -> sweep -> Acs_hardware.Device.t list

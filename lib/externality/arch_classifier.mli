@@ -1,0 +1,25 @@
+(** The Sec. 5.2 architecture-based segment classifier (Fig. 10): classify
+    a device as data-center when its memory system looks like a
+    data-center memory system (capacity >= 32 GB or bandwidth >
+    1600 GB/s), and compare against the marketing segment.
+
+    "False data center": marketed as data center but architecturally
+    classified as non-data center (the classifier misses it); "false
+    non-data center": the reverse. *)
+
+type status =
+  | Consistent
+  | False_data_center
+  | False_non_data_center
+
+val status : Acs_devicedb.Gpu.t -> status
+
+type analysis = {
+  consistent_dc : Acs_devicedb.Gpu.t list;
+  false_dc : Acs_devicedb.Gpu.t list;
+  consistent_ndc : Acs_devicedb.Gpu.t list;
+  false_ndc : Acs_devicedb.Gpu.t list;
+}
+
+val analyze : Acs_devicedb.Gpu.t list -> analysis
+val status_to_string : status -> string

@@ -1,0 +1,76 @@
+type t = {
+  demand_choke_price : float;
+  demand_slope : float;
+  supply_reserve_price : float;
+  supply_slope : float;
+}
+
+let make ~demand_choke_price ~demand_slope ~supply_reserve_price ~supply_slope =
+  if demand_slope <= 0. || supply_slope <= 0. then
+    invalid_arg "Market.make: slopes must be positive";
+  if demand_choke_price <= supply_reserve_price then
+    invalid_arg "Market.make: no positive-quantity equilibrium";
+  { demand_choke_price; demand_slope; supply_reserve_price; supply_slope }
+
+type equilibrium = { quantity : float; price : float }
+
+let demand_price m ~quantity =
+  m.demand_choke_price -. (m.demand_slope *. quantity)
+
+let supply_price m ~quantity =
+  m.supply_reserve_price +. (m.supply_slope *. quantity)
+
+let equilibrium m =
+  let quantity =
+    (m.demand_choke_price -. m.supply_reserve_price)
+    /. (m.demand_slope +. m.supply_slope)
+  in
+  { quantity; price = demand_price m ~quantity }
+
+let check_quantity m quantity =
+  if quantity < 0. then invalid_arg "Market: negative quantity";
+  let eq = equilibrium m in
+  Float.min quantity eq.quantity
+
+let consumer_surplus m ~quantity =
+  let q = check_quantity m quantity in
+  (* Area between the demand curve and the buyers' price over [0, q]. *)
+  0.5 *. m.demand_slope *. q *. q
+
+let producer_surplus m ~quantity =
+  let q = check_quantity m quantity in
+  0.5 *. m.supply_slope *. q *. q
+  +. ((demand_price m ~quantity:q -. supply_price m ~quantity:q) *. q)
+
+let total_surplus m ~quantity =
+  consumer_surplus m ~quantity +. producer_surplus m ~quantity
+
+type restriction_outcome = {
+  restricted_quantity : float;
+  buyer_price : float;
+  seller_price : float;
+  deadweight_loss : float;
+  price_increase : float;
+}
+
+let restrict m ~max_quantity =
+  if max_quantity < 0. then invalid_arg "Market.restrict: negative quota";
+  let eq = equilibrium m in
+  let q = Float.min max_quantity eq.quantity in
+  let buyer_price = demand_price m ~quantity:q in
+  let seller_price = supply_price m ~quantity:q in
+  {
+    restricted_quantity = q;
+    buyer_price;
+    seller_price;
+    deadweight_loss =
+      0.5 *. (eq.quantity -. q) *. (buyer_price -. seller_price);
+    price_increase = buyer_price -. eq.price;
+  }
+
+let pp_outcome ppf o =
+  Format.fprintf ppf
+    "Q=%.3g, buyers pay %.3g (sellers' cost %.3g, +%.3g vs free market), \
+     deadweight loss %.3g"
+    o.restricted_quantity o.buyer_price o.seller_price o.price_increase
+    o.deadweight_loss

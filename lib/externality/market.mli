@@ -1,0 +1,49 @@
+(** Textbook linear supply/demand model of the accelerator market, used to
+    quantify the paper's Sec. 2.4 vocabulary: export restrictions reduce
+    the quantity traded, prices no longer clear the market, and the lost
+    gains-from-trade are deadweight loss; restrictions that also capture
+    non-target (gaming) devices add further loss - the negative
+    externality.
+
+    Demand: P = choke - d_slope * Q. Supply: P = reserve + s_slope * Q. *)
+
+type t
+
+val make :
+  demand_choke_price:float ->
+  demand_slope:float ->
+  supply_reserve_price:float ->
+  supply_slope:float ->
+  t
+(** Raises [Invalid_argument] unless slopes are positive and the choke
+    price exceeds the reserve price (so the market clears at positive
+    quantity). *)
+
+type equilibrium = { quantity : float; price : float }
+
+val equilibrium : t -> equilibrium
+val demand_price : t -> quantity:float -> float
+val supply_price : t -> quantity:float -> float
+
+val consumer_surplus : t -> quantity:float -> float
+(** Surplus when [quantity] trades at the supply-clearing... at the
+    buyers' marginal price; at the free-market quantity this is the
+    standard triangle. *)
+
+val producer_surplus : t -> quantity:float -> float
+val total_surplus : t -> quantity:float -> float
+
+type restriction_outcome = {
+  restricted_quantity : float;
+  buyer_price : float;  (** what buyers pay at the restricted quantity *)
+  seller_price : float;  (** sellers' marginal cost there *)
+  deadweight_loss : float;
+  price_increase : float;  (** buyer price minus free-market price *)
+}
+
+val restrict : t -> max_quantity:float -> restriction_outcome
+(** Effect of capping traded quantity (an export quota / supply removal).
+    A cap at or above the equilibrium quantity is a no-op with zero
+    deadweight loss. *)
+
+val pp_outcome : Format.formatter -> restriction_outcome -> unit

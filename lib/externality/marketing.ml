@@ -1,0 +1,48 @@
+module Gpu = Acs_devicedb.Gpu
+module Acr = Acs_policy.Acr_2023
+
+type status = Consistent | False_data_center | False_non_data_center
+
+let opposite = function
+  | Acr.Data_center -> Acr.Non_data_center
+  | Acr.Non_data_center -> Acr.Data_center
+
+let rebranded_tier gpu =
+  Acr.classify (opposite (Gpu.marketing_market gpu)) (Gpu.spec gpu)
+
+let status gpu =
+  let current = Gpu.classify_2023 gpu in
+  let rebranded = rebranded_tier gpu in
+  let regulated t = t <> Acr.Not_applicable in
+  match Gpu.marketing_market gpu with
+  | Acr.Data_center ->
+      if regulated current && not (regulated rebranded) then False_data_center
+      else Consistent
+  | Acr.Non_data_center ->
+      if (not (regulated current)) && regulated rebranded then
+        False_non_data_center
+      else Consistent
+
+type analysis = {
+  consistent_dc : Gpu.t list;
+  false_dc : Gpu.t list;
+  consistent_ndc : Gpu.t list;
+  false_ndc : Gpu.t list;
+}
+
+let analyze gpus =
+  let is_dc g = Gpu.marketing_market g = Acr.Data_center in
+  let part pred = List.partition pred in
+  let dc, ndc = part is_dc gpus in
+  let false_dc, consistent_dc =
+    part (fun g -> status g = False_data_center) dc
+  in
+  let false_ndc, consistent_ndc =
+    part (fun g -> status g = False_non_data_center) ndc
+  in
+  { consistent_dc; false_dc; consistent_ndc; false_ndc }
+
+let status_to_string = function
+  | Consistent -> "Consistent"
+  | False_data_center -> "False DC"
+  | False_non_data_center -> "False NDC"

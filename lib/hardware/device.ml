@@ -1,0 +1,89 @@
+type t = {
+  name : string;
+  core_count : int;
+  lanes_per_core : int;
+  systolic : Systolic.t;
+  vector_width : int;
+  l1_bytes : float;
+  l2_bytes : float;
+  frequency_hz : float;
+  memory : Memory.t;
+  interconnect : Interconnect.t;
+  process : Process.t;
+  op_bitwidth : int;
+}
+
+let default_frequency_mhz = 1410.
+
+let make ?(name = "custom") ?(vector_width = 32)
+    ?(frequency_mhz = default_frequency_mhz) ?(process = Process.N7)
+    ?(op_bitwidth = 16) ~core_count ~lanes_per_core ~systolic ~l1_kb ~l2_mb
+    ~memory ~interconnect () =
+  let check_pos what v = if v <= 0 then invalid_arg ("Device.make: " ^ what) in
+  check_pos "core_count must be positive" core_count;
+  check_pos "lanes_per_core must be positive" lanes_per_core;
+  check_pos "vector_width must be positive" vector_width;
+  if l1_kb <= 0. || l2_mb <= 0. then
+    invalid_arg "Device.make: buffer sizes must be positive";
+  if frequency_mhz <= 0. then
+    invalid_arg "Device.make: frequency must be positive";
+  {
+    name;
+    core_count;
+    lanes_per_core;
+    systolic;
+    vector_width;
+    l1_bytes = Acs_util.Units.kb l1_kb;
+    l2_bytes = Acs_util.Units.mb l2_mb;
+    frequency_hz = Acs_util.Units.mhz frequency_mhz;
+    memory;
+    interconnect;
+    process;
+    op_bitwidth;
+  }
+
+let total_macs_per_cycle t =
+  Systolic.macs_per_cycle t.systolic * t.lanes_per_core * t.core_count
+
+let peak_tensor_flops t =
+  2. *. float_of_int (total_macs_per_cycle t) *. t.frequency_hz
+
+let peak_vector_flops t =
+  (* A vector ALU performs one FMA per cycle = 2 FLOPs. *)
+  2.
+  *. float_of_int (t.vector_width * t.lanes_per_core * t.core_count)
+  *. t.frequency_hz
+
+let tops t = peak_tensor_flops t /. Acs_util.Units.tera
+let tpp t = tops t *. float_of_int t.op_bitwidth
+
+let device_bandwidth_gb_s t =
+  Interconnect.total_bandwidth t.interconnect /. Acs_util.Units.giga
+
+let memory_bandwidth t = t.memory.Memory.bandwidth_bytes_per_s
+let l1_per_lane t = t.l1_bytes /. float_of_int t.lanes_per_core
+
+let fp_max ~tpp ~frequency_hz =
+  if tpp <= 0. || frequency_hz <= 0. then
+    invalid_arg "Device.fp_max: arguments must be positive";
+  (* TPP = 16 * 2 * macs * freq / 1e12, solved for macs. *)
+  int_of_float (Float.floor (tpp *. Acs_util.Units.tera /. (16. *. 2. *. frequency_hz)))
+
+let cores_for_tpp ~tpp ~lanes_per_core ~systolic
+    ?(frequency_mhz = default_frequency_mhz) () =
+  let frequency_hz = Acs_util.Units.mhz frequency_mhz in
+  let max_macs = fp_max ~tpp ~frequency_hz in
+  let macs_per_core = Systolic.macs_per_cycle systolic * lanes_per_core in
+  max 1 (max_macs / macs_per_core)
+
+let pp ppf t =
+  Format.fprintf ppf
+    "%s: %d cores x %d lanes x %s @ %.0f MHz, L1 %a/core, L2 %a, %a, dev %a, \
+     TPP %.0f"
+    t.name t.core_count t.lanes_per_core
+    (Systolic.to_string t.systolic)
+    (t.frequency_hz /. Acs_util.Units.mega)
+    Acs_util.Units.pp_bytes t.l1_bytes Acs_util.Units.pp_bytes t.l2_bytes
+    Memory.pp t.memory Interconnect.pp t.interconnect (tpp t)
+
+let summary t = Format.asprintf "%a" pp t

@@ -1,0 +1,76 @@
+(** The LLMCompass-style hardware template (paper Fig. 4): a device is a set
+    of identical cores sharing a global buffer (L2) connected to HBM and the
+    device-to-device interconnect; each core has lanes sharing a local buffer
+    (L1); each lane pairs one systolic array with one vector unit.
+
+    Derived performance metrics follow the Advanced Computing Rule
+    conventions: TPP = peak TOPS x operand bitwidth, with a fused
+    multiply-accumulate counted as two operations. *)
+
+type t = {
+  name : string;
+  core_count : int;
+  lanes_per_core : int;
+  systolic : Systolic.t;
+  vector_width : int;  (** FP32 ALUs per vector unit *)
+  l1_bytes : float;  (** local buffer per core, shared by its lanes *)
+  l2_bytes : float;  (** global buffer *)
+  frequency_hz : float;
+  memory : Memory.t;
+  interconnect : Interconnect.t;
+  process : Process.t;
+  op_bitwidth : int;  (** bitwidth of the peak-TPP operand format (FP16) *)
+}
+
+val make :
+  ?name:string ->
+  ?vector_width:int ->
+  ?frequency_mhz:float ->
+  ?process:Process.t ->
+  ?op_bitwidth:int ->
+  core_count:int ->
+  lanes_per_core:int ->
+  systolic:Systolic.t ->
+  l1_kb:float ->
+  l2_mb:float ->
+  memory:Memory.t ->
+  interconnect:Interconnect.t ->
+  unit ->
+  t
+(** Defaults mirror the paper's modeled A100: 1410 MHz, 7 nm, FP16
+    (bitwidth 16), 32-wide vector units. Raises [Invalid_argument] on
+    non-positive parameters. *)
+
+val total_macs_per_cycle : t -> int
+(** Systolic MACs per cycle across the whole device
+    (DIMX * DIMY * lanes/core * cores, Eq. 1's right-hand side). *)
+
+val peak_tensor_flops : t -> float
+(** Peak dense FP16 tensor FLOP/s (2 ops per MAC). *)
+
+val peak_vector_flops : t -> float
+
+val tops : t -> float
+(** Peak tera-operations per second at the TPP operand format. *)
+
+val tpp : t -> float
+(** Total Processing Performance: [tops * op_bitwidth]. *)
+
+val device_bandwidth_gb_s : t -> float
+(** Aggregate bidirectional interconnect bandwidth in GB/s (the October
+    2022 metric). *)
+
+val memory_bandwidth : t -> float
+val l1_per_lane : t -> float
+
+val fp_max : tpp:float -> frequency_hz:float -> int
+(** Eq. 1: the maximum systolic-array MAC (FPU) count whose TPP at
+    [frequency_hz] does not exceed [tpp], assuming FP16 operands. *)
+
+val cores_for_tpp :
+  tpp:float -> lanes_per_core:int -> systolic:Systolic.t -> ?frequency_mhz:float -> unit -> int
+(** Largest core count that keeps the configuration at or under the TPP
+    target (at least 1). *)
+
+val pp : Format.formatter -> t -> unit
+val summary : t -> string

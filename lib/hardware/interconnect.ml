@@ -1,0 +1,22 @@
+type t = { links : int; link_bandwidth_bytes_per_s : float }
+
+let link_bandwidth_default = Acs_util.Units.gbps 50.
+
+let make ~links ?(link_gb_s = 50.) () =
+  if links <= 0 then invalid_arg "Interconnect.make: links must be positive";
+  if link_gb_s <= 0. then
+    invalid_arg "Interconnect.make: link bandwidth must be positive";
+  { links; link_bandwidth_bytes_per_s = Acs_util.Units.gbps link_gb_s }
+
+let of_total_gb_s total =
+  if total <= 0. then
+    invalid_arg "Interconnect.of_total_gb_s: bandwidth must be positive";
+  let links = int_of_float (Float.ceil (total /. 50.)) in
+  make ~links ~link_gb_s:(total /. float_of_int links) ()
+
+let total_bandwidth t =
+  float_of_int t.links *. t.link_bandwidth_bytes_per_s
+
+let pp ppf t =
+  Format.fprintf ppf "%d links, %a total" t.links Acs_util.Units.pp_bandwidth
+    (total_bandwidth t)

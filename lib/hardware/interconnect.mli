@@ -1,0 +1,24 @@
+(** Device-to-device interconnect (NVLink-style).
+
+    The October 2022 rule regulates the aggregate bidirectional transfer
+    rate, which is what [total_bandwidth] reports. Links come in 50 GB/s
+    increments to mirror NVLink 3 (A100: 12 links = 600 GB/s). *)
+
+type t = private { links : int; link_bandwidth_bytes_per_s : float }
+
+val link_bandwidth_default : float
+(** 50 GB/s. *)
+
+val make : links:int -> ?link_gb_s:float -> unit -> t
+
+val of_total_gb_s : float -> t
+(** Builds an interconnect with default-width links whose count reaches the
+    requested total; when the total is not a multiple of 50 GB/s the
+    per-link bandwidth is scaled down so the aggregate matches exactly
+    (the paper caps bandwidth by "reducing per device-to-device PHY
+    bandwidth"). *)
+
+val total_bandwidth : t -> float
+(** Aggregate bidirectional bytes/second. *)
+
+val pp : Format.formatter -> t -> unit

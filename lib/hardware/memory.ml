@@ -1,0 +1,32 @@
+type t = {
+  capacity_bytes : float;
+  bandwidth_bytes_per_s : float;
+  stacks : int;
+}
+
+let stack_bandwidth = Acs_util.Units.gbps 400.
+
+let make ~capacity_gb ~bandwidth_tb_s =
+  if capacity_gb <= 0. then invalid_arg "Memory.make: capacity must be positive";
+  if bandwidth_tb_s <= 0. then
+    invalid_arg "Memory.make: bandwidth must be positive";
+  let bandwidth = Acs_util.Units.tbps bandwidth_tb_s in
+  let stacks = int_of_float (Float.ceil (bandwidth /. stack_bandwidth)) in
+  {
+    capacity_bytes = Acs_util.Units.gb capacity_gb;
+    bandwidth_bytes_per_s = bandwidth;
+    stacks;
+  }
+
+let with_bandwidth t ~bandwidth_tb_s =
+  make ~capacity_gb:(t.capacity_bytes /. Acs_util.Units.giga) ~bandwidth_tb_s
+
+let bandwidth_density t ~package_area_mm2 =
+  if package_area_mm2 <= 0. then
+    invalid_arg "Memory.bandwidth_density: area must be positive";
+  t.bandwidth_bytes_per_s /. Acs_util.Units.giga /. package_area_mm2
+
+let pp ppf t =
+  Format.fprintf ppf "%a HBM @ %a (%d stacks)" Acs_util.Units.pp_bytes
+    t.capacity_bytes Acs_util.Units.pp_bandwidth t.bandwidth_bytes_per_s
+    t.stacks

@@ -1,0 +1,25 @@
+(** Off-chip HBM memory system of a device.
+
+    The DSE follows the paper's convention that bandwidth scales in
+    400 GB/s HBM-stack increments (2 TB/s = 5 stacks, 3.2 TB/s = 8). *)
+
+type t = private {
+  capacity_bytes : float;
+  bandwidth_bytes_per_s : float;
+  stacks : int;
+}
+
+val stack_bandwidth : float
+(** Bandwidth contributed by one HBM stack: 400 GB/s. *)
+
+val make : capacity_gb:float -> bandwidth_tb_s:float -> t
+(** Stack count is derived as [bandwidth / stack_bandwidth], rounded up.
+    Raises [Invalid_argument] on non-positive capacity or bandwidth. *)
+
+val with_bandwidth : t -> bandwidth_tb_s:float -> t
+
+val bandwidth_density : t -> package_area_mm2:float -> float
+(** Memory bandwidth density in GB/s/mm^2 as defined by the December 2024
+    HBM export control (package bandwidth / package area). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,16 @@
+let a100_memory = Memory.make ~capacity_gb:80. ~bandwidth_tb_s:2.
+let a100_interconnect = Interconnect.make ~links:12 ()
+
+let a100 =
+  Device.make ~name:"modeled-A100" ~core_count:108 ~lanes_per_core:4
+    ~systolic:(Systolic.square 16) ~l1_kb:192. ~l2_mb:40. ~memory:a100_memory
+    ~interconnect:a100_interconnect ()
+
+let a100_die_area_mm2 = 826.
+
+let capped_tpp_4759 =
+  Device.make ~name:"capped-4759" ~core_count:103 ~lanes_per_core:4
+    ~systolic:(Systolic.square 16) ~l1_kb:192. ~l2_mb:40. ~memory:a100_memory
+    ~interconnect:a100_interconnect ()
+
+let reticle_limit_mm2 = 860.

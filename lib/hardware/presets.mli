@@ -1,0 +1,17 @@
+(** Reference device configurations used throughout the paper. *)
+
+val a100 : Device.t
+(** The modeled NVIDIA A100 (SXM 80 GB): 108 cores x 4 lanes x 16x16
+    systolic arrays at 1410 MHz (TPP 4992), 192 KB L1 per core, 40 MB L2,
+    2 TB/s HBM, 600 GB/s NVLink, 7 nm. *)
+
+val a100_die_area_mm2 : float
+(** 826 mm^2 (GA100); the paper uses the real die area for the A100
+    baseline instead of the model output. *)
+
+val capped_tpp_4759 : Device.t
+(** The Fig. 5 fixed-TPP configuration: 103 cores (TPP 4759), otherwise
+    A100-like. *)
+
+val reticle_limit_mm2 : float
+(** 860 mm^2, the single-die manufacturability limit. *)

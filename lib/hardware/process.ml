@@ -1,0 +1,25 @@
+type t = N4 | N5 | N6 | N7 | N8 | N12 | N16 | N28
+
+let nm = function
+  | N4 -> 4
+  | N5 -> 5
+  | N6 -> 6
+  | N7 -> 7
+  | N8 -> 8
+  | N12 -> 12
+  | N16 -> 16
+  | N28 -> 28
+
+let non_planar t = nm t <= 16
+let to_string t = Printf.sprintf "%dnm" (nm t)
+
+let of_nm = function
+  | 4 -> N4
+  | 5 -> N5
+  | 6 -> N6
+  | 7 -> N7
+  | 8 -> N8
+  | 12 -> N12
+  | 16 -> N16
+  | 28 -> N28
+  | n -> invalid_arg (Printf.sprintf "Process.of_nm: unsupported node %dnm" n)

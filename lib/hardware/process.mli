@@ -1,0 +1,22 @@
+(** Semiconductor process nodes, as relevant to the October 2023 rule's
+    "applicable die area": only dies manufactured with a non-planar
+    transistor architecture (FinFET/GAA, i.e. 16 nm and below) count toward
+    Performance Density. *)
+
+type t =
+  | N4
+  | N5
+  | N6
+  | N7
+  | N8   (** Samsung 8N, used by NVIDIA Ampere consumer dies *)
+  | N12
+  | N16
+  | N28  (** planar; kept for completeness *)
+
+val non_planar : t -> bool
+(** True for FinFET-class nodes (16 nm and below). *)
+
+val nm : t -> int
+val to_string : t -> string
+val of_nm : int -> t
+(** Raises [Invalid_argument] for unsupported node sizes. *)

@@ -1,0 +1,13 @@
+type t = { dim_x : int; dim_y : int }
+
+let make ~dim_x ~dim_y =
+  if dim_x <= 0 || dim_y <= 0 then
+    invalid_arg "Systolic.make: dimensions must be positive";
+  { dim_x; dim_y }
+
+let square n = make ~dim_x:n ~dim_y:n
+let macs_per_cycle t = t.dim_x * t.dim_y
+let ops_per_cycle t = 2 * macs_per_cycle t
+let to_string t = Printf.sprintf "%dx%d" t.dim_x t.dim_y
+let equal a b = a.dim_x = b.dim_x && a.dim_y = b.dim_y
+let compare a b = compare (a.dim_x, a.dim_y) (b.dim_x, b.dim_y)

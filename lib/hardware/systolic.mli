@@ -1,0 +1,23 @@
+(** Systolic array description (the tensor/matrix compute unit of a lane).
+
+    Each array computes [dim_x * dim_y] multiply-accumulates per cycle; a MAC
+    counts as two operations under the Advanced Computing Rule's TPP
+    definition ("tensor operations ... as two operations"). *)
+
+type t = private { dim_x : int; dim_y : int }
+
+val make : dim_x:int -> dim_y:int -> t
+(** Raises [Invalid_argument] unless both dims are positive. *)
+
+val square : int -> t
+(** [square n] is an [n x n] array. *)
+
+val macs_per_cycle : t -> int
+val ops_per_cycle : t -> int
+(** [2 * macs_per_cycle]. *)
+
+val to_string : t -> string
+(** e.g. ["16x16"]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int

@@ -1,0 +1,77 @@
+module Design = Acs_dse.Design
+module Space = Acs_dse.Space
+module Stats = Acs_util.Stats
+
+type t = { label : string; matches : Design.t -> bool }
+
+let all_designs = { label = "TPP only"; matches = (fun _ -> true) }
+
+let param_eq label f = { label; matches = (fun d -> f d.Design.params) }
+
+let lanes_fixed n =
+  param_eq (Printf.sprintf "%d lane" n) (fun p -> p.Space.lanes = n)
+
+let l1_fixed_kb kb =
+  param_eq (Printf.sprintf "%.0f KB L1" kb) (fun p -> p.Space.l1 = kb)
+
+let l2_fixed_mb mb =
+  param_eq (Printf.sprintf "%.0f MB L2" mb) (fun p -> p.Space.l2 = mb)
+
+let memory_bw_fixed_tb_s tb =
+  param_eq (Printf.sprintf "%.1f TB/s M.BW" tb) (fun p -> p.Space.memory_bw = tb)
+
+let device_bw_fixed_gb_s gb =
+  param_eq (Printf.sprintf "%.0f GB/s D.BW" gb) (fun p -> p.Space.device_bw = gb)
+
+let systolic_fixed dim =
+  param_eq (Printf.sprintf "%dx%d array" dim dim)
+    (fun p -> p.Space.systolic_dim = dim)
+
+let both a b =
+  {
+    label = a.label ^ " + " ^ b.label;
+    matches = (fun d -> a.matches d && b.matches d);
+  }
+
+type report = {
+  grouping : string;
+  count : int;
+  summary : Stats.summary;
+  narrowing_vs_all : float;
+  median_change_vs_baseline : float option;
+}
+
+let analyze ?baseline ~metric ~designs groupings =
+  if designs = [] then invalid_arg "Grouping.analyze: no designs";
+  let all_values = List.map metric designs in
+  let report g =
+    let values =
+      List.filter_map
+        (fun d -> if g.matches d then Some (metric d) else None)
+        designs
+    in
+    if values = [] then
+      invalid_arg
+        (Printf.sprintf "Grouping.analyze: grouping %S matches no design"
+           g.label);
+    {
+      grouping = g.label;
+      count = List.length values;
+      summary = Stats.summarize values;
+      narrowing_vs_all = Stats.narrowing_factor ~baseline:all_values values;
+      median_change_vs_baseline =
+        Option.map
+          (fun b -> Stats.relative_change ~baseline:b (Stats.median values))
+          baseline;
+    }
+  in
+  List.map report (all_designs :: groupings)
+
+let pp_report ppf r =
+  Format.fprintf ppf "%-16s n=%-5d med=%.4g range=%.4g narrowing=%.3gx"
+    r.grouping r.count r.summary.Stats.median
+    (r.summary.Stats.max -. r.summary.Stats.min)
+    r.narrowing_vs_all;
+  match r.median_change_vs_baseline with
+  | Some c -> Format.fprintf ppf " med-vs-A100=%+.1f%%" (100. *. c)
+  | None -> ()

@@ -1,0 +1,46 @@
+(** Architecture-first performance indicators (paper Sec. 5.3, Figs. 11-12).
+
+    Given a design-space exploration, fixing one architectural parameter
+    and looking at the resulting latency distribution tells how strongly
+    that parameter predicts performance: the narrower the distribution,
+    the better the indicator. *)
+
+type t = { label : string; matches : Acs_dse.Design.t -> bool }
+
+val all_designs : t
+(** The "TPP only" column: every design matches. *)
+
+val lanes_fixed : int -> t
+val l1_fixed_kb : float -> t
+val l2_fixed_mb : float -> t
+val memory_bw_fixed_tb_s : float -> t
+val device_bw_fixed_gb_s : float -> t
+val systolic_fixed : int -> t
+
+val both : t -> t -> t
+(** Conjunction: designs matching both groupings. This is the paper's
+    "combined metrics" construction (e.g. a TPP ceiling together with a
+    memory-bandwidth cap and an L1 cap). *)
+
+type report = {
+  grouping : string;
+  count : int;
+  summary : Acs_util.Stats.summary;
+  narrowing_vs_all : float;
+      (** range of the full DSE divided by this group's range *)
+  median_change_vs_baseline : float option;
+      (** (median - baseline)/baseline when a baseline latency (e.g. the
+          modeled A100) is supplied *)
+}
+
+val analyze :
+  ?baseline:float ->
+  metric:(Acs_dse.Design.t -> float) ->
+  designs:Acs_dse.Design.t list ->
+  t list ->
+  report list
+(** The first report covers all designs; one further report per grouping.
+    Raises [Invalid_argument] when [designs] is empty or a grouping matches
+    nothing. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,40 @@
+type t = {
+  dram_efficiency : float;
+  dram_ramp_bytes : float;
+  per_core_dram_bw : float;
+  kernel_overhead_s : float;
+  feed_bytes_16x16 : float;
+  feed_knee_ratio : float;
+  feed_knee_power : float;
+  control_overhead : float;
+  drain_overhead : float;
+  sched_overhead_per_core : float;
+  overlap_leak : float;
+  l2_reuse_bytes : float;
+  hop_latency_s : float;
+  vector_efficiency : float;
+}
+
+let default =
+  {
+    dram_efficiency = 0.95;
+    dram_ramp_bytes = 32e6;
+    per_core_dram_bw = 256e9;
+    kernel_overhead_s = 19e-6;
+    feed_bytes_16x16 = 3.0e3;
+    feed_knee_ratio = 6.;
+    feed_knee_power = 0.75;
+    control_overhead = 0.65;
+    drain_overhead = 1.22e-4;
+    sched_overhead_per_core = 3.33e-4;
+    overlap_leak = 0.15;
+    l2_reuse_bytes = 6.;
+    hop_latency_s = 1e-6;
+    vector_efficiency = 0.8;
+  }
+
+let feed_bytes t systolic =
+  (* Operand tiles scale with the array edge (dim_x + dim_y), i.e. with the
+     square root of the MAC count for square arrays. *)
+  t.feed_bytes_16x16
+  *. sqrt (float_of_int (Acs_hardware.Systolic.macs_per_cycle systolic) /. 256.)

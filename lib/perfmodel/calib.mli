@@ -1,0 +1,58 @@
+(** Calibration constants of the analytical performance model.
+
+    The model is calibrated against the anchor points the paper reports for
+    its modeled NVIDIA A100 (per-layer GPT-3 175B TTFT ~283 ms / TBT
+    ~1.43 ms and Llama 3 8B TTFT ~47 ms / TBT ~0.65 ms at batch 32, input
+    2048, output 1024, 4-way tensor parallelism), and against the
+    sensitivity claims of Figs. 5-7 and 12 (see DESIGN.md). Constants are
+    grouped here so that the calibration bench can print every knob. *)
+
+type t = {
+  dram_efficiency : float;
+      (** fraction of peak HBM bandwidth achievable by large streaming
+          transfers *)
+  dram_ramp_bytes : float;
+      (** equivalent extra bytes charged to every streamed-weight transfer
+          (DRAM page activation / ramp); penalizes small transfers, making
+          small models relatively less efficient at using bandwidth, as the
+          paper's Llama 3 results show *)
+  per_core_dram_bw : float;
+      (** bytes/s of DRAM bandwidth one core can sink; devices with few
+          cores cannot saturate a very wide memory system *)
+  kernel_overhead_s : float;  (** launch/dependency overhead per operator *)
+  feed_bytes_16x16 : float;
+      (** L1 working set (bytes per lane) a 16x16 systolic array needs for
+          full-rate operand feeding; scales linearly with MAC count *)
+  feed_knee_ratio : float;
+      (** below [feed_knee_ratio * feed_bytes] of L1 per lane the array can
+          no longer double-buffer operand tiles and throughput collapses *)
+  feed_knee_power : float;
+      (** exponent of the collapse below the knee *)
+  control_overhead : float;
+      (** per-pass issue/control overhead coefficient, penalizing small
+          arrays: the control term of the matmul efficiency is
+          1/(1 + control_overhead*(1/dim_x + 1/dim_y)
+               + drain_overhead*dim_x*dim_y) *)
+  drain_overhead : float;
+      (** wavefront skew / drain coefficient, penalizing very large arrays;
+          together with [control_overhead] this makes 16x16 the sweet spot,
+          as in LLMCompass *)
+  sched_overhead_per_core : float;
+      (** work-distribution/synchronization derating per core:
+          1/(1 + c*cores); dominates for designs that need thousands of
+          tiny cores (e.g. 4x4 arrays under a TPP target) *)
+  overlap_leak : float;
+      (** fraction of the shorter of {compute, memory} streams that is not
+          hidden by the longer one; gives prefill its (mild) sensitivity to
+          L2 capacity and memory bandwidth *)
+  l2_reuse_bytes : float;
+      (** L2 tile footprint coefficient used to derive DRAM traffic of
+          activation-resident matmuls *)
+  hop_latency_s : float;  (** per-hop interconnect latency of collectives *)
+  vector_efficiency : float;  (** achieved fraction of peak vector FLOPs *)
+}
+
+val default : t
+
+val feed_bytes : t -> Acs_hardware.Systolic.t -> float
+(** Feed requirement for an arbitrary array size. *)

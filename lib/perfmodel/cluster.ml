@@ -1,0 +1,144 @@
+module Device = Acs_hardware.Device
+module Memory = Acs_hardware.Memory
+module Model = Acs_workload.Model
+module Request = Acs_workload.Request
+module Layer = Acs_workload.Layer
+
+type plan = { tp : int; pp : int }
+
+let devices plan = plan.tp * plan.pp
+
+type memory_check = {
+  weight_bytes_per_device : float;
+  kv_bytes_per_device : float;
+  activation_reserve_bytes : float;
+  required_bytes : float;
+  capacity_bytes : float;
+  fits : bool;
+}
+
+let validate_plan model request plan =
+  if plan.tp <= 0 || plan.pp <= 0 then
+    invalid_arg "Cluster: plan sizes must be positive";
+  if model.Model.n_heads mod plan.tp <> 0 then
+    invalid_arg "Cluster: tp must divide the model's head count";
+  if model.Model.num_layers mod plan.pp <> 0 then
+    invalid_arg "Cluster: pp must divide the layer count";
+  if plan.pp > request.Request.batch then
+    invalid_arg "Cluster: pp exceeds the batch (empty pipeline stages)"
+
+let memory_check ?(request = Request.default) dev model plan =
+  validate_plan model request plan;
+  let layers_per_stage =
+    float_of_int (model.Model.num_layers / plan.pp)
+  in
+  let weight_bytes_per_device =
+    Layer.weight_bytes_per_device model ~tp:plan.tp *. layers_per_stage
+  in
+  let kv_bytes_per_device =
+    Layer.kv_bytes_per_device model request ~tp:plan.tp *. layers_per_stage
+  in
+  (* Activations, collective buffers, fragmentation: a flat 10% reserve. *)
+  let capacity_bytes = dev.Device.memory.Memory.capacity_bytes in
+  let activation_reserve_bytes = 0.10 *. capacity_bytes in
+  let required_bytes =
+    weight_bytes_per_device +. kv_bytes_per_device +. activation_reserve_bytes
+  in
+  {
+    weight_bytes_per_device;
+    kv_bytes_per_device;
+    activation_reserve_bytes;
+    required_bytes;
+    capacity_bytes;
+    fits = required_bytes <= capacity_bytes;
+  }
+
+type result = {
+  plan : plan;
+  ttft_s : float;
+  token_latency_s : float;
+  throughput_tokens_per_s : float;
+  memory : memory_check;
+}
+
+let simulate ?calib ?(request = Request.default) dev model plan =
+  validate_plan model request plan;
+  let layers_per_stage = float_of_int (model.Model.num_layers / plan.pp) in
+  (* Prefill: split the batch into [pp] microbatches; a stage-step
+     processes one microbatch through one stage. *)
+  let micro_batch = max 1 (request.Request.batch / plan.pp) in
+  let micro_request =
+    Request.make ~batch:micro_batch ~input_len:request.Request.input_len
+      ~output_len:request.Request.output_len
+  in
+  let micro =
+    Engine.simulate ?calib ~tp:plan.tp ~request:micro_request dev model
+  in
+  let stage_prefill_s = micro.Engine.ttft_s *. layers_per_stage in
+  let ttft_s = float_of_int ((2 * plan.pp) - 1) *. stage_prefill_s in
+  (* Decoding: a token still traverses every layer sequentially; pipeline
+     stages meanwhile work on other requests/tokens. *)
+  let full = Engine.simulate ?calib ~tp:plan.tp ~request dev model in
+  let token_latency_s =
+    full.Engine.tbt_s *. float_of_int model.Model.num_layers
+  in
+  let stage_decode_s = full.Engine.tbt_s *. layers_per_stage in
+  let throughput_tokens_per_s =
+    float_of_int request.Request.batch /. stage_decode_s
+  in
+  {
+    plan;
+    ttft_s;
+    token_latency_s;
+    throughput_tokens_per_s;
+    memory = memory_check ~request dev model plan;
+  }
+
+let divisors n = List.filter (fun d -> n mod d = 0) (List.init n (fun i -> i + 1))
+
+let choose_plan ?calib ?(request = Request.default) ?(max_tp = 8) ~max_devices
+    dev model =
+  if max_devices <= 0 then invalid_arg "Cluster.choose_plan: max_devices";
+  let tps =
+    List.filter (fun tp -> tp <= max_tp) (divisors model.Model.n_heads)
+  in
+  let pps =
+    List.filter
+      (fun pp -> pp <= request.Request.batch)
+      (divisors model.Model.num_layers)
+  in
+  let candidates =
+    List.concat_map
+      (fun tp ->
+        List.filter_map
+          (fun pp ->
+            let plan = { tp; pp } in
+            if devices plan > max_devices then None
+            else if (memory_check ~request dev model plan).fits then Some plan
+            else None)
+          pps)
+      tps
+  in
+  match candidates with
+  | [] -> None
+  | _ :: _ ->
+      let results = List.map (simulate ?calib ~request dev model) candidates in
+      let better a b =
+        let da = devices a.plan and db = devices b.plan in
+        if da <> db then da < db
+        else a.throughput_tokens_per_s > b.throughput_tokens_per_s
+      in
+      Some
+        (List.fold_left
+           (fun best r -> if better r best then r else best)
+           (List.hd results) (List.tl results))
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "tp=%d x pp=%d (%d devices): TTFT %a, token latency %a, %.0f tok/s; \
+     memory %.1f/%.1f GB per device%s"
+    r.plan.tp r.plan.pp (devices r.plan) Acs_util.Units.pp_time r.ttft_s
+    Acs_util.Units.pp_time r.token_latency_s r.throughput_tokens_per_s
+    (r.memory.required_bytes /. 1e9)
+    (r.memory.capacity_bytes /. 1e9)
+    (if r.memory.fits then "" else " (DOES NOT FIT)")

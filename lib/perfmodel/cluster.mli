@@ -1,0 +1,68 @@
+(** Multi-device execution plans: tensor parallelism within a group and
+    pipeline parallelism across groups.
+
+    Pipeline parallelism does not accelerate a token's journey (decoding
+    is sequential through every layer) but it multiplies serving
+    throughput and, crucially for sanctioned markets, it is how a model
+    that does not fit a compliant device's memory is run at all. TTFT uses
+    the standard microbatched-fill model: the batch is split into [pp]
+    microbatches, so prefill costs [(2 pp - 1)] stage-steps. *)
+
+type plan = {
+  tp : int;  (** tensor-parallel group size *)
+  pp : int;  (** pipeline stages *)
+}
+
+val devices : plan -> int
+
+type memory_check = {
+  weight_bytes_per_device : float;
+  kv_bytes_per_device : float;  (** at the request's decode context *)
+  activation_reserve_bytes : float;
+  required_bytes : float;
+  capacity_bytes : float;
+  fits : bool;
+}
+
+val memory_check :
+  ?request:Acs_workload.Request.t ->
+  Acs_hardware.Device.t ->
+  Acs_workload.Model.t ->
+  plan ->
+  memory_check
+
+type result = {
+  plan : plan;
+  ttft_s : float;  (** whole-model first-token latency *)
+  token_latency_s : float;  (** whole-model per-token decode latency *)
+  throughput_tokens_per_s : float;
+      (** steady-state decode tokens/s across the batch with all stages
+          busy (requires batch >= pp concurrent work) *)
+  memory : memory_check;
+}
+
+val simulate :
+  ?calib:Calib.t ->
+  ?request:Acs_workload.Request.t ->
+  Acs_hardware.Device.t ->
+  Acs_workload.Model.t ->
+  plan ->
+  result
+(** Raises [Invalid_argument] when the plan's tp does not divide the
+    model's heads, pp does not divide the layer count, or pp exceeds the
+    batch (no microbatches to fill the pipeline). *)
+
+val choose_plan :
+  ?calib:Calib.t ->
+  ?request:Acs_workload.Request.t ->
+  ?max_tp:int ->
+  max_devices:int ->
+  Acs_hardware.Device.t ->
+  Acs_workload.Model.t ->
+  result option
+(** Cheapest feasible plan: among (tp, pp) combinations within
+    [max_devices] (tp at most [max_tp], default 8) whose memory check
+    passes, the one using the fewest devices, breaking ties by throughput.
+    [None] when nothing fits. *)
+
+val pp_result : Format.formatter -> result -> unit

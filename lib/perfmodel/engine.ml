@@ -1,0 +1,85 @@
+module Device = Acs_hardware.Device
+module Model = Acs_workload.Model
+module Request = Acs_workload.Request
+module Layer = Acs_workload.Layer
+
+type result = {
+  device : Device.t;
+  model : Model.t;
+  request : Request.t;
+  tp : int;
+  ttft_s : float;
+  tbt_s : float;
+  prefill : Op_model.breakdown;
+  decode : Op_model.breakdown;
+}
+
+let phase_breakdown ~calib ~tp ~request device model phase =
+  let ops = Layer.ops model request ~tp phase in
+  List.fold_left
+    (fun acc op -> Op_model.add acc (Op_model.latency ~calib device ~tp op))
+    Op_model.zero ops
+
+let op_latencies ?(calib = Calib.default) ?(tp = 4) ?(request = Request.default)
+    device model phase =
+  let ops = Layer.ops model request ~tp phase in
+  List.map (fun op -> (op, Op_model.latency ~calib device ~tp op)) ops
+
+let simulate ?(calib = Calib.default) ?(tp = 4) ?(request = Request.default)
+    device model =
+  let prefill =
+    phase_breakdown ~calib ~tp ~request device model Layer.Prefill
+  in
+  let decode = phase_breakdown ~calib ~tp ~request device model Layer.Decode in
+  {
+    device;
+    model;
+    request;
+    tp;
+    ttft_s = prefill.Op_model.total_s;
+    tbt_s = decode.Op_model.total_s;
+    prefill;
+    decode;
+  }
+
+let layers r = float_of_int r.model.Model.num_layers
+let model_ttft_s r = r.ttft_s *. layers r
+let model_tbt_s r = r.tbt_s *. layers r
+
+let end_to_end_s r =
+  let output = max 1 r.request.Request.output_len in
+  model_ttft_s r +. (model_tbt_s r *. float_of_int (output - 1))
+
+let throughput_tokens_per_s r =
+  let output = float_of_int (max 1 r.request.Request.output_len) in
+  float_of_int r.request.Request.batch *. output /. end_to_end_s r
+
+let mfu phase_flops latency r =
+  let cluster_peak =
+    Device.peak_tensor_flops r.device *. float_of_int r.tp
+  in
+  phase_flops /. latency /. cluster_peak
+
+let mfu_prefill r =
+  let flops =
+    Layer.total_flops r.model r.request ~tp:r.tp Layer.Prefill
+    *. float_of_int r.tp
+  in
+  mfu flops r.ttft_s r
+
+let mfu_decode r =
+  let flops =
+    Layer.total_flops r.model r.request ~tp:r.tp Layer.Decode
+    *. float_of_int r.tp
+  in
+  mfu flops r.tbt_s r
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "%s on %s (tp=%d, %a): TTFT %.4g ms, TBT %.4g ms/layer (MFU %.1f%% / \
+     %.1f%%)"
+    r.model.Model.name r.device.Device.name r.tp Request.pp r.request
+    (Acs_util.Units.to_ms r.ttft_s)
+    (Acs_util.Units.to_ms r.tbt_s)
+    (100. *. mfu_prefill r)
+    (100. *. mfu_decode r)

@@ -1,0 +1,56 @@
+(** Whole-layer and whole-model inference simulation.
+
+    Following the paper, [simulate] reports the latency of {e one}
+    Transformer layer: TTFT is the prefill latency of a layer processing
+    [batch * input_len] tokens, and TBT is the per-output-token latency of
+    a layer at mid-generation context. Whole-model quantities multiply by
+    the layer count. *)
+
+type result = {
+  device : Acs_hardware.Device.t;
+  model : Acs_workload.Model.t;
+  request : Acs_workload.Request.t;
+  tp : int;
+  ttft_s : float;  (** one-layer prefill latency (paper's TTFT) *)
+  tbt_s : float;  (** one-layer decode latency (paper's TBT) *)
+  prefill : Op_model.breakdown;
+  decode : Op_model.breakdown;
+}
+
+val simulate :
+  ?calib:Calib.t ->
+  ?tp:int ->
+  ?request:Acs_workload.Request.t ->
+  Acs_hardware.Device.t ->
+  Acs_workload.Model.t ->
+  result
+(** Defaults: the paper's setting of 4-way tensor parallelism and
+    batch 32 / input 2048 / output 1024. *)
+
+val op_latencies :
+  ?calib:Calib.t ->
+  ?tp:int ->
+  ?request:Acs_workload.Request.t ->
+  Acs_hardware.Device.t ->
+  Acs_workload.Model.t ->
+  Acs_workload.Layer.phase ->
+  (Acs_workload.Op.t * Op_model.breakdown) list
+(** Per-operator breakdown, for inspection and the examples. *)
+
+val model_ttft_s : result -> float
+(** Whole-model prefill latency ([ttft_s * num_layers]). *)
+
+val model_tbt_s : result -> float
+
+val end_to_end_s : result -> float
+(** Whole-model latency to produce the full output sequence. *)
+
+val throughput_tokens_per_s : result -> float
+(** Generated tokens per second across the batch. *)
+
+val mfu_prefill : result -> float
+(** Model FLOPs utilization of the prefill phase: achieved FLOP/s over the
+    device's peak tensor FLOP/s. *)
+
+val mfu_decode : result -> float
+val pp_result : Format.formatter -> result -> unit

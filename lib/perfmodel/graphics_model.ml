@@ -1,0 +1,50 @@
+module Device = Acs_hardware.Device
+module Graphics = Acs_workload.Graphics
+
+type breakdown = {
+  shading_s : float;
+  texture_s : float;
+  raytracing_s : float;
+  fixed_s : float;
+  frame_s : float;
+}
+
+let texture_efficiency = 0.35
+let memory_latency_s = 350e-9
+let shading_efficiency = 0.60
+let fixed_frame_s = 0.8e-3
+let threads_per_lane = 48.  (* outstanding misses the SIMT scheduler hides *)
+
+let frame_breakdown dev (scene : Graphics.scene) =
+  let shading_s =
+    Graphics.frame_flops scene
+    /. (Device.peak_vector_flops dev *. shading_efficiency)
+  in
+  let texture_s =
+    Graphics.frame_texture_bytes scene
+    /. (Device.memory_bandwidth dev *. texture_efficiency)
+  in
+  let raytracing_s =
+    let rays = Graphics.frame_rays scene in
+    if rays = 0. then 0.
+    else begin
+      let chains = rays *. scene.Graphics.rt_round_trips_per_ray in
+      let concurrency =
+        float_of_int (dev.Device.core_count * dev.Device.lanes_per_core)
+        *. threads_per_lane
+      in
+      chains *. memory_latency_s /. concurrency
+    end
+  in
+  let frame_s =
+    Float.max shading_s texture_s +. raytracing_s +. fixed_frame_s
+  in
+  { shading_s; texture_s; raytracing_s; fixed_s = fixed_frame_s; frame_s }
+
+let fps dev scene = 1. /. (frame_breakdown dev scene).frame_s
+
+let pp_breakdown ppf b =
+  Format.fprintf ppf
+    "shade %.2f ms | texture %.2f ms | rt %.2f ms | fixed %.2f ms -> %.1f fps"
+    (1e3 *. b.shading_s) (1e3 *. b.texture_s) (1e3 *. b.raytracing_s)
+    (1e3 *. b.fixed_s) (1. /. b.frame_s)

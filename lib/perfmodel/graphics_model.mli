@@ -1,0 +1,32 @@
+(** Frame-rate model for {!Acs_workload.Graphics} scenes.
+
+    Intentionally systolic-array-blind: shading runs on the vector units,
+    textures stream at a low irregular-access efficiency, and ray
+    traversal is a latency-bound chain of dependent memory accesses hidden
+    only by thread-level parallelism. This realizes the paper's Sec. 5.4
+    claim that AI-scoped limits (tensor TPP, L1 size, peak bandwidth) need
+    not reduce gaming performance. *)
+
+type breakdown = {
+  shading_s : float;
+  texture_s : float;
+  raytracing_s : float;
+  fixed_s : float;  (** per-frame driver/present overhead *)
+  frame_s : float;
+}
+
+val texture_efficiency : float
+(** Fraction of peak DRAM bandwidth reachable by irregular texture reads
+    (0.35). *)
+
+val memory_latency_s : float
+(** DRAM round-trip latency for dependent accesses (350 ns). *)
+
+val frame_breakdown :
+  Acs_hardware.Device.t -> Acs_workload.Graphics.scene -> breakdown
+(** Shading and texture streams overlap (the longer wins); ray traversal
+    and the fixed overhead are additive. *)
+
+val fps : Acs_hardware.Device.t -> Acs_workload.Graphics.scene -> float
+
+val pp_breakdown : Format.formatter -> breakdown -> unit

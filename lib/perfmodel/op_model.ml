@@ -1,0 +1,173 @@
+module Device = Acs_hardware.Device
+module Systolic = Acs_hardware.Systolic
+module Op = Acs_workload.Op
+
+type breakdown = {
+  compute_s : float;
+  memory_s : float;
+  comm_s : float;
+  overhead_s : float;
+  total_s : float;
+}
+
+let zero =
+  { compute_s = 0.; memory_s = 0.; comm_s = 0.; overhead_s = 0.; total_s = 0. }
+
+let add a b =
+  {
+    compute_s = a.compute_s +. b.compute_s;
+    memory_s = a.memory_s +. b.memory_s;
+    comm_s = a.comm_s +. b.comm_s;
+    overhead_s = a.overhead_s +. b.overhead_s;
+    total_s = a.total_s +. b.total_s;
+  }
+
+let effective_dram_bandwidth ?(calib = Calib.default) (dev : Device.t) =
+  let peak = Device.memory_bandwidth dev *. calib.Calib.dram_efficiency in
+  let sink =
+    float_of_int dev.Device.core_count *. calib.Calib.per_core_dram_bw
+  in
+  Float.min peak sink
+
+let round_up_to x multiple = (x + multiple - 1) / multiple * multiple
+
+let matmul_compute_efficiency ?(calib = Calib.default) (dev : Device.t)
+    (mm : Op.matmul) =
+  let dx = dev.Device.systolic.Systolic.dim_x in
+  let dy = dev.Device.systolic.Systolic.dim_y in
+  let rounding =
+    let f actual dim =
+      float_of_int actual /. float_of_int (round_up_to actual dim)
+    in
+    f mm.Op.m dx *. f mm.Op.n dy
+  in
+  let fill =
+    let m' = float_of_int (round_up_to mm.Op.m dx) in
+    m' /. (m' +. float_of_int dx)
+  in
+  let control =
+    1.
+    /. (1.
+       +. calib.Calib.control_overhead
+          *. ((1. /. float_of_int dx) +. (1. /. float_of_int dy))
+       +. (calib.Calib.drain_overhead *. float_of_int (dx * dy)))
+  in
+  let feed =
+    let share = Device.l1_per_lane dev in
+    (* Skinny products (decode GEMVs) stream short row chunks and need
+       proportionally less double-buffer capacity. *)
+    let skinny =
+      Float.min 1. (float_of_int mm.Op.m /. float_of_int (8 * dx))
+    in
+    let need = skinny *. Calib.feed_bytes calib dev.Device.systolic in
+    let soft = share /. (share +. need) in
+    let knee = calib.Calib.feed_knee_ratio *. need in
+    let hard =
+      if knee <= 0. then 1.
+      else Float.min 1. ((share /. knee) ** calib.Calib.feed_knee_power)
+    in
+    soft *. hard
+  in
+  let scheduling =
+    1.
+    /. (1.
+       +. (calib.Calib.sched_overhead_per_core
+          *. float_of_int dev.Device.core_count))
+  in
+  rounding *. fill *. control *. feed *. scheduling
+
+let bytes_per_value = 2.
+
+let matmul_dram_bytes ?(calib = Calib.default) (dev : Device.t)
+    (mm : Op.matmul) =
+  let compulsory =
+    Op.matmul_weight_bytes mm ~bytes_per_value
+    +. Op.matmul_activation_bytes mm ~bytes_per_value
+  in
+  let tile = sqrt (dev.Device.l2_bytes /. calib.Calib.l2_reuse_bytes) in
+  let tiled =
+    2. *. Op.matmul_macs mm *. bytes_per_value /. tile
+    +. (float_of_int (mm.Op.m * mm.Op.n * mm.Op.batch_count) *. bytes_per_value)
+  in
+  Float.max compulsory tiled
+
+let dram_traffic_bytes ?(calib = Calib.default) dev op =
+  match op with
+  | Op.Matmul mm -> matmul_dram_bytes ~calib dev mm
+  | Op.Elementwise ew -> Op.elementwise_bytes ew
+  | Op.All_reduce _ -> 0.
+
+let matmul_latency ~calib dev mm =
+  let peak_macs =
+    float_of_int (Device.total_macs_per_cycle dev) *. dev.Device.frequency_hz
+  in
+  let compute_s =
+    Op.matmul_macs mm /. peak_macs /. matmul_compute_efficiency ~calib dev mm
+  in
+  let bw = effective_dram_bandwidth ~calib dev in
+  let ramp_bytes =
+    if mm.Op.weights_streamed then calib.Calib.dram_ramp_bytes else 0.
+  in
+  let memory_s = (matmul_dram_bytes ~calib dev mm +. ramp_bytes) /. bw in
+  (compute_s, memory_s)
+
+let elementwise_latency ~calib dev (ew : Op.elementwise) =
+  let compute_s =
+    ew.Op.elements *. ew.Op.flops_per_element
+    /. (Device.peak_vector_flops dev *. calib.Calib.vector_efficiency)
+  in
+  let memory_s =
+    Op.elementwise_bytes ew /. effective_dram_bandwidth ~calib dev
+  in
+  (compute_s, memory_s)
+
+let all_reduce_latency ~calib dev ~tp (c : Op.collective) =
+  if tp <= 1 then 0.
+  else begin
+    let n = float_of_int tp in
+    let steps = 2. *. (n -. 1.) in
+    (* The interconnect figure is aggregate bidirectional bandwidth; a ring
+       step uses one direction of one link's worth per device. *)
+    let per_direction =
+      Acs_hardware.Interconnect.total_bandwidth dev.Device.interconnect /. 2.
+    in
+    let bandwidth_s = steps /. n *. c.Op.bytes /. per_direction in
+    let latency_s = steps *. calib.Calib.hop_latency_s in
+    bandwidth_s +. latency_s
+  end
+
+let latency ?(calib = Calib.default) dev ~tp op =
+  if tp <= 0 then invalid_arg "Op_model.latency: tp must be positive";
+  let overhead_s = calib.Calib.kernel_overhead_s in
+  let overlapped compute_s memory_s =
+    Float.max compute_s memory_s
+    +. (calib.Calib.overlap_leak *. Float.min compute_s memory_s)
+  in
+  match op with
+  | Op.Matmul mm ->
+      let compute_s, memory_s = matmul_latency ~calib dev mm in
+      {
+        compute_s;
+        memory_s;
+        comm_s = 0.;
+        overhead_s;
+        total_s = overlapped compute_s memory_s +. overhead_s;
+      }
+  | Op.Elementwise ew ->
+      let compute_s, memory_s = elementwise_latency ~calib dev ew in
+      {
+        compute_s;
+        memory_s;
+        comm_s = 0.;
+        overhead_s;
+        total_s = overlapped compute_s memory_s +. overhead_s;
+      }
+  | Op.All_reduce c ->
+      let comm_s = all_reduce_latency ~calib dev ~tp c in
+      {
+        compute_s = 0.;
+        memory_s = 0.;
+        comm_s;
+        overhead_s;
+        total_s = comm_s +. overhead_s;
+      }

@@ -1,0 +1,54 @@
+(** Latency model for a single operator on one device.
+
+    Each operator is modeled as overlapped compute and memory streams (the
+    slower one wins) plus a fixed launch overhead; collectives are modeled
+    as a ring all-reduce. The matmul compute model follows the systolic
+    template: ideal MAC throughput derated by
+
+    - {b rounding}: dimensions rounded up to array multiples,
+    - {b fill/drain}: streaming [m] rows through a [dim_x]-deep array wastes
+      [dim_x] cycles per pass ([m/(m+dim_x)]), which is what makes skinny
+      decode matmuls inefficient on big arrays,
+    - {b control}: per-pass issue overhead [1/(1+c*(1/dim_x+1/dim_y))],
+      penalizing small arrays,
+    - {b operand feed}: an L1 share per lane below {!Calib.feed_bytes}
+      starves the array ([share/(share+need)]).
+
+    DRAM traffic of a matmul is the maximum of the compulsory traffic
+    (operands once) and the L2-tiled traffic [2*m*k*n*(1/T+1/T)] with
+    [T = sqrt(l2/l2_reuse_bytes)]; streamed weights additionally pay a
+    fixed ramp ({!Calib.t.dram_ramp_s} expressed in bytes through the
+    bandwidth), so small transfers see lower effective bandwidth. *)
+
+type breakdown = {
+  compute_s : float;
+  memory_s : float;
+  comm_s : float;
+  overhead_s : float;
+  total_s : float;
+}
+
+val zero : breakdown
+val add : breakdown -> breakdown -> breakdown
+
+val effective_dram_bandwidth : ?calib:Calib.t -> Acs_hardware.Device.t -> float
+(** [min (peak * dram_efficiency) (cores * per_core_dram_bw)]: a device
+    with few cores cannot saturate a wide HBM system. *)
+
+val matmul_compute_efficiency :
+  ?calib:Calib.t -> Acs_hardware.Device.t -> Acs_workload.Op.matmul -> float
+(** Product of the four derating factors, in (0, 1]. *)
+
+val dram_traffic_bytes :
+  ?calib:Calib.t -> Acs_hardware.Device.t -> Acs_workload.Op.t -> float
+(** Modeled DRAM bytes moved by one operator (zero for collectives), as
+    used by the latency model; exposed for the energy model. *)
+
+val latency :
+  ?calib:Calib.t ->
+  Acs_hardware.Device.t ->
+  tp:int ->
+  Acs_workload.Op.t ->
+  breakdown
+(** Latency of one operator; [tp] is the tensor-parallel group size (used
+    by collectives). *)

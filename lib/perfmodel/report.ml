@@ -1,0 +1,92 @@
+module Layer = Acs_workload.Layer
+module Op = Acs_workload.Op
+
+type bound = Compute_bound | Memory_bound | Communication_bound | Overhead_bound
+
+type op_report = {
+  label : string;
+  flops : float;
+  dram_bytes : float;
+  latency : Op_model.breakdown;
+  bound : bound;
+  share : float;
+}
+
+type phase_report = {
+  phase : Layer.phase;
+  ops : op_report list;
+  total_s : float;
+  compute_share : float;
+  memory_share : float;
+  communication_share : float;
+  overhead_share : float;
+}
+
+let classify (b : Op_model.breakdown) =
+  let streams =
+    [
+      (Compute_bound, b.Op_model.compute_s);
+      (Memory_bound, b.Op_model.memory_s);
+      (Communication_bound, b.Op_model.comm_s);
+      (Overhead_bound, b.Op_model.overhead_s);
+    ]
+  in
+  fst (Acs_util.Stats.argmax snd streams)
+
+let phase_report ?(calib = Calib.default) ?(tp = 4)
+    ?(request = Acs_workload.Request.default) device model phase =
+  let pairs = Engine.op_latencies ~calib ~tp ~request device model phase in
+  let total_s =
+    List.fold_left (fun acc (_, b) -> acc +. b.Op_model.total_s) 0. pairs
+  in
+  let ops =
+    List.map
+      (fun (op, b) ->
+        {
+          label = Op.label op;
+          flops = Op.flops op;
+          dram_bytes = Op_model.dram_traffic_bytes ~calib device op;
+          latency = b;
+          bound = classify b;
+          share = b.Op_model.total_s /. total_s;
+        })
+      pairs
+  in
+  let share_of bound =
+    List.fold_left
+      (fun acc r -> if r.bound = bound then acc +. r.share else acc)
+      0. ops
+  in
+  {
+    phase;
+    ops;
+    total_s;
+    compute_share = share_of Compute_bound;
+    memory_share = share_of Memory_bound;
+    communication_share = share_of Communication_bound;
+    overhead_share = share_of Overhead_bound;
+  }
+
+let bound_to_string = function
+  | Compute_bound -> "compute"
+  | Memory_bound -> "memory"
+  | Communication_bound -> "communication"
+  | Overhead_bound -> "overhead"
+
+let pp_phase_report ppf r =
+  Format.fprintf ppf "%s: %a total@."
+    (Layer.phase_to_string r.phase)
+    Acs_util.Units.pp_time r.total_s;
+  List.iter
+    (fun o ->
+      Format.fprintf ppf "  %-18s %6.2f%%  %a  (%s; %.3g GFLOP, %.3g MB)@."
+        o.label (100. *. o.share) Acs_util.Units.pp_time
+        o.latency.Op_model.total_s (bound_to_string o.bound) (o.flops /. 1e9)
+        (o.dram_bytes /. 1e6))
+    r.ops;
+  Format.fprintf ppf
+    "  bound shares: compute %.0f%%, memory %.0f%%, comm %.0f%%, overhead \
+     %.0f%%"
+    (100. *. r.compute_share) (100. *. r.memory_share)
+    (100. *. r.communication_share)
+    (100. *. r.overhead_share)

@@ -1,0 +1,40 @@
+(** Per-operator bottleneck reports: where a phase's time actually goes.
+
+    Used by the examples and the CLI's verbose mode; also the quickest way
+    to see the paper's central asymmetry (prefill ~compute bound, decode
+    ~bandwidth bound) at operator granularity. *)
+
+type bound = Compute_bound | Memory_bound | Communication_bound | Overhead_bound
+
+type op_report = {
+  label : string;
+  flops : float;
+  dram_bytes : float;
+  latency : Op_model.breakdown;
+  bound : bound;
+  share : float;  (** fraction of the phase total *)
+}
+
+type phase_report = {
+  phase : Acs_workload.Layer.phase;
+  ops : op_report list;
+  total_s : float;
+  compute_share : float;
+      (** fraction of phase time in ops that are compute bound *)
+  memory_share : float;
+  communication_share : float;
+  overhead_share : float;
+}
+
+val phase_report :
+  ?calib:Calib.t ->
+  ?tp:int ->
+  ?request:Acs_workload.Request.t ->
+  Acs_hardware.Device.t ->
+  Acs_workload.Model.t ->
+  Acs_workload.Layer.phase ->
+  phase_report
+
+val bound_to_string : bound -> string
+val pp_phase_report : Format.formatter -> phase_report -> unit
+(** Multi-line: one row per op plus the summary shares. *)

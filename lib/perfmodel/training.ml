@@ -1,0 +1,124 @@
+module Device = Acs_hardware.Device
+module Model = Acs_workload.Model
+module Request = Acs_workload.Request
+module Layer = Acs_workload.Layer
+
+type config = {
+  tp : int;
+  dp : int;
+  micro_batch : int;
+  accumulation : int;
+  seq_len : int;
+}
+
+let default_config =
+  { tp = 4; dp = 32; micro_batch = 4; accumulation = 8; seq_len = 2048 }
+
+let devices c = c.tp * c.dp
+
+let backward_factor = 2.
+
+type step = {
+  forward_s : float;
+  backward_s : float;
+  grad_allreduce_s : float;
+  optimizer_s : float;
+  step_s : float;
+  tokens_per_step : int;
+  tokens_per_s : float;
+  mfu : float;
+}
+
+let validate c =
+  if c.tp <= 0 || c.dp <= 0 || c.micro_batch <= 0 || c.accumulation <= 0
+     || c.seq_len <= 0
+  then invalid_arg "Training: config fields must be positive"
+
+let optimizer_state_bytes_per_device model c =
+  validate c;
+  (* 2 (fp16 weights) + 2 (fp16 grads) stay per rank; the 12-byte Adam
+     master/moment state is ZeRO-1 sharded across data parallel ranks. *)
+  let params_per_rank = Model.total_params model /. float_of_int c.tp in
+  (params_per_rank *. 4.)
+  +. (params_per_rank *. 12. /. float_of_int c.dp)
+
+let activation_bytes_per_device model c =
+  (* One microbatch of activations per layer kept for backward (with
+     standard selective recompute this is ~2 x hidden state per layer). *)
+  let per_layer =
+    2. *. float_of_int (c.micro_batch * c.seq_len * model.Model.d_model) *. 2.
+  in
+  per_layer *. float_of_int model.Model.num_layers /. float_of_int c.tp
+
+let memory_fits dev model c =
+  optimizer_state_bytes_per_device model c
+  +. activation_bytes_per_device model c
+  <= dev.Device.memory.Acs_hardware.Memory.capacity_bytes
+
+let step ?(calib = Calib.default) dev model c =
+  validate c;
+  let request =
+    Request.make ~batch:c.micro_batch ~input_len:c.seq_len ~output_len:1
+  in
+  let forward_layer =
+    Engine.simulate ~calib ~tp:c.tp ~request dev model
+  in
+  let layers = float_of_int model.Model.num_layers in
+  let forward_s = forward_layer.Engine.ttft_s *. layers in
+  let backward_s = backward_factor *. forward_s in
+  let grad_allreduce_s =
+    if c.dp = 1 then 0.
+    else begin
+      let bytes = Model.total_params model *. 2. /. float_of_int c.tp in
+      let per_direction =
+        Acs_hardware.Interconnect.total_bandwidth dev.Device.interconnect /. 2.
+      in
+      let n = float_of_int c.dp in
+      (2. *. (n -. 1.) /. n *. bytes /. per_direction)
+      +. (2. *. (n -. 1.) *. calib.Calib.hop_latency_s)
+    end
+  in
+  let optimizer_s =
+    (* Stream weights + gradients + sharded Adam state once through HBM. *)
+    let bytes =
+      (Model.total_params model /. float_of_int c.tp *. 4.)
+      +. optimizer_state_bytes_per_device model c
+    in
+    bytes /. Op_model.effective_dram_bandwidth ~calib dev
+  in
+  let micro_s = forward_s +. backward_s in
+  let step_s =
+    (micro_s *. float_of_int c.accumulation) +. grad_allreduce_s +. optimizer_s
+  in
+  let tokens_per_step = c.micro_batch * c.accumulation * c.dp * c.seq_len in
+  let tokens_per_s = float_of_int tokens_per_step /. step_s in
+  let mfu =
+    (* 6 flops per parameter per token is the standard training count. *)
+    let flops_per_token = 6. *. Model.total_params model in
+    tokens_per_s *. flops_per_token
+    /. (Device.peak_tensor_flops dev *. float_of_int (devices c))
+  in
+  {
+    forward_s;
+    backward_s;
+    grad_allreduce_s;
+    optimizer_s;
+    step_s;
+    tokens_per_step;
+    tokens_per_s;
+    mfu;
+  }
+
+let days_to_train ?calib ~tokens dev model c =
+  if tokens <= 0. then invalid_arg "Training.days_to_train: tokens";
+  let s = step ?calib dev model c in
+  tokens /. s.tokens_per_s /. 86400.
+
+let pp_step ppf s =
+  Format.fprintf ppf
+    "step %a (fwd %a + bwd %a + allreduce %a + optimizer %a): %.3g tokens/s, \
+     MFU %.1f%%"
+    Acs_util.Units.pp_time s.step_s Acs_util.Units.pp_time s.forward_s
+    Acs_util.Units.pp_time s.backward_s Acs_util.Units.pp_time
+    s.grad_allreduce_s Acs_util.Units.pp_time s.optimizer_s s.tokens_per_s
+    (100. *. s.mfu)

@@ -1,0 +1,64 @@
+(** Training-step model.
+
+    The export rules are motivated by training compute even though the
+    paper evaluates inference; this module extends the same per-operator
+    machinery to a data/tensor-parallel training step so the benches can
+    ask "what do compliant devices do to a training timeline?".
+
+    A step on one data-parallel rank is modeled as: forward pass = the
+    prefill of one microbatch; backward pass = [backward_factor] (2x) the
+    forward compute plus the same memory traffic; a gradient all-reduce of
+    the rank's weight shard across the data-parallel group over the device
+    interconnect; and an optimizer update streaming weights, gradients and
+    Adam state through HBM. *)
+
+type config = {
+  tp : int;  (** tensor-parallel group size *)
+  dp : int;  (** data-parallel replicas *)
+  micro_batch : int;  (** sequences per rank per microbatch *)
+  accumulation : int;  (** microbatches accumulated per optimizer step *)
+  seq_len : int;
+}
+
+val default_config : config
+(** tp 4, dp 32, micro batch 4, accumulation 8, sequence 2048. *)
+
+val devices : config -> int
+
+type step = {
+  forward_s : float;
+  backward_s : float;
+  grad_allreduce_s : float;
+  optimizer_s : float;
+  step_s : float;  (** whole optimizer step (all microbatches) *)
+  tokens_per_step : int;  (** global batch x sequence length *)
+  tokens_per_s : float;
+  mfu : float;  (** model FLOPs utilization across the cluster *)
+}
+
+val step :
+  ?calib:Calib.t ->
+  Acs_hardware.Device.t ->
+  Acs_workload.Model.t ->
+  config ->
+  step
+(** Raises [Invalid_argument] on a config the model cannot shard. *)
+
+val optimizer_state_bytes_per_device :
+  Acs_workload.Model.t -> config -> float
+(** Mixed-precision Adam: FP16 weights and gradients plus FP32 master
+    weights and two moments (16 bytes/param), ZeRO-1 sharded over the
+    data-parallel group, plus the tensor-parallel shard split. *)
+
+val memory_fits : Acs_hardware.Device.t -> Acs_workload.Model.t -> config -> bool
+
+val days_to_train :
+  ?calib:Calib.t ->
+  tokens:float ->
+  Acs_hardware.Device.t ->
+  Acs_workload.Model.t ->
+  config ->
+  float
+(** Wall-clock days to stream [tokens] training tokens. *)
+
+val pp_step : Format.formatter -> step -> unit

@@ -1,0 +1,27 @@
+type classification = Not_applicable | License_required
+
+let tpp_threshold = 4800.
+let bandwidth_threshold_gb_s = 600.
+
+let classify (s : Spec.t) =
+  if s.Spec.tpp >= tpp_threshold && s.Spec.device_bw_gb_s >= bandwidth_threshold_gb_s
+  then License_required
+  else Not_applicable
+
+let regulated s = classify s = License_required
+
+let headroom (s : Spec.t) =
+  let tpp_room =
+    if s.Spec.tpp < tpp_threshold then [ `Tpp (tpp_threshold -. s.Spec.tpp) ]
+    else []
+  in
+  let bw_room =
+    if s.Spec.device_bw_gb_s < bandwidth_threshold_gb_s then
+      [ `Bandwidth (bandwidth_threshold_gb_s -. s.Spec.device_bw_gb_s) ]
+    else []
+  in
+  tpp_room @ bw_room
+
+let classification_to_string = function
+  | Not_applicable -> "Not Applicable"
+  | License_required -> "License Required"

@@ -1,0 +1,18 @@
+(** The October 2022 Advanced Computing Rule (paper Table 1a): a device
+    requires an export license when it achieves an aggregate bidirectional
+    I/O transfer rate of 600 GB/s or more {e and} a TPP of 4800 or more. *)
+
+type classification = Not_applicable | License_required
+
+val tpp_threshold : float  (** 4800 *)
+
+val bandwidth_threshold_gb_s : float  (** 600 *)
+
+val classify : Spec.t -> classification
+val regulated : Spec.t -> bool
+
+val headroom : Spec.t -> [ `Tpp of float | `Bandwidth of float ] list
+(** How much each knob is below its threshold (empty when regulated);
+    a compliant designer may scale the other knob freely. *)
+
+val classification_to_string : classification -> string

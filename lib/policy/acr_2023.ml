@@ -1,0 +1,60 @@
+type market = Data_center | Non_data_center
+type tier = Not_applicable | Nac_eligible | License_required
+
+let tpp_license = 4800.
+let tpp_nac_low = 2400.
+let tpp_floor = 1600.
+let pd_license = 5.92
+let pd_nac = 3.2
+let pd_nac_low = 1.6
+
+let classify market (s : Spec.t) =
+  let tpp = s.Spec.tpp in
+  let pd = Spec.performance_density s in
+  match market with
+  | Non_data_center ->
+      if tpp >= tpp_license then Nac_eligible else Not_applicable
+  | Data_center ->
+      if tpp >= tpp_license || (tpp >= tpp_floor && pd >= pd_license) then
+        License_required
+      else if
+        (tpp >= tpp_nac_low && pd >= pd_nac_low && pd < pd_license)
+        || (tpp >= tpp_floor && pd >= pd_nac && pd < pd_license)
+      then Nac_eligible
+      else Not_applicable
+
+let regulated market s = classify market s <> Not_applicable
+
+let tier_rank = function
+  | Not_applicable -> 0
+  | Nac_eligible -> 1
+  | License_required -> 2
+
+let compare_tier a b = compare (tier_rank a) (tier_rank b)
+
+(* Smallest area such that PD drops strictly below [pd_limit]. We return
+   the area at which PD equals the limit; classification uses strict
+   inequalities on PD thresholds from above (PD >= limit regulates), so any
+   area strictly above the returned bound is safe, and [classify] at
+   exactly the bound is regulated. Callers treat the bound as exclusive. *)
+let area_for ~tpp ~pd_limit = tpp /. pd_limit
+
+let min_area_unregulated ~tpp =
+  if tpp >= tpp_license then None
+  else if tpp >= tpp_nac_low then Some (area_for ~tpp ~pd_limit:pd_nac_low)
+  else if tpp >= tpp_floor then Some (area_for ~tpp ~pd_limit:pd_nac)
+  else Some 0.
+
+let min_area_license_free ~tpp =
+  if tpp >= tpp_license then None
+  else if tpp >= tpp_floor then Some (area_for ~tpp ~pd_limit:pd_license)
+  else Some 0.
+
+let tier_to_string = function
+  | Not_applicable -> "Not Applicable"
+  | Nac_eligible -> "NAC Eligible"
+  | License_required -> "License Required"
+
+let market_to_string = function
+  | Data_center -> "data center"
+  | Non_data_center -> "non-data center"

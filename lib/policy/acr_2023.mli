@@ -1,0 +1,52 @@
+(** The October 2023 Advanced Computing Rule (paper Table 1b).
+
+    Data-center devices:
+    - License required: TPP >= 4800, or TPP >= 1600 and PD >= 5.92.
+    - NAC notification: 2400 <= TPP < 4800 and 1.6 <= PD < 5.92,
+      or TPP >= 1600 and 3.2 <= PD < 5.92.
+    - Otherwise not regulated.
+
+    Non-data-center devices:
+    - NAC notification: TPP >= 4800. Otherwise not regulated.
+
+    Performance Density (PD) is TPP divided by applicable die area; for a
+    planar-process device PD is treated as 0 (no applicable area). *)
+
+type market = Data_center | Non_data_center
+
+type tier = Not_applicable | Nac_eligible | License_required
+(** Ordered by severity; [compare_tier] respects that order. *)
+
+val classify : market -> Spec.t -> tier
+val regulated : market -> Spec.t -> bool
+(** True for [Nac_eligible] and [License_required] (the paper treats NAC
+    devices as restricted, since NAC licenses may be denied). *)
+
+val compare_tier : tier -> tier -> int
+
+val min_area_unregulated : tpp:float -> float option
+(** Smallest applicable die area at which a data-center device of the
+    given TPP is fully unregulated (the Fig. 2 "area floor"); [None] when
+    no area suffices (TPP >= 4800). The bound is exclusive: the PD must be
+    strictly below the threshold at equality of TPP tiers. *)
+
+val min_area_license_free : tpp:float -> float option
+(** Smallest applicable area avoiding the license requirement (NAC
+    allowed). *)
+
+val tier_to_string : tier -> string
+val market_to_string : market -> string
+
+(* Threshold constants, exposed for documentation and tests. *)
+
+val tpp_license : float  (** 4800 *)
+
+val tpp_nac_low : float  (** 2400 *)
+
+val tpp_floor : float  (** 1600 *)
+
+val pd_license : float  (** 5.92 *)
+
+val pd_nac : float  (** 3.2 *)
+
+val pd_nac_low : float  (** 1.6 *)

@@ -1,0 +1,36 @@
+(** Compliance derating: turning a restricted flagship into an exportable
+    derivative, the way the A800/H800 (October 2022) and the H20 / RTX
+    4090D (October 2023) were made (paper Sec. 2.2).
+
+    Strategies transform a device the way manufacturers actually do it -
+    fusing off interconnect PHYs or compute cores on the {e same} die - so
+    the die area (and hence PD of the October 2023 rule) is that of the
+    original die. *)
+
+type strategy =
+  | Cap_interconnect of float
+      (** reduce aggregate device bandwidth to the given GB/s *)
+  | Cap_tpp of float  (** disable cores until TPP is strictly below *)
+  | Cap_memory_bandwidth of float  (** disable HBM stacks down to TB/s *)
+
+val apply : strategy -> Acs_hardware.Device.t -> Acs_hardware.Device.t
+(** Raises [Invalid_argument] when the cap is not below the device's
+    current value (derating only removes capability). *)
+
+val strategy_to_string : strategy -> string
+
+val compliant_2022 :
+  Acs_hardware.Device.t -> (strategy * Acs_hardware.Device.t) list
+(** The October 2022 escapes for this device: the bandwidth cap (just
+    under 600 GB/s) and the TPP cap (just under 4800), each applied only
+    if the device is currently regulated and the knob is above the
+    threshold. Empty when the device is already unregulated. *)
+
+val best_2023_core_cut :
+  ?die_area_mm2:float ->
+  Acs_hardware.Device.t ->
+  Acs_hardware.Device.t option
+(** Largest core count at which the device (on its own die area, which
+    derating does not change) is fully unregulated under the October 2023
+    data-center rules; [None] if even one core is regulated. The die area
+    defaults to the modeled area of the {e original} device. *)

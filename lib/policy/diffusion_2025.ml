@@ -1,0 +1,69 @@
+type order = { consignee : string; device_tpp : float; units : int }
+
+let order_tpp o =
+  if o.device_tpp < 0. then invalid_arg "Diffusion_2025.order_tpp: tpp";
+  if o.units < 0 then invalid_arg "Diffusion_2025.order_tpp: units";
+  o.device_tpp *. float_of_int o.units
+
+type classification =
+  | Within_lpp_exception
+  | Within_allocation
+  | Exceeds_allocation
+
+let default_country_allocation_tpp = 790e6
+let default_lpp_annual_tpp = 26.9e6
+
+type ledger = {
+  allocation : float;
+  lpp_cap : float;
+  mutable consumed : float;
+  lpp_by_consignee : (string, float) Hashtbl.t;
+}
+
+let create ?(country_allocation_tpp = default_country_allocation_tpp)
+    ?(lpp_annual_tpp = default_lpp_annual_tpp) () =
+  if country_allocation_tpp <= 0. || lpp_annual_tpp < 0. then
+    invalid_arg "Diffusion_2025.create: thresholds must be positive";
+  {
+    allocation = country_allocation_tpp;
+    lpp_cap = lpp_annual_tpp;
+    consumed = 0.;
+    lpp_by_consignee = Hashtbl.create 16;
+  }
+
+let lpp_used_tpp ledger ~consignee =
+  Option.value ~default:0. (Hashtbl.find_opt ledger.lpp_by_consignee consignee)
+
+let classify ledger order =
+  let tpp = order_tpp order in
+  if lpp_used_tpp ledger ~consignee:order.consignee +. tpp <= ledger.lpp_cap
+  then Within_lpp_exception
+  else if ledger.consumed +. tpp <= ledger.allocation then Within_allocation
+  else Exceeds_allocation
+
+let record ledger order =
+  let tpp = order_tpp order in
+  match classify ledger order with
+  | Within_lpp_exception ->
+      Hashtbl.replace ledger.lpp_by_consignee order.consignee
+        (lpp_used_tpp ledger ~consignee:order.consignee +. tpp);
+      Ok Within_lpp_exception
+  | Within_allocation ->
+      ledger.consumed <- ledger.consumed +. tpp;
+      Ok Within_allocation
+  | Exceeds_allocation ->
+      Error
+        (Printf.sprintf
+           "order of %.3g TPP exceeds the remaining country allocation \
+            (%.3g TPP left)"
+           tpp
+           (ledger.allocation -. ledger.consumed))
+
+let remaining_allocation_tpp ledger = ledger.allocation -. ledger.consumed
+let consumed_allocation_tpp ledger = ledger.consumed
+let new_year ledger = Hashtbl.reset ledger.lpp_by_consignee
+
+let classification_to_string = function
+  | Within_lpp_exception -> "LPP exception"
+  | Within_allocation -> "licensed (country allocation)"
+  | Exceeds_allocation -> "exceeds allocation"

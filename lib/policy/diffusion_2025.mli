@@ -1,0 +1,50 @@
+(** The January 2025 "Framework for Artificial Intelligence Diffusion"
+    (paper Sec. 2.1): beyond device-level rules, it capped the {e quantity}
+    of AI compute exportable to non-sanctioned destinations, measured in
+    aggregate TPP, with a license exception (LPP) for small orders.
+
+    This module implements the accounting machinery: a per-destination
+    ledger of cumulative exported TPP against a country allocation, and
+    order-level classification. Thresholds are the framework's published
+    figures (country allocation 790 million TPP through 2027; LPP orders up
+    to 26.9 million TPP per year cumulatively per consignee). The rule was
+    rescinded in 2025; it is modeled as proposed. *)
+
+type order = {
+  consignee : string;
+  device_tpp : float;
+  units : int;
+}
+
+val order_tpp : order -> float
+
+type classification =
+  | Within_lpp_exception  (** small order, no license, counts nothing *)
+  | Within_allocation  (** licensed against the country allocation *)
+  | Exceeds_allocation
+
+type ledger
+
+val create :
+  ?country_allocation_tpp:float -> ?lpp_annual_tpp:float -> unit -> ledger
+(** Defaults: 790e6 TPP allocation, 26.9e6 TPP/year LPP. *)
+
+val default_country_allocation_tpp : float
+val default_lpp_annual_tpp : float
+
+val classify : ledger -> order -> classification
+(** Classification if the order were placed now (does not record it). An
+    order fits the LPP exception when the consignee's cumulative LPP TPP
+    this year, including this order, stays at or under the LPP cap. *)
+
+val record : ledger -> order -> (classification, string) result
+(** Classify and, unless it exceeds the allocation, record the order.
+    Returns [Error] with a reason when the order must be refused. *)
+
+val remaining_allocation_tpp : ledger -> float
+val consumed_allocation_tpp : ledger -> float
+val lpp_used_tpp : ledger -> consignee:string -> float
+val new_year : ledger -> unit
+(** Resets the per-consignee LPP counters (the exception is annual). *)
+
+val classification_to_string : classification -> string

@@ -1,0 +1,24 @@
+type classification =
+  | Not_controlled
+  | Controlled_exception_eligible
+  | Controlled
+
+let density_threshold = 2.0
+let exception_threshold = 3.3
+
+let classify_density density =
+  if density <= density_threshold then Not_controlled
+  else if density < exception_threshold then Controlled_exception_eligible
+  else Controlled
+
+let classify ?(installed_in_device = false) ~bandwidth_gb_s ~package_area_mm2
+    () =
+  if package_area_mm2 <= 0. then
+    invalid_arg "Hbm_2024.classify: area must be positive";
+  if installed_in_device then Not_controlled
+  else classify_density (bandwidth_gb_s /. package_area_mm2)
+
+let classification_to_string = function
+  | Not_controlled -> "Not Controlled"
+  | Controlled_exception_eligible -> "Controlled (License Exception HBM eligible)"
+  | Controlled -> "Controlled"

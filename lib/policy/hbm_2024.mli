@@ -1,0 +1,26 @@
+(** The December 2024 export control on commodity high-bandwidth-memory
+    packages: packages whose "memory bandwidth density" (package bandwidth
+    divided by package area) exceeds 2 GB/s/mm^2 are controlled; packages
+    below 3.3 GB/s/mm^2 may apply for License Exception HBM. The rule does
+    not apply to HBM already installed in a computing device. *)
+
+type classification =
+  | Not_controlled  (** density <= 2 GB/s/mm^2 *)
+  | Controlled_exception_eligible  (** 2 < density < 3.3 *)
+  | Controlled  (** density >= 3.3 *)
+
+val density_threshold : float  (** 2.0 GB/s/mm^2 *)
+
+val exception_threshold : float  (** 3.3 GB/s/mm^2 *)
+
+val classify_density : float -> classification
+
+val classify :
+  ?installed_in_device:bool ->
+  bandwidth_gb_s:float ->
+  package_area_mm2:float ->
+  unit ->
+  classification
+(** [installed_in_device] (default false) exempts the package entirely. *)
+
+val classification_to_string : classification -> string

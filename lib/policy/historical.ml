@@ -1,0 +1,32 @@
+let word_length_factor word_length_bits =
+  (1. /. 3.) +. (float_of_int word_length_bits /. 96.)
+
+let ctp_element_mtops ~rate_mops ~word_length_bits =
+  if rate_mops <= 0. then
+    invalid_arg "Historical.ctp_element_mtops: rate must be positive";
+  if word_length_bits <= 0 then
+    invalid_arg "Historical.ctp_element_mtops: word length must be positive";
+  rate_mops *. word_length_factor word_length_bits
+
+let ctp_mtops elements =
+  List.fold_left
+    (fun acc (rate_mops, word_length_bits) ->
+      acc +. ctp_element_mtops ~rate_mops ~word_length_bits)
+    0. elements
+
+let ctp_of_flops ~flops ~word_length_bits =
+  ctp_element_mtops ~rate_mops:(flops /. 1e6) ~word_length_bits
+
+type processor_kind = Vector | Non_vector
+
+let app_weight = function Vector -> 0.9 | Non_vector -> 0.3
+
+let app_wt ~fp64_flops ~kind =
+  if fp64_flops < 0. then invalid_arg "Historical.app_wt: negative rate";
+  fp64_flops /. 1e12 *. app_weight kind
+
+let ctp_threshold_1998_mtops = 2_000.
+let ctp_threshold_2001_mtops = 190_000.
+let app_threshold_2006_wt = 0.75
+let app_threshold_2011_wt = 3.0
+let tpp_threshold_2022 = 4800.

@@ -1,0 +1,51 @@
+(** Historical compute export-control metrics (paper Sec. 6.1).
+
+    - {b CTP} (Composite Theoretical Performance, 1991), in MTOPS: per
+      computing element, the theoretical rate R (in millions of ops/s)
+      scaled by a word-length factor [1/3 + WL/96], summed over elements.
+      Export thresholds were stated in MTOPS and repeatedly raised through
+      the 1990s-2000s.
+    - {b APP} (Adjusted Peak Performance, 2006), in Weighted TeraFLOPS
+      (WT): 64-bit FLOP rate weighted 0.9 for vector/SIMD processors and
+      0.3 otherwise.
+    - APP later gave way to raw peak FLOP/s and, with the 2022 rules, to
+      TPP = TOPS x bitwidth, re-introducing word-length scaling.
+
+    These let the benches show how six generations of metric would have
+    classified today's devices. *)
+
+val ctp_element_mtops : rate_mops:float -> word_length_bits:int -> float
+(** One computing element's CTP contribution. Raises [Invalid_argument]
+    on non-positive inputs. *)
+
+val ctp_mtops : (float * int) list -> float
+(** Aggregate CTP over (rate in MOPS, word length) elements. *)
+
+val ctp_of_flops : flops:float -> word_length_bits:int -> float
+(** Convenience: a single element running at [flops] ops/s. *)
+
+type processor_kind = Vector | Non_vector
+
+val app_weight : processor_kind -> float
+(** 0.9 / 0.3. *)
+
+val app_wt : fp64_flops:float -> kind:processor_kind -> float
+(** Adjusted Peak Performance in Weighted TeraFLOPS. *)
+
+(** Dated control thresholds, for the "how fast metrics aged" comparison:
+    each is (year, value, unit description). *)
+
+val ctp_threshold_1998_mtops : float
+(** 2,000 MTOPS - the late-90s high-performance-computer line. *)
+
+val ctp_threshold_2001_mtops : float
+(** 190,000 MTOPS, the 2001-era Tier-3 limit. *)
+
+val app_threshold_2006_wt : float
+(** 0.75 WT at introduction. *)
+
+val app_threshold_2011_wt : float
+(** 3.0 WT after the 2011 raise. *)
+
+val tpp_threshold_2022 : float
+(** 4800, for the same comparison table. *)

@@ -1,0 +1,112 @@
+module Device = Acs_hardware.Device
+module Systolic = Acs_hardware.Systolic
+
+let dc_memory_capacity_gb = 32.
+let dc_memory_bandwidth_gb_s = 1600.
+
+let architectural_data_center ~memory_gb ~memory_bw_gb_s =
+  memory_gb >= dc_memory_capacity_gb
+  || memory_bw_gb_s > dc_memory_bandwidth_gb_s
+
+type limits = {
+  max_tpp : float option;
+  max_systolic_dim : int option;
+  max_l1_kb : float option;
+  max_l2_mb : float option;
+  max_memory_bw_tb_s : float option;
+  max_memory_gb : float option;
+  max_device_bw_gb_s : float option;
+}
+
+let unconstrained =
+  {
+    max_tpp = None;
+    max_systolic_dim = None;
+    max_l1_kb = None;
+    max_l2_mb = None;
+    max_memory_bw_tb_s = None;
+    max_memory_gb = None;
+    max_device_bw_gb_s = None;
+  }
+
+let tpp_only tpp = { unconstrained with max_tpp = Some tpp }
+
+let ai_targeted =
+  {
+    unconstrained with
+    max_tpp = Some 4800.;
+    max_l1_kb = Some 32.;
+    max_memory_bw_tb_s = Some 0.8;
+  }
+
+let gaming_carveout =
+  { unconstrained with max_systolic_dim = Some 4; max_memory_bw_tb_s = Some 1.2 }
+
+type violation =
+  | Tpp_exceeded of float
+  | Systolic_too_large of int
+  | L1_too_large of float
+  | L2_too_large of float
+  | Memory_bw_too_high of float
+  | Memory_too_large of float
+  | Device_bw_too_high of float
+
+let violations ?memory_gb limits (dev : Device.t) =
+  let memory_gb =
+    match memory_gb with
+    | Some g -> g
+    | None ->
+        dev.Device.memory.Acs_hardware.Memory.capacity_bytes
+        /. Acs_util.Units.giga
+  in
+  let check limit actual make =
+    match limit with
+    | Some bound when actual > bound -> [ make actual ]
+    | Some _ | None -> []
+  in
+  let dim =
+    max dev.Device.systolic.Systolic.dim_x dev.Device.systolic.Systolic.dim_y
+  in
+  check limits.max_tpp (Device.tpp dev) (fun v -> Tpp_exceeded v)
+  @ (match limits.max_systolic_dim with
+    | Some bound when dim > bound -> [ Systolic_too_large dim ]
+    | Some _ | None -> [])
+  @ check limits.max_l1_kb
+      (dev.Device.l1_bytes /. Acs_util.Units.kilo)
+      (fun v -> L1_too_large v)
+  @ check limits.max_l2_mb
+      (dev.Device.l2_bytes /. Acs_util.Units.mega)
+      (fun v -> L2_too_large v)
+  @ check limits.max_memory_bw_tb_s
+      (Device.memory_bandwidth dev /. Acs_util.Units.tera)
+      (fun v -> Memory_bw_too_high v)
+  @ check limits.max_memory_gb memory_gb (fun v -> Memory_too_large v)
+  @ check limits.max_device_bw_gb_s
+      (Device.device_bandwidth_gb_s dev)
+      (fun v -> Device_bw_too_high v)
+
+let compliant ?memory_gb limits dev = violations ?memory_gb limits dev = []
+
+let violation_to_string = function
+  | Tpp_exceeded v -> Printf.sprintf "TPP %.0f exceeds limit" v
+  | Systolic_too_large d -> Printf.sprintf "systolic dimension %d too large" d
+  | L1_too_large v -> Printf.sprintf "L1 %.0f KB too large" v
+  | L2_too_large v -> Printf.sprintf "L2 %.0f MB too large" v
+  | Memory_bw_too_high v -> Printf.sprintf "memory BW %.2f TB/s too high" v
+  | Memory_too_large v -> Printf.sprintf "memory %.0f GB too large" v
+  | Device_bw_too_high v -> Printf.sprintf "device BW %.0f GB/s too high" v
+
+let pp_option pp_v ppf = function
+  | None -> Format.pp_print_string ppf "-"
+  | Some v -> pp_v ppf v
+
+let pp_limits ppf l =
+  let f = Format.fprintf in
+  f ppf "tpp<=%a dim<=%a l1<=%aKB l2<=%aMB membw<=%aTB/s mem<=%aGB devbw<=%aGB/s"
+    (pp_option (fun ppf -> f ppf "%.0f")) l.max_tpp
+    (pp_option (fun ppf -> f ppf "%d")) l.max_systolic_dim
+    (pp_option (fun ppf -> f ppf "%.0f")) l.max_l1_kb
+    (pp_option (fun ppf -> f ppf "%.0f")) l.max_l2_mb
+    (pp_option (fun ppf -> f ppf "%.1f")) l.max_memory_bw_tb_s
+    (pp_option (fun ppf -> f ppf "%.0f")) l.max_memory_gb
+    (pp_option (fun ppf -> f ppf "%.0f")) l.max_device_bw_gb_s

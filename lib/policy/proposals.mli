@@ -1,0 +1,62 @@
+(** The paper's proposed architecture-first policies (Sec. 5).
+
+    Two ingredients: (1) an architecture-based replacement for the
+    marketing-based data-center / non-data-center split (Sec. 5.2, Fig. 10),
+    and (2) composable architectural limits (matmul hardware, on-chip SRAM,
+    memory configuration) that target a workload's bottleneck directly
+    (Secs. 5.3-5.4). *)
+
+val dc_memory_capacity_gb : float
+(** 32 GB: devices at or above are classified data-center. *)
+
+val dc_memory_bandwidth_gb_s : float
+(** 1600 GB/s. *)
+
+val architectural_data_center :
+  memory_gb:float -> memory_bw_gb_s:float -> bool
+(** The Fig. 10 classifier: data center iff memory capacity >= 32 GB or
+    memory bandwidth > 1600 GB/s. *)
+
+(** A composable architecture-first policy: [None] fields are
+    unconstrained. All limits are inclusive upper bounds ("at most"). *)
+type limits = {
+  max_tpp : float option;
+  max_systolic_dim : int option;  (** largest allowed array dimension *)
+  max_l1_kb : float option;  (** per-core local buffer *)
+  max_l2_mb : float option;
+  max_memory_bw_tb_s : float option;
+  max_memory_gb : float option;
+  max_device_bw_gb_s : float option;
+}
+
+val unconstrained : limits
+
+val tpp_only : float -> limits
+(** The status-quo policy: a bare TPP ceiling. *)
+
+val ai_targeted : limits
+(** The paper's Sec. 5.4 recommendation for limiting LLM inference while
+    leaving gaming performance intact: TPP 4800 plus 32 KB L1 (throttles
+    prefill) plus 0.8 TB/s memory bandwidth (throttles decoding). *)
+
+val gaming_carveout : limits
+(** A policy that permits strong raster/gaming parts: no TPP limit but no
+    systolic arrays larger than 4x4 and GDDR-class (1.2 TB/s) memory. *)
+
+type violation =
+  | Tpp_exceeded of float
+  | Systolic_too_large of int
+  | L1_too_large of float
+  | L2_too_large of float
+  | Memory_bw_too_high of float
+  | Memory_too_large of float
+  | Device_bw_too_high of float
+
+val violations :
+  ?memory_gb:float -> limits -> Acs_hardware.Device.t -> violation list
+(** Empty when the device complies. [memory_gb] defaults to the device's
+    HBM capacity. *)
+
+val compliant : ?memory_gb:float -> limits -> Acs_hardware.Device.t -> bool
+val violation_to_string : violation -> string
+val pp_limits : Format.formatter -> limits -> unit

@@ -1,0 +1,51 @@
+type date = { year : int; month : int }
+
+let date year month =
+  if month < 1 || month > 12 then invalid_arg "Timeline.date: month";
+  { year; month }
+
+let compare_date a b = compare (a.year, a.month) (b.year, b.month)
+
+type regime = Pre_acr | Acr_oct_2022 | Acr_oct_2023
+
+let oct_2022 = date 2022 10
+let oct_2023 = date 2023 10
+
+let regime_at d =
+  if compare_date d oct_2022 < 0 then Pre_acr
+  else if compare_date d oct_2023 < 0 then Acr_oct_2022
+  else Acr_oct_2023
+
+let regime_to_string = function
+  | Pre_acr -> "pre-ACR"
+  | Acr_oct_2022 -> "October 2022 ACR"
+  | Acr_oct_2023 -> "October 2023 ACR"
+
+type ruling = Unregulated | Nac_notification | License
+
+let ruling_to_string = function
+  | Unregulated -> "unregulated"
+  | Nac_notification -> "NAC notification required"
+  | License -> "license required"
+
+let classify_regime regime ~market spec =
+  match regime with
+  | Pre_acr -> Unregulated
+  | Acr_oct_2022 -> begin
+      match Acr_2022.classify spec with
+      | Acr_2022.Not_applicable -> Unregulated
+      | Acr_2022.License_required -> License
+    end
+  | Acr_oct_2023 -> begin
+      match Acr_2023.classify market spec with
+      | Acr_2023.Not_applicable -> Unregulated
+      | Acr_2023.Nac_eligible -> Nac_notification
+      | Acr_2023.License_required -> License
+    end
+
+let classify_at d ~market spec = classify_regime (regime_at d) ~market spec
+
+let history ~market spec =
+  List.map
+    (fun regime -> (regime, classify_regime regime ~market spec))
+    [ Pre_acr; Acr_oct_2022; Acr_oct_2023 ]

@@ -1,0 +1,37 @@
+(** The regulatory timeline: which Advanced Computing Rule regime applies
+    at a given date, and a unified classification across regimes.
+
+    Regimes (paper Secs. 2.1-2.2):
+    - before October 2022: no device-level AI compute rule;
+    - October 2022 - October 2023: the TPP x device-bandwidth rule;
+    - from October 2023: the TPP x performance-density rule with the
+      data-center / non-data-center split (still in effect through the
+      December 2024 and January 2025 updates, which did not change
+      device-level thresholds). *)
+
+type date = { year : int; month : int }
+
+val date : int -> int -> date
+(** [date year month]; raises [Invalid_argument] on a month outside
+    1-12. *)
+
+val compare_date : date -> date -> int
+
+type regime = Pre_acr | Acr_oct_2022 | Acr_oct_2023
+
+val regime_at : date -> regime
+val regime_to_string : regime -> string
+
+type ruling = Unregulated | Nac_notification | License
+
+val ruling_to_string : ruling -> string
+
+val classify_at :
+  date -> market:Acr_2023.market -> Spec.t -> ruling
+(** The device's status under the regime in force at [date]. The market
+    segment is ignored by the earlier regimes. *)
+
+val history :
+  market:Acr_2023.market -> Spec.t -> (regime * ruling) list
+(** The device's status under each successive regime - how the
+    cat-and-mouse game looked from one product's perspective. *)

@@ -1,0 +1,154 @@
+module Device = Acs_hardware.Device
+module Systolic = Acs_hardware.Systolic
+module Memory = Acs_hardware.Memory
+module Layer = Acs_workload.Layer
+module Op = Acs_workload.Op
+module Op_model = Acs_perfmodel.Op_model
+module Area_model = Acs_area.Area_model
+
+type coefficients = {
+  mac_pj : float;
+  vector_op_pj : float;
+  l1_pj_per_byte : float;
+  l2_pj_per_byte : float;
+  hbm_pj_per_byte : float;
+  link_pj_per_byte : float;
+  logic_leak_w_per_mm2 : float;
+  sram_leak_w_per_mb : float;
+  other_leak_w_per_mm2 : float;
+}
+
+let default =
+  {
+    mac_pj = 1.1;
+    vector_op_pj = 1.8;
+    l1_pj_per_byte = 0.9;
+    l2_pj_per_byte = 2.2;
+    hbm_pj_per_byte = 31.;  (* ~3.9 pJ/bit, HBM2e class *)
+    link_pj_per_byte = 10.;  (* ~1.3 pJ/bit serdes *)
+    logic_leak_w_per_mm2 = 0.045;
+    sram_leak_w_per_mb = 0.30;
+    other_leak_w_per_mm2 = 0.015;
+  }
+
+let pj = 1e-12
+
+let static_watts ?(coeff = default) dev =
+  let b = Area_model.breakdown dev in
+  let sram_mb = Area_model.sram_mb dev in
+  (coeff.logic_leak_w_per_mm2 *. b.Area_model.compute_mm2)
+  +. (coeff.sram_leak_w_per_mb *. sram_mb)
+  +. coeff.other_leak_w_per_mm2
+     *. (b.Area_model.hbm_phy_mm2 +. b.Area_model.device_phy_mm2
+        +. b.Area_model.fixed_mm2)
+
+let peak_dynamic_watts ?(coeff = default) dev =
+  let macs_per_s =
+    float_of_int (Device.total_macs_per_cycle dev) *. dev.Device.frequency_hz
+  in
+  let vector_ops_per_s = Device.peak_vector_flops dev in
+  (* Operand feeding at full rate: each MAC draws (1/dx + 1/dy) operand
+     bytes-pairs from L1 with full in-array reuse. *)
+  let dx = float_of_int dev.Device.systolic.Systolic.dim_x in
+  let dy = float_of_int dev.Device.systolic.Systolic.dim_y in
+  let l1_bytes_per_s = macs_per_s *. ((1. /. dx) +. (1. /. dy)) *. 2. in
+  (macs_per_s *. coeff.mac_pj *. pj)
+  +. (vector_ops_per_s *. coeff.vector_op_pj *. pj)
+  +. (l1_bytes_per_s *. coeff.l1_pj_per_byte *. pj)
+  +. (Device.memory_bandwidth dev *. coeff.hbm_pj_per_byte *. pj)
+  +. Acs_hardware.Interconnect.total_bandwidth dev.Device.interconnect
+     *. coeff.link_pj_per_byte *. pj
+
+let tdp_watts ?(coeff = default) dev =
+  static_watts ~coeff dev +. peak_dynamic_watts ~coeff dev
+
+type phase_energy = {
+  compute_j : float;
+  sram_j : float;
+  dram_j : float;
+  interconnect_j : float;
+  static_j : float;
+  total_j : float;
+}
+
+let op_energies ~coeff ~calib dev op =
+  let dram = Op_model.dram_traffic_bytes ~calib dev op in
+  let dram_j = dram *. coeff.hbm_pj_per_byte *. pj in
+  (* Everything that reaches DRAM also crosses L2 once each way. *)
+  let l2_j = 2. *. dram *. coeff.l2_pj_per_byte *. pj in
+  match op with
+  | Op.Matmul mm ->
+      let macs = Op.matmul_macs mm in
+      let dx = float_of_int dev.Device.systolic.Systolic.dim_x in
+      let dy = float_of_int dev.Device.systolic.Systolic.dim_y in
+      let l1_bytes = macs *. ((1. /. dx) +. (1. /. dy)) *. 2. in
+      let compute_j = macs *. coeff.mac_pj *. pj in
+      let sram_j = l2_j +. (l1_bytes *. coeff.l1_pj_per_byte *. pj) in
+      (compute_j, sram_j, dram_j, 0.)
+  | Op.Elementwise ew ->
+      let compute_j =
+        ew.Op.elements *. ew.Op.flops_per_element *. coeff.vector_op_pj *. pj
+      in
+      (compute_j, l2_j, dram_j, 0.)
+  | Op.All_reduce c ->
+      (* Each device sends and receives ~2x the payload in a ring. *)
+      let link_j = 4. *. c.Op.bytes *. coeff.link_pj_per_byte *. pj in
+      (0., 0., 0., link_j)
+
+let phase_energy ?(coeff = default) ?(calib = Acs_perfmodel.Calib.default)
+    ?(tp = 4) ?(request = Acs_workload.Request.default) dev model phase =
+  let ops = Layer.ops model request ~tp phase in
+  let compute_j, sram_j, dram_j, interconnect_j =
+    List.fold_left
+      (fun (c, s, d, i) op ->
+        let c', s', d', i' = op_energies ~coeff ~calib dev op in
+        (c +. c', s +. s', d +. d', i +. i'))
+      (0., 0., 0., 0.) ops
+  in
+  let latency =
+    List.fold_left
+      (fun acc op ->
+        acc +. (Op_model.latency ~calib dev ~tp op).Op_model.total_s)
+      0. ops
+  in
+  let static_j = static_watts ~coeff dev *. latency in
+  {
+    compute_j;
+    sram_j;
+    dram_j;
+    interconnect_j;
+    static_j;
+    total_j = compute_j +. sram_j +. dram_j +. interconnect_j +. static_j;
+  }
+
+let phase_latency ~calib ~tp ~request dev model phase =
+  let ops = Layer.ops model request ~tp phase in
+  List.fold_left
+    (fun acc op -> acc +. (Op_model.latency ~calib dev ~tp op).Op_model.total_s)
+    0. ops
+
+let average_watts ?(coeff = default) ?(calib = Acs_perfmodel.Calib.default)
+    ?(tp = 4) ?(request = Acs_workload.Request.default) dev model phase =
+  let e = phase_energy ~coeff ~calib ~tp ~request dev model phase in
+  e.total_j /. phase_latency ~calib ~tp ~request dev model phase
+
+let decode_energy_per_token_j ?(coeff = default)
+    ?(calib = Acs_perfmodel.Calib.default) ?(tp = 4)
+    ?(request = Acs_workload.Request.default) dev model =
+  let e = phase_energy ~coeff ~calib ~tp ~request dev model Layer.Decode in
+  let layers = float_of_int model.Acs_workload.Model.num_layers in
+  let batch = float_of_int request.Acs_workload.Request.batch in
+  e.total_j *. layers *. float_of_int tp /. batch
+
+let electricity_usd_per_mtok ?(usd_per_kwh = 0.10) ?coeff ?calib ?tp ?request
+    dev model =
+  let per_token =
+    decode_energy_per_token_j ?coeff ?calib ?tp ?request dev model
+  in
+  per_token *. 1e6 /. 3.6e6 *. usd_per_kwh
+
+let pp_phase_energy ppf e =
+  Format.fprintf ppf
+    "compute %.3g J + SRAM %.3g J + DRAM %.3g J + links %.3g J + leakage \
+     %.3g J = %.3g J"
+    e.compute_j e.sram_j e.dram_j e.interconnect_j e.static_j e.total_j

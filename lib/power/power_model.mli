@@ -1,0 +1,89 @@
+(** Power and energy model for the hardware template.
+
+    Supports the paper's Sec. 4.4 observation that PD-compliant designs pad
+    dies with SRAM whose static and dynamic power raises operating costs.
+    Coefficients are 7 nm-class estimates (energy per FP16 MAC, per vector
+    op, per byte of L1/L2/HBM/interconnect traffic; leakage per mm² of logic
+    and SRAM); as with the rest of the simulator, comparisons between
+    designs are the meaningful output, not absolute watts. *)
+
+type coefficients = {
+  mac_pj : float;  (** per FP16 multiply-accumulate, including local wires *)
+  vector_op_pj : float;  (** per vector FLOP *)
+  l1_pj_per_byte : float;
+  l2_pj_per_byte : float;
+  hbm_pj_per_byte : float;
+  link_pj_per_byte : float;  (** device-to-device interconnect *)
+  logic_leak_w_per_mm2 : float;
+  sram_leak_w_per_mb : float;
+  other_leak_w_per_mm2 : float;  (** PHYs and the fixed region *)
+}
+
+val default : coefficients
+
+val static_watts : ?coeff:coefficients -> Acs_hardware.Device.t -> float
+(** Leakage when idle, from the area model's floorplan; grows with padded
+    SRAM exactly as Sec. 4.4 argues. *)
+
+val peak_dynamic_watts : ?coeff:coefficients -> Acs_hardware.Device.t -> float
+(** All systolic arrays, vector units and memory interfaces at full rate. *)
+
+val tdp_watts : ?coeff:coefficients -> Acs_hardware.Device.t -> float
+(** [static + peak dynamic]. *)
+
+type phase_energy = {
+  compute_j : float;
+  sram_j : float;
+  dram_j : float;
+  interconnect_j : float;
+  static_j : float;  (** leakage integrated over the phase latency *)
+  total_j : float;
+}
+
+val phase_energy :
+  ?coeff:coefficients ->
+  ?calib:Acs_perfmodel.Calib.t ->
+  ?tp:int ->
+  ?request:Acs_workload.Request.t ->
+  Acs_hardware.Device.t ->
+  Acs_workload.Model.t ->
+  Acs_workload.Layer.phase ->
+  phase_energy
+(** Energy one device spends executing one Transformer layer of the phase
+    (defaults match {!Acs_perfmodel.Engine.simulate}: tp = 4, the paper's
+    request). *)
+
+val average_watts :
+  ?coeff:coefficients ->
+  ?calib:Acs_perfmodel.Calib.t ->
+  ?tp:int ->
+  ?request:Acs_workload.Request.t ->
+  Acs_hardware.Device.t ->
+  Acs_workload.Model.t ->
+  Acs_workload.Layer.phase ->
+  float
+
+val decode_energy_per_token_j :
+  ?coeff:coefficients ->
+  ?calib:Acs_perfmodel.Calib.t ->
+  ?tp:int ->
+  ?request:Acs_workload.Request.t ->
+  Acs_hardware.Device.t ->
+  Acs_workload.Model.t ->
+  float
+(** Whole-model, whole-tensor-parallel-group energy to decode one token of
+    one request (per-layer energy x layers x tp / batch). *)
+
+val electricity_usd_per_mtok :
+  ?usd_per_kwh:float ->
+  ?coeff:coefficients ->
+  ?calib:Acs_perfmodel.Calib.t ->
+  ?tp:int ->
+  ?request:Acs_workload.Request.t ->
+  Acs_hardware.Device.t ->
+  Acs_workload.Model.t ->
+  float
+(** Electricity cost of generating one million tokens (decode only),
+    default $0.10/kWh. *)
+
+val pp_phase_energy : Format.formatter -> phase_energy -> unit

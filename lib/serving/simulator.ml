@@ -1,0 +1,224 @@
+module Device = Acs_hardware.Device
+module Memory = Acs_hardware.Memory
+module Model = Acs_workload.Model
+module Request = Acs_workload.Request
+module Engine = Acs_perfmodel.Engine
+module Stats = Acs_util.Stats
+
+type config = { tp : int; max_batch : int }
+
+let default_config = { tp = 4; max_batch = 64 }
+
+type request_outcome = {
+  request : Trace.request;
+  ttft_s : float;
+  tbt_s : float;
+  finish_s : float;
+}
+
+type stats = {
+  outcomes : request_outcome list;
+  makespan_s : float;
+  generated_tokens : int;
+  throughput_tokens_per_s : float;
+  mean_batch_occupancy : float;
+  p50_ttft_s : float;
+  p95_ttft_s : float;
+  p50_tbt_s : float;
+  p95_tbt_s : float;
+  kv_limited_batch : int;
+}
+
+let kv_bytes_per_token_per_device config (model : Model.t) =
+  let kv_heads_per_dev =
+    max 1 ((model.Model.n_kv_heads + config.tp - 1) / config.tp)
+  in
+  let fraction =
+    float_of_int kv_heads_per_dev /. float_of_int model.Model.n_kv_heads
+  in
+  Model.kv_cache_bytes_per_token model
+  *. float_of_int model.Model.num_layers
+  *. fraction
+
+let kv_capacity_batch config dev model ~context =
+  if context <= 0 then invalid_arg "Simulator.kv_capacity_batch: context";
+  let capacity = dev.Device.memory.Memory.capacity_bytes in
+  let weights =
+    Model.total_params model *. model.Model.bytes_per_param
+    /. float_of_int config.tp
+  in
+  let per_request =
+    kv_bytes_per_token_per_device config model *. float_of_int context
+  in
+  let free = capacity -. weights in
+  if free <= 0. then 0
+  else min config.max_batch (int_of_float (free /. per_request))
+
+(* Mutable per-request bookkeeping. *)
+type active = {
+  req : Trace.request;
+  first_token_s : float;
+  mutable produced : int;  (** tokens generated, including the first *)
+  mutable context : int;
+}
+
+let prefill_s ~calib ~config dev model ~batch ~input_len =
+  let request = Request.make ~batch ~input_len ~output_len:1 in
+  let r = Engine.simulate ?calib ~tp:config.tp ~request dev model in
+  Engine.model_ttft_s r
+
+let decode_step_s ~calib ~config dev model ~batch ~context =
+  let request = Request.make ~batch ~input_len:(max 1 context) ~output_len:0 in
+  let r = Engine.simulate ?calib ~tp:config.tp ~request dev model in
+  Engine.model_tbt_s r
+
+let run ?(config = default_config) ?calib dev model requests =
+  if requests = [] then invalid_arg "Simulator.run: empty trace";
+  let mean_context =
+    let n = float_of_int (List.length requests) in
+    let sum =
+      List.fold_left
+        (fun acc (r : Trace.request) ->
+          acc + r.Trace.input_len + (r.Trace.output_len / 2))
+        0 requests
+    in
+    max 1 (int_of_float (float_of_int sum /. n))
+  in
+  let batch_bound =
+    max 1 (kv_capacity_batch config dev model ~context:mean_context)
+  in
+  let waiting = ref (List.sort (fun a b -> compare a.Trace.arrival_s b.Trace.arrival_s) requests) in
+  let active : active list ref = ref [] in
+  let outcomes = ref [] in
+  let clock = ref 0. in
+  let busy_weighted = ref 0. in
+  let busy_time = ref 0. in
+  let admit_ready () =
+    let rec take acc queue n =
+      match queue with
+      | r :: rest when n > 0 && r.Trace.arrival_s <= !clock ->
+          take (r :: acc) rest (n - 1)
+      | _ -> (List.rev acc, queue)
+    in
+    let slots = batch_bound - List.length !active in
+    let admitted, rest = take [] !waiting slots in
+    waiting := rest;
+    admitted
+  in
+  while !waiting <> [] || !active <> [] do
+    (* Jump idle time. *)
+    (match (!active, !waiting) with
+    | [], next :: _ when next.Trace.arrival_s > !clock ->
+        clock := next.Trace.arrival_s
+    | _, _ -> ());
+    let admitted = admit_ready () in
+    if admitted <> [] then begin
+      (* Batched prefill of the admitted requests (prefill-priority). *)
+      let batch = List.length admitted in
+      let input_len =
+        List.fold_left (fun acc r -> max acc r.Trace.input_len) 1 admitted
+      in
+      let t = prefill_s ~calib ~config dev model ~batch ~input_len in
+      clock := !clock +. t;
+      List.iter
+        (fun (r : Trace.request) ->
+          let entry =
+            {
+              req = r;
+              first_token_s = !clock;
+              produced = 1;
+              context = r.Trace.input_len + 1;
+            }
+          in
+          if r.Trace.output_len <= 1 then
+            outcomes :=
+              {
+                request = r;
+                ttft_s = !clock -. r.Trace.arrival_s;
+                tbt_s = 0.;
+                finish_s = !clock;
+              }
+              :: !outcomes
+          else active := entry :: !active)
+        admitted
+    end
+    else begin
+      match !active with
+      | [] -> ()
+      | batch_list ->
+          let batch = List.length batch_list in
+          let context =
+            List.fold_left (fun acc a -> acc + a.context) 0 batch_list / batch
+          in
+          let t = decode_step_s ~calib ~config dev model ~batch ~context in
+          clock := !clock +. t;
+          busy_weighted := !busy_weighted +. (float_of_int batch *. t);
+          busy_time := !busy_time +. t;
+          List.iter
+            (fun a ->
+              a.produced <- a.produced + 1;
+              a.context <- a.context + 1)
+            batch_list;
+          let finished, still_active =
+            List.partition (fun a -> a.produced >= a.req.Trace.output_len) batch_list
+          in
+          List.iter
+            (fun a ->
+              let tokens_after_first = a.req.Trace.output_len - 1 in
+              outcomes :=
+                {
+                  request = a.req;
+                  ttft_s = a.first_token_s -. a.req.Trace.arrival_s;
+                  tbt_s =
+                    (!clock -. a.first_token_s)
+                    /. float_of_int (max 1 tokens_after_first);
+                  finish_s = !clock;
+                }
+                :: !outcomes)
+            finished;
+          active := still_active
+    end
+  done;
+  let outcomes = List.rev !outcomes in
+  let generated_tokens =
+    List.fold_left (fun acc o -> acc + o.request.Trace.output_len) 0 outcomes
+  in
+  let ttfts = List.map (fun o -> o.ttft_s) outcomes in
+  let tbts =
+    List.filter_map
+      (fun o -> if o.tbt_s > 0. then Some o.tbt_s else None)
+      outcomes
+  in
+  let tbts = if tbts = [] then [ 0. ] else tbts in
+  {
+    outcomes;
+    makespan_s = !clock;
+    generated_tokens;
+    throughput_tokens_per_s = float_of_int generated_tokens /. !clock;
+    mean_batch_occupancy =
+      (if !busy_time > 0. then !busy_weighted /. !busy_time else 0.);
+    p50_ttft_s = Stats.percentile 50. ttfts;
+    p95_ttft_s = Stats.percentile 95. ttfts;
+    p50_tbt_s = Stats.percentile 50. tbts;
+    p95_tbt_s = Stats.percentile 95. tbts;
+    kv_limited_batch = batch_bound;
+  }
+
+let slo_attainment stats ~ttft_s ~tbt_s =
+  if ttft_s <= 0. || tbt_s <= 0. then
+    invalid_arg "Simulator.slo_attainment: objectives must be positive";
+  let ok o =
+    o.ttft_s <= ttft_s
+    && (o.request.Trace.output_len <= 1 || o.tbt_s <= tbt_s)
+  in
+  let met = List.length (List.filter ok stats.outcomes) in
+  float_of_int met /. float_of_int (List.length stats.outcomes)
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "%d requests, %d tokens in %.1f s (%.0f tok/s); batch occ %.1f (cap \
+     %d); TTFT p50/p95 %.0f/%.0f ms; TBT p50/p95 %.1f/%.1f ms"
+    (List.length s.outcomes) s.generated_tokens s.makespan_s
+    s.throughput_tokens_per_s s.mean_batch_occupancy s.kv_limited_batch
+    (1e3 *. s.p50_ttft_s) (1e3 *. s.p95_ttft_s) (1e3 *. s.p50_tbt_s)
+    (1e3 *. s.p95_tbt_s)

@@ -1,0 +1,59 @@
+(** Iteration-level (continuous-batching) serving simulator, in the style
+    of Orca/vLLM schedulers, driven by the analytical per-layer latencies
+    of {!Acs_perfmodel.Engine}.
+
+    Each scheduler iteration either admits waiting requests (running their
+    prefill as a batch) or generates one token for every active request;
+    step latency comes from the device model at the current batch size and
+    average context, times the layer count. Memory capacity bounds the
+    resident KV cache and therefore the achievable batch. *)
+
+type config = {
+  tp : int;  (** tensor-parallel group size *)
+  max_batch : int;  (** scheduler cap on concurrent requests *)
+}
+
+val default_config : config
+(** tp = 4, max_batch = 64. *)
+
+type request_outcome = {
+  request : Trace.request;
+  ttft_s : float;  (** first token latency, including queueing *)
+  tbt_s : float;  (** mean time between subsequent tokens *)
+  finish_s : float;
+}
+
+type stats = {
+  outcomes : request_outcome list;
+  makespan_s : float;
+  generated_tokens : int;
+  throughput_tokens_per_s : float;
+  mean_batch_occupancy : float;
+  p50_ttft_s : float;
+  p95_ttft_s : float;
+  p50_tbt_s : float;
+  p95_tbt_s : float;
+  kv_limited_batch : int;
+      (** the batch bound implied by HBM capacity at mean context; equals
+          [max_batch] when memory is not the binder *)
+}
+
+val kv_capacity_batch :
+  config -> Acs_hardware.Device.t -> Acs_workload.Model.t -> context:int -> int
+(** How many requests fit in HBM once weights are resident. *)
+
+val slo_attainment : stats -> ttft_s:float -> tbt_s:float -> float
+(** Fraction of requests meeting both latency objectives (a single-token
+    request trivially meets the TBT objective). *)
+
+val run :
+  ?config:config ->
+  ?calib:Acs_perfmodel.Calib.t ->
+  Acs_hardware.Device.t ->
+  Acs_workload.Model.t ->
+  Trace.request list ->
+  stats
+(** Simulates the whole trace; raises [Invalid_argument] on an empty
+    trace. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,47 @@
+type request = {
+  id : int;
+  arrival_s : float;
+  input_len : int;
+  output_len : int;
+}
+
+let exponential state ~rate = -.log (Random.State.float state 1.) /. rate
+
+let geometric state ~mean =
+  (* Support >= 1 with the requested mean. *)
+  if mean <= 1 then 1
+  else begin
+    let p = 1. /. float_of_int mean in
+    let u = Random.State.float state 1. in
+    1 + int_of_float (log (1. -. u) /. log (1. -. p))
+  end
+
+let synthetic ?(seed = 42) ~rate_per_s ~duration_s ~mean_input ~mean_output () =
+  if rate_per_s <= 0. || duration_s <= 0. then
+    invalid_arg "Trace.synthetic: rate and duration must be positive";
+  if mean_input <= 0 || mean_output <= 0 then
+    invalid_arg "Trace.synthetic: mean lengths must be positive";
+  let state = Random.State.make [| seed |] in
+  let rec collect acc id clock =
+    let clock = clock +. exponential state ~rate:rate_per_s in
+    if clock > duration_s then List.rev acc
+    else begin
+      let request =
+        {
+          id;
+          arrival_s = clock;
+          input_len = max 8 (geometric state ~mean:mean_input);
+          output_len = max 8 (geometric state ~mean:mean_output);
+        }
+      in
+      collect (request :: acc) (id + 1) clock
+    end
+  in
+  collect [] 0 0.
+
+let total_output_tokens requests =
+  List.fold_left (fun acc r -> acc + r.output_len) 0 requests
+
+let pp ppf r =
+  Format.fprintf ppf "req %d @ %.3fs: %d in / %d out" r.id r.arrival_s
+    r.input_len r.output_len

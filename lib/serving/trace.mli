@@ -1,0 +1,23 @@
+(** Deterministic synthetic request traces for the serving simulator. *)
+
+type request = {
+  id : int;
+  arrival_s : float;
+  input_len : int;
+  output_len : int;
+}
+
+val synthetic :
+  ?seed:int ->
+  rate_per_s:float ->
+  duration_s:float ->
+  mean_input:int ->
+  mean_output:int ->
+  unit ->
+  request list
+(** Poisson arrivals over [0, duration]; input/output lengths are
+    geometric around their means with a floor of 8 tokens. Deterministic
+    for a given seed (default 42). Sorted by arrival time. *)
+
+val total_output_tokens : request list -> int
+val pp : Format.formatter -> request -> unit

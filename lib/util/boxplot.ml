@@ -1,0 +1,57 @@
+type series = { label : string; values : float list }
+
+let render ?(width = 60) series_list =
+  if series_list = [] then invalid_arg "Boxplot.render: no series";
+  if width < 10 then invalid_arg "Boxplot.render: width too small";
+  let summaries =
+    List.map (fun s -> (s.label, Stats.summarize s.values)) series_list
+  in
+  let axis_min =
+    List.fold_left (fun acc (_, s) -> Float.min acc s.Stats.min) infinity summaries
+  in
+  let axis_max =
+    List.fold_left (fun acc (_, s) -> Float.max acc s.Stats.max) neg_infinity summaries
+  in
+  let span = if axis_max > axis_min then axis_max -. axis_min else 1. in
+  let col v =
+    let f = (v -. axis_min) /. span in
+    min (width - 1) (max 0 (int_of_float (f *. float_of_int (width - 1))))
+  in
+  let label_width =
+    List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 summaries
+  in
+  let buf = Buffer.create 1024 in
+  let render_one (label, (s : Stats.summary)) =
+    let line = Bytes.make width ' ' in
+    let set i c = Bytes.set line i c in
+    (* Whiskers first, then the box, then the markers on top. *)
+    for i = col s.Stats.min to col s.Stats.max do
+      set i '-'
+    done;
+    for i = col s.Stats.p25 to col s.Stats.p75 do
+      set i '='
+    done;
+    set (col s.Stats.min) '|';
+    set (col s.Stats.max) '|';
+    set (col s.Stats.p25) '[';
+    set (col s.Stats.p75) ']';
+    set (col s.Stats.median) '#';
+    Buffer.add_string buf
+      (Printf.sprintf "%-*s %s (med %.4g)\n" label_width label
+         (Bytes.to_string line) s.Stats.median)
+  in
+  List.iter render_one summaries;
+  Buffer.add_string buf
+    (Printf.sprintf "%-*s %s\n" label_width ""
+       (Printf.sprintf "%-*.4g%*.4g" (width / 2) axis_min
+          (width - (width / 2)) axis_max));
+  Buffer.contents buf
+
+let print ?title ?width series_list =
+  (match title with
+  | Some s ->
+      print_endline s;
+      print_endline (String.make (String.length s) '-')
+  | None -> ());
+  print_string (render ?width series_list);
+  print_newline ()

@@ -1,0 +1,13 @@
+(** Horizontal ASCII box-and-whisker plots, for the Fig. 11/12-style
+    latency distribution panels.
+
+    Each series renders as [min |---[ p25 | median | p75 ]---| max] scaled
+    to a shared axis across all series. *)
+
+type series = { label : string; values : float list }
+
+val render : ?width:int -> series list -> string
+(** Raises [Invalid_argument] when a series is empty or none are given.
+    Default box width 60 characters. *)
+
+val print : ?title:string -> ?width:int -> series list -> unit

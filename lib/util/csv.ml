@@ -1,0 +1,38 @@
+let escape field =
+  let needs_quote =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n') field
+  in
+  if not needs_quote then field
+  else begin
+    let buf = Buffer.create (String.length field + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      field;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let row_to_string cells = String.concat "," (List.map escape cells)
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    (try Unix_stub.mkdir dir with Sys_error _ -> ())
+  end
+
+let write ~path ~header rows =
+  mkdir_p (Filename.dirname path);
+  let oc = open_out path in
+  let finally () = close_out oc in
+  Fun.protect ~finally (fun () ->
+      output_string oc (row_to_string header);
+      output_char oc '\n';
+      List.iter
+        (fun row ->
+          output_string oc (row_to_string row);
+          output_char oc '\n')
+        rows)
+
+let float_cell = Printf.sprintf "%.6g"

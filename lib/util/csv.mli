@@ -1,0 +1,13 @@
+(** Minimal CSV writer so every reproduced figure can also be dumped as
+    machine-readable series (the benches write under [results/]). *)
+
+val escape : string -> string
+(** RFC-4180 style quoting of a single field. *)
+
+val row_to_string : string list -> string
+
+val write : path:string -> header:string list -> string list list -> unit
+(** Writes header plus rows to [path], creating parent directories as
+    needed. *)
+
+val float_cell : float -> string

@@ -1,0 +1,72 @@
+type point = { marker : char; x : float; y : float }
+
+type t = {
+  width : int;
+  height : int;
+  xlabel : string;
+  ylabel : string;
+  mutable points : point list;
+}
+
+let create ?(width = 72) ?(height = 24) ~xlabel ~ylabel () =
+  if width < 8 || height < 4 then invalid_arg "Scatter.create: canvas too small";
+  { width; height; xlabel; ylabel; points = [] }
+
+let add t ~marker ~x ~y = t.points <- { marker; x; y } :: t.points
+
+let add_series t ~marker pts =
+  List.iter (fun (x, y) -> add t ~marker ~x ~y) pts
+
+let bounds t =
+  let xs = List.map (fun p -> p.x) t.points in
+  let ys = List.map (fun p -> p.y) t.points in
+  let lo l = List.fold_left min (List.hd l) l in
+  let hi l = List.fold_left max (List.hd l) l in
+  let pad lo' hi' = if lo' = hi' then (lo' -. 1., hi' +. 1.) else (lo', hi') in
+  let xmin, xmax = pad (lo xs) (hi xs) in
+  let ymin, ymax = pad (lo ys) (hi ys) in
+  (xmin, xmax, ymin, ymax)
+
+let render t =
+  match t.points with
+  | [] -> "(empty plot)"
+  | _ :: _ ->
+      let xmin, xmax, ymin, ymax = bounds t in
+      let grid = Array.make_matrix t.height t.width ' ' in
+      let place p =
+        let fx = (p.x -. xmin) /. (xmax -. xmin) in
+        let fy = (p.y -. ymin) /. (ymax -. ymin) in
+        let col = min (t.width - 1) (int_of_float (fx *. float_of_int (t.width - 1))) in
+        let row_from_bottom =
+          min (t.height - 1) (int_of_float (fy *. float_of_int (t.height - 1)))
+        in
+        grid.(t.height - 1 - row_from_bottom).(col) <- p.marker
+      in
+      List.iter place (List.rev t.points);
+      let buf = Buffer.create 1024 in
+      Buffer.add_string buf
+        (Printf.sprintf "%s: %.4g .. %.4g (bottom to top)\n" t.ylabel ymin ymax);
+      Array.iter
+        (fun row ->
+          Buffer.add_char buf '|';
+          Array.iter (Buffer.add_char buf) row;
+          Buffer.add_char buf '\n')
+        grid;
+      Buffer.add_char buf '+';
+      Buffer.add_string buf (String.make t.width '-');
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf
+        (Printf.sprintf "%s: %.4g .. %.4g (left to right)" t.xlabel xmin xmax);
+      Buffer.contents buf
+
+let print ?title ~legend t =
+  (match title with
+  | Some s ->
+      print_endline s;
+      print_endline (String.make (String.length s) '=')
+  | None -> ());
+  print_endline (render t);
+  let describe (m, name) = Printf.sprintf "'%c' = %s" m name in
+  if legend <> [] then
+    print_endline ("legend: " ^ String.concat ", " (List.map describe legend));
+  print_newline ()

@@ -1,0 +1,20 @@
+(** Terminal scatter plots for figure reproduction.
+
+    Each point carries a single marker character (one per series). When
+    several points share a cell the marker of the latest-added point wins,
+    matching overplotting in the paper's figures. *)
+
+type t
+
+val create : ?width:int -> ?height:int -> xlabel:string -> ylabel:string -> unit -> t
+(** Default canvas is 72x24 character cells. *)
+
+val add : t -> marker:char -> x:float -> y:float -> unit
+
+val add_series : t -> marker:char -> (float * float) list -> unit
+
+val render : t -> string
+(** Renders the canvas with axis ranges annotated; returns an empty-plot
+    message when no points were added. *)
+
+val print : ?title:string -> legend:(char * string) list -> t -> unit

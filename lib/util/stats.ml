@@ -1,0 +1,109 @@
+type summary = {
+  count : int;
+  min : float;
+  max : float;
+  mean : float;
+  median : float;
+  stddev : float;
+  p25 : float;
+  p75 : float;
+}
+
+let require_non_empty name = function
+  | [] -> invalid_arg (Printf.sprintf "Stats.%s: empty input" name)
+  | _ :: _ -> ()
+
+let mean xs =
+  require_non_empty "mean" xs;
+  List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let sorted_array xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  a
+
+let percentile_of_sorted p a =
+  let n = Array.length a in
+  if n = 1 then a.(0)
+  else begin
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    let frac = rank -. float_of_int lo in
+    (a.(lo) *. (1. -. frac)) +. (a.(hi) *. frac)
+  end
+
+let percentile p xs =
+  require_non_empty "percentile" xs;
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p outside [0,100]";
+  percentile_of_sorted p (sorted_array xs)
+
+let median xs =
+  require_non_empty "median" xs;
+  percentile_of_sorted 50. (sorted_array xs)
+
+let stddev xs =
+  require_non_empty "stddev" xs;
+  let m = mean xs in
+  let sq = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs in
+  sqrt (sq /. float_of_int (List.length xs))
+
+let range xs =
+  require_non_empty "range" xs;
+  let a = sorted_array xs in
+  a.(Array.length a - 1) -. a.(0)
+
+let iqr xs =
+  require_non_empty "iqr" xs;
+  let a = sorted_array xs in
+  percentile_of_sorted 75. a -. percentile_of_sorted 25. a
+
+let summarize xs =
+  require_non_empty "summarize" xs;
+  let a = sorted_array xs in
+  {
+    count = Array.length a;
+    min = a.(0);
+    max = a.(Array.length a - 1);
+    mean = mean xs;
+    median = percentile_of_sorted 50. a;
+    stddev = stddev xs;
+    p25 = percentile_of_sorted 25. a;
+    p75 = percentile_of_sorted 75. a;
+  }
+
+let narrowing_factor ~baseline xs =
+  let rb = range baseline and rx = range xs in
+  if rx = 0. then if rb = 0. then 1. else infinity else rb /. rx
+
+let relative_change ~baseline x =
+  if baseline = 0. then invalid_arg "Stats.relative_change: zero baseline";
+  (x -. baseline) /. baseline
+
+let correlation pairs =
+  if List.length pairs < 2 then
+    invalid_arg "Stats.correlation: need at least two pairs";
+  let n = float_of_int (List.length pairs) in
+  let sum f = List.fold_left (fun acc p -> acc +. f p) 0. pairs in
+  let mean_x = sum fst /. n and mean_y = sum snd /. n in
+  let cov = sum (fun (x, y) -> (x -. mean_x) *. (y -. mean_y)) in
+  let var_x = sum (fun (x, _) -> (x -. mean_x) ** 2.) in
+  let var_y = sum (fun (_, y) -> (y -. mean_y) ** 2.) in
+  if var_x = 0. || var_y = 0. then 0. else cov /. sqrt (var_x *. var_y)
+
+let arg_by better key = function
+  | [] -> invalid_arg "Stats.argmin/argmax: empty input"
+  | x :: xs ->
+      let step (best, best_k) y =
+        let k = key y in
+        if better k best_k then (y, k) else (best, best_k)
+      in
+      fst (List.fold_left step (x, key x) xs)
+
+let argmin key xs = arg_by ( < ) key xs
+let argmax key xs = arg_by ( > ) key xs
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "n=%d min=%.4g p25=%.4g med=%.4g p75=%.4g max=%.4g mean=%.4g sd=%.4g"
+    s.count s.min s.p25 s.median s.p75 s.max s.mean s.stddev

@@ -1,0 +1,54 @@
+(** Descriptive statistics over float samples.
+
+    All functions operate on non-empty lists or arrays of finite floats;
+    [Invalid_argument] is raised on empty input. The implementations are
+    self-contained because no numerical library is available offline. *)
+
+type summary = {
+  count : int;
+  min : float;
+  max : float;
+  mean : float;
+  median : float;
+  stddev : float;  (** population standard deviation *)
+  p25 : float;
+  p75 : float;
+}
+
+val mean : float list -> float
+val median : float list -> float
+
+val percentile : float -> float list -> float
+(** [percentile p xs] is the [p]-th percentile (0. <= p <= 100.) using
+    linear interpolation between closest ranks. *)
+
+val stddev : float list -> float
+val range : float list -> float
+(** [range xs] is [max xs -. min xs]. *)
+
+val iqr : float list -> float
+(** Interquartile range, [p75 - p25]. *)
+
+val summarize : float list -> summary
+
+val narrowing_factor : baseline:float list -> float list -> float
+(** [narrowing_factor ~baseline xs] is [range baseline /. range xs]: how many
+    times narrower the distribution [xs] is compared to [baseline]. This is
+    the metric the paper uses for "N x narrower distributions". Returns
+    [infinity] when [xs] has zero spread and baseline does not. *)
+
+val relative_change : baseline:float -> float -> float
+(** [relative_change ~baseline x] is [(x -. baseline) /. baseline], e.g.
+    [-0.27] for a 27% improvement. *)
+
+val correlation : (float * float) list -> float
+(** Pearson correlation coefficient of paired samples; raises
+    [Invalid_argument] on fewer than two pairs. Returns 0 when either
+    variable is constant (no linear association measurable). *)
+
+val argmin : ('a -> float) -> 'a list -> 'a
+(** Element minimizing the key; [Invalid_argument] on empty list. *)
+
+val argmax : ('a -> float) -> 'a list -> 'a
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,74 @@
+type align = Left | Right
+
+type t = {
+  headers : string list;
+  aligns : align list;
+  mutable rows : string list list;  (* stored in reverse insertion order *)
+}
+
+let create ?aligns headers =
+  let aligns =
+    match aligns with
+    | Some a ->
+        if List.length a <> List.length headers then
+          invalid_arg "Table.create: aligns/headers length mismatch"
+        else a
+    | None -> List.map (fun _ -> Right) headers
+  in
+  { headers; aligns; rows = [] }
+
+let width t = List.length t.headers
+
+let add_row t cells =
+  let n = List.length cells in
+  if n > width t then invalid_arg "Table.add_row: too many cells"
+  else begin
+    let padded = cells @ List.init (width t - n) (fun _ -> "") in
+    t.rows <- padded :: t.rows
+  end
+
+let fmt_g x = Printf.sprintf "%.4g" x
+let fmt_pct x = Printf.sprintf "%+.1f%%" (100. *. x)
+
+let add_float_row ?(fmt = fmt_g) t label xs =
+  add_row t (label :: List.map fmt xs)
+
+let to_string t =
+  let rows = List.rev t.rows in
+  let all = t.headers :: rows in
+  let widths =
+    List.mapi
+      (fun i _ ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row i)))
+          0 all)
+      t.headers
+  in
+  let pad align w s =
+    let gap = w - String.length s in
+    match align with
+    | Left -> s ^ String.make gap ' '
+    | Right -> String.make gap ' ' ^ s
+  in
+  let render_row row =
+    let cells =
+      List.map2
+        (fun (w, a) cell -> pad a w cell)
+        (List.combine widths t.aligns)
+        row
+    in
+    String.concat "  " cells
+  in
+  let sep =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n" (render_row t.headers :: sep :: List.map render_row rows)
+
+let print ?title t =
+  (match title with
+  | Some s ->
+      print_endline s;
+      print_endline (String.make (String.length s) '=')
+  | None -> ());
+  print_endline (to_string t);
+  print_newline ()

@@ -1,0 +1,28 @@
+(** Aligned plain-text tables for benchmark and experiment output. *)
+
+type align = Left | Right
+
+type t
+
+val create : ?aligns:align list -> string list -> t
+(** [create headers] makes a table with the given column headers. [aligns]
+    defaults to [Right] for every column. *)
+
+val add_row : t -> string list -> unit
+(** Rows shorter than the header are padded with empty cells; longer rows
+    raise [Invalid_argument]. *)
+
+val add_float_row : ?fmt:(float -> string) -> t -> string -> float list -> unit
+(** [add_float_row t label xs] adds a row whose first cell is [label] and
+    remaining cells are formatted floats ([%.4g] by default). *)
+
+val to_string : t -> string
+val print : ?title:string -> t -> unit
+(** Prints to stdout with an optional underlined title and trailing blank
+    line. *)
+
+val fmt_g : float -> string
+(** Compact float formatting used across the benches: [%.4g]. *)
+
+val fmt_pct : float -> string
+(** Formats a ratio as a signed percentage, e.g. [-0.27] -> ["-27.0%"]. *)

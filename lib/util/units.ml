@@ -1,0 +1,34 @@
+let kilo = 1e3
+let mega = 1e6
+let giga = 1e9
+let tera = 1e12
+let gb x = x *. giga
+let gbps x = x *. giga
+let tbps x = x *. tera
+let mb x = x *. mega
+let kb x = x *. kilo
+let mhz x = x *. mega
+let ghz x = x *. giga
+let to_ms t = t *. 1e3
+let to_us t = t *. 1e6
+
+let pp_scaled ppf ~unit_ scales x =
+  let rec pick = function
+    | [] -> Format.fprintf ppf "%g %s" x unit_
+    | (factor, prefix) :: rest ->
+        if Float.abs x >= factor then
+          Format.fprintf ppf "%g %s%s" (x /. factor) prefix unit_
+        else pick rest
+  in
+  pick scales
+
+let pp_bytes ppf x =
+  pp_scaled ppf ~unit_:"B" [ (tera, "T"); (giga, "G"); (mega, "M"); (kilo, "K") ] x
+
+let pp_bandwidth ppf x =
+  pp_scaled ppf ~unit_:"B/s" [ (tera, "T"); (giga, "G"); (mega, "M") ] x
+
+let pp_time ppf t =
+  if Float.abs t >= 1. then Format.fprintf ppf "%.3g s" t
+  else if Float.abs t >= 1e-3 then Format.fprintf ppf "%.4g ms" (to_ms t)
+  else Format.fprintf ppf "%.4g us" (to_us t)

@@ -1,0 +1,38 @@
+(** Unit conversions and formatting shared across the library.
+
+    Conventions, matching the paper and vendor datasheets:
+    - bandwidths are bytes/second (GB = 1e9 bytes for bandwidth),
+    - memory capacities are bytes (GiB-style powers of two are NOT used;
+      an "80 GB" HBM device is 80e9 bytes, as datasheets do),
+    - areas are mm^2, frequencies Hz, times seconds. *)
+
+val giga : float
+val tera : float
+val mega : float
+val kilo : float
+
+val gb : float -> float
+(** [gb x] converts x gigabytes to bytes. *)
+
+val gbps : float -> float
+(** Gigabytes/second to bytes/second. *)
+
+val tbps : float -> float
+val mb : float -> float
+val kb : float -> float
+val mhz : float -> float
+val ghz : float -> float
+
+val to_ms : float -> float
+(** Seconds to milliseconds. *)
+
+val to_us : float -> float
+
+val pp_bytes : Format.formatter -> float -> unit
+(** Human formatting: "192 KB", "40 MB", "80 GB". *)
+
+val pp_bandwidth : Format.formatter -> float -> unit
+(** "600 GB/s", "2 TB/s". *)
+
+val pp_time : Format.formatter -> float -> unit
+(** Picks ms/us/s automatically. *)

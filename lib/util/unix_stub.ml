@@ -1,0 +1,7 @@
+(* Directory creation without depending on the unix library: shell out via
+   Sys.command, which the stdlib provides on all platforms we target. *)
+
+let mkdir dir =
+  let quoted = Filename.quote dir in
+  let rc = Sys.command (Printf.sprintf "mkdir -p %s" quoted) in
+  if rc <> 0 then raise (Sys_error (Printf.sprintf "mkdir %s failed" dir))

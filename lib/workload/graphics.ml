@@ -1,0 +1,62 @@
+type scene = {
+  name : string;
+  width : int;
+  height : int;
+  overdraw : float;
+  shading_flops_per_pixel : float;
+  texture_bytes_per_pixel : float;
+  rt_rays_per_pixel : float;
+  rt_round_trips_per_ray : float;
+}
+
+let make ?(overdraw = 2.) ?(rt_rays_per_pixel = 0.)
+    ?(rt_round_trips_per_ray = 12.) ~name ~width ~height
+    ~shading_flops_per_pixel ~texture_bytes_per_pixel () =
+  if width <= 0 || height <= 0 then
+    invalid_arg "Graphics.make: resolution must be positive";
+  if overdraw < 1. then invalid_arg "Graphics.make: overdraw below 1";
+  if shading_flops_per_pixel <= 0. || texture_bytes_per_pixel < 0. then
+    invalid_arg "Graphics.make: non-positive work per pixel";
+  if rt_rays_per_pixel < 0. || rt_round_trips_per_ray < 0. then
+    invalid_arg "Graphics.make: negative ray tracing parameters";
+  {
+    name;
+    width;
+    height;
+    overdraw;
+    shading_flops_per_pixel;
+    texture_bytes_per_pixel;
+    rt_rays_per_pixel;
+    rt_round_trips_per_ray;
+  }
+
+let esports_1080p =
+  make ~name:"esports-1080p" ~width:1920 ~height:1080 ~overdraw:1.6
+    ~shading_flops_per_pixel:2_500. ~texture_bytes_per_pixel:48. ()
+
+let aaa_1440p =
+  make ~name:"AAA-1440p" ~width:2560 ~height:1440 ~overdraw:2.4
+    ~shading_flops_per_pixel:14_000. ~texture_bytes_per_pixel:120. ()
+
+let raytraced_4k =
+  make ~name:"raytraced-4k" ~width:3840 ~height:2160 ~overdraw:2.
+    ~shading_flops_per_pixel:10_000. ~texture_bytes_per_pixel:96.
+    ~rt_rays_per_pixel:2. ()
+
+let presets = [ esports_1080p; aaa_1440p; raytraced_4k ]
+
+let shaded_pixels s = float_of_int (s.width * s.height) *. s.overdraw
+let frame_flops s = shaded_pixels s *. s.shading_flops_per_pixel
+let frame_texture_bytes s = shaded_pixels s *. s.texture_bytes_per_pixel
+
+let frame_rays s =
+  float_of_int (s.width * s.height) *. s.rt_rays_per_pixel
+
+let pp ppf s =
+  Format.fprintf ppf "%s (%dx%d, %.2g GFLOP + %.2g MB texture%s per frame)"
+    s.name s.width s.height
+    (frame_flops s /. 1e9)
+    (frame_texture_bytes s /. 1e6)
+    (if s.rt_rays_per_pixel > 0. then
+       Printf.sprintf " + %.2g Mrays" (frame_rays s /. 1e6)
+     else "")

@@ -1,0 +1,48 @@
+(** Rasterization/ray-tracing workload descriptions.
+
+    The paper's Sec. 5.4 argument is that gaming performance rests on the
+    SIMT (vector) units, texture access latency and moderate bandwidth -
+    not on systolic arrays - so policy can throttle AI while leaving gaming
+    intact. This module gives that argument a quantitative counterpart: a
+    frame is [pixels * shading FLOPs] of vector work, [pixels * texture
+    bytes] of irregular memory traffic and optionally ray-traversal round
+    trips, evaluated by {!Acs_perfmodel.Graphics_model}. *)
+
+type scene = {
+  name : string;
+  width : int;
+  height : int;
+  overdraw : float;  (** average shaded fragments per visible pixel *)
+  shading_flops_per_pixel : float;  (** vector FLOPs, geometry amortized in *)
+  texture_bytes_per_pixel : float;  (** irregular reads per shaded pixel *)
+  rt_rays_per_pixel : float;  (** 0 for pure raster *)
+  rt_round_trips_per_ray : float;  (** dependent BVH memory accesses *)
+}
+
+val make :
+  ?overdraw:float ->
+  ?rt_rays_per_pixel:float ->
+  ?rt_round_trips_per_ray:float ->
+  name:string ->
+  width:int ->
+  height:int ->
+  shading_flops_per_pixel:float ->
+  texture_bytes_per_pixel:float ->
+  unit ->
+  scene
+
+val esports_1080p : scene
+(** Light shading at 1920x1080 - a CS/Valorant-class load. *)
+
+val aaa_1440p : scene
+(** Heavy raster shading at 2560x1440. *)
+
+val raytraced_4k : scene
+(** 3840x2160 hybrid rendering with 2 rays/pixel. *)
+
+val presets : scene list
+val shaded_pixels : scene -> float
+val frame_flops : scene -> float
+val frame_texture_bytes : scene -> float
+val frame_rays : scene -> float
+val pp : Format.formatter -> scene -> unit

@@ -1,0 +1,230 @@
+type phase = Prefill | Decode
+
+let phase_to_string = function Prefill -> "prefill" | Decode -> "decode"
+
+let ceil_div a b = (a + b - 1) / b
+
+type shard = {
+  heads : int;  (** query heads per device *)
+  kv_heads : int;
+  d_shard : int;  (** d_model / tp *)
+  ffn_shard : int;
+}
+
+let shard model ~tp =
+  if tp <= 0 then invalid_arg "Layer.ops: tp must be positive";
+  if model.Model.n_heads mod tp <> 0 then
+    invalid_arg "Layer.ops: tp must divide the model's head count";
+  {
+    heads = model.Model.n_heads / tp;
+    kv_heads = max 1 (ceil_div model.Model.n_kv_heads tp);
+    d_shard = ceil_div model.Model.d_model tp;
+    ffn_shard = ceil_div model.Model.ffn_dim tp;
+  }
+
+let ops model request ~tp phase =
+  let s = shard model ~tp in
+  let d = model.Model.d_model in
+  let hd = Model.head_dim model in
+  let batch = request.Request.batch in
+  let q_len =
+    match phase with Prefill -> request.Request.input_len | Decode -> 1
+  in
+  let kv_len =
+    match phase with
+    | Prefill -> request.Request.input_len
+    | Decode -> Request.decode_context request
+  in
+  let tokens = batch * q_len in
+  let group = model.Model.n_heads / model.Model.n_kv_heads in
+  let norm label =
+    (* Norms are computed redundantly on each device over the full hidden
+       dimension (standard tensor parallelism). *)
+    Op.Elementwise
+      {
+        label;
+        elements = float_of_int tokens *. float_of_int d;
+        flops_per_element = 6.;
+        memory_passes = 3.;
+      }
+  in
+  let residual label =
+    Op.Elementwise
+      {
+        label;
+        elements = float_of_int tokens *. float_of_int d;
+        flops_per_element = 1.;
+        memory_passes = 3.;
+      }
+  in
+  let qkv =
+    Op.Matmul
+      {
+        label = "qkv_proj";
+        m = tokens;
+        k = d;
+        n = s.d_shard + (2 * s.kv_heads * hd);
+        batch_count = 1;
+        weights_streamed = true;
+      }
+  in
+  let kv_write =
+    (* Appending this step's K and V to the cache. *)
+    Op.Elementwise
+      {
+        label = "kv_cache_write";
+        elements = float_of_int tokens *. float_of_int (2 * s.kv_heads * hd);
+        flops_per_element = 0.;
+        memory_passes = 2.;
+      }
+  in
+  let scores =
+    Op.Matmul
+      {
+        label = "attn_scores";
+        m = q_len * group;
+        k = hd;
+        n = kv_len;
+        batch_count = batch * s.kv_heads;
+        weights_streamed = true;
+      }
+  in
+  let softmax =
+    Op.Elementwise
+      {
+        label = "softmax";
+        elements =
+          float_of_int (batch * s.heads)
+          *. float_of_int q_len *. float_of_int kv_len;
+        flops_per_element = 8.;
+        memory_passes = 5.;
+      }
+  in
+  let attn_value =
+    Op.Matmul
+      {
+        label = "attn_value";
+        m = q_len * group;
+        k = kv_len;
+        n = hd;
+        batch_count = batch * s.kv_heads;
+        weights_streamed = true;
+      }
+  in
+  let out_proj =
+    Op.Matmul
+      {
+        label = "out_proj";
+        m = tokens;
+        k = s.heads * hd;
+        n = d;
+        batch_count = 1;
+        weights_streamed = true;
+      }
+  in
+  let all_reduce label =
+    Op.All_reduce
+      { label; bytes = float_of_int tokens *. float_of_int d *. 2. }
+  in
+  let ffn_up_cols =
+    match model.Model.activation with
+    | Model.Gelu -> s.ffn_shard
+    | Model.Swiglu -> 2 * s.ffn_shard
+  in
+  (* Mixture-of-experts: tokens route to [top_k] of [num_experts] expert
+     FFNs. Each expert processes tokens*top_k/num_experts rows on average
+     but its full weight matrix must stream in, which is why MoE decoding
+     is so bandwidth hungry. Dense models are the 1-expert special case. *)
+  let experts = Model.ffn_weight_instances model in
+  let rows_per_expert =
+    max 1 (tokens * Model.active_experts model / experts)
+  in
+  let router =
+    match model.Model.moe with
+    | None -> []
+    | Some { Model.num_experts; _ } ->
+        [
+          Op.Matmul
+            {
+              label = "moe_router";
+              m = tokens;
+              k = d;
+              n = num_experts;
+              batch_count = 1;
+              weights_streamed = true;
+            };
+        ]
+  in
+  let ffn_up =
+    Op.Matmul
+      {
+        label = "ffn_up";
+        m = rows_per_expert;
+        k = d;
+        n = ffn_up_cols;
+        batch_count = experts;
+        weights_streamed = true;
+      }
+  in
+  let activation =
+    let label, passes, flops =
+      match model.Model.activation with
+      | Model.Gelu -> ("gelu", 2., 8.)
+      | Model.Swiglu -> ("swiglu", 3., 6.)
+    in
+    Op.Elementwise
+      {
+        label;
+        elements =
+          float_of_int (rows_per_expert * experts) *. float_of_int s.ffn_shard;
+        flops_per_element = flops;
+        memory_passes = passes;
+      }
+  in
+  let ffn_down =
+    Op.Matmul
+      {
+        label = "ffn_down";
+        m = rows_per_expert;
+        k = s.ffn_shard;
+        n = d;
+        batch_count = experts;
+        weights_streamed = true;
+      }
+  in
+  [
+    norm "norm_attn";
+    qkv;
+    kv_write;
+    scores;
+    softmax;
+    attn_value;
+    out_proj;
+    all_reduce "all_reduce_attn";
+    residual "residual_attn";
+    norm "norm_ffn";
+  ]
+  @ router
+  @ [
+      ffn_up;
+      activation;
+      ffn_down;
+      all_reduce "all_reduce_ffn";
+      residual "residual_ffn";
+    ]
+
+let total_flops model request ~tp phase =
+  List.fold_left (fun acc op -> acc +. Op.flops op) 0.
+    (ops model request ~tp phase)
+
+let weight_bytes_per_device model ~tp =
+  Model.params_per_layer model *. model.Model.bytes_per_param
+  /. float_of_int tp
+
+let kv_bytes_per_device model request ~tp =
+  let s = shard model ~tp in
+  let hd = Model.head_dim model in
+  float_of_int (Request.decode_context request)
+  *. float_of_int request.Request.batch
+  *. float_of_int (2 * s.kv_heads * hd)
+  *. model.Model.bytes_per_param

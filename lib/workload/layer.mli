@@ -1,0 +1,25 @@
+(** Builds the per-device operator list for one Transformer layer under
+    tensor parallelism (Megatron-style: attention heads and FFN columns are
+    split across [tp] devices, with an all-reduce after the attention output
+    projection and after the FFN down projection).
+
+    Grouped-query attention is modeled by batching the query heads that
+    share a K/V head into the row dimension of the attention matmuls, so
+    FLOPs count every query head while K/V traffic counts only K/V heads. *)
+
+type phase = Prefill | Decode
+
+val phase_to_string : phase -> string
+
+val ops : Model.t -> Request.t -> tp:int -> phase -> Op.t list
+(** Raises [Invalid_argument] when [tp] is not positive or does not divide
+    [Model.n_heads]. *)
+
+val total_flops : Model.t -> Request.t -> tp:int -> phase -> float
+(** Sum of op FLOPs on one device. *)
+
+val weight_bytes_per_device : Model.t -> tp:int -> float
+(** Layer weights resident on each device. *)
+
+val kv_bytes_per_device : Model.t -> Request.t -> tp:int -> float
+(** KV-cache bytes read by the modeled decode step on each device. *)

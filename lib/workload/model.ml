@@ -1,0 +1,137 @@
+type activation = Gelu | Swiglu
+
+type moe = { num_experts : int; top_k : int }
+
+type t = {
+  name : string;
+  num_layers : int;
+  d_model : int;
+  ffn_dim : int;
+  n_heads : int;
+  n_kv_heads : int;
+  activation : activation;
+  moe : moe option;
+  bytes_per_param : float;
+}
+
+let make ?(bytes_per_param = 2.) ?moe ~name ~num_layers ~d_model ~ffn_dim
+    ~n_heads ~n_kv_heads ~activation () =
+  let check_pos what v = if v <= 0 then invalid_arg ("Model.make: " ^ what) in
+  check_pos "num_layers must be positive" num_layers;
+  check_pos "d_model must be positive" d_model;
+  check_pos "ffn_dim must be positive" ffn_dim;
+  check_pos "n_heads must be positive" n_heads;
+  check_pos "n_kv_heads must be positive" n_kv_heads;
+  if d_model mod n_heads <> 0 then
+    invalid_arg "Model.make: d_model must be divisible by n_heads";
+  if n_heads mod n_kv_heads <> 0 then
+    invalid_arg "Model.make: n_heads must be divisible by n_kv_heads";
+  (match moe with
+  | Some { num_experts; top_k } ->
+      if num_experts <= 0 || top_k <= 0 || top_k > num_experts then
+        invalid_arg "Model.make: invalid MoE configuration"
+  | None -> ());
+  {
+    name;
+    num_layers;
+    d_model;
+    ffn_dim;
+    n_heads;
+    n_kv_heads;
+    activation;
+    moe;
+    bytes_per_param;
+  }
+
+let head_dim t = t.d_model / t.n_heads
+let kv_dim t = t.n_kv_heads * head_dim t
+let uses_gqa t = t.n_kv_heads < t.n_heads
+
+let ffn_matrices t = match t.activation with Gelu -> 2 | Swiglu -> 3
+let active_experts t = match t.moe with Some m -> m.top_k | None -> 1
+let ffn_weight_instances t = match t.moe with Some m -> m.num_experts | None -> 1
+
+let params_per_layer t =
+  let d = float_of_int t.d_model in
+  let kv = float_of_int (kv_dim t) in
+  let ffn = float_of_int t.ffn_dim in
+  (* Q and output projections are d x d; K and V are d x kv. *)
+  let attention = (2. *. d *. d) +. (2. *. d *. kv) in
+  let feed_forward =
+    float_of_int (ffn_matrices t) *. d *. ffn
+    *. float_of_int (ffn_weight_instances t)
+  in
+  let router =
+    match t.moe with
+    | Some m -> d *. float_of_int m.num_experts
+    | None -> 0.
+  in
+  attention +. feed_forward +. router
+
+let total_params t = float_of_int t.num_layers *. params_per_layer t
+
+let kv_cache_bytes_per_token t =
+  2. *. float_of_int (kv_dim t) *. t.bytes_per_param
+
+let flops_per_token t ~context =
+  if context < 0 then invalid_arg "Model.flops_per_token: negative context";
+  (* Only [top_k] of the expert FFNs compute per token. *)
+  let d = float_of_int t.d_model and ffn = float_of_int t.ffn_dim in
+  let attention = (2. *. d *. d) +. (2. *. d *. float_of_int (kv_dim t)) in
+  let feed_forward =
+    float_of_int (ffn_matrices t) *. d *. ffn
+    *. float_of_int (active_experts t)
+  in
+  let router =
+    match t.moe with Some m -> d *. float_of_int m.num_experts | None -> 0.
+  in
+  let weight_flops = 2. *. (attention +. feed_forward +. router) in
+  (* Attention scores and value aggregation over the context, for all query
+     heads (GQA shares K/V but not the dot products). *)
+  let attn_flops =
+    2. *. 2.
+    *. float_of_int t.n_heads
+    *. float_of_int context
+    *. float_of_int (head_dim t)
+  in
+  weight_flops +. attn_flops
+
+let gpt3_175b =
+  make ~name:"GPT-3 175B" ~num_layers:96 ~d_model:12288 ~ffn_dim:49152
+    ~n_heads:96 ~n_kv_heads:96 ~activation:Gelu ()
+
+let llama3_8b =
+  make ~name:"Llama 3 8B" ~num_layers:32 ~d_model:4096 ~ffn_dim:14336
+    ~n_heads:32 ~n_kv_heads:8 ~activation:Swiglu ()
+
+let llama2_70b =
+  make ~name:"Llama 2 70B" ~num_layers:80 ~d_model:8192 ~ffn_dim:28672
+    ~n_heads:64 ~n_kv_heads:8 ~activation:Swiglu ()
+
+let llama3_70b =
+  make ~name:"Llama 3 70B" ~num_layers:80 ~d_model:8192 ~ffn_dim:28672
+    ~n_heads:64 ~n_kv_heads:8 ~activation:Swiglu ()
+
+let gpt2_xl =
+  make ~name:"GPT-2 XL" ~num_layers:48 ~d_model:1600 ~ffn_dim:6400 ~n_heads:25
+    ~n_kv_heads:25 ~activation:Gelu ()
+
+let mixtral_8x7b =
+  make ~name:"Mixtral 8x7B" ~num_layers:32 ~d_model:4096 ~ffn_dim:14336
+    ~n_heads:32 ~n_kv_heads:8 ~activation:Swiglu
+    ~moe:{ num_experts = 8; top_k = 2 }
+    ()
+
+let presets =
+  [ gpt3_175b; llama3_8b; llama2_70b; llama3_70b; gpt2_xl; mixtral_8x7b ]
+
+let find_preset name =
+  let norm s = String.lowercase_ascii (String.trim s) in
+  List.find_opt (fun m -> norm m.name = norm name) presets
+
+let pp ppf t =
+  Format.fprintf ppf
+    "%s: %d layers, d=%d, ffn=%d, heads=%d (kv=%d), %s, %.3g params" t.name
+    t.num_layers t.d_model t.ffn_dim t.n_heads t.n_kv_heads
+    (match t.activation with Gelu -> "GELU" | Swiglu -> "SwiGLU")
+    (total_params t)

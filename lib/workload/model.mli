@@ -1,0 +1,83 @@
+(** Decoder-only Transformer model descriptions (paper Table 2). *)
+
+type activation =
+  | Gelu  (** one up-projection of width [ffn_dim], as in GPT-3 *)
+  | Swiglu  (** gate + up projections of width [ffn_dim], as in Llama *)
+
+type moe = {
+  num_experts : int;
+  top_k : int;  (** experts activated per token *)
+}
+(** Mixture-of-experts feed-forward: the FFN weights are replicated
+    [num_experts] times but each token only computes through [top_k] of
+    them - the Switch/Mixtral-style scaling the paper's introduction cites
+    as the driver of trillion-parameter models. *)
+
+type t = {
+  name : string;
+  num_layers : int;
+  d_model : int;
+  ffn_dim : int;
+  n_heads : int;
+  n_kv_heads : int;  (** < n_heads means grouped-query attention *)
+  activation : activation;
+  moe : moe option;
+  bytes_per_param : float;  (** 2.0 for FP16 inference *)
+}
+
+val make :
+  ?bytes_per_param:float ->
+  ?moe:moe ->
+  name:string ->
+  num_layers:int ->
+  d_model:int ->
+  ffn_dim:int ->
+  n_heads:int ->
+  n_kv_heads:int ->
+  activation:activation ->
+  unit ->
+  t
+(** Raises [Invalid_argument] when [d_model] is not divisible by [n_heads],
+    [n_heads] not divisible by [n_kv_heads], or an MoE config has
+    [top_k > num_experts] or non-positive fields. *)
+
+val active_experts : t -> int
+(** [top_k] for MoE models, 1 for dense ones. *)
+
+val ffn_weight_instances : t -> int
+(** [num_experts] for MoE models, 1 for dense ones. *)
+
+val head_dim : t -> int
+val kv_dim : t -> int
+(** [n_kv_heads * head_dim], the width of the K and V projections. *)
+
+val uses_gqa : t -> bool
+
+val params_per_layer : t -> float
+(** Weight parameters in one Transformer layer (attention projections plus
+    FFN; biases and norm scales are negligible and excluded). *)
+
+val total_params : t -> float
+(** [num_layers *. params_per_layer]; embeddings excluded, which is why
+    e.g. GPT-3 reports ~174e9 rather than 175e9. *)
+
+val kv_cache_bytes_per_token : t -> float
+(** K and V bytes appended per token per layer. *)
+
+val flops_per_token : t -> context:int -> float
+(** Dense FLOPs to process one token of one layer at a given attention
+    context length (2 FLOPs per MAC). *)
+
+(* Presets (paper Table 2 plus extras used by the examples). *)
+
+val gpt3_175b : t
+val llama3_8b : t
+val llama2_70b : t
+val llama3_70b : t
+val gpt2_xl : t
+val mixtral_8x7b : t
+(** 8-expert top-2 MoE over a Mistral-7B-shaped backbone. *)
+
+val presets : t list
+val find_preset : string -> t option
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,62 @@
+type matmul = {
+  label : string;
+  m : int;
+  k : int;
+  n : int;
+  batch_count : int;
+  weights_streamed : bool;
+}
+
+type elementwise = {
+  label : string;
+  elements : float;
+  flops_per_element : float;
+  memory_passes : float;
+}
+
+type collective = { label : string; bytes : float }
+
+type t =
+  | Matmul of matmul
+  | Elementwise of elementwise
+  | All_reduce of collective
+
+let matmul_macs mm =
+  float_of_int mm.m *. float_of_int mm.k *. float_of_int mm.n
+  *. float_of_int mm.batch_count
+
+let matmul_flops mm = 2. *. matmul_macs mm
+
+let matmul_weight_bytes mm ~bytes_per_value =
+  if mm.weights_streamed then
+    float_of_int mm.k *. float_of_int mm.n *. float_of_int mm.batch_count
+    *. bytes_per_value
+  else 0.
+
+let matmul_activation_bytes mm ~bytes_per_value =
+  let m = float_of_int mm.m
+  and k = float_of_int mm.k
+  and n = float_of_int mm.n
+  and b = float_of_int mm.batch_count in
+  ((m *. k) +. (m *. n)) *. b *. bytes_per_value
+
+let elementwise_bytes ew = ew.elements *. 2. *. ew.memory_passes
+
+let flops = function
+  | Matmul mm -> matmul_flops mm
+  | Elementwise ew -> ew.elements *. ew.flops_per_element
+  | All_reduce _ -> 0.
+
+let label = function
+  | Matmul { label; _ } | Elementwise { label; _ } | All_reduce { label; _ } ->
+      label
+
+let pp ppf = function
+  | Matmul mm ->
+      Format.fprintf ppf "matmul %s: [%d x %d x %d] x%d%s" mm.label mm.m mm.k
+        mm.n mm.batch_count
+        (if mm.weights_streamed then " (streamed B)" else "")
+  | Elementwise ew ->
+      Format.fprintf ppf "elementwise %s: %.3g elems, %.1f flops/elem"
+        ew.label ew.elements ew.flops_per_element
+  | All_reduce c -> Format.fprintf ppf "all-reduce %s: %.3g bytes" c.label c.bytes

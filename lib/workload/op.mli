@@ -1,0 +1,57 @@
+(** Per-device operators of one Transformer layer.
+
+    Dimensions are already partitioned for tensor parallelism: a layer
+    builder (see {!Layer}) emits the shapes each device executes, plus the
+    collective operations between devices. *)
+
+type matmul = {
+  label : string;
+  m : int;  (** rows of A / output *)
+  k : int;  (** contraction dimension *)
+  n : int;  (** columns of B / output *)
+  batch_count : int;  (** independent instances (e.g. per attention head) *)
+  weights_streamed : bool;
+      (** true when the B operand is layer weights or KV cache resident in
+          HBM and must be streamed in (dominates decode latency); false for
+          activation-activation products whose operands were just
+          produced. *)
+}
+
+type elementwise = {
+  label : string;
+  elements : float;  (** values processed, per device *)
+  flops_per_element : float;
+  memory_passes : float;
+      (** DRAM traffic in multiples of [elements * 2 bytes]; e.g. softmax
+          makes ~5 passes (max, subtract-exp, sum, divide), an activation
+          function ~3 (read, read gate, write). *)
+}
+
+type collective = {
+  label : string;
+  bytes : float;  (** payload per participating device *)
+}
+
+type t =
+  | Matmul of matmul
+  | Elementwise of elementwise
+  | All_reduce of collective
+
+val matmul_flops : matmul -> float
+(** [2 * m * k * n * batch_count]. *)
+
+val matmul_macs : matmul -> float
+
+val matmul_weight_bytes : matmul -> bytes_per_value:float -> float
+(** Bytes of the streamed B operand ([k * n * batch_count * bytes]); zero
+    when [weights_streamed] is false. *)
+
+val matmul_activation_bytes : matmul -> bytes_per_value:float -> float
+(** A-operand reads plus C writes. *)
+
+val elementwise_bytes : elementwise -> float
+val flops : t -> float
+(** Arithmetic work of the op (collectives report zero). *)
+
+val label : t -> string
+val pp : Format.formatter -> t -> unit

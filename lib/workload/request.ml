@@ -1,0 +1,14 @@
+type t = { batch : int; input_len : int; output_len : int }
+
+let make ~batch ~input_len ~output_len =
+  if batch <= 0 || input_len <= 0 || output_len < 0 then
+    invalid_arg "Request.make: sizes must be positive";
+  { batch; input_len; output_len }
+
+let default = make ~batch:32 ~input_len:2048 ~output_len:1024
+let prefill_tokens t = t.batch * t.input_len
+let decode_context t = t.input_len + (t.output_len / 2)
+
+let pp ppf t =
+  Format.fprintf ppf "batch %d, input %d, output %d" t.batch t.input_len
+    t.output_len

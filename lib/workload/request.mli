@@ -1,0 +1,20 @@
+(** Inference workload settings.
+
+    The paper simulates one Transformer layer with batch 32, input sequence
+    2048 and output sequence 1024, and reports per-layer prefill (TTFT) and
+    decoding (TBT) latencies. For decoding we model the mid-generation
+    step, i.e. a KV context of [input + output/2] tokens. *)
+
+type t = { batch : int; input_len : int; output_len : int }
+
+val make : batch:int -> input_len:int -> output_len:int -> t
+val default : t
+(** batch 32, input 2048, output 1024. *)
+
+val prefill_tokens : t -> int
+(** [batch * input_len]. *)
+
+val decode_context : t -> int
+(** KV length of the modeled decode step: [input_len + output_len / 2]. *)
+
+val pp : Format.formatter -> t -> unit

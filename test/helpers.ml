@@ -1,0 +1,54 @@
+(* Shared assertion helpers for the test suites. *)
+
+let check_close ?(eps = 1e-9) what expected actual =
+  let ok =
+    Float.abs (expected -. actual)
+    <= eps *. Float.max 1. (Float.max (Float.abs expected) (Float.abs actual))
+  in
+  if not ok then
+    Alcotest.failf "%s: expected %.9g, got %.9g" what expected actual
+
+let check_within what ~tolerance expected actual =
+  (* Relative tolerance, e.g. 0.05 for +/-5%. *)
+  if expected = 0. then check_close what expected actual
+  else begin
+    let rel = Float.abs ((actual -. expected) /. expected) in
+    if rel > tolerance then
+      Alcotest.failf "%s: expected %.6g within %.0f%%, got %.6g (off %.1f%%)"
+        what expected (100. *. tolerance) actual (100. *. rel)
+  end
+
+let check_between what lo hi actual =
+  if actual < lo || actual > hi then
+    Alcotest.failf "%s: expected value in [%.6g, %.6g], got %.6g" what lo hi
+      actual
+
+let check_raises_invalid what f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" what
+
+let test name f = Alcotest.test_case name `Quick f
+
+let qcheck ?(count = 200) name arbitrary prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arbitrary prop)
+
+(* A reasonable random device generator for property tests. *)
+let device_gen =
+  let open QCheck.Gen in
+  let* dim = oneofl [ 4; 8; 16; 32 ] in
+  let* lanes = oneofl [ 1; 2; 4; 8 ] in
+  let* cores = int_range 1 512 in
+  let* l1_kb = oneofl [ 32.; 64.; 128.; 192.; 256.; 512.; 1024. ] in
+  let* l2_mb = oneofl [ 8.; 16.; 32.; 40.; 48.; 64.; 80. ] in
+  let* membw = oneofl [ 0.8; 1.2; 1.6; 2.; 2.4; 2.8; 3.2 ] in
+  let* devbw = oneofl [ 32.; 200.; 400.; 500.; 600.; 700.; 900. ] in
+  return
+    (Core.Device.make ~core_count:cores ~lanes_per_core:lanes
+       ~systolic:(Core.Systolic.square dim) ~l1_kb ~l2_mb
+       ~memory:(Core.Memory.make ~capacity_gb:80. ~bandwidth_tb_s:membw)
+       ~interconnect:(Core.Interconnect.of_total_gb_s devbw)
+       ())
+
+let device_arb =
+  QCheck.make ~print:(fun d -> Core.Device.summary d) device_gen

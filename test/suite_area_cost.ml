@@ -1,0 +1,147 @@
+open Core
+open Helpers
+
+(* The Table 4 designs: 103 cores x 2 lanes x 16x16, 3.2 TB/s, 900 GB/s. *)
+let table4 l1 l2 =
+  Device.make ~core_count:103 ~lanes_per_core:2 ~systolic:(Systolic.square 16)
+    ~l1_kb:l1 ~l2_mb:l2
+    ~memory:(Memory.make ~capacity_gb:80. ~bandwidth_tb_s:3.2)
+    ~interconnect:(Interconnect.of_total_gb_s 900.)
+    ()
+
+let t_table4_areas () =
+  let compl = table4 1024. 48. and noncompl = table4 192. 32. in
+  check_within "compliant area" ~tolerance:0.02 753. (Area_model.total_mm2 compl);
+  check_within "non-compliant area" ~tolerance:0.02 523.
+    (Area_model.total_mm2 noncompl);
+  check_within "compliant sram" ~tolerance:0.02 151. (Area_model.sram_mb compl);
+  check_within "non-compliant sram" ~tolerance:0.02 52.
+    (Area_model.sram_mb noncompl)
+
+let t_breakdown_sums () =
+  let dev = Presets.a100 in
+  let b = Area_model.breakdown dev in
+  let sum =
+    b.Area_model.compute_mm2 +. b.Area_model.l1_mm2 +. b.Area_model.l2_mm2
+    +. b.Area_model.hbm_phy_mm2 +. b.Area_model.device_phy_mm2
+    +. b.Area_model.fixed_mm2
+  in
+  check_close "breakdown sums to total" (Area_model.total_mm2 dev) sum
+
+let t_performance_density () =
+  let dev = table4 192. 32. in
+  let pd = Area_model.performance_density dev in
+  (* TPP 2379 over ~523 mm^2: Table 4 reports 4.59 for its modeled design. *)
+  check_between "pd" 4.3 4.8 pd
+
+let t_reticle () =
+  Alcotest.(check bool) "a100-like fits" true (Area_model.within_reticle (table4 192. 32.));
+  let monster =
+    Device.make ~core_count:600 ~lanes_per_core:4 ~systolic:(Systolic.square 16)
+      ~l1_kb:1024. ~l2_mb:80.
+      ~memory:(Memory.make ~capacity_gb:80. ~bandwidth_tb_s:3.2)
+      ~interconnect:(Interconnect.of_total_gb_s 900.)
+      ()
+  in
+  Alcotest.(check bool) "monster violates" false (Area_model.within_reticle monster)
+
+let prop_area_positive =
+  qcheck ~count:100 "area positive and componentwise monotone" device_arb
+    (fun d ->
+      let a = Area_model.total_mm2 d in
+      let bigger_l2 = { d with Device.l2_bytes = d.Device.l2_bytes *. 2. } in
+      a > 0. && Area_model.total_mm2 bigger_l2 > a)
+
+let prop_area_monotone_cores =
+  qcheck ~count:100 "area grows with cores" device_arb (fun d ->
+      let more = { d with Device.core_count = d.Device.core_count + 1 } in
+      Area_model.total_mm2 more > Area_model.total_mm2 d)
+
+(* --- Cost model: the Table 4 regression. --- *)
+
+let n7 = Cost_model.n7
+
+let t_table4_costs () =
+  check_within "die cost 753" ~tolerance:0.02 134.
+    (Cost_model.die_cost_usd ~process:n7 ~die_area_mm2:753.);
+  check_within "die cost 523" ~tolerance:0.02 88.
+    (Cost_model.die_cost_usd ~process:n7 ~die_area_mm2:523.);
+  check_within "1M good dies 753" ~tolerance:0.05 350e6
+    (Cost_model.cost_of_good_dies_usd ~process:n7 ~die_area_mm2:753.
+       ~count:1_000_000 ());
+  check_within "1M good dies 523" ~tolerance:0.05 177e6
+    (Cost_model.cost_of_good_dies_usd ~process:n7 ~die_area_mm2:523.
+       ~count:1_000_000 ())
+
+let t_dies_per_wafer () =
+  (* pi*150^2/A - pi*300/sqrt(2A) *)
+  Alcotest.(check int) "753mm2" 69
+    (Cost_model.dies_per_wafer ~process:n7 ~die_area_mm2:753.);
+  Alcotest.(check int) "523mm2" 106
+    (Cost_model.dies_per_wafer ~process:n7 ~die_area_mm2:523.);
+  check_raises_invalid "too big" (fun () ->
+      ignore (Cost_model.dies_per_wafer ~process:n7 ~die_area_mm2:70000.));
+  check_raises_invalid "non-positive" (fun () ->
+      ignore (Cost_model.dies_per_wafer ~process:n7 ~die_area_mm2:0.))
+
+let t_yield_models () =
+  let y model = Cost_model.yield_ ~model ~process:n7 ~die_area_mm2:500. () in
+  let seeds = y Cost_model.Seeds in
+  let murphy = y Cost_model.Murphy in
+  let nb = y (Cost_model.Negative_binomial 4.) in
+  check_between "seeds" 0.5 0.53 seeds;
+  (* Seeds is the most pessimistic of the three at this defect density. *)
+  Alcotest.(check bool) "murphy above seeds" true (murphy > seeds);
+  Alcotest.(check bool) "nb above seeds" true (nb > seeds && nb <= 1.);
+  check_raises_invalid "bad alpha" (fun () ->
+      ignore (y (Cost_model.Negative_binomial 0.)))
+
+let t_n5_more_expensive () =
+  Alcotest.(check bool) "5nm wafer pricier" true
+    (Cost_model.die_cost_usd ~process:Cost_model.n5 ~die_area_mm2:500.
+    > Cost_model.die_cost_usd ~process:n7 ~die_area_mm2:500.)
+
+let area_arb = QCheck.(float_range 20. 860.)
+
+let prop_yield_bounds =
+  qcheck "yield in (0,1]" area_arb (fun a ->
+      let y = Cost_model.yield_ ~process:n7 ~die_area_mm2:a () in
+      y > 0. && y <= 1.)
+
+let prop_yield_decreasing =
+  qcheck "yield decreases with area" QCheck.(pair area_arb area_arb)
+    (fun (a, b) ->
+      let lo = Float.min a b and hi = Float.max a b in
+      Cost_model.yield_ ~process:n7 ~die_area_mm2:lo ()
+      >= Cost_model.yield_ ~process:n7 ~die_area_mm2:hi ())
+
+let prop_die_cost_increasing =
+  qcheck "die cost increases with area" QCheck.(pair area_arb area_arb)
+    (fun (a, b) ->
+      QCheck.assume (Float.abs (a -. b) > 1.);
+      let lo = Float.min a b and hi = Float.max a b in
+      Cost_model.die_cost_usd ~process:n7 ~die_area_mm2:lo
+      <= Cost_model.die_cost_usd ~process:n7 ~die_area_mm2:hi)
+
+let prop_good_die_cost_above_die_cost =
+  qcheck "good-die cost >= die cost" area_arb (fun a ->
+      Cost_model.good_die_cost_usd ~process:n7 ~die_area_mm2:a ()
+      >= Cost_model.die_cost_usd ~process:n7 ~die_area_mm2:a)
+
+let suite =
+  [
+    test "table 4 areas" t_table4_areas;
+    test "area breakdown sums" t_breakdown_sums;
+    test "performance density" t_performance_density;
+    test "reticle limit" t_reticle;
+    prop_area_positive;
+    prop_area_monotone_cores;
+    test "table 4 costs" t_table4_costs;
+    test "dies per wafer" t_dies_per_wafer;
+    test "yield models ordered" t_yield_models;
+    test "5nm more expensive" t_n5_more_expensive;
+    prop_yield_bounds;
+    prop_yield_decreasing;
+    prop_die_cost_increasing;
+    prop_good_die_cost_above_die_cost;
+  ]

@@ -1,0 +1,120 @@
+open Core
+open Helpers
+
+let n7 = Cost_model.n7
+
+let ga100_spec =
+  {
+    Binning.die_area_mm2 = 826.;
+    total_cores = 128;
+    regions = { Binning.core_fraction = 0.55; io_fraction = 0.1 };
+  }
+
+let flagship = { Binning.sku_name = "flagship"; min_good_cores = 124; requires_io = true; price_usd = 10_000. }
+let export_bw = { Binning.sku_name = "export-bwcap"; min_good_cores = 124; requires_io = false; price_usd = 9_000. }
+let derated = { Binning.sku_name = "derated"; min_good_cores = 56; requires_io = false; price_usd = 3_500. }
+let skus = [ flagship; export_bw; derated ]
+
+let t_distribution_sums_to_survival () =
+  let states = Binning.state_distribution ~process:n7 ga100_spec in
+  let total = List.fold_left (fun acc (_, p) -> acc +. p) 0. states in
+  check_close "matches survival" (Binning.survival_probability ~process:n7 ga100_spec) total;
+  (* Survival = no fatal defect: exp(-lambda * fatal_fraction). *)
+  let lambda = 8.26 *. 0.13 in
+  check_within "analytic survival" ~tolerance:0.001
+    (exp (-.lambda *. 0.35))
+    total
+
+let t_perfect_die_probability () =
+  let states = Binning.state_distribution ~process:n7 ga100_spec in
+  let perfect =
+    List.assoc { Binning.good_cores = 128; io_intact = true } states
+  in
+  (* All three regions defect-free: exp(-lambda). *)
+  check_within "analytic perfect" ~tolerance:0.001 (exp (-.(8.26 *. 0.13))) perfect
+
+let t_assign () =
+  let assign g io = Binning.assign skus { Binning.good_cores = g; io_intact = io } in
+  (match assign 128 true with
+  | Some s -> Alcotest.(check string) "flagship" "flagship" s.Binning.sku_name
+  | None -> Alcotest.fail "expected flagship");
+  (match assign 128 false with
+  | Some s -> Alcotest.(check string) "broken io -> export" "export-bwcap" s.Binning.sku_name
+  | None -> Alcotest.fail "expected export sku");
+  (match assign 80 true with
+  | Some s -> Alcotest.(check string) "few cores -> derated" "derated" s.Binning.sku_name
+  | None -> Alcotest.fail "expected derated");
+  Alcotest.(check bool) "hopeless die scrapped" true (assign 10 true = None)
+
+let t_wafer_economics () =
+  let e = Binning.wafer_economics ~process:n7 ga100_spec skus in
+  Alcotest.(check bool) "revenue positive" true (e.Binning.revenue_per_wafer_usd > 0.);
+  Alcotest.(check bool) "profit below revenue" true
+    (e.Binning.profit_per_wafer_usd < e.Binning.revenue_per_wafer_usd);
+  check_between "scrap" 0.2 0.6 e.Binning.scrap_fraction;
+  let mix_total = List.fold_left (fun acc (_, p) -> acc +. p) 0. e.Binning.sku_mix in
+  check_close "mix + scrap = 1" 1. (mix_total +. e.Binning.scrap_fraction)
+
+let t_salvage_value () =
+  (* The paper's story: being able to sell the export SKU (dies with broken
+     interconnect) and the derated SKU raises wafer revenue. Use an
+     immature-process defect density so the derated bin is well
+     populated. *)
+  let immature = { n7 with Cost_model.defect_density_per_cm2 = 1.0 } in
+  let flagship_only = Binning.wafer_economics ~process:immature ga100_spec [ flagship ] in
+  let with_export = Binning.wafer_economics ~process:immature ga100_spec [ flagship; export_bw ] in
+  let full = Binning.wafer_economics ~process:immature ga100_spec skus in
+  Alcotest.(check bool) "export sku adds revenue" true
+    (with_export.Binning.revenue_per_wafer_usd > flagship_only.Binning.revenue_per_wafer_usd);
+  Alcotest.(check bool) "derated sku adds more" true
+    (full.Binning.revenue_per_wafer_usd > with_export.Binning.revenue_per_wafer_usd);
+  Alcotest.(check bool) "scrap shrinks" true
+    (full.Binning.scrap_fraction < flagship_only.Binning.scrap_fraction)
+
+let t_validation () =
+  check_raises_invalid "no skus" (fun () ->
+      ignore (Binning.wafer_economics ~process:n7 ga100_spec []));
+  check_raises_invalid "bad fractions" (fun () ->
+      ignore
+        (Binning.state_distribution ~process:n7
+           { ga100_spec with Binning.regions = { Binning.core_fraction = 0.8; io_fraction = 0.5 } }));
+  check_raises_invalid "bad area" (fun () ->
+      ignore
+        (Binning.state_distribution ~process:n7
+           { ga100_spec with Binning.die_area_mm2 = 0. }))
+
+let prop_probabilities_valid =
+  qcheck ~count:60 "state probabilities in [0,1] and sum <= 1"
+    QCheck.(pair (float_range 50. 850.) (pair (float_range 0. 0.7) (float_range 0. 0.25)))
+    (fun (area, (core_fraction, io_fraction)) ->
+      QCheck.assume (core_fraction +. io_fraction <= 1.);
+      QCheck.assume (core_fraction > 0.01);
+      let spec =
+        { Binning.die_area_mm2 = area; total_cores = 64;
+          regions = { Binning.core_fraction; io_fraction } }
+      in
+      let states = Binning.state_distribution ~process:n7 spec in
+      let total = List.fold_left (fun acc (_, p) -> acc +. p) 0. states in
+      total <= 1. +. 1e-9
+      && List.for_all (fun (_, p) -> p >= 0. && p <= 1.) states)
+
+let prop_more_skus_never_lose_revenue =
+  qcheck ~count:40 "adding a sku never reduces revenue"
+    QCheck.(float_range 500. 5000.)
+    (fun price ->
+      let extra = { Binning.sku_name = "extra"; min_good_cores = 32; requires_io = false; price_usd = price } in
+      let base = Binning.wafer_economics ~process:n7 ga100_spec skus in
+      let more = Binning.wafer_economics ~process:n7 ga100_spec (extra :: skus) in
+      more.Binning.revenue_per_wafer_usd >= base.Binning.revenue_per_wafer_usd -. 1e-6)
+
+let suite =
+  [
+    test "distribution sums to survival" t_distribution_sums_to_survival;
+    test "perfect-die probability" t_perfect_die_probability;
+    test "sku assignment" t_assign;
+    test "wafer economics" t_wafer_economics;
+    test "salvage skus raise revenue" t_salvage_value;
+    test "validation" t_validation;
+    prop_probabilities_valid;
+    prop_more_skus_never_lose_revenue;
+  ]

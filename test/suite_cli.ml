@@ -1,0 +1,46 @@
+open Helpers
+
+(* The CLI is a library (lib/cli) so its command tree can be driven
+   in-process; stdout goes to alcotest's capture. *)
+
+let run args =
+  Cmdliner.Cmd.eval ~argv:(Array.of_list ("acs" :: args)) Acs_cli.Cli.main
+
+let ok name args () = Alcotest.(check int) name 0 (run args)
+
+let t_errors () =
+  Alcotest.(check bool) "unknown device fails" true
+    (run [ "classify"; "--device"; "RTX 9999" ] <> 0);
+  Alcotest.(check bool) "classify needs input" true
+    (run [ "classify" ] <> 0);
+  Alcotest.(check bool) "unknown subcommand fails" true
+    (run [ "frobnicate" ] <> 0);
+  Alcotest.(check bool) "unknown model fails" true
+    (run [ "simulate"; "--model"; "GPT-9" ] <> 0);
+  Alcotest.(check bool) "unknown --like fails" true
+    (run [ "simulate"; "--like"; "RTX 9999" ] <> 0)
+
+let t_plan_infeasible () =
+  Alcotest.(check bool) "impossible plan fails" true
+    (run [ "plan"; "--model"; "GPT-3 175B"; "--max-devices"; "1"; "--memgb"; "16" ] <> 0)
+
+let suite =
+  [
+    test "classify by device" (ok "classify" [ "classify"; "--device"; "H20" ]);
+    test "classify hypothetical"
+      (ok "classify" [ "classify"; "--tpp"; "2399"; "--area"; "760" ]);
+    test "simulate defaults" (ok "simulate" [ "simulate" ]);
+    test "simulate --like with report"
+      (ok "simulate" [ "simulate"; "--like"; "H20"; "--model"; "Llama 3 8B"; "--report" ]);
+    test "dse quick"
+      (ok "dse" [ "dse"; "--space"; "oct2022"; "--model"; "Llama 3 8B"; "--top"; "2" ]);
+    test "survey" (ok "survey" [ "survey"; "--only"; "dc" ]);
+    test "fps" (ok "fps" [ "fps"; "--like"; "RTX 4090" ]);
+    test "serve short"
+      (ok "serve"
+         [ "serve"; "--model"; "Llama 3 8B"; "--rate"; "2"; "--duration"; "5" ]);
+    test "package" (ok "package" [ "package"; "--dies"; "4"; "--die-area"; "755" ]);
+    test "plan" (ok "plan" [ "plan"; "--model"; "Llama 3 8B" ]);
+    test "error handling" t_errors;
+    test "infeasible plan" t_plan_infeasible;
+  ]

@@ -1,0 +1,93 @@
+open Core
+open Helpers
+
+let a100 = Presets.a100
+let plan tp pp = { Cluster.tp; pp }
+
+let t_memory_check () =
+  let m = Cluster.memory_check a100 Model.gpt3_175b (plan 4 8) in
+  (* 350 GB of weights over 32 devices = ~10.9 GB each. *)
+  check_within "weights/device" ~tolerance:0.02 10.9e9
+    m.Cluster.weight_bytes_per_device;
+  Alcotest.(check bool) "fits" true m.Cluster.fits;
+  let tight = Cluster.memory_check a100 Model.gpt3_175b (plan 4 1) in
+  (* 87.5 GB of weights alone exceed the 80 GB device. *)
+  Alcotest.(check bool) "tp4 pp1 does not fit" false tight.Cluster.fits
+
+let t_plan_validation () =
+  check_raises_invalid "tp heads" (fun () ->
+      ignore (Cluster.memory_check a100 Model.gpt3_175b (plan 7 1)));
+  check_raises_invalid "pp layers" (fun () ->
+      ignore (Cluster.memory_check a100 Model.gpt3_175b (plan 4 5)));
+  check_raises_invalid "pp > batch" (fun () ->
+      ignore
+        (Cluster.memory_check
+           ~request:(Request.make ~batch:2 ~input_len:128 ~output_len:8)
+           a100 Model.gpt3_175b (plan 4 4)))
+
+let t_decode_latency_invariant_in_pp () =
+  (* A token passes every layer regardless of how they are split. *)
+  let r1 = Cluster.simulate a100 Model.llama3_8b (plan 4 1) in
+  let r4 = Cluster.simulate a100 Model.llama3_8b (plan 4 4) in
+  check_close "token latency unchanged" r1.Cluster.token_latency_s
+    r4.Cluster.token_latency_s;
+  Alcotest.(check bool) "throughput scales with pp" true
+    (r4.Cluster.throughput_tokens_per_s
+    > 3. *. r1.Cluster.throughput_tokens_per_s)
+
+let t_ttft_bubble () =
+  (* TTFT follows the microbatched-fill formula: (2 pp - 1) stage-steps,
+     each a pp-th of the layers over a pp-th of the batch. *)
+  let pp = 4 in
+  let r = Cluster.simulate a100 Model.llama3_8b (plan 4 pp) in
+  let micro_request = Request.make ~batch:8 ~input_len:2048 ~output_len:1024 in
+  let micro = Engine.simulate ~tp:4 ~request:micro_request a100 Model.llama3_8b in
+  let stage = micro.Engine.ttft_s *. float_of_int (32 / pp) in
+  check_close "fill formula" (float_of_int ((2 * pp) - 1) *. stage) r.Cluster.ttft_s;
+  (* The fill bubble costs (pp - 1) extra stage-steps over a perfectly
+     overlapped pipeline. *)
+  Alcotest.(check bool) "bubble above ideal" true
+    (r.Cluster.ttft_s > float_of_int pp *. stage)
+
+let t_tp1_pp1_matches_engine () =
+  let r = Cluster.simulate a100 Model.llama3_8b (plan 1 1) in
+  let e = Engine.simulate ~tp:1 a100 Model.llama3_8b in
+  check_close "ttft" (Engine.model_ttft_s e) r.Cluster.ttft_s;
+  check_close "token latency" (Engine.model_tbt_s e) r.Cluster.token_latency_s
+
+let t_choose_plan () =
+  (match Cluster.choose_plan ~max_devices:64 a100 Model.gpt3_175b with
+  | Some r ->
+      Alcotest.(check bool) "fits" true r.Cluster.memory.Cluster.fits;
+      Alcotest.(check bool) "within budget" true (Cluster.devices r.Cluster.plan <= 64);
+      (* GPT-3 needs more than one A100-group: at least 8 devices. *)
+      Alcotest.(check bool) "needs several devices" true
+        (Cluster.devices r.Cluster.plan >= 8)
+  | None -> Alcotest.fail "a 64-device budget fits GPT-3");
+  (* A small model picks the single device. *)
+  (match Cluster.choose_plan ~max_devices:64 a100 Model.llama3_8b with
+  | Some r -> Alcotest.(check int) "one device suffices" 1 (Cluster.devices r.Cluster.plan)
+  | None -> Alcotest.fail "llama fits");
+  (* An impossible budget yields None. *)
+  let tiny =
+    { a100 with Device.memory = Memory.make ~capacity_gb:8. ~bandwidth_tb_s:2. }
+  in
+  Alcotest.(check bool) "nothing fits" true
+    (Cluster.choose_plan ~max_devices:2 tiny Model.gpt3_175b = None)
+
+let prop_throughput_positive =
+  qcheck ~count:30 "cluster metrics positive" device_arb (fun d ->
+      let r = Cluster.simulate d Model.llama3_8b (plan 4 4) in
+      r.Cluster.ttft_s > 0. && r.Cluster.token_latency_s > 0.
+      && r.Cluster.throughput_tokens_per_s > 0.)
+
+let suite =
+  [
+    test "memory check" t_memory_check;
+    test "plan validation" t_plan_validation;
+    test "decode latency invariant in pp" t_decode_latency_invariant_in_pp;
+    test "ttft pipeline fill" t_ttft_bubble;
+    test "tp1 pp1 matches the engine" t_tp1_pp1_matches_engine;
+    test "choose_plan" t_choose_plan;
+    prop_throughput_positive;
+  ]

@@ -1,0 +1,82 @@
+open Core
+open Helpers
+
+let order ?(consignee = "lab-a") ?(units = 1) device_tpp =
+  { Diffusion_2025.consignee; device_tpp; units }
+
+let t_order_tpp () =
+  check_close "order tpp" (4992. *. 100.)
+    (Diffusion_2025.order_tpp (order ~units:100 4992.));
+  check_raises_invalid "negative units" (fun () ->
+      ignore (Diffusion_2025.order_tpp (order ~units:(-1) 1.)))
+
+let t_lpp_exception () =
+  let ledger = Diffusion_2025.create () in
+  (* 1000 H100s = 15.8M TPP: under the 26.9M LPP line. *)
+  let small = order ~units:1000 15824. in
+  Alcotest.(check bool) "small order exempt" true
+    (Diffusion_2025.classify ledger small = Diffusion_2025.Within_lpp_exception);
+  (match Diffusion_2025.record ledger small with
+  | Ok Diffusion_2025.Within_lpp_exception -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected LPP record");
+  check_close "lpp tracked" 15.824e6
+    (Diffusion_2025.lpp_used_tpp ledger ~consignee:"lab-a");
+  (* A second identical order from the same consignee busts the annual
+     LPP cap and must draw on the allocation instead. *)
+  Alcotest.(check bool) "second order licensed" true
+    (Diffusion_2025.classify ledger small = Diffusion_2025.Within_allocation);
+  (* ... but a different consignee still gets the exception. *)
+  Alcotest.(check bool) "other consignee exempt" true
+    (Diffusion_2025.classify ledger { small with Diffusion_2025.consignee = "lab-b" }
+    = Diffusion_2025.Within_lpp_exception)
+
+let t_allocation_drains () =
+  let ledger = Diffusion_2025.create () in
+  let big = order ~units:30_000 15824. in
+  (* 475M TPP: licensed against the 790M allocation. *)
+  (match Diffusion_2025.record ledger big with
+  | Ok Diffusion_2025.Within_allocation -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected allocation record");
+  check_close "consumed" 474.72e6 (Diffusion_2025.consumed_allocation_tpp ledger);
+  (* A second such order exceeds the remaining allocation. *)
+  (match Diffusion_2025.record ledger big with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected refusal");
+  check_close "consumed unchanged" 474.72e6
+    (Diffusion_2025.consumed_allocation_tpp ledger)
+
+let t_new_year_resets_lpp () =
+  let ledger = Diffusion_2025.create () in
+  let small = order ~units:1500 15824. in
+  ignore (Diffusion_2025.record ledger small);
+  Alcotest.(check bool) "exhausted this year" true
+    (Diffusion_2025.classify ledger small <> Diffusion_2025.Within_lpp_exception);
+  Diffusion_2025.new_year ledger;
+  Alcotest.(check bool) "fresh next year" true
+    (Diffusion_2025.classify ledger small = Diffusion_2025.Within_lpp_exception)
+
+let t_create_validation () =
+  check_raises_invalid "bad allocation" (fun () ->
+      ignore (Diffusion_2025.create ~country_allocation_tpp:0. ()))
+
+let prop_conservation =
+  qcheck ~count:50 "ledger never exceeds its allocation"
+    QCheck.(list_of_size Gen.(int_range 1 20) (pair (float_range 1000. 20000.) (int_range 1 5000)))
+    (fun orders ->
+      let ledger = Diffusion_2025.create () in
+      List.iter
+        (fun (tpp, units) ->
+          ignore (Diffusion_2025.record ledger (order ~units tpp)))
+        orders;
+      Diffusion_2025.consumed_allocation_tpp ledger
+      <= Diffusion_2025.default_country_allocation_tpp +. 1e-6)
+
+let suite =
+  [
+    test "order tpp" t_order_tpp;
+    test "LPP exception accounting" t_lpp_exception;
+    test "allocation drains and refuses" t_allocation_drains;
+    test "new year resets LPP" t_new_year_resets_lpp;
+    test "create validation" t_create_validation;
+    prop_conservation;
+  ]

@@ -1,0 +1,43 @@
+(* Integration smoke tests: every experiment of the harness must run to
+   completion (their printed output lands in alcotest's capture). This
+   catches regressions a unit test on a single module would miss - e.g. a
+   sweep that starts raising on some design point. *)
+
+open Helpers
+
+let exp name run = test name (fun () -> run ())
+
+let t_results_csvs () =
+  (* Experiments write their CSV series; spot-check one. *)
+  Acs_experiments.Exp_fig5.run ();
+  let path = Filename.concat Acs_experiments.Common.results_dir "fig5.csv" in
+  Alcotest.(check bool) "fig5.csv exists" true (Sys.file_exists path);
+  let ic = open_in path in
+  let header = input_line ic in
+  close_in ic;
+  Alcotest.(check string) "header" "series,tpp,devbw_gb_s,ttft_ms,tbt_ms" header
+
+let suite =
+  [
+    exp "table1" Acs_experiments.Exp_table1.run;
+    exp "fig1" Acs_experiments.Exp_fig1.run;
+    exp "fig5" Acs_experiments.Exp_fig5.run;
+    exp "fig6" Acs_experiments.Exp_fig6.run;
+    exp "fig7" Acs_experiments.Exp_fig7.run;
+    exp "table4" Acs_experiments.Exp_table4.run;
+    exp "fig8" Acs_experiments.Exp_fig8.run;
+    exp "fig9-10" Acs_experiments.Exp_fig9_10.run;
+    exp "fig11" Acs_experiments.Exp_fig11.run;
+    exp "fig12" Acs_experiments.Exp_fig12.run;
+    exp "sec54" Acs_experiments.Exp_sec54.run;
+    exp "chiplet" Acs_experiments.Exp_chiplet.run;
+    exp "history" Acs_experiments.Exp_history.run;
+    exp "power" Acs_experiments.Exp_power.run;
+    exp "serving" Acs_experiments.Exp_serving.run;
+    exp "newrules" Acs_experiments.Exp_newrules.run;
+    exp "economics" Acs_experiments.Exp_economics.run;
+    exp "workload" Acs_experiments.Exp_workload.run;
+    exp "training" Acs_experiments.Exp_training.run;
+    exp "scorecard" Acs_experiments.Exp_scorecard.run;
+    test "csv output" t_results_csvs;
+  ]

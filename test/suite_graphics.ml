@@ -1,0 +1,123 @@
+open Core
+open Helpers
+
+let a100 = Presets.a100
+
+let rtx4090_like =
+  Device.make ~name:"4090-like" ~core_count:128 ~lanes_per_core:4
+    ~systolic:(Systolic.square 16) ~l1_kb:128. ~l2_mb:72.
+    ~memory:(Memory.make ~capacity_gb:24. ~bandwidth_tb_s:1.0)
+    ~interconnect:(Interconnect.of_total_gb_s 32.)
+    ()
+
+let t_scene_accounting () =
+  let s = Graphics.esports_1080p in
+  check_close "pixels" (1920. *. 1080. *. 1.6) (Graphics.shaded_pixels s);
+  check_close "flops"
+    (Graphics.shaded_pixels s *. 2500.)
+    (Graphics.frame_flops s);
+  check_close "rays none" 0. (Graphics.frame_rays s);
+  let rt = Graphics.raytraced_4k in
+  check_close "rays" (3840. *. 2160. *. 2.) (Graphics.frame_rays rt)
+
+let t_scene_validation () =
+  check_raises_invalid "resolution" (fun () ->
+      ignore
+        (Graphics.make ~name:"x" ~width:0 ~height:10
+           ~shading_flops_per_pixel:1. ~texture_bytes_per_pixel:1. ()));
+  check_raises_invalid "overdraw" (fun () ->
+      ignore
+        (Graphics.make ~overdraw:0.5 ~name:"x" ~width:10 ~height:10
+           ~shading_flops_per_pixel:1. ~texture_bytes_per_pixel:1. ()))
+
+let t_fps_bands () =
+  (* Big GPUs should reach esports frame rates and playable AAA rates. *)
+  check_between "esports" 200. 2000. (Graphics_model.fps rtx4090_like Graphics.esports_1080p);
+  check_between "aaa" 60. 400. (Graphics_model.fps rtx4090_like Graphics.aaa_1440p);
+  check_between "rt 4k" 30. 200. (Graphics_model.fps rtx4090_like Graphics.raytraced_4k)
+
+let t_breakdown_consistency () =
+  let b = Graphics_model.frame_breakdown a100 Graphics.raytraced_4k in
+  check_close "frame composition"
+    (Float.max b.Graphics_model.shading_s b.Graphics_model.texture_s
+    +. b.Graphics_model.raytracing_s +. b.Graphics_model.fixed_s)
+    b.Graphics_model.frame_s
+
+let t_systolic_blindness () =
+  (* The Sec. 5.4 point: removing matmul hardware does not change gaming
+     performance. 4x4 arrays with the same vector/memory system give the
+     same FPS. *)
+  let gimped =
+    { rtx4090_like with Device.systolic = Systolic.square 4 }
+  in
+  check_close "fps unchanged"
+    (Graphics_model.fps rtx4090_like Graphics.aaa_1440p)
+    (Graphics_model.fps gimped Graphics.aaa_1440p)
+
+let t_l1_blindness () =
+  let starved = { rtx4090_like with Device.l1_bytes = 32e3 } in
+  check_close "fps unchanged by L1 cap"
+    (Graphics_model.fps rtx4090_like Graphics.aaa_1440p)
+    (Graphics_model.fps starved Graphics.aaa_1440p)
+
+let t_llm_vs_gaming_policy_asymmetry () =
+  (* The AI-targeted policy (32 KB L1 + 0.8 TB/s) must hurt LLM inference a
+     lot and esports gaming only mildly. *)
+  let limited =
+    {
+      rtx4090_like with
+      Device.l1_bytes = 32e3;
+      memory = Memory.make ~capacity_gb:24. ~bandwidth_tb_s:0.8;
+    }
+  in
+  let llm_penalty =
+    let base = Engine.end_to_end_s (Engine.simulate rtx4090_like Model.llama3_8b) in
+    let v = Engine.end_to_end_s (Engine.simulate limited Model.llama3_8b) in
+    (v -. base) /. base
+  in
+  Alcotest.(check bool) "LLM e2e slowed > 10%" true (llm_penalty > 0.10);
+  (* Shading-bound scenes are untouched; only the texture-bound esports
+     scene loses a few percent. *)
+  List.iter
+    (fun scene ->
+      let base = Graphics_model.fps rtx4090_like scene in
+      let v = Graphics_model.fps limited scene in
+      check_between
+        (scene.Graphics.name ^ " fps penalty")
+        0. 0.01
+        ((base -. v) /. base))
+    [ Graphics.aaa_1440p; Graphics.raytraced_4k ];
+  let esports_penalty =
+    let base = Graphics_model.fps rtx4090_like Graphics.esports_1080p in
+    (base -. Graphics_model.fps limited Graphics.esports_1080p) /. base
+  in
+  Alcotest.(check bool) "esports penalty mild" true
+    (esports_penalty < 0.6 *. llm_penalty)
+
+let prop_fps_positive =
+  qcheck ~count:60 "fps positive and finite" device_arb (fun d ->
+      List.for_all
+        (fun scene ->
+          let fps = Graphics_model.fps d scene in
+          fps > 0. && Float.is_finite fps)
+        Graphics.presets)
+
+let prop_more_vector_flops_not_slower =
+  qcheck ~count:40 "doubling cores never lowers fps" device_arb (fun d ->
+      QCheck.assume (d.Device.core_count <= 512);
+      let bigger = { d with Device.core_count = d.Device.core_count * 2 } in
+      Graphics_model.fps bigger Graphics.aaa_1440p
+      >= Graphics_model.fps d Graphics.aaa_1440p -. 1e-9)
+
+let suite =
+  [
+    test "scene accounting" t_scene_accounting;
+    test "scene validation" t_scene_validation;
+    test "fps bands" t_fps_bands;
+    test "breakdown consistency" t_breakdown_consistency;
+    test "systolic arrays do not matter" t_systolic_blindness;
+    test "L1 capacity does not matter" t_l1_blindness;
+    test "AI-targeted policy asymmetry" t_llm_vs_gaming_policy_asymmetry;
+    prop_fps_positive;
+    prop_more_vector_flops_not_slower;
+  ]

@@ -1,0 +1,156 @@
+open Core
+open Helpers
+
+(* Systolic *)
+
+let t_systolic () =
+  let s = Systolic.make ~dim_x:16 ~dim_y:16 in
+  Alcotest.(check int) "macs" 256 (Systolic.macs_per_cycle s);
+  Alcotest.(check int) "ops" 512 (Systolic.ops_per_cycle s);
+  Alcotest.(check string) "to_string" "16x16" (Systolic.to_string s);
+  Alcotest.(check bool) "equal" true (Systolic.equal s (Systolic.square 16));
+  Alcotest.(check bool) "not equal" false (Systolic.equal s (Systolic.square 8));
+  check_raises_invalid "zero dim" (fun () -> Systolic.make ~dim_x:0 ~dim_y:4);
+  check_raises_invalid "negative" (fun () -> Systolic.make ~dim_x:4 ~dim_y:(-1))
+
+(* Process *)
+
+let t_process () =
+  Alcotest.(check bool) "7nm finfet" true (Process.non_planar Process.N7);
+  Alcotest.(check bool) "16nm finfet" true (Process.non_planar Process.N16);
+  Alcotest.(check bool) "28nm planar" false (Process.non_planar Process.N28);
+  Alcotest.(check int) "nm" 8 (Process.nm Process.N8);
+  Alcotest.(check string) "to_string" "7nm" (Process.to_string Process.N7);
+  Alcotest.(check bool) "of_nm roundtrip" true (Process.of_nm 5 = Process.N5);
+  check_raises_invalid "unsupported" (fun () -> ignore (Process.of_nm 3))
+
+(* Memory *)
+
+let t_memory () =
+  let m = Memory.make ~capacity_gb:80. ~bandwidth_tb_s:2. in
+  check_close "capacity" 80e9 m.Memory.capacity_bytes;
+  check_close "bandwidth" 2e12 m.Memory.bandwidth_bytes_per_s;
+  Alcotest.(check int) "stacks for 2TB/s" 5 m.Memory.stacks;
+  let m32 = Memory.make ~capacity_gb:80. ~bandwidth_tb_s:3.2 in
+  Alcotest.(check int) "stacks for 3.2TB/s" 8 m32.Memory.stacks;
+  let m08 = Memory.make ~capacity_gb:80. ~bandwidth_tb_s:0.8 in
+  Alcotest.(check int) "stacks for 0.8TB/s" 2 m08.Memory.stacks;
+  check_raises_invalid "bad capacity" (fun () ->
+      Memory.make ~capacity_gb:0. ~bandwidth_tb_s:2.)
+
+let t_memory_density () =
+  let m = Memory.make ~capacity_gb:24. ~bandwidth_tb_s:0.8 in
+  check_close "density" 8. (Memory.bandwidth_density m ~package_area_mm2:100.);
+  check_raises_invalid "bad area" (fun () ->
+      ignore (Memory.bandwidth_density m ~package_area_mm2:0.))
+
+let t_memory_with_bandwidth () =
+  let m = Memory.make ~capacity_gb:80. ~bandwidth_tb_s:2. in
+  let m' = Memory.with_bandwidth m ~bandwidth_tb_s:3.2 in
+  check_close "capacity preserved" 80e9 m'.Memory.capacity_bytes;
+  check_close "bw updated" 3.2e12 m'.Memory.bandwidth_bytes_per_s
+
+(* Interconnect *)
+
+let t_interconnect () =
+  let i = Interconnect.make ~links:12 () in
+  check_close "a100 nvlink" 600e9 (Interconnect.total_bandwidth i);
+  let i' = Interconnect.of_total_gb_s 600. in
+  check_close "of_total exact" 600e9 (Interconnect.total_bandwidth i');
+  let odd = Interconnect.of_total_gb_s 725. in
+  check_close "of_total non-multiple" 725e9 (Interconnect.total_bandwidth odd);
+  check_raises_invalid "zero links" (fun () ->
+      ignore (Interconnect.make ~links:0 ()));
+  check_raises_invalid "negative total" (fun () ->
+      ignore (Interconnect.of_total_gb_s (-1.)))
+
+(* Device *)
+
+let t_a100_tpp () =
+  let a = Presets.a100 in
+  Alcotest.(check int) "macs/cycle" 110592 (Device.total_macs_per_cycle a);
+  check_within "peak tensor flops" ~tolerance:0.01 312e12
+    (Device.peak_tensor_flops a);
+  check_within "tpp" ~tolerance:0.01 4992. (Device.tpp a);
+  check_close "device bw" 600. (Device.device_bandwidth_gb_s a);
+  check_close "l1 per lane" 48e3 (Device.l1_per_lane a);
+  check_within "vector flops" ~tolerance:0.01 39e12 (Device.peak_vector_flops a)
+
+let t_capped_preset () =
+  let d = Presets.capped_tpp_4759 in
+  check_between "capped tpp under 4800" 4700. 4799.99 (Device.tpp d)
+
+let t_fp_max () =
+  (* Eq. 1 roundtrip: fp_max at the A100's TPP covers its MAC count. *)
+  let a = Presets.a100 in
+  let fpmax = Device.fp_max ~tpp:(Device.tpp a) ~frequency_hz:a.Device.frequency_hz in
+  Alcotest.(check int) "fp_max = device macs" (Device.total_macs_per_cycle a) fpmax;
+  check_raises_invalid "bad tpp" (fun () ->
+      ignore (Device.fp_max ~tpp:0. ~frequency_hz:1e9))
+
+let t_cores_for_tpp () =
+  (* The paper's 4800-target configuration: 103 cores at 4 lanes of 16x16. *)
+  Alcotest.(check int) "4800 target, 4 lanes" 103
+    (Device.cores_for_tpp ~tpp:4800. ~lanes_per_core:4
+       ~systolic:(Systolic.square 16) ());
+  (* Table 4's designs: 103 cores at 2 lanes for the 2400 target. *)
+  Alcotest.(check int) "2400 target, 2 lanes" 103
+    (Device.cores_for_tpp ~tpp:2400. ~lanes_per_core:2
+       ~systolic:(Systolic.square 16) ());
+  Alcotest.(check int) "at least one core" 1
+    (Device.cores_for_tpp ~tpp:1. ~lanes_per_core:8
+       ~systolic:(Systolic.square 32) ())
+
+let t_device_validation () =
+  let mem = Memory.make ~capacity_gb:80. ~bandwidth_tb_s:2. in
+  let ic = Interconnect.make ~links:12 () in
+  check_raises_invalid "zero cores" (fun () ->
+      ignore
+        (Device.make ~core_count:0 ~lanes_per_core:4
+           ~systolic:(Systolic.square 16) ~l1_kb:192. ~l2_mb:40. ~memory:mem
+           ~interconnect:ic ()));
+  check_raises_invalid "zero l1" (fun () ->
+      ignore
+        (Device.make ~core_count:1 ~lanes_per_core:4
+           ~systolic:(Systolic.square 16) ~l1_kb:0. ~l2_mb:40. ~memory:mem
+           ~interconnect:ic ()))
+
+let prop_tpp_eq1 =
+  qcheck "TPP consistent with Eq. 1" device_arb (fun d ->
+      let direct =
+        2. *. 16.
+        *. float_of_int (Device.total_macs_per_cycle d)
+        *. d.Device.frequency_hz /. 1e12
+      in
+      Float.abs (direct -. Device.tpp d) < 1e-6 *. direct)
+
+let prop_cores_under_target =
+  qcheck "cores_for_tpp keeps TPP at or under target"
+    QCheck.(
+      pair (QCheck.make QCheck.Gen.(oneofl [ 4; 8; 16; 32 ]))
+        (pair (QCheck.make QCheck.Gen.(oneofl [ 1; 2; 4; 8 ]))
+           (QCheck.make QCheck.Gen.(float_range 100. 20000.))))
+    (fun (dim, (lanes, target)) ->
+      let systolic = Systolic.square dim in
+      let cores = Device.cores_for_tpp ~tpp:target ~lanes_per_core:lanes ~systolic () in
+      let macs = Systolic.macs_per_cycle systolic * lanes * cores in
+      let tpp = 2. *. 16. *. float_of_int macs *. 1.41e9 /. 1e12 in
+      (* Either the target is met, or even one core-group exceeds it. *)
+      tpp <= target || cores = 1)
+
+let suite =
+  [
+    test "systolic arrays" t_systolic;
+    test "process nodes" t_process;
+    test "memory stacks" t_memory;
+    test "memory bandwidth density" t_memory_density;
+    test "memory bandwidth override" t_memory_with_bandwidth;
+    test "interconnect" t_interconnect;
+    test "A100 preset metrics" t_a100_tpp;
+    test "capped preset" t_capped_preset;
+    test "fp_max (Eq. 1)" t_fp_max;
+    test "cores_for_tpp paper configs" t_cores_for_tpp;
+    test "device validation" t_device_validation;
+    prop_tpp_eq1;
+    prop_cores_under_target;
+  ]

@@ -1,0 +1,54 @@
+open Core
+open Helpers
+
+let t_ctp_formula () =
+  (* WF = 1/3 + WL/96: a 64-bit element has WF = 1, a 32-bit one 2/3. *)
+  check_close "64-bit factor" 1000.
+    (Historical.ctp_element_mtops ~rate_mops:1000. ~word_length_bits:64);
+  check_close "32-bit factor" (1000. *. ((1. /. 3.) +. (32. /. 96.)))
+    (Historical.ctp_element_mtops ~rate_mops:1000. ~word_length_bits:32);
+  check_close "aggregation" 2000.
+    (Historical.ctp_mtops [ (1000., 64); (1000., 64) ]);
+  check_close "of_flops" 1000.
+    (Historical.ctp_of_flops ~flops:1e9 ~word_length_bits:64);
+  check_raises_invalid "rate" (fun () ->
+      ignore (Historical.ctp_element_mtops ~rate_mops:0. ~word_length_bits:64))
+
+let t_app_formula () =
+  check_close "vector weight" 0.9 (Historical.app_weight Historical.Vector);
+  check_close "non-vector weight" 0.3 (Historical.app_weight Historical.Non_vector);
+  (* A100: 9.7 FP64 TFLOPS, vector-class -> 8.73 WT. *)
+  check_close "a100 app" 8.73
+    (Historical.app_wt ~fp64_flops:9.7e12 ~kind:Historical.Vector);
+  check_raises_invalid "negative" (fun () ->
+      ignore (Historical.app_wt ~fp64_flops:(-1.) ~kind:Historical.Vector))
+
+let t_thresholds_outdated () =
+  (* Even a mid-range consumer card dwarfs every historical threshold:
+     the paper's point that metrics age much faster than rules. *)
+  let rtx4070_fp32 = 29.15e12 in
+  let ctp = Historical.ctp_of_flops ~flops:rtx4070_fp32 ~word_length_bits:32 in
+  Alcotest.(check bool) "beyond 2001 ctp line" true
+    (ctp > 100. *. Historical.ctp_threshold_2001_mtops);
+  let a100_app = Historical.app_wt ~fp64_flops:9.7e12 ~kind:Historical.Vector in
+  Alcotest.(check bool) "beyond 2006 app line" true
+    (a100_app > Historical.app_threshold_2006_wt *. 10.);
+  Alcotest.(check bool) "thresholds increased over time" true
+    (Historical.ctp_threshold_1998_mtops < Historical.ctp_threshold_2001_mtops
+    && Historical.app_threshold_2006_wt < Historical.app_threshold_2011_wt)
+
+let prop_ctp_monotone =
+  qcheck "ctp monotone in rate and word length"
+    QCheck.(pair (float_range 1. 1e6) (pair (int_range 8 64) (int_range 8 64)))
+    (fun (rate, (w1, w2)) ->
+      let lo = min w1 w2 and hi = max w1 w2 in
+      Historical.ctp_element_mtops ~rate_mops:rate ~word_length_bits:lo
+      <= Historical.ctp_element_mtops ~rate_mops:rate ~word_length_bits:hi)
+
+let suite =
+  [
+    test "ctp formula" t_ctp_formula;
+    test "app formula" t_app_formula;
+    test "historical thresholds outdated" t_thresholds_outdated;
+    prop_ctp_monotone;
+  ]

@@ -1,0 +1,125 @@
+open Core
+open Helpers
+
+(* A small but real slice of the restricted DSE. *)
+let designs =
+  lazy
+    (let params = Space.enumerate Space.restricted in
+     let some = List.filteri (fun i _ -> i mod 9 = 0) params in
+     List.map
+       (fun p ->
+         Design.evaluate ~model:Model.llama3_8b p (Space.build ~tpp_target:4800. p))
+       some)
+
+let t_analyze_shape () =
+  let ds = Lazy.force designs in
+  let reports =
+    Grouping.analyze ~metric:(fun d -> d.Design.tbt_s) ~designs:ds
+      [ Grouping.memory_bw_fixed_tb_s 0.8; Grouping.lanes_fixed 8 ]
+  in
+  Alcotest.(check int) "all + groups" 3 (List.length reports);
+  let all = List.hd reports in
+  Alcotest.(check string) "first is TPP only" "TPP only" all.Grouping.grouping;
+  Alcotest.(check int) "covers all designs" (List.length ds) all.Grouping.count;
+  check_close "all has narrowing 1" 1. all.Grouping.narrowing_vs_all
+
+let t_membw_narrows_tbt () =
+  let ds = Lazy.force designs in
+  let reports =
+    Grouping.analyze ~metric:(fun d -> d.Design.tbt_s) ~designs:ds
+      [ Grouping.memory_bw_fixed_tb_s 0.8 ]
+  in
+  match reports with
+  | [ _; bw ] ->
+      Alcotest.(check bool) "strong narrowing" true
+        (bw.Grouping.narrowing_vs_all > 5.)
+  | _ -> Alcotest.fail "unexpected report shape"
+
+let t_baseline_median () =
+  let ds = Lazy.force designs in
+  let baseline = 1e-3 in
+  let reports =
+    Grouping.analyze ~baseline ~metric:(fun d -> d.Design.tbt_s) ~designs:ds
+      [ Grouping.l1_fixed_kb 32. ]
+  in
+  List.iter
+    (fun r ->
+      match r.Grouping.median_change_vs_baseline with
+      | Some c ->
+          check_close "median change consistent"
+            ((r.Grouping.summary.Stats.median -. baseline) /. baseline)
+            c
+      | None -> Alcotest.fail "baseline missing")
+    reports
+
+let t_group_constructors () =
+  let ds = Lazy.force designs in
+  let groups =
+    [
+      Grouping.lanes_fixed 1;
+      Grouping.l1_fixed_kb 64.;
+      Grouping.l2_fixed_mb 8.;
+      Grouping.memory_bw_fixed_tb_s 1.2;
+      Grouping.device_bw_fixed_gb_s 400.;
+      Grouping.systolic_fixed 8;
+    ]
+  in
+  let reports =
+    Grouping.analyze ~metric:(fun d -> d.Design.ttft_s) ~designs:ds groups
+  in
+  Alcotest.(check int) "seven reports" 7 (List.length reports);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (r.Grouping.grouping ^ " non-empty")
+        true (r.Grouping.count > 0))
+    reports
+
+let t_both () =
+  let ds = Lazy.force designs in
+  let combined =
+    Grouping.both (Grouping.l1_fixed_kb 32.) (Grouping.memory_bw_fixed_tb_s 0.8)
+  in
+  let reports =
+    Grouping.analyze ~metric:(fun d -> d.Design.tbt_s) ~designs:ds
+      [ Grouping.l1_fixed_kb 32.; combined ]
+  in
+  (match reports with
+  | [ _; l1_only; both_r ] ->
+      Alcotest.(check bool) "conjunction is smaller" true
+        (both_r.Grouping.count < l1_only.Grouping.count);
+      Alcotest.(check bool) "conjunction at least as narrow" true
+        (both_r.Grouping.narrowing_vs_all >= l1_only.Grouping.narrowing_vs_all);
+      Alcotest.(check string) "label" "32 KB L1 + 0.8 TB/s M.BW"
+        both_r.Grouping.grouping
+  | _ -> Alcotest.fail "unexpected report shape")
+
+let t_analyze_errors () =
+  check_raises_invalid "empty designs" (fun () ->
+      ignore
+        (Grouping.analyze ~metric:(fun d -> d.Design.tbt_s) ~designs:[] []));
+  let ds = Lazy.force designs in
+  check_raises_invalid "empty group" (fun () ->
+      ignore
+        (Grouping.analyze ~metric:(fun d -> d.Design.tbt_s) ~designs:ds
+           [ Grouping.lanes_fixed 3 ]))
+
+let t_pp_report () =
+  let ds = Lazy.force designs in
+  let reports =
+    Grouping.analyze ~baseline:1e-3 ~metric:(fun d -> d.Design.tbt_s)
+      ~designs:ds []
+  in
+  let s = Format.asprintf "%a" Grouping.pp_report (List.hd reports) in
+  Alcotest.(check bool) "renders" true (String.length s > 10)
+
+let suite =
+  [
+    test "analyze shape" t_analyze_shape;
+    test "memory bandwidth narrows TBT" t_membw_narrows_tbt;
+    test "baseline medians" t_baseline_median;
+    test "all group constructors" t_group_constructors;
+    test "combined groupings" t_both;
+    test "error cases" t_analyze_errors;
+    test "report printing" t_pp_report;
+  ]

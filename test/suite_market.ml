@@ -1,0 +1,75 @@
+open Core
+open Helpers
+
+let m =
+  Market.make ~demand_choke_price:40_000. ~demand_slope:10.
+    ~supply_reserve_price:5_000. ~supply_slope:4.
+
+let t_equilibrium () =
+  let eq = Market.equilibrium m in
+  check_close "quantity" 2500. eq.Market.quantity;
+  check_close "price" 15_000. eq.Market.price;
+  check_close "demand = supply there"
+    (Market.demand_price m ~quantity:eq.Market.quantity)
+    (Market.supply_price m ~quantity:eq.Market.quantity)
+
+let t_surplus () =
+  let eq = Market.equilibrium m in
+  let q = eq.Market.quantity in
+  check_close "consumer triangle" (0.5 *. 10. *. q *. q)
+    (Market.consumer_surplus m ~quantity:q);
+  check_close "producer triangle" (0.5 *. 4. *. q *. q)
+    (Market.producer_surplus m ~quantity:q);
+  check_close "total" (Market.consumer_surplus m ~quantity:q +. Market.producer_surplus m ~quantity:q)
+    (Market.total_surplus m ~quantity:q)
+
+let t_restriction () =
+  let o = Market.restrict m ~max_quantity:1500. in
+  check_close "quantity" 1500. o.Market.restricted_quantity;
+  check_close "buyer price" 25_000. o.Market.buyer_price;
+  check_close "seller price" 11_000. o.Market.seller_price;
+  (* 1/2 * (2500-1500) * (25000-11000) *)
+  check_close "dwl" 7_000_000. o.Market.deadweight_loss;
+  check_close "price increase" 10_000. o.Market.price_increase;
+  (* DWL equals the lost total surplus. *)
+  let eq = Market.equilibrium m in
+  check_close "dwl = surplus loss"
+    (Market.total_surplus m ~quantity:eq.Market.quantity
+    -. Market.total_surplus m ~quantity:1500.)
+    o.Market.deadweight_loss
+
+let t_nonbinding () =
+  let o = Market.restrict m ~max_quantity:10_000. in
+  check_close "no dwl" 0. o.Market.deadweight_loss;
+  check_close "no price change" 0. o.Market.price_increase
+
+let t_validation () =
+  check_raises_invalid "bad slope" (fun () ->
+      ignore (Market.make ~demand_choke_price:10. ~demand_slope:0. ~supply_reserve_price:1. ~supply_slope:1.));
+  check_raises_invalid "no equilibrium" (fun () ->
+      ignore (Market.make ~demand_choke_price:1. ~demand_slope:1. ~supply_reserve_price:2. ~supply_slope:1.));
+  check_raises_invalid "negative quota" (fun () ->
+      ignore (Market.restrict m ~max_quantity:(-1.)))
+
+let prop_dwl_monotone =
+  qcheck "tighter quota, weakly more deadweight loss"
+    QCheck.(pair (float_range 0. 3000.) (float_range 0. 3000.))
+    (fun (a, b) ->
+      let lo = Float.min a b and hi = Float.max a b in
+      (Market.restrict m ~max_quantity:lo).Market.deadweight_loss
+      >= (Market.restrict m ~max_quantity:hi).Market.deadweight_loss -. 1e-9)
+
+let prop_dwl_nonneg =
+  qcheck "deadweight loss non-negative" QCheck.(float_range 0. 5000.)
+    (fun q -> (Market.restrict m ~max_quantity:q).Market.deadweight_loss >= 0.)
+
+let suite =
+  [
+    test "equilibrium" t_equilibrium;
+    test "surplus triangles" t_surplus;
+    test "binding restriction" t_restriction;
+    test "non-binding restriction" t_nonbinding;
+    test "validation" t_validation;
+    prop_dwl_monotone;
+    prop_dwl_nonneg;
+  ]

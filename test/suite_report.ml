@@ -1,0 +1,75 @@
+open Core
+open Helpers
+
+let a100 = Presets.a100
+
+let t_shares_sum () =
+  List.iter
+    (fun phase ->
+      let r = Report.phase_report a100 Model.gpt3_175b phase in
+      check_close
+        (Layer.phase_to_string phase ^ " shares sum")
+        1.
+        (r.Report.compute_share +. r.Report.memory_share
+        +. r.Report.communication_share +. r.Report.overhead_share);
+      check_close "op shares sum" 1.
+        (List.fold_left (fun acc o -> acc +. o.Report.share) 0. r.Report.ops);
+      check_close "total matches engine"
+        (match phase with
+        | Layer.Prefill -> (Engine.simulate a100 Model.gpt3_175b).Engine.ttft_s
+        | Layer.Decode -> (Engine.simulate a100 Model.gpt3_175b).Engine.tbt_s)
+        r.Report.total_s)
+    [ Layer.Prefill; Layer.Decode ]
+
+let t_phase_character () =
+  (* The paper's central asymmetry at op granularity. *)
+  let p = Report.phase_report a100 Model.gpt3_175b Layer.Prefill in
+  let d = Report.phase_report a100 Model.gpt3_175b Layer.Decode in
+  Alcotest.(check bool) "prefill mostly compute bound" true
+    (p.Report.compute_share > 0.5);
+  Alcotest.(check bool) "decode mostly memory bound" true
+    (d.Report.memory_share > 0.5)
+
+let t_dominant_ops () =
+  let p = Report.phase_report a100 Model.gpt3_175b Layer.Prefill in
+  let heaviest = Stats.argmax (fun o -> o.Report.share) p.Report.ops in
+  Alcotest.(check bool) "an FFN matmul dominates prefill" true
+    (heaviest.Report.label = "ffn_up" || heaviest.Report.label = "ffn_down")
+
+let t_bound_strings () =
+  Alcotest.(check string) "compute" "compute" (Report.bound_to_string Report.Compute_bound);
+  Alcotest.(check string) "memory" "memory" (Report.bound_to_string Report.Memory_bound)
+
+let t_renders () =
+  let r = Report.phase_report a100 Model.llama3_8b Layer.Decode in
+  let s = Format.asprintf "%a" Report.pp_phase_report r in
+  Alcotest.(check bool) "mentions ffn" true
+    (String.length s > 100
+    &&
+    let re_found = ref false in
+    String.iteri
+      (fun i _ ->
+        if i + 6 <= String.length s && String.sub s i 6 = "ffn_up" then
+          re_found := true)
+      s;
+    !re_found)
+
+let t_moe_report () =
+  (* Mixtral decode must be even more memory-dominated than dense Llama on
+     the same device (all expert weights stream). *)
+  let dense = Report.phase_report a100 Model.llama3_8b Layer.Decode in
+  let moe = Report.phase_report a100 Model.mixtral_8x7b Layer.Decode in
+  Alcotest.(check bool) "moe router op present" true
+    (List.exists (fun o -> o.Report.label = "moe_router") moe.Report.ops);
+  Alcotest.(check bool) "moe decode slower" true
+    (moe.Report.total_s > 1.4 *. dense.Report.total_s)
+
+let suite =
+  [
+    test "shares sum to one" t_shares_sum;
+    test "phase character" t_phase_character;
+    test "dominant ops" t_dominant_ops;
+    test "bound strings" t_bound_strings;
+    test "report renders" t_renders;
+    test "moe decode report" t_moe_report;
+  ]

@@ -1,0 +1,91 @@
+open Core
+open Helpers
+
+let sweep = Space.oct2022
+let model = Model.llama3_8b
+let feasible d = Design.compliant_2022 d && Design.manufacturable d
+let objective d = d.Design.tbt_s
+
+let center =
+  { Space.systolic_dim = 16; lanes = 2; l1 = 256.; l2 = 48.; memory_bw = 2.4; device_bw = 600. }
+
+let t_neighbors () =
+  let ns = Search.neighbors sweep center in
+  (* Interior point on 5 swept dimensions (device_bw has one value):
+     dims 16 has one neighbor (32), lanes 2 has two, l1 256 two, l2 48 two,
+     membw 2.4 two, devbw none = 9. *)
+  Alcotest.(check int) "neighbor count" 9 (List.length ns);
+  Alcotest.(check bool) "one-step moves" true
+    (List.for_all
+       (fun (n : Space.params) ->
+         let diffs =
+           List.length
+             (List.filter Fun.id
+                [
+                  n.Space.systolic_dim <> center.Space.systolic_dim;
+                  n.Space.lanes <> center.Space.lanes;
+                  n.Space.l1 <> center.Space.l1;
+                  n.Space.l2 <> center.Space.l2;
+                  n.Space.memory_bw <> center.Space.memory_bw;
+                  n.Space.device_bw <> center.Space.device_bw;
+                ])
+         in
+         diffs = 1)
+       ns)
+
+let t_neighbors_at_edge () =
+  let corner =
+    { Space.systolic_dim = 16; lanes = 1; l1 = 192.; l2 = 32.; memory_bw = 2.; device_bw = 600. }
+  in
+  let ns = Search.neighbors sweep corner in
+  (* Every dimension at its low end: one neighbor each for the five
+     multi-valued dimensions. *)
+  Alcotest.(check int) "edge neighbors" 5 (List.length ns)
+
+let t_local_search_improves () =
+  match
+    Search.local_search ~sweep ~tpp_target:4800. ~model ~objective ~feasible
+      center
+  with
+  | None -> Alcotest.fail "center is feasible"
+  | Some o ->
+      Alcotest.(check bool) "made progress" true (o.Search.steps > 0);
+      Alcotest.(check bool) "local optimum" true
+        (List.for_all
+           (fun p ->
+             let d = Design.evaluate ~model p (Space.build ~tpp_target:4800. p) in
+             (not (feasible d)) || objective d >= objective o.Search.best)
+           (Search.neighbors sweep o.Search.best.Design.params))
+
+let t_optimize_matches_sweep () =
+  match
+    Search.optimize ~sweep ~tpp_target:4800. ~model ~objective ~feasible ()
+  with
+  | None -> Alcotest.fail "optimize found nothing"
+  | Some o ->
+      let designs = Design.evaluate_sweep ~model ~tpp_target:4800. sweep in
+      let global =
+        Optimum.best_exn ~filters:[ feasible ] Optimum.Tbt designs
+      in
+      (* Hill climbing on this near-separable objective should land within
+         a few percent of the global optimum with far fewer evaluations. *)
+      check_within "near-global" ~tolerance:0.05 global.Design.tbt_s
+        (objective o.Search.best);
+      Alcotest.(check bool) "cheaper than the sweep" true
+        (o.Search.evaluated < List.length designs)
+
+let t_infeasible_everywhere () =
+  let impossible _ = false in
+  Alcotest.(check bool) "no outcome" true
+    (Search.local_search ~sweep ~tpp_target:4800. ~model ~objective
+       ~feasible:impossible center
+    = None)
+
+let suite =
+  [
+    test "lattice neighbors" t_neighbors;
+    test "neighbors at the edge" t_neighbors_at_edge;
+    test "local search improves to a local optimum" t_local_search_improves;
+    test "multi-start matches the sweep optimum" t_optimize_matches_sweep;
+    test "infeasible everywhere" t_infeasible_everywhere;
+  ]

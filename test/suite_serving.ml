@@ -1,0 +1,126 @@
+open Core
+open Helpers
+
+let small_trace =
+  Trace.synthetic ~rate_per_s:4. ~duration_s:10. ~mean_input:256
+    ~mean_output:32 ()
+
+let t_trace_determinism () =
+  let a = Trace.synthetic ~seed:7 ~rate_per_s:2. ~duration_s:20. ~mean_input:100 ~mean_output:50 () in
+  let b = Trace.synthetic ~seed:7 ~rate_per_s:2. ~duration_s:20. ~mean_input:100 ~mean_output:50 () in
+  Alcotest.(check bool) "same trace" true (a = b);
+  let c = Trace.synthetic ~seed:8 ~rate_per_s:2. ~duration_s:20. ~mean_input:100 ~mean_output:50 () in
+  Alcotest.(check bool) "different seed differs" true (a <> c)
+
+let t_trace_shape () =
+  let rate = 5. and duration = 40. in
+  let tr = Trace.synthetic ~rate_per_s:rate ~duration_s:duration ~mean_input:512 ~mean_output:128 () in
+  let n = List.length tr in
+  check_between "arrival count near rate x duration" 120. 280. (float_of_int n);
+  List.iter
+    (fun r ->
+      if r.Trace.arrival_s < 0. || r.Trace.arrival_s > duration then
+        Alcotest.fail "arrival outside window";
+      if r.Trace.input_len < 8 || r.Trace.output_len < 8 then
+        Alcotest.fail "length floor violated")
+    tr;
+  let sorted = List.sort (fun a b -> compare a.Trace.arrival_s b.Trace.arrival_s) tr in
+  Alcotest.(check bool) "sorted by arrival" true (tr = sorted)
+
+let t_trace_validation () =
+  check_raises_invalid "rate" (fun () ->
+      ignore (Trace.synthetic ~rate_per_s:0. ~duration_s:1. ~mean_input:1 ~mean_output:1 ()));
+  check_raises_invalid "means" (fun () ->
+      ignore (Trace.synthetic ~rate_per_s:1. ~duration_s:1. ~mean_input:0 ~mean_output:1 ()))
+
+let t_run_accounting () =
+  let stats = Simulator.run Presets.a100 Model.llama3_8b small_trace in
+  Alcotest.(check int) "every request finishes"
+    (List.length small_trace)
+    (List.length stats.Simulator.outcomes);
+  Alcotest.(check int) "token accounting"
+    (Trace.total_output_tokens small_trace)
+    stats.Simulator.generated_tokens;
+  Alcotest.(check bool) "positive makespan" true (stats.Simulator.makespan_s > 0.);
+  List.iter
+    (fun o ->
+      if o.Simulator.ttft_s <= 0. then Alcotest.fail "non-positive ttft";
+      if o.Simulator.finish_s > stats.Simulator.makespan_s +. 1e-9 then
+        Alcotest.fail "finish beyond makespan";
+      if
+        o.Simulator.request.Trace.output_len > 1
+        && o.Simulator.tbt_s <= 0.
+      then Alcotest.fail "missing tbt")
+    stats.Simulator.outcomes
+
+let t_percentiles_ordered () =
+  let s = Simulator.run Presets.a100 Model.llama3_8b small_trace in
+  Alcotest.(check bool) "ttft p50 <= p95" true (s.Simulator.p50_ttft_s <= s.Simulator.p95_ttft_s);
+  Alcotest.(check bool) "tbt p50 <= p95" true (s.Simulator.p50_tbt_s <= s.Simulator.p95_tbt_s)
+
+let t_kv_capacity () =
+  let cap =
+    Simulator.kv_capacity_batch Simulator.default_config Presets.a100
+      Model.llama3_8b ~context:2048
+  in
+  Alcotest.(check bool) "positive, at most max batch" true
+    (cap > 0 && cap <= Simulator.default_config.Simulator.max_batch);
+  (* GPT-3 on one device does not even fit its weights. *)
+  let none =
+    Simulator.kv_capacity_batch { Simulator.tp = 1; max_batch = 64 }
+      Presets.a100 Model.gpt3_175b ~context:2048
+  in
+  Alcotest.(check int) "gpt-3 weights exceed one device" 0 none;
+  check_raises_invalid "context" (fun () ->
+      ignore
+        (Simulator.kv_capacity_batch Simulator.default_config Presets.a100
+           Model.llama3_8b ~context:0))
+
+let t_memory_bandwidth_helps_serving () =
+  let fast =
+    { Presets.a100 with
+      Device.memory = Memory.make ~capacity_gb:80. ~bandwidth_tb_s:3.2 }
+  in
+  let base = Simulator.run Presets.a100 Model.llama3_8b small_trace in
+  let faster = Simulator.run fast Model.llama3_8b small_trace in
+  Alcotest.(check bool) "p50 tbt improves" true
+    (faster.Simulator.p50_tbt_s < base.Simulator.p50_tbt_s)
+
+let t_overload_queues () =
+  (* A 10x request rate must raise p95 TTFT (queueing delay). *)
+  let light = Trace.synthetic ~rate_per_s:1. ~duration_s:10. ~mean_input:256 ~mean_output:64 () in
+  let heavy = Trace.synthetic ~rate_per_s:60. ~duration_s:10. ~mean_input:256 ~mean_output:64 () in
+  let l = Simulator.run Presets.a100 Model.llama3_8b light in
+  let h = Simulator.run Presets.a100 Model.llama3_8b heavy in
+  Alcotest.(check bool) "heavier load, slower p95 ttft" true
+    (h.Simulator.p95_ttft_s > l.Simulator.p95_ttft_s);
+  Alcotest.(check bool) "heavier load, higher occupancy" true
+    (h.Simulator.mean_batch_occupancy > l.Simulator.mean_batch_occupancy)
+
+let t_slo_attainment () =
+  let s = Simulator.run Presets.a100 Model.llama3_8b small_trace in
+  check_close "infinite slo met" 1. (Simulator.slo_attainment s ~ttft_s:1e9 ~tbt_s:1e9);
+  check_close "impossible slo" 0.
+    (Simulator.slo_attainment s ~ttft_s:1e-9 ~tbt_s:1e-9);
+  let mid = Simulator.slo_attainment s ~ttft_s:s.Simulator.p50_ttft_s ~tbt_s:1e9 in
+  check_between "median slo ~ half" 0.35 0.65 mid;
+  check_raises_invalid "bad objective" (fun () ->
+      ignore (Simulator.slo_attainment s ~ttft_s:0. ~tbt_s:1.))
+
+let t_empty_trace_rejected () =
+  check_raises_invalid "empty" (fun () ->
+      ignore (Simulator.run Presets.a100 Model.llama3_8b []))
+
+let suite =
+  [
+    test "trace determinism" t_trace_determinism;
+    test "trace shape" t_trace_shape;
+    test "trace validation" t_trace_validation;
+    test "run accounting" t_run_accounting;
+    test "percentiles ordered" t_percentiles_ordered;
+    test "kv capacity bound" t_kv_capacity;
+    test "memory bandwidth helps serving" t_memory_bandwidth_helps_serving;
+    test "overload queues requests" t_overload_queues;
+    test "slo attainment" t_slo_attainment;
+    test "empty trace rejected" t_empty_trace_rejected;
+  ]

@@ -1,0 +1,134 @@
+open Core
+open Helpers
+
+let t_mean () =
+  check_close "mean" 2. (Stats.mean [ 1.; 2.; 3. ]);
+  check_close "mean single" 7. (Stats.mean [ 7. ]);
+  check_close "mean negative" (-1.) (Stats.mean [ -3.; 1. ])
+
+let t_median () =
+  check_close "odd" 2. (Stats.median [ 3.; 1.; 2. ]);
+  check_close "even" 2.5 (Stats.median [ 4.; 1.; 2.; 3. ]);
+  check_close "repeated" 5. (Stats.median [ 5.; 5.; 5. ])
+
+let t_percentile () =
+  let xs = [ 10.; 20.; 30.; 40. ] in
+  check_close "p0" 10. (Stats.percentile 0. xs);
+  check_close "p100" 40. (Stats.percentile 100. xs);
+  check_close "p50" 25. (Stats.percentile 50. xs);
+  check_close "p25" 17.5 (Stats.percentile 25. xs);
+  check_close "singleton" 42. (Stats.percentile 73. [ 42. ])
+
+let t_stddev () =
+  check_close "constant" 0. (Stats.stddev [ 4.; 4.; 4. ]);
+  check_close "two points" 1. (Stats.stddev [ 1.; 3. ])
+
+let t_range_iqr () =
+  check_close "range" 9. (Stats.range [ 1.; 10.; 4. ]);
+  check_close "iqr" 15. (Stats.iqr [ 10.; 20.; 30.; 40. ])
+
+let t_summary () =
+  let s = Stats.summarize [ 1.; 2.; 3.; 4.; 5. ] in
+  Alcotest.(check int) "count" 5 s.Stats.count;
+  check_close "min" 1. s.Stats.min;
+  check_close "max" 5. s.Stats.max;
+  check_close "median" 3. s.Stats.median;
+  check_close "mean" 3. s.Stats.mean
+
+let t_narrowing () =
+  check_close "4x narrower" 4.
+    (Stats.narrowing_factor ~baseline:[ 0.; 8. ] [ 1.; 3. ]);
+  check_close "same" 1. (Stats.narrowing_factor ~baseline:[ 0.; 1. ] [ 5.; 6. ]);
+  Alcotest.(check bool)
+    "degenerate" true
+    (Stats.narrowing_factor ~baseline:[ 0.; 1. ] [ 2.; 2. ] = infinity);
+  check_close "both degenerate" 1.
+    (Stats.narrowing_factor ~baseline:[ 3.; 3. ] [ 2.; 2. ])
+
+let t_relative_change () =
+  check_close "-27%" (-0.27) (Stats.relative_change ~baseline:100. 73.);
+  check_close "+10%" 0.1 (Stats.relative_change ~baseline:10. 11.);
+  check_raises_invalid "zero baseline" (fun () ->
+      Stats.relative_change ~baseline:0. 1.)
+
+let t_correlation () =
+  check_close "perfect positive" 1.
+    (Stats.correlation [ (1., 2.); (2., 4.); (3., 6.) ]);
+  check_close "perfect negative" (-1.)
+    (Stats.correlation [ (1., 3.); (2., 2.); (3., 1.) ]);
+  check_close "constant variable" 0.
+    (Stats.correlation [ (1., 5.); (2., 5.); (3., 5.) ]);
+  check_between "uncorrelated-ish" (-0.6) 0.6
+    (Stats.correlation [ (1., 1.); (2., -1.); (3., 1.); (4., -1.) ]);
+  check_raises_invalid "single pair" (fun () ->
+      ignore (Stats.correlation [ (1., 1.) ]))
+
+let prop_correlation_bounds =
+  qcheck "correlation within [-1, 1]"
+    QCheck.(list_of_size Gen.(int_range 2 30) (pair (float_range (-100.) 100.) (float_range (-100.) 100.)))
+    (fun pairs ->
+      let c = Stats.correlation pairs in
+      c >= -1.0000001 && c <= 1.0000001)
+
+let t_argminmax () =
+  check_close "argmin" (-2.) (Stats.argmin Float.abs [ 5.; -2.; 3. ]);
+  check_close "argmax" 5. (Stats.argmax Float.abs [ 5.; -2.; 3. ]);
+  check_close "argmin first of ties" 1. (Stats.argmin Float.abs [ 1.; -1. ])
+
+let t_empty_inputs () =
+  check_raises_invalid "mean" (fun () -> Stats.mean []);
+  check_raises_invalid "median" (fun () -> Stats.median []);
+  check_raises_invalid "stddev" (fun () -> Stats.stddev []);
+  check_raises_invalid "range" (fun () -> Stats.range []);
+  check_raises_invalid "summarize" (fun () -> Stats.summarize []);
+  check_raises_invalid "argmin" (fun () -> Stats.argmin Fun.id []);
+  check_raises_invalid "percentile range" (fun () ->
+      Stats.percentile 101. [ 1. ])
+
+let float_list = QCheck.(list_of_size Gen.(int_range 1 50) (float_range (-1e6) 1e6))
+
+let prop_median_bounds =
+  qcheck "median within min/max" float_list (fun xs ->
+      let s = Stats.summarize xs in
+      s.Stats.min <= s.Stats.median && s.Stats.median <= s.Stats.max)
+
+let prop_mean_bounds =
+  qcheck "mean within min/max" float_list (fun xs ->
+      let s = Stats.summarize xs in
+      s.Stats.min <= s.Stats.mean +. 1e-9 && s.Stats.mean <= s.Stats.max +. 1e-9)
+
+let prop_percentile_monotone =
+  qcheck "percentiles monotone"
+    QCheck.(pair float_list (pair (float_bound_inclusive 100.) (float_bound_inclusive 100.)))
+    (fun (xs, (p, q)) ->
+      let lo = Float.min p q and hi = Float.max p q in
+      Stats.percentile lo xs <= Stats.percentile hi xs +. 1e-9)
+
+let prop_range_nonneg =
+  qcheck "range non-negative" float_list (fun xs -> Stats.range xs >= 0.)
+
+let prop_stddev_shift_invariant =
+  qcheck "stddev shift invariant" float_list (fun xs ->
+      let shifted = List.map (fun x -> x +. 1000.) xs in
+      Float.abs (Stats.stddev xs -. Stats.stddev shifted) < 1e-6 *. (1. +. Stats.stddev xs))
+
+let suite =
+  [
+    test "mean" t_mean;
+    test "median" t_median;
+    test "percentile" t_percentile;
+    test "stddev" t_stddev;
+    test "range and iqr" t_range_iqr;
+    test "summary" t_summary;
+    test "narrowing factor" t_narrowing;
+    test "relative change" t_relative_change;
+    test "correlation" t_correlation;
+    prop_correlation_bounds;
+    test "argmin/argmax" t_argminmax;
+    test "empty inputs rejected" t_empty_inputs;
+    prop_median_bounds;
+    prop_mean_bounds;
+    prop_percentile_monotone;
+    prop_range_nonneg;
+    prop_stddev_shift_invariant;
+  ]

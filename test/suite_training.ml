@@ -1,0 +1,90 @@
+open Core
+open Helpers
+
+let a100 = Presets.a100
+let cfg = Training.default_config
+
+let t_step_composition () =
+  let s = Training.step a100 Model.gpt3_175b cfg in
+  check_close "backward is 2x forward" (2. *. s.Training.forward_s)
+    s.Training.backward_s;
+  check_close "step composition"
+    ((s.Training.forward_s +. s.Training.backward_s) *. 8.
+    +. s.Training.grad_allreduce_s +. s.Training.optimizer_s)
+    s.Training.step_s;
+  Alcotest.(check int) "tokens per step" (4 * 8 * 32 * 2048)
+    s.Training.tokens_per_step
+
+let t_mfu_band () =
+  let s = Training.step a100 Model.gpt3_175b cfg in
+  (* Large dense models train at healthy MFU on an A100 cluster. *)
+  check_between "mfu" 0.35 0.8 s.Training.mfu;
+  (* Small models carry relatively more overhead. *)
+  let small = Training.step a100 Model.llama3_8b cfg in
+  Alcotest.(check bool) "small model lower mfu" true
+    (small.Training.mfu < s.Training.mfu)
+
+let t_days_to_train () =
+  let days =
+    Training.days_to_train ~tokens:300e9 a100 Model.gpt3_175b cfg
+  in
+  (* 128 A100s, GPT-3, 300B tokens: order of months. *)
+  check_between "days" 60. 400. days;
+  (* Linear in tokens. *)
+  check_within "linearity" ~tolerance:1e-6 (2. *. days)
+    (Training.days_to_train ~tokens:600e9 a100 Model.gpt3_175b cfg);
+  check_raises_invalid "bad tokens" (fun () ->
+      ignore (Training.days_to_train ~tokens:0. a100 Model.gpt3_175b cfg))
+
+let t_tpp_cap_hurts_training () =
+  (* Training is compute bound: an H20-style TPP cut slows it nearly
+     proportionally - the rules bite exactly here. *)
+  let h20ish =
+    Device.make ~name:"h20ish" ~core_count:51 ~lanes_per_core:4
+      ~systolic:(Systolic.square 16) ~l1_kb:256. ~l2_mb:60.
+      ~memory:(Memory.make ~capacity_gb:96. ~bandwidth_tb_s:4.)
+      ~interconnect:(Interconnect.of_total_gb_s 900.)
+      ()
+  in
+  let base = Training.step a100 Model.gpt3_175b cfg in
+  let capped = Training.step h20ish Model.gpt3_175b cfg in
+  Alcotest.(check bool) "at least 1.6x slower" true
+    (capped.Training.step_s > 1.6 *. base.Training.step_s)
+
+let t_dp1_no_allreduce () =
+  let c = { cfg with Training.dp = 1 } in
+  let s = Training.step a100 Model.llama3_8b c in
+  check_close "no gradient allreduce" 0. s.Training.grad_allreduce_s
+
+let t_memory () =
+  Alcotest.(check bool) "gpt3 state does not fit tp4" false
+    (Training.memory_fits a100 Model.gpt3_175b cfg);
+  Alcotest.(check bool) "llama fits" true
+    (Training.memory_fits a100 Model.llama3_8b cfg);
+  let per_dev = Training.optimizer_state_bytes_per_device Model.gpt3_175b cfg in
+  (* 175e9/4 * (4 + 12/32) bytes *)
+  check_within "state bytes" ~tolerance:0.02
+    (174e9 /. 4. *. (4. +. (12. /. 32.)))
+    per_dev
+
+let t_validation () =
+  check_raises_invalid "bad config" (fun () ->
+      ignore (Training.step a100 Model.gpt3_175b { cfg with Training.dp = 0 }))
+
+let prop_step_positive =
+  qcheck ~count:30 "training step positive and finite" device_arb (fun d ->
+      let s = Training.step d Model.llama3_8b cfg in
+      s.Training.step_s > 0. && Float.is_finite s.Training.step_s
+      && s.Training.mfu > 0. && s.Training.mfu <= 1.)
+
+let suite =
+  [
+    test "step composition" t_step_composition;
+    test "mfu band" t_mfu_band;
+    test "days to train" t_days_to_train;
+    test "tpp cap hurts training" t_tpp_cap_hurts_training;
+    test "dp=1 has no gradient allreduce" t_dp1_no_allreduce;
+    test "optimizer memory" t_memory;
+    test "validation" t_validation;
+    prop_step_positive;
+  ]

@@ -1,0 +1,153 @@
+open Core
+open Helpers
+
+(* Table *)
+
+let t_table_render () =
+  let t = Table.create ~aligns:[ Table.Left; Table.Right ] [ "name"; "value" ] in
+  Table.add_row t [ "a"; "1" ];
+  Table.add_row t [ "bb"; "22" ];
+  let s = Table.to_string t in
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check int) "line count" 4 (List.length lines);
+  Alcotest.(check string) "header" "name  value" (List.nth lines 0);
+  Alcotest.(check string) "row 1" "a         1" (List.nth lines 2);
+  Alcotest.(check string) "row 2" "bb       22" (List.nth lines 3)
+
+let t_table_padding () =
+  let t = Table.create [ "a"; "b"; "c" ] in
+  Table.add_row t [ "x" ];
+  let s = Table.to_string t in
+  Alcotest.(check bool) "renders" true (String.length s > 0);
+  check_raises_invalid "too many cells" (fun () ->
+      Table.add_row t [ "1"; "2"; "3"; "4" ])
+
+let t_table_float_rows () =
+  let t = Table.create [ "k"; "v" ] in
+  Table.add_float_row t "pi" [ 3.14159 ];
+  Alcotest.(check bool) "formats" true
+    (String.length (Table.to_string t) > 0);
+  Alcotest.(check string) "fmt_g" "3.142" (Table.fmt_g 3.14159);
+  Alcotest.(check string) "fmt_pct" "-27.0%" (Table.fmt_pct (-0.27));
+  Alcotest.(check string) "fmt_pct positive" "+4.0%" (Table.fmt_pct 0.04)
+
+let t_table_align_mismatch () =
+  check_raises_invalid "aligns mismatch" (fun () ->
+      Table.create ~aligns:[ Table.Left ] [ "a"; "b" ])
+
+(* Scatter *)
+
+let t_scatter_empty () =
+  let p = Scatter.create ~xlabel:"x" ~ylabel:"y" () in
+  Alcotest.(check string) "empty" "(empty plot)" (Scatter.render p)
+
+let t_scatter_points () =
+  let p = Scatter.create ~width:20 ~height:8 ~xlabel:"x" ~ylabel:"y" () in
+  Scatter.add p ~marker:'o' ~x:0. ~y:0.;
+  Scatter.add p ~marker:'x' ~x:10. ~y:5.;
+  let s = Scatter.render p in
+  Alcotest.(check bool) "has o" true (String.contains s 'o');
+  Alcotest.(check bool) "has x" true (String.contains s 'x');
+  Alcotest.(check bool) "axis range" true
+    (String.length s > 0
+    && String.split_on_char '\n' s |> List.length > 8)
+
+let t_scatter_degenerate () =
+  let p = Scatter.create ~xlabel:"x" ~ylabel:"y" () in
+  Scatter.add p ~marker:'*' ~x:5. ~y:5.;
+  (* A single point must not divide by a zero extent. *)
+  Alcotest.(check bool) "renders" true (String.contains (Scatter.render p) '*')
+
+let t_scatter_series () =
+  let p = Scatter.create ~xlabel:"x" ~ylabel:"y" () in
+  Scatter.add_series p ~marker:'+' [ (1., 1.); (2., 2.); (3., 3.) ];
+  Alcotest.(check bool) "renders" true (String.contains (Scatter.render p) '+');
+  check_raises_invalid "too small" (fun () ->
+      Scatter.create ~width:2 ~height:2 ~xlabel:"x" ~ylabel:"y" ())
+
+(* Boxplot *)
+
+let t_boxplot_renders () =
+  let series =
+    [
+      { Boxplot.label = "all"; values = [ 1.; 2.; 3.; 4.; 10. ] };
+      { Boxplot.label = "narrow"; values = [ 5.; 5.1; 5.2 ] };
+    ]
+  in
+  let s = Boxplot.render ~width:40 series in
+  let lines = String.split_on_char '\n' s in
+  (* Two series lines plus the axis line (and a trailing empty split). *)
+  Alcotest.(check int) "line count" 4 (List.length lines);
+  Alcotest.(check bool) "median marker" true (String.contains s '#');
+  Alcotest.(check bool) "box edges" true
+    (String.contains s '[' && String.contains s ']');
+  Alcotest.(check bool) "labels present" true
+    (String.length s > 0
+    && List.exists (fun l -> String.length l >= 3 && String.sub l 0 3 = "all") lines)
+
+let t_boxplot_degenerate () =
+  (* A constant series must not divide by a zero span. *)
+  let s =
+    Boxplot.render [ { Boxplot.label = "const"; values = [ 7.; 7.; 7. ] } ]
+  in
+  Alcotest.(check bool) "renders" true (String.contains s '#');
+  check_raises_invalid "empty series list" (fun () -> ignore (Boxplot.render []));
+  check_raises_invalid "empty values" (fun () ->
+      ignore (Boxplot.render [ { Boxplot.label = "x"; values = [] } ]));
+  check_raises_invalid "tiny width" (fun () ->
+      ignore
+        (Boxplot.render ~width:4 [ { Boxplot.label = "x"; values = [ 1. ] } ]))
+
+(* Csv *)
+
+let t_csv_escape () =
+  Alcotest.(check string) "plain" "abc" (Csv.escape "abc");
+  Alcotest.(check string) "comma" "\"a,b\"" (Csv.escape "a,b");
+  Alcotest.(check string) "quote" "\"a\"\"b\"" (Csv.escape "a\"b");
+  Alcotest.(check string) "row" "a,\"b,c\",d"
+    (Csv.row_to_string [ "a"; "b,c"; "d" ])
+
+let t_csv_write () =
+  let path = Filename.concat (Filename.get_temp_dir_name ()) "acs_test/out.csv" in
+  Csv.write ~path ~header:[ "x"; "y" ] [ [ "1"; "2" ]; [ "3"; "4" ] ];
+  let ic = open_in path in
+  let line1 = input_line ic in
+  let line2 = input_line ic in
+  close_in ic;
+  Alcotest.(check string) "header" "x,y" line1;
+  Alcotest.(check string) "row" "1,2" line2
+
+(* Units *)
+
+let t_units () =
+  check_close "gb" 80e9 (Units.gb 80.);
+  check_close "tbps" 2e12 (Units.tbps 2.);
+  check_close "kb" 192e3 (Units.kb 192.);
+  check_close "mhz" 1.41e9 (Units.mhz 1410.);
+  check_close "to_ms" 1.5 (Units.to_ms 0.0015);
+  check_close "to_us" 25. (Units.to_us 25e-6)
+
+let t_units_pp () =
+  Alcotest.(check string) "bytes" "40 MB" (Format.asprintf "%a" Units.pp_bytes 40e6);
+  Alcotest.(check string) "bw" "600 GB/s"
+    (Format.asprintf "%a" Units.pp_bandwidth 600e9);
+  Alcotest.(check string) "time ms" "1.43 ms"
+    (Format.asprintf "%a" Units.pp_time 0.00143)
+
+let suite =
+  [
+    test "table renders aligned" t_table_render;
+    test "table pads short rows" t_table_padding;
+    test "table float rows" t_table_float_rows;
+    test "table align mismatch" t_table_align_mismatch;
+    test "scatter empty" t_scatter_empty;
+    test "scatter places markers" t_scatter_points;
+    test "scatter single point" t_scatter_degenerate;
+    test "scatter series" t_scatter_series;
+    test "boxplot rendering" t_boxplot_renders;
+    test "boxplot edge cases" t_boxplot_degenerate;
+    test "csv escaping" t_csv_escape;
+    test "csv writes files" t_csv_write;
+    test "unit conversions" t_units;
+    test "unit pretty printing" t_units_pp;
+  ]

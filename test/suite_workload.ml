@@ -1,0 +1,239 @@
+open Core
+open Helpers
+
+(* Model *)
+
+let t_gpt3 () =
+  let m = Model.gpt3_175b in
+  Alcotest.(check int) "layers" 96 m.Model.num_layers;
+  Alcotest.(check int) "head dim" 128 (Model.head_dim m);
+  Alcotest.(check int) "kv dim" 12288 (Model.kv_dim m);
+  Alcotest.(check bool) "no gqa" false (Model.uses_gqa m);
+  (* 4*d^2 + 2*d*ffn = 604M + 1208M *)
+  check_within "params/layer" ~tolerance:0.001 1.812e9 (Model.params_per_layer m);
+  check_within "total params" ~tolerance:0.01 174e9 (Model.total_params m)
+
+let t_llama3 () =
+  let m = Model.llama3_8b in
+  Alcotest.(check int) "kv heads" 8 m.Model.n_kv_heads;
+  Alcotest.(check int) "head dim" 128 (Model.head_dim m);
+  Alcotest.(check int) "kv dim" 1024 (Model.kv_dim m);
+  Alcotest.(check bool) "gqa" true (Model.uses_gqa m);
+  (* 2*4096^2 + 2*4096*1024 + 3*4096*14336 *)
+  check_within "params/layer" ~tolerance:0.001 218.1e6 (Model.params_per_layer m)
+
+let t_kv_cache () =
+  check_close "gpt3 kv/token/layer" (2. *. 12288. *. 2.)
+    (Model.kv_cache_bytes_per_token Model.gpt3_175b);
+  check_close "llama kv/token/layer" (2. *. 1024. *. 2.)
+    (Model.kv_cache_bytes_per_token Model.llama3_8b)
+
+let t_flops_per_token () =
+  let m = Model.gpt3_175b in
+  let base = Model.flops_per_token m ~context:0 in
+  check_close "weights only" (2. *. Model.params_per_layer m) base;
+  let with_ctx = Model.flops_per_token m ~context:1000 in
+  Alcotest.(check bool) "context adds attention flops" true (with_ctx > base);
+  check_raises_invalid "negative context" (fun () ->
+      ignore (Model.flops_per_token m ~context:(-1)))
+
+let t_model_validation () =
+  check_raises_invalid "heads not dividing d" (fun () ->
+      ignore
+        (Model.make ~name:"bad" ~num_layers:1 ~d_model:100 ~ffn_dim:400
+           ~n_heads:3 ~n_kv_heads:3 ~activation:Model.Gelu ()));
+  check_raises_invalid "kv heads not dividing heads" (fun () ->
+      ignore
+        (Model.make ~name:"bad" ~num_layers:1 ~d_model:128 ~ffn_dim:512
+           ~n_heads:8 ~n_kv_heads:3 ~activation:Model.Gelu ()))
+
+let t_presets () =
+  Alcotest.(check int) "preset count" 6 (List.length Model.presets);
+  Alcotest.(check bool) "find gpt-3" true
+    (Model.find_preset "gpt-3 175b" <> None);
+  Alcotest.(check bool) "find missing" true (Model.find_preset "nope" = None)
+
+(* Request *)
+
+let t_request () =
+  let r = Request.default in
+  Alcotest.(check int) "prefill tokens" 65536 (Request.prefill_tokens r);
+  Alcotest.(check int) "decode context" 2560 (Request.decode_context r);
+  check_raises_invalid "bad batch" (fun () ->
+      ignore (Request.make ~batch:0 ~input_len:1 ~output_len:1))
+
+(* Op accounting *)
+
+let t_matmul_accounting () =
+  let mm =
+    {
+      Op.label = "t";
+      m = 4;
+      k = 8;
+      n = 16;
+      batch_count = 2;
+      weights_streamed = true;
+    }
+  in
+  check_close "macs" 1024. (Op.matmul_macs mm);
+  check_close "flops" 2048. (Op.matmul_flops mm);
+  check_close "weight bytes" (8. *. 16. *. 2. *. 2.)
+    (Op.matmul_weight_bytes mm ~bytes_per_value:2.);
+  check_close "activation bytes" (((4. *. 8.) +. (4. *. 16.)) *. 2. *. 2.)
+    (Op.matmul_activation_bytes mm ~bytes_per_value:2.);
+  let mm' = { mm with Op.weights_streamed = false } in
+  check_close "no streamed weights" 0.
+    (Op.matmul_weight_bytes mm' ~bytes_per_value:2.)
+
+let t_elementwise_accounting () =
+  let ew =
+    { Op.label = "softmax"; elements = 100.; flops_per_element = 8.; memory_passes = 5. }
+  in
+  check_close "bytes" 1000. (Op.elementwise_bytes ew);
+  check_close "flops" 800. (Op.flops (Op.Elementwise ew));
+  check_close "allreduce flops" 0.
+    (Op.flops (Op.All_reduce { label = "ar"; bytes = 10. }))
+
+(* Layer builder *)
+
+let ops_gpt3 phase = Layer.ops Model.gpt3_175b Request.default ~tp:4 phase
+
+let find_matmul label ops =
+  List.find_map
+    (function
+      | Op.Matmul mm when mm.Op.label = label -> Some mm
+      | Op.Matmul _ | Op.Elementwise _ | Op.All_reduce _ -> None)
+    ops
+  |> function
+  | Some mm -> mm
+  | None -> Alcotest.failf "matmul %s not found" label
+
+let t_layer_prefill_shapes () =
+  let ops = ops_gpt3 Layer.Prefill in
+  Alcotest.(check int) "op count" 15 (List.length ops);
+  let qkv = find_matmul "qkv_proj" ops in
+  Alcotest.(check int) "qkv m" 65536 qkv.Op.m;
+  Alcotest.(check int) "qkv k" 12288 qkv.Op.k;
+  Alcotest.(check int) "qkv n (sharded)" 9216 qkv.Op.n;
+  let scores = find_matmul "attn_scores" ops in
+  Alcotest.(check int) "scores m" 2048 scores.Op.m;
+  Alcotest.(check int) "scores n" 2048 scores.Op.n;
+  Alcotest.(check int) "scores batch" (32 * 24) scores.Op.batch_count
+
+let t_layer_decode_shapes () =
+  let ops = ops_gpt3 Layer.Decode in
+  let qkv = find_matmul "qkv_proj" ops in
+  Alcotest.(check int) "qkv m = batch" 32 qkv.Op.m;
+  let scores = find_matmul "attn_scores" ops in
+  Alcotest.(check int) "scores kv len" 2560 scores.Op.n;
+  let ffn = find_matmul "ffn_up" ops in
+  Alcotest.(check int) "ffn up n" 12288 ffn.Op.n
+
+let t_layer_gqa () =
+  (* GQA folds query-head groups into m and cuts K/V traffic. *)
+  let ops = Layer.ops Model.llama3_8b Request.default ~tp:4 Layer.Decode in
+  let scores = find_matmul "attn_scores" ops in
+  Alcotest.(check int) "group folded into m" 4 scores.Op.m;
+  Alcotest.(check int) "kv-head batch" (32 * 2) scores.Op.batch_count;
+  let kv = Layer.kv_bytes_per_device Model.llama3_8b Request.default ~tp:4 in
+  (* 2560 ctx * 32 batch * 2 (K and V) * 2 kv heads * 128 dim * 2 bytes *)
+  check_close "kv bytes" (2560. *. 32. *. 2. *. 2. *. 128. *. 2.) kv
+
+let t_layer_swiglu_vs_gelu () =
+  let gelu_ops = ops_gpt3 Layer.Prefill in
+  let swiglu_ops = Layer.ops Model.llama3_8b Request.default ~tp:4 Layer.Prefill in
+  let up_g = find_matmul "ffn_up" gelu_ops in
+  let up_s = find_matmul "ffn_up" swiglu_ops in
+  Alcotest.(check int) "gelu: one up matrix" (49152 / 4) up_g.Op.n;
+  Alcotest.(check int) "swiglu: gate+up matrices" (2 * 14336 / 4) up_s.Op.n
+
+let t_layer_weight_bytes () =
+  check_within "gpt3 weights/device" ~tolerance:0.001 (1.812e9 *. 2. /. 4.)
+    (Layer.weight_bytes_per_device Model.gpt3_175b ~tp:4)
+
+let t_layer_flops () =
+  (* Prefill flops per device should be ~2 * params * tokens / tp plus
+     attention. *)
+  let flops = Layer.total_flops Model.gpt3_175b Request.default ~tp:4 Layer.Prefill in
+  let weights = 2. *. 1.812e9 *. 65536. /. 4. in
+  Alcotest.(check bool) "at least weight flops" true (flops > weights);
+  Alcotest.(check bool) "within 10% above" true (flops < weights *. 1.10)
+
+let t_moe_model () =
+  let m = Model.mixtral_8x7b in
+  Alcotest.(check int) "active experts" 2 (Model.active_experts m);
+  Alcotest.(check int) "weight instances" 8 (Model.ffn_weight_instances m);
+  Alcotest.(check int) "dense model single expert" 1
+    (Model.active_experts Model.llama3_8b);
+  (* ~46.7B parameters: attention + 8 expert FFNs per layer. *)
+  check_within "total params" ~tolerance:0.02 46.7e9 (Model.total_params m);
+  (* Active flops per token track ~12.6B parameters (attn + 2 experts):
+     per layer 41.9M attention + 2 x 176.2M expert + router. *)
+  check_within "active flops" ~tolerance:0.01 (2. *. 394.3e6)
+    (Model.flops_per_token m ~context:0);
+  check_raises_invalid "top_k > experts" (fun () ->
+      ignore
+        (Model.make ~name:"bad" ~num_layers:1 ~d_model:128 ~ffn_dim:512
+           ~n_heads:8 ~n_kv_heads:8 ~activation:Model.Swiglu
+           ~moe:{ Model.num_experts = 2; top_k = 3 } ()))
+
+let t_moe_layer_ops () =
+  let ops = Layer.ops Model.mixtral_8x7b Request.default ~tp:4 Layer.Decode in
+  Alcotest.(check int) "router adds an op" 16 (List.length ops);
+  let router = find_matmul "moe_router" ops in
+  Alcotest.(check int) "router n = experts" 8 router.Op.n;
+  let up = find_matmul "ffn_up" ops in
+  Alcotest.(check int) "one instance per expert" 8 up.Op.batch_count;
+  (* 32 tokens x top-2 over 8 experts = 8 rows per expert. *)
+  Alcotest.(check int) "rows per expert" 8 up.Op.m;
+  (* Decode weight traffic covers all 8 expert matrices: *)
+  let moe_bytes = Op.matmul_weight_bytes up ~bytes_per_value:2. in
+  let dense_ops = Layer.ops Model.llama3_8b Request.default ~tp:4 Layer.Decode in
+  let dense_bytes =
+    Op.matmul_weight_bytes (find_matmul "ffn_up" dense_ops) ~bytes_per_value:2.
+  in
+  check_close "8x the dense expert weights" (8. *. dense_bytes) moe_bytes
+
+let t_layer_validation () =
+  check_raises_invalid "tp 0" (fun () ->
+      ignore (Layer.ops Model.gpt3_175b Request.default ~tp:0 Layer.Prefill));
+  check_raises_invalid "tp not dividing heads" (fun () ->
+      ignore (Layer.ops Model.gpt3_175b Request.default ~tp:7 Layer.Prefill))
+
+let prop_flops_scale_with_tp =
+  qcheck ~count:50 "per-device flops shrink with tp"
+    (QCheck.make QCheck.Gen.(oneofl [ 1; 2; 4; 8 ]))
+    (fun tp ->
+      let f tp = Layer.total_flops Model.gpt3_175b Request.default ~tp Layer.Prefill in
+      tp = 1 || f tp < f 1)
+
+let prop_decode_less_flops =
+  qcheck ~count:20 "decode flops << prefill flops"
+    (QCheck.make QCheck.Gen.(oneofl [ 1; 2; 4 ]))
+    (fun tp ->
+      Layer.total_flops Model.llama3_8b Request.default ~tp Layer.Decode
+      < Layer.total_flops Model.llama3_8b Request.default ~tp Layer.Prefill)
+
+let suite =
+  [
+    test "gpt-3 config" t_gpt3;
+    test "llama 3 config" t_llama3;
+    test "kv cache sizing" t_kv_cache;
+    test "flops per token" t_flops_per_token;
+    test "model validation" t_model_validation;
+    test "model presets" t_presets;
+    test "request derived sizes" t_request;
+    test "matmul accounting" t_matmul_accounting;
+    test "elementwise accounting" t_elementwise_accounting;
+    test "prefill shapes" t_layer_prefill_shapes;
+    test "decode shapes" t_layer_decode_shapes;
+    test "gqa folding" t_layer_gqa;
+    test "swiglu vs gelu ffn" t_layer_swiglu_vs_gelu;
+    test "weight bytes per device" t_layer_weight_bytes;
+    test "prefill flops sanity" t_layer_flops;
+    test "moe model accounting" t_moe_model;
+    test "moe layer ops" t_moe_layer_ops;
+    test "layer validation" t_layer_validation;
+    prop_flops_scale_with_tp;
+    prop_decode_less_flops;
+  ]

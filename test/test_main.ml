@@ -1,0 +1,31 @@
+let () =
+  Alcotest.run "acs"
+    [
+      ("stats", Suite_stats.suite);
+      ("util", Suite_util.suite);
+      ("hardware", Suite_hardware.suite);
+      ("workload", Suite_workload.suite);
+      ("perfmodel", Suite_perfmodel.suite);
+      ("area+cost", Suite_area_cost.suite);
+      ("power", Suite_power.suite);
+      ("package", Suite_package.suite);
+      ("graphics", Suite_graphics.suite);
+      ("serving", Suite_serving.suite);
+      ("historical", Suite_historical.suite);
+      ("diffusion", Suite_diffusion.suite);
+      ("binning", Suite_binning.suite);
+      ("market", Suite_market.suite);
+      ("report", Suite_report.suite);
+      ("cluster", Suite_cluster.suite);
+      ("training", Suite_training.suite);
+      ("policy", Suite_policy.suite);
+      ("derate", Suite_derate.suite);
+      ("timeline", Suite_timeline.suite);
+      ("devicedb", Suite_devicedb.suite);
+      ("dse", Suite_dse.suite);
+      ("search", Suite_search.suite);
+      ("indicators", Suite_indicators.suite);
+      ("externality", Suite_externality.suite);
+      ("cli", Suite_cli.suite);
+      ("experiments", Suite_experiments.suite);
+    ]
