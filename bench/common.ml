@@ -1,6 +1,8 @@
-(* Shared state and helpers for the experiment harness. Heavy DSE sweeps are
-   memoized so figures that share a sweep (7, 8, 11, Table 4) evaluate it
-   once. *)
+(* Shared helpers for the experiment harness. Heavy DSE sweeps go through
+   the parallel, memoized evaluation engine ([Core.Eval]), so figures that
+   share a sweep (7, 8, 11, Table 4, the scorecard) simulate it once and
+   the sections report wall-clock, evaluation counts and cache hit rates
+   via [Common.timed] (used by bench/main.ml). *)
 
 open Core
 
@@ -32,29 +34,34 @@ let baseline = function
   | m when m == Model.llama3_8b -> Lazy.force a100_llama
   | m -> Engine.simulate Presets.a100 m
 
-(* Memoized sweeps. *)
+(* Sweeps, through the parallel + memoized evaluation engine. *)
 
-let memo_table : (string, Design.t list) Hashtbl.t = Hashtbl.create 8
+let oct2022 model = Eval.sweep ~model ~tpp_target:4800. Space.oct2022
+let oct2023 model tpp = Eval.sweep ~model ~tpp_target:tpp Space.oct2023
+let restricted model = Eval.sweep ~model ~tpp_target:4800. Space.restricted
 
-let sweep_designs ~key ~model ~tpp_target sweep =
-  match Hashtbl.find_opt memo_table key with
-  | Some designs -> designs
-  | None ->
-      let designs = Design.evaluate_sweep ~model ~tpp_target sweep in
-      Hashtbl.add memo_table key designs;
-      designs
+(* Per-section observability: wall-clock (the CPU clock undercounts when
+   evaluation runs on several domains), evaluations performed and cache
+   effectiveness. *)
 
-let oct2022 model name =
-  sweep_designs ~key:("oct2022-" ^ name) ~model ~tpp_target:4800. Space.oct2022
+let jobs () = Parallel.jobs ()
+let wall_s () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
 
-let oct2023 model name tpp =
-  sweep_designs
-    ~key:(Printf.sprintf "oct2023-%s-%.0f" name tpp)
-    ~model ~tpp_target:tpp Space.oct2023
-
-let restricted model name =
-  sweep_designs ~key:("restricted-" ^ name) ~model ~tpp_target:4800.
-    Space.restricted
+let timed f =
+  let before = Eval.stats () in
+  let t0 = wall_s () in
+  f ();
+  let dt = wall_s () -. t0 in
+  let after = Eval.stats () in
+  let lookups = after.Eval.lookups - before.Eval.lookups in
+  let hits = after.Eval.hits - before.Eval.hits in
+  let evals = after.Eval.evaluations - before.Eval.evaluations in
+  if lookups > 0 then
+    note
+      "[timing] %.2f s wall; %d design evaluations; cache %d/%d hits (%.0f%%)"
+      dt evals hits lookups
+      (100. *. float_of_int hits /. float_of_int lookups)
+  else note "[timing] %.2f s wall; %d design evaluations" dt evals
 
 let model_tag m = if m == Model.gpt3_175b then "gpt3" else "llama3"
 

@@ -84,7 +84,7 @@ let correlation_table name ~designs =
 
 let analyze model name =
   let designs =
-    List.filter Design.manufacturable (oct2023 model name 4800.)
+    List.filter Design.manufacturable (oct2023 model 4800.)
   in
   let base = baseline model in
   let ttft_reports =

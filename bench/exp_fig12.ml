@@ -32,7 +32,7 @@ let groups =
     ]
 
 let analyze model name =
-  let designs = List.filter Design.manufacturable (restricted model name) in
+  let designs = List.filter Design.manufacturable (restricted model) in
   let base = baseline model in
   let report metric_name metric baseline_v =
     let reports = Grouping.analyze ~baseline:baseline_v ~metric ~designs groups in
@@ -98,5 +98,5 @@ let run () =
   let dump tag designs =
     csv (Printf.sprintf "fig12_%s.csv" tag) design_header (List.map design_row designs)
   in
-  dump "gpt3" (restricted Model.gpt3_175b "gpt3");
-  dump "llama3" (restricted Model.llama3_8b "llama3")
+  dump "gpt3" (restricted Model.gpt3_175b);
+  dump "llama3" (restricted Model.llama3_8b)

@@ -36,7 +36,7 @@ let scatter_panel ~title ~xlabel ~ylabel ~x ~y ~marker designs baseline_x
 let reticle_marker d = if Design.manufacturable d then '.' else 'w'
 
 let panels model name =
-  let designs = oct2022 model name in
+  let designs = oct2022 model in
   let base = baseline model in
   scatter_panel
     ~title:(Printf.sprintf "Fig 6: %s prefill vs die area" name)
@@ -62,7 +62,7 @@ let panels model name =
   designs
 
 let optimized model name paper_ttft paper_tbt =
-  let designs = oct2022 model name in
+  let designs = oct2022 model in
   let base = baseline model in
   let filters = [ Design.compliant_2022; Design.manufacturable ] in
   let best_ttft = Optimum.best_exn ~filters Optimum.Ttft designs in
@@ -81,7 +81,7 @@ let pareto_frontier model name =
   let designs =
     List.filter
       (fun d -> Design.compliant_2022 d && Design.manufacturable d)
-      (oct2022 model name)
+      (oct2022 model)
   in
   let show label fy =
     let front =

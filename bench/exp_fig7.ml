@@ -34,7 +34,7 @@ let panel ~title ~xlabel ~ylabel ~x ~y per_target baseline_x baseline_y =
 
 let summarize model name =
   let base = baseline model in
-  let per_target = List.map (fun tpp -> (tpp, oct2023 model name tpp)) targets in
+  let per_target = List.map (fun tpp -> (tpp, oct2023 model tpp)) targets in
   panel
     ~title:(Printf.sprintf "Fig 7: %s prefill vs die area" name)
     ~xlabel:"die area (mm2)" ~ylabel:"TTFT (ms)"

@@ -1,13 +1,14 @@
 (* Figure 8: latency-cost products (TTFT x die cost and TBT x die cost)
-   over the Fig. 7 design space. Lower is better on both axes. *)
+   over the Fig. 7 design space, via Acs_externality.Latency_cost. Lower
+   is better on both axes. *)
 
 open Core
 open Common
 
 let targets = [ 1600.; 2400.; 4800. ]
 
-let marker tpp d =
-  if not (Design.compliant_2023 d && Design.manufacturable d) then 'w'
+let marker tpp (p : Latency_cost.point) =
+  if not p.Latency_cost.valid then 'w'
   else if tpp = 1600. then '1'
   else if tpp = 2400. then '2'
   else '4'
@@ -21,34 +22,36 @@ let legend =
 let panel ~title ~ylabel ~y per_target =
   let plot = Scatter.create ~xlabel:"die area (mm2)" ~ylabel () in
   List.iter
-    (fun (tpp, designs) ->
+    (fun (tpp, points) ->
       List.iter
-        (fun d ->
-          Scatter.add plot ~marker:(marker tpp d) ~x:d.Design.area_mm2 ~y:(y d))
-        designs)
+        (fun (p : Latency_cost.point) ->
+          Scatter.add plot ~marker:(marker tpp p)
+            ~x:p.Latency_cost.design.Design.area_mm2 ~y:(y p))
+        points)
     per_target;
   Scatter.print ~title ~legend plot
 
 let summarize model name =
-  let per_target = List.map (fun tpp -> (tpp, oct2023 model name tpp)) targets in
+  let per_target =
+    List.map (fun tpp -> (tpp, Latency_cost.points (oct2023 model tpp))) targets
+  in
   panel ~title:(Printf.sprintf "Fig 8: %s TTFT x die-cost" name)
-    ~ylabel:"TTFT*cost (ms*$)" ~y:Design.ttft_cost_product per_target;
+    ~ylabel:"TTFT*cost (ms*$)"
+    ~y:(fun p -> p.Latency_cost.ttft_cost)
+    per_target;
   panel ~title:(Printf.sprintf "Fig 8: %s TBT x die-cost" name)
-    ~ylabel:"TBT*cost (ms*$)" ~y:Design.tbt_cost_product per_target;
+    ~ylabel:"TBT*cost (ms*$)"
+    ~y:(fun p -> p.Latency_cost.tbt_cost)
+    per_target;
   (* Paper Sec. 4.4: PD-compliant minimum latency-cost designs are ~2.6-2.9x
      worse than non-compliant ones at the 2400 target. *)
-  let designs = List.assoc 2400. per_target in
-  let compliant d = Design.compliant_2023 d && Design.manufacturable d in
-  let non_compliant d = (not (Design.compliant_2023 d)) && Design.manufacturable d in
-  let ratio obj =
-    let c = Optimum.best_exn ~filters:[ compliant ] obj designs in
-    let n = Optimum.best_exn ~filters:[ non_compliant ] obj designs in
-    Optimum.objective_value obj c /. Optimum.objective_value obj n
-  in
+  let designs = oct2023 model 2400. in
   note "%s @2400 TPP: PD-compliant min TTFT-cost is %.2fx the non-compliant \
         optimum; TBT-cost %.2fx (paper: 2.72x / 2.64x GPT-3, 2.58x / 2.91x \
         Llama 3)"
-    name (ratio Optimum.Ttft_cost) (ratio Optimum.Tbt_cost);
+    name
+    (Latency_cost.compliance_penalty_exn Optimum.Ttft_cost designs)
+    (Latency_cost.compliance_penalty_exn Optimum.Tbt_cost designs);
   per_target
 
 let run () =
@@ -58,17 +61,17 @@ let run () =
   let dump tag per_target =
     let rows =
       List.concat_map
-        (fun (tpp, designs) ->
+        (fun (tpp, points) ->
           List.map
-            (fun d ->
+            (fun (p : Latency_cost.point) ->
               [
                 Printf.sprintf "%.0f" tpp;
-                Printf.sprintf "%.1f" d.Design.area_mm2;
-                Printf.sprintf "%.2f" (Design.ttft_cost_product d);
-                Printf.sprintf "%.4f" (Design.tbt_cost_product d);
-                string_of_bool (Design.compliant_2023 d && Design.manufacturable d);
+                Printf.sprintf "%.1f" p.Latency_cost.design.Design.area_mm2;
+                Printf.sprintf "%.2f" p.Latency_cost.ttft_cost;
+                Printf.sprintf "%.4f" p.Latency_cost.tbt_cost;
+                string_of_bool p.Latency_cost.valid;
               ])
-            designs)
+            points)
         per_target
     in
     csv

@@ -24,19 +24,19 @@ let claims () =
   let a100 = Presets.a100 in
   let base_g = baseline Model.gpt3_175b in
   let base_l = baseline Model.llama3_8b in
-  let best22 model name obj =
+  let best22 model obj =
     Optimum.best_exn
       ~filters:[ Design.compliant_2022; Design.manufacturable ]
-      obj (oct2022 model name)
+      obj (oct2022 model)
   in
-  let best23 model name tpp obj =
+  let best23 model tpp obj =
     Optimum.best_exn
       ~filters:[ (fun d -> Design.compliant_2023 d && Design.manufacturable d) ]
       obj
-      (oct2023 model name tpp)
+      (oct2023 model tpp)
   in
-  let fig12_group model name metric_of baseline_v label =
-    let designs = List.filter Design.manufacturable (restricted model name) in
+  let fig12_group model metric_of baseline_v label =
+    let designs = List.filter Design.manufacturable (restricted model) in
     let reports =
       Grouping.analyze ~baseline:baseline_v ~metric:metric_of ~designs
         [ (if label = "l1" then Grouping.l1_fixed_kb 32.
@@ -106,7 +106,7 @@ let claims () =
       measure =
         (fun () ->
           pct_change base_g.Engine.tbt_s
-            (best22 Model.gpt3_175b "gpt3" Optimum.Tbt).Design.tbt_s);
+            (best22 Model.gpt3_175b Optimum.Tbt).Design.tbt_s);
     };
     {
       id = "fig6-llama-tbt";
@@ -117,7 +117,7 @@ let claims () =
       measure =
         (fun () ->
           pct_change base_l.Engine.tbt_s
-            (best22 Model.llama3_8b "llama3" Optimum.Tbt).Design.tbt_s);
+            (best22 Model.llama3_8b Optimum.Tbt).Design.tbt_s);
     };
     {
       id = "fig7-4800-invalid";
@@ -131,7 +131,7 @@ let claims () =
             (List.length
                (List.filter
                   (fun d -> Design.compliant_2023 d && Design.manufacturable d)
-                  (oct2023 Model.gpt3_175b "gpt3" 4800.))));
+                  (oct2023 Model.gpt3_175b 4800.))));
     };
     {
       id = "fig7-2400-ttft";
@@ -142,7 +142,7 @@ let claims () =
       measure =
         (fun () ->
           pct_change base_g.Engine.ttft_s
-            (best23 Model.gpt3_175b "gpt3" 2400. Optimum.Ttft).Design.ttft_s);
+            (best23 Model.gpt3_175b 2400. Optimum.Ttft).Design.ttft_s);
     };
     {
       id = "table4-valid";
@@ -156,7 +156,7 @@ let claims () =
             (List.length
                (List.filter
                   (fun d -> Design.compliant_2023 d && Design.manufacturable d)
-                  (oct2023 Model.gpt3_175b "gpt3" 2400.))));
+                  (oct2023 Model.gpt3_175b 2400.))));
     };
     {
       id = "table4-diecost";
@@ -245,7 +245,7 @@ let claims () =
       measure =
         (fun () ->
           let r =
-            fig12_group Model.gpt3_175b "gpt3"
+            fig12_group Model.gpt3_175b
               (fun d -> d.Design.ttft_s)
               base_g.Engine.ttft_s "l1"
           in
@@ -260,7 +260,7 @@ let claims () =
       measure =
         (fun () ->
           let r =
-            fig12_group Model.gpt3_175b "gpt3"
+            fig12_group Model.gpt3_175b
               (fun d -> d.Design.tbt_s)
               base_g.Engine.tbt_s "bw"
           in

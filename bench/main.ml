@@ -46,13 +46,15 @@ let () =
       (String.concat ", " (List.map (fun (n, _, _) -> n) experiments));
     exit 2
   end;
-  let t0 = Sys.time () in
+  Printf.printf "evaluation engine: %d job(s) (set ACS_JOBS to override)\n%!"
+    (Acs_experiments.Common.jobs ());
+  let t0 = Acs_experiments.Common.wall_s () in
   List.iter
     (fun (name, descr, run) ->
       if List.mem name requested then begin
         Printf.printf "\n>>> %s - %s\n%!" name descr;
-        run ()
+        Acs_experiments.Common.timed run
       end)
     experiments;
-  Printf.printf "\nAll requested experiments completed in %.1f s (CPU).\n"
-    (Sys.time () -. t0)
+  Printf.printf "\nAll requested experiments completed in %.1f s (wall).\n"
+    (Acs_experiments.Common.wall_s () -. t0)

@@ -1,8 +1,31 @@
 (* Bechamel microbenchmarks of the simulator itself: how fast one design
-   evaluation is determines how large a DSE is practical. *)
+   evaluation is determines how large a DSE is practical. Also measures
+   the evaluation engine's sequential-vs-parallel sweep throughput. *)
 
 open Bechamel
 open Toolkit
+
+(* A thinned Fig-7-style sweep (48 points) so each bechamel run stays in
+   the low-millisecond range while still giving the pool real work. *)
+let thinned =
+  {
+    Core.Space.systolic_dims = [ 16; 32 ];
+    lanes_per_core = [ 4; 8 ];
+    l1_kb = [ 96.; 192. ];
+    l2_mb = [ 40.; 80. ];
+    memory_bw_tb_s = [ 1.; 2.; 3. ];
+    device_bw_gb_s = [ 600. ];
+  }
+
+let sweep_once jobs () =
+  Core.Parallel.with_jobs jobs (fun () ->
+      ignore
+        (Core.Eval.sweep ~cache:false ~model:Core.Model.llama3_8b
+           ~tpp_target:2400. thinned))
+
+let seq_name = "sweep/thinned-fig7-1job"
+let par_jobs = 4
+let par_name = Printf.sprintf "sweep/thinned-fig7-%djobs" par_jobs
 
 let tests =
   let a100 = Core.Presets.a100 in
@@ -40,6 +63,13 @@ let tests =
              ignore
                (Core.Cost_model.good_die_cost_usd ~process:Core.Cost_model.n7
                   ~die_area_mm2:753. ())));
+      Test.make_grouped ~name:"sweep"
+        [
+          Test.make ~name:"thinned-fig7-1job" (Staged.stage (sweep_once 1));
+          Test.make
+            ~name:(Printf.sprintf "thinned-fig7-%djobs" par_jobs)
+            (Staged.stage (sweep_once par_jobs));
+        ];
     ]
 
 let run () =
@@ -60,11 +90,27 @@ let run () =
       | Some [ est ] -> rows := (name, est) :: !rows
       | Some _ | None -> ())
     results;
+  let rows = List.sort compare !rows in
   let t =
     Core.Table.create ~aligns:[ Core.Table.Left; Core.Table.Right ]
       [ "benchmark"; "ns/run" ]
   in
   List.iter
     (fun (name, est) -> Core.Table.add_row t [ name; Printf.sprintf "%.0f" est ])
-    (List.sort compare !rows);
-  Core.Table.print t
+    rows;
+  Core.Table.print t;
+  (* Sequential-vs-parallel sweep throughput. Ratios > 1 need real cores:
+     on a single-core machine the extra domains only add overhead. *)
+  let find suffix =
+    List.find_opt (fun (name, _) -> String.ends_with ~suffix name) rows
+  in
+  (match (find seq_name, find par_name) with
+  | Some (_, seq_ns), Some (_, par_ns) when par_ns > 0. ->
+      Common.note
+        "[speed] thinned Fig-7 sweep (%d points): %.2fx throughput with %d \
+         jobs vs 1 (%d job(s) default on this machine)"
+        (Core.Space.size thinned) (seq_ns /. par_ns) par_jobs (Common.jobs ())
+  | _ -> Common.note "[speed] sweep benchmarks missing from OLS estimates");
+  Common.csv "speed.csv"
+    [ "benchmark"; "ns_per_run" ]
+    (List.map (fun (name, est) -> [ name; Printf.sprintf "%.1f" est ]) rows)

@@ -17,6 +17,7 @@
     - {!Marketing}, {!Arch_classifier}: externality analyses *)
 
 module Stats = Acs_util.Stats
+module Parallel = Acs_util.Parallel
 module Table = Acs_util.Table
 module Scatter = Acs_util.Scatter
 module Boxplot = Acs_util.Boxplot
@@ -58,11 +59,13 @@ module Gpu = Acs_devicedb.Gpu
 module Database = Acs_devicedb.Database
 module Space = Acs_dse.Space
 module Design = Acs_dse.Design
+module Eval = Acs_dse.Eval
 module Pareto = Acs_dse.Pareto
 module Optimum = Acs_dse.Optimum
 module Search = Acs_dse.Search
 module Grouping = Acs_indicators.Grouping
 module Market = Acs_externality.Market
+module Latency_cost = Acs_externality.Latency_cost
 module Marketing = Acs_externality.Marketing
 module Arch_classifier = Acs_externality.Arch_classifier
 module Trace = Acs_serving.Trace

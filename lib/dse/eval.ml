@@ -1,0 +1,100 @@
+module Parallel = Acs_util.Parallel
+
+type stats = { lookups : int; hits : int; evaluations : int }
+
+(* The key captures everything [Design.evaluate]'s result depends on. All
+   components are closure-free records (floats/ints/strings), so structural
+   equality and the polymorphic hash are both safe. *)
+type key = {
+  params : Space.params;
+  tpp_target : float;
+  memory_gb : float option;
+  model : Acs_workload.Model.t;
+  calib : Acs_perfmodel.Calib.t option;
+  tp : int option;
+  request : Acs_workload.Request.t option;
+}
+
+let cache : (key, Design.t) Hashtbl.t = Hashtbl.create 4096
+let cache_mutex = Mutex.create ()
+let lookups = Atomic.make 0
+let hits = Atomic.make 0
+let evaluations = Atomic.make 0
+
+let stats () =
+  {
+    lookups = Atomic.get lookups;
+    hits = Atomic.get hits;
+    evaluations = Atomic.get evaluations;
+  }
+
+let clear () =
+  Mutex.lock cache_mutex;
+  Hashtbl.reset cache;
+  Mutex.unlock cache_mutex;
+  Atomic.set lookups 0;
+  Atomic.set hits 0;
+  Atomic.set evaluations 0
+
+let key_of ?calib ?tp ?request ?memory_gb ~model ~tpp_target params =
+  { params; tpp_target; memory_gb; model; calib; tp; request }
+
+let find_opt key =
+  Mutex.lock cache_mutex;
+  let r = Hashtbl.find_opt cache key in
+  Mutex.unlock cache_mutex;
+  Atomic.incr lookups;
+  if r <> None then Atomic.incr hits;
+  r
+
+let insert key design =
+  Mutex.lock cache_mutex;
+  if not (Hashtbl.mem cache key) then Hashtbl.add cache key design;
+  Mutex.unlock cache_mutex
+
+let evaluate_raw ?calib ?tp ?request ?memory_gb ~model ~tpp_target params =
+  Atomic.incr evaluations;
+  Design.evaluate ?calib ?tp ?request ~model params
+    (Space.build ?memory_gb ~tpp_target params)
+
+let evaluate ?calib ?tp ?request ?memory_gb ~model ~tpp_target params =
+  let key = key_of ?calib ?tp ?request ?memory_gb ~model ~tpp_target params in
+  match find_opt key with
+  | Some d -> d
+  | None ->
+      let d =
+        evaluate_raw ?calib ?tp ?request ?memory_gb ~model ~tpp_target params
+      in
+      insert key d;
+      d
+
+let sweep ?calib ?tp ?request ?memory_gb ?(cache = true) ~model ~tpp_target
+    sweep_def =
+  let params = Array.of_list (Space.enumerate sweep_def) in
+  let eval_one p =
+    evaluate_raw ?calib ?tp ?request ?memory_gb ~model ~tpp_target p
+  in
+  if not cache then Array.to_list (Parallel.map_array eval_one params)
+  else begin
+    let keys =
+      Array.map
+        (fun p -> key_of ?calib ?tp ?request ?memory_gb ~model ~tpp_target p)
+        params
+    in
+    let found = Array.map find_opt keys in
+    let missing = ref [] in
+    Array.iteri
+      (fun i -> function None -> missing := i :: !missing | Some _ -> ())
+      found;
+    let missing = Array.of_list (List.rev !missing) in
+    let computed =
+      Parallel.map_array (fun i -> eval_one params.(i)) missing
+    in
+    Array.iteri
+      (fun j i ->
+        insert keys.(i) computed.(j);
+        found.(i) <- Some computed.(j))
+      missing;
+    Array.to_list
+      (Array.map (function Some d -> d | None -> assert false) found)
+  end

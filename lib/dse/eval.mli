@@ -1,0 +1,52 @@
+(** Parallel, memoized design evaluation.
+
+    Every headline figure re-runs [Design.evaluate] over 512-4800-point
+    sweeps, and several sections re-evaluate the very same design set
+    (Figs. 7, 8, 11, Table 4 and the scorecard all share the Fig-7 sweep).
+    This module is the shared evaluation engine: design points are
+    simulated in parallel over the {!Acs_util.Parallel} domain pool and the
+    results are cached process-wide, keyed on the full evaluation context
+    [(Space.params, tpp_target, memory_gb, model, calib, tp, request)].
+
+    [Design.evaluate] is pure, so parallel evaluation is bit-identical to
+    the sequential path (the test suite asserts this); the cache is
+    protected by a mutex and safe to share between domains. *)
+
+type stats = {
+  lookups : int;  (** cache probes *)
+  hits : int;  (** probes answered from the cache *)
+  evaluations : int;  (** [Design.evaluate] runs actually performed *)
+}
+
+val evaluate :
+  ?calib:Acs_perfmodel.Calib.t ->
+  ?tp:int ->
+  ?request:Acs_workload.Request.t ->
+  ?memory_gb:float ->
+  model:Acs_workload.Model.t ->
+  tpp_target:float ->
+  Space.params ->
+  Design.t
+(** Memoized single-point evaluation (builds the device under the TPP
+    target, then simulates it). *)
+
+val sweep :
+  ?calib:Acs_perfmodel.Calib.t ->
+  ?tp:int ->
+  ?request:Acs_workload.Request.t ->
+  ?memory_gb:float ->
+  ?cache:bool ->
+  model:Acs_workload.Model.t ->
+  tpp_target:float ->
+  Space.sweep ->
+  Design.t list
+(** Evaluates the whole sweep, in [Space.enumerate] order. Cached points
+    are returned directly; the missing ones are evaluated in parallel and
+    inserted. [~cache:false] skips both lookup and insertion (used by the
+    speed benchmarks to measure raw evaluation throughput). *)
+
+val stats : unit -> stats
+(** Cumulative counters since start (or the last [clear]). *)
+
+val clear : unit -> unit
+(** Drops every cache entry and resets the counters. *)

@@ -1,6 +1,8 @@
 let adjacent values current =
-  (* Previous and next swept value around [current], if present. *)
-  let sorted = List.sort_uniq compare values in
+  (* Previous and next swept value around [current]: both for an interior
+     value, one at either end of the sweep, none when [current] is not a
+     swept value at all. [walk] handles every list shape, including the
+     empty and singleton sweeps. *)
   let rec walk = function
     | a :: b :: rest ->
         if b = current then (if rest = [] then [ a ] else [ a; List.hd rest ])
@@ -8,10 +10,7 @@ let adjacent values current =
         else walk (b :: rest)
     | [ _ ] | [] -> []
   in
-  match sorted with
-  | [ _ ] | [] -> []
-  | a :: _ when a = current -> walk sorted
-  | _ -> walk sorted
+  walk (List.sort_uniq compare values)
 
 let neighbors (sweep : Space.sweep) (p : Space.params) =
   let with_dim values current rebuild =
@@ -35,7 +34,7 @@ let local_search ?(max_steps = 100) ?calib ~sweep ~tpp_target ~model ~objective
   let evaluated = ref 0 in
   let eval p =
     incr evaluated;
-    Design.evaluate ?calib ~model p (Space.build ~tpp_target p)
+    Eval.evaluate ?calib ~model ~tpp_target p
   in
   let score d = if feasible d then Some (objective d) else None in
   let rec climb current current_score steps =
@@ -89,8 +88,27 @@ let local_search ?(max_steps = 100) ?calib ~sweep ~tpp_target ~model ~objective
 type picker = { pick : 'a. 'a list -> 'a }
 
 let lo = { pick = (fun l -> List.hd l) }
-let hi = { pick = (fun l -> List.nth l (List.length l - 1)) }
-let mid = { pick = (fun l -> List.nth l (List.length l / 2)) }
+
+let hi =
+  {
+    pick =
+      (let rec last = function
+         | [ x ] -> x
+         | _ :: tl -> last tl
+         | [] -> invalid_arg "Search.hi: empty sweep dimension"
+       in
+       last);
+  }
+
+let mid =
+  {
+    pick =
+      (let rec nth_of ~len ~seen = function
+         | [] -> invalid_arg "Search.mid: empty sweep dimension"
+         | x :: tl -> if seen >= len / 2 then x else nth_of ~len ~seen:(seen + 1) tl
+       in
+       fun l -> nth_of ~len:(List.length l) ~seen:0 l);
+  }
 
 let corners (sweep : Space.sweep) =
   let corner f =
@@ -106,8 +124,11 @@ let corners (sweep : Space.sweep) =
   [ corner lo; corner hi; corner mid ]
 
 let optimize ?calib ~sweep ~tpp_target ~model ~objective ~feasible () =
+  (* The restarts are independent hill climbs, so they run in parallel over
+     the domain pool (each chunk is one whole restart); the memo cache in
+     [Eval] deduplicates neighbor evaluations shared between restarts. *)
   let outcomes =
-    List.filter_map
+    Acs_util.Parallel.filter_map ~chunk:1
       (fun start ->
         local_search ?calib ~sweep ~tpp_target ~model ~objective ~feasible
           start)

@@ -7,6 +7,11 @@
     parameter to an adjacent swept value); [optimize] restarts it from a
     deterministic set of corners plus the lattice center. *)
 
+val adjacent : 'a list -> 'a -> 'a list
+(** [adjacent values current]: the previous and next swept value around
+    [current] in the sorted deduplicated [values] — both for an interior
+    value, one at either end, and none when [current] is not swept. *)
+
 val neighbors : Space.sweep -> Space.params -> Space.params list
 (** Lattice neighbors: for each dimension, the previous and next swept
     value (other dimensions unchanged). Parameters whose value is not in
@@ -41,4 +46,7 @@ val optimize :
   feasible:(Design.t -> bool) ->
   unit ->
   outcome option
-(** Multi-start local search from the lattice corners and center. *)
+(** Multi-start local search from the lattice corners and center. The
+    restarts run in parallel over the {!Acs_util.Parallel} pool and share
+    the {!Eval} memo cache, so neighbor evaluations common to several
+    restarts are simulated once. *)

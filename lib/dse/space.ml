@@ -91,4 +91,4 @@ let build ?(memory_gb = 80.) ~tpp_target p =
   if Device.tpp dev >= tpp_target && cores > 1 then probe (cores - 1) else dev
 
 let designs ?memory_gb ~tpp_target s =
-  List.map (build ?memory_gb ~tpp_target) (enumerate s)
+  Acs_util.Parallel.map (build ?memory_gb ~tpp_target) (enumerate s)

@@ -43,3 +43,5 @@ val build : ?memory_gb:float -> tpp_target:float -> params -> Acs_hardware.Devic
     Memory capacity defaults to 80 GB. *)
 
 val designs : ?memory_gb:float -> tpp_target:float -> sweep -> Acs_hardware.Device.t list
+(** Devices for every swept combination, in [enumerate] order; built in
+    parallel over the {!Acs_util.Parallel} pool. *)

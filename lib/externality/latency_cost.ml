@@ -1,0 +1,48 @@
+module Design = Acs_dse.Design
+module Optimum = Acs_dse.Optimum
+
+type point = {
+  design : Design.t;
+  ttft_cost : float;
+  tbt_cost : float;
+  valid : bool;
+}
+
+let point_of design =
+  {
+    design;
+    ttft_cost = Design.ttft_cost_product design;
+    tbt_cost = Design.tbt_cost_product design;
+    valid = Design.compliant_2023 design && Design.manufacturable design;
+  }
+
+let points designs = Acs_util.Parallel.map point_of designs
+
+type ratio = { objective : Optimum.objective; compliant_over_free : float }
+
+let compliance_penalty objective designs =
+  let compliant d = Design.compliant_2023 d && Design.manufacturable d in
+  let non_compliant d =
+    (not (Design.compliant_2023 d)) && Design.manufacturable d
+  in
+  match
+    ( Optimum.best ~filters:[ compliant ] objective designs,
+      Optimum.best ~filters:[ non_compliant ] objective designs )
+  with
+  | Some c, Some n ->
+      Some
+        {
+          objective;
+          compliant_over_free =
+            Optimum.objective_value objective c
+            /. Optimum.objective_value objective n;
+        }
+  | _ -> None
+
+let compliance_penalty_exn objective designs =
+  match compliance_penalty objective designs with
+  | Some r -> r.compliant_over_free
+  | None ->
+      invalid_arg
+        "Latency_cost.compliance_penalty_exn: need at least one compliant \
+         and one non-compliant manufacturable design"

@@ -1,0 +1,34 @@
+(** Latency - die-cost products over an evaluated design set (Fig. 8 and
+    the Sec. 4.4 compliance-penalty ratios).
+
+    The paper's externality argument: under the October 2023 PD floor, the
+    cheapest-and-fastest compliant design is ~2.6-2.9x worse on the
+    latency x cost product than the unconstrained optimum. *)
+
+type point = {
+  design : Acs_dse.Design.t;
+  ttft_cost : float;  (** TTFT(ms) x die cost($) *)
+  tbt_cost : float;  (** TBT(ms) x die cost($) *)
+  valid : bool;
+      (** unregulated under Oct-2023 data-center rules and within the
+          reticle limit *)
+}
+
+val point_of : Acs_dse.Design.t -> point
+
+val points : Acs_dse.Design.t list -> point list
+(** One point per design, computed in parallel, order preserved. *)
+
+type ratio = {
+  objective : Acs_dse.Optimum.objective;
+  compliant_over_free : float;
+      (** best compliant product / best non-compliant product; > 1 means
+          compliance costs performance-per-dollar *)
+}
+
+val compliance_penalty :
+  Acs_dse.Optimum.objective -> Acs_dse.Design.t list -> ratio option
+(** [None] when either side of the ratio has no manufacturable design. *)
+
+val compliance_penalty_exn :
+  Acs_dse.Optimum.objective -> Acs_dse.Design.t list -> float

@@ -65,7 +65,9 @@ let analyze ?baseline ~metric ~designs groupings =
           baseline;
     }
   in
-  List.map report (all_designs :: groupings)
+  (* One report per grouping, computed in parallel (each report filters and
+     summarizes the full design list); order is preserved. *)
+  Acs_util.Parallel.map ~chunk:1 report (all_designs :: groupings)
 
 let pp_report ppf r =
   Format.fprintf ppf "%-16s n=%-5d med=%.4g range=%.4g narrowing=%.3gx"

@@ -183,6 +183,19 @@ let run ?(config = default_config) ?calib dev model requests =
   let generated_tokens =
     List.fold_left (fun acc o -> acc + o.request.Trace.output_len) 0 outcomes
   in
+  (* Throughput over the span the server was actually serving: the clock
+     starts at 0 but the first request may arrive arbitrarily late, and that
+     idle lead-in says nothing about the hardware. *)
+  let first_arrival =
+    List.fold_left
+      (fun acc (r : Trace.request) -> Float.min acc r.Trace.arrival_s)
+      infinity requests
+  in
+  let serving_span = !clock -. first_arrival in
+  let throughput =
+    if serving_span > 0. then float_of_int generated_tokens /. serving_span
+    else 0.
+  in
   let ttfts = List.map (fun o -> o.ttft_s) outcomes in
   let tbts =
     List.filter_map
@@ -194,7 +207,7 @@ let run ?(config = default_config) ?calib dev model requests =
     outcomes;
     makespan_s = !clock;
     generated_tokens;
-    throughput_tokens_per_s = float_of_int generated_tokens /. !clock;
+    throughput_tokens_per_s = throughput;
     mean_batch_occupancy =
       (if !busy_time > 0. then !busy_weighted /. !busy_time else 0.);
     p50_ttft_s = Stats.percentile 50. ttfts;

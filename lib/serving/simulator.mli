@@ -26,8 +26,12 @@ type request_outcome = {
 type stats = {
   outcomes : request_outcome list;
   makespan_s : float;
+      (** absolute clock at the last completion (the trace starts at 0) *)
   generated_tokens : int;
   throughput_tokens_per_s : float;
+      (** generated tokens over the serving span, i.e. from the first
+          arrival to the last completion — idle time before the first
+          request does not dilute it; 0 on a degenerate zero-length span *)
   mean_batch_occupancy : float;
   p50_ttft_s : float;
   p95_ttft_s : float;

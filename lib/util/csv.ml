@@ -1,6 +1,8 @@
 let escape field =
+  (* CR must be quoted too: a bare CR inside a field splits the row for any
+     reader treating CRLF (or lone CR) as a record separator. *)
   let needs_quote =
-    String.exists (fun c -> c = ',' || c = '"' || c = '\n') field
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') field
   in
   if not needs_quote then field
   else begin
@@ -15,6 +17,43 @@ let escape field =
   end
 
 let row_to_string cells = String.concat "," (List.map escape cells)
+
+let parse_row line =
+  (* Inverse of [row_to_string] for a single record (the string may contain
+     newlines inside quoted fields). Tolerates malformed input by treating
+     a lone quote as literal text. *)
+  let n = String.length line in
+  let cells = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    cells := Buffer.contents buf :: !cells;
+    Buffer.clear buf
+  in
+  let rec unquoted i =
+    if i >= n then flush ()
+    else
+      match line.[i] with
+      | ',' ->
+          flush ();
+          unquoted (i + 1)
+      | '"' -> quoted (i + 1)
+      | c ->
+          Buffer.add_char buf c;
+          unquoted (i + 1)
+  and quoted i =
+    if i >= n then flush ()
+    else
+      match line.[i] with
+      | '"' when i + 1 < n && line.[i + 1] = '"' ->
+          Buffer.add_char buf '"';
+          quoted (i + 2)
+      | '"' -> unquoted (i + 1)
+      | c ->
+          Buffer.add_char buf c;
+          quoted (i + 1)
+  in
+  unquoted 0;
+  List.rev !cells
 
 let rec mkdir_p dir =
   if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin

@@ -2,9 +2,16 @@
     machine-readable series (the benches write under [results/]). *)
 
 val escape : string -> string
-(** RFC-4180 style quoting of a single field. *)
+(** RFC-4180 style quoting of a single field: commas, quotes, LF and CR
+    all force the field into double quotes. *)
 
 val row_to_string : string list -> string
+
+val parse_row : string -> string list
+(** Inverse of [row_to_string]: splits one record into its unescaped
+    fields (quoted fields may contain separators, quotes and newlines).
+    [parse_row (row_to_string cells) = cells] for every non-empty [cells]
+    list; used by the round-trip tests and by consumers of [results/]. *)
 
 val write : path:string -> header:string list -> string list list -> unit
 (** Writes header plus rows to [path], creating parent directories as

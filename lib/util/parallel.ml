@@ -1,0 +1,194 @@
+(* A process-wide pool of worker domains. Workers block on a condition
+   variable waiting for jobs; each parallel map enqueues one job per helper
+   and participates in the work itself, so an effective job count of [n]
+   uses the calling domain plus [n - 1] pool workers. The pool grows to the
+   largest helper count ever requested and is torn down at exit. *)
+
+let parse_jobs s =
+  match int_of_string_opt (String.trim s) with
+  | Some n when n >= 1 -> n
+  | Some _ | None ->
+      invalid_arg "Parallel: ACS_JOBS must be a positive integer"
+
+let env_jobs =
+  lazy
+    (match Sys.getenv_opt "ACS_JOBS" with
+    | Some s -> parse_jobs s
+    | None -> max 1 (Domain.recommended_domain_count () - 1))
+
+(* [with_jobs] override; read and written by the calling domain only. *)
+let forced_jobs = ref None
+
+let jobs () =
+  match !forced_jobs with Some n -> n | None -> Lazy.force env_jobs
+
+let with_jobs n f =
+  if n < 1 then invalid_arg "Parallel.with_jobs: job count must be >= 1";
+  let prev = !forced_jobs in
+  forced_jobs := Some n;
+  Fun.protect ~finally:(fun () -> forced_jobs := prev) f
+
+(* --- the pool --- *)
+
+let pool_mutex = Mutex.create ()
+let pending : (unit -> unit) Queue.t = Queue.create ()
+let has_work = Condition.create ()
+let worker_count = ref 0
+let workers : unit Domain.t list ref = ref []
+let shutdown = ref false
+let teardown_registered = ref false
+
+let worker_loop () =
+  let rec next () =
+    Mutex.lock pool_mutex;
+    while Queue.is_empty pending && not !shutdown do
+      Condition.wait has_work pool_mutex
+    done;
+    if Queue.is_empty pending then Mutex.unlock pool_mutex
+    else begin
+      let job = Queue.pop pending in
+      Mutex.unlock pool_mutex;
+      job ();
+      next ()
+    end
+  in
+  next ()
+
+let ensure_workers n =
+  Mutex.lock pool_mutex;
+  let missing = n - !worker_count in
+  if missing > 0 then worker_count := n;
+  if not !teardown_registered then begin
+    teardown_registered := true;
+    at_exit (fun () ->
+        Mutex.lock pool_mutex;
+        shutdown := true;
+        Condition.broadcast has_work;
+        Mutex.unlock pool_mutex;
+        List.iter Domain.join !workers)
+  end;
+  Mutex.unlock pool_mutex;
+  (* Spawning outside the lock: only the calling domain spawns (callers are
+     serialized through the maps below in practice, and a harmless
+     over-spawn is the worst concurrent case). *)
+  for _ = 1 to missing do
+    workers := Domain.spawn worker_loop :: !workers
+  done
+
+let submit job =
+  Mutex.lock pool_mutex;
+  Queue.push job pending;
+  Condition.signal has_work;
+  Mutex.unlock pool_mutex
+
+(* Run [apply i] for every [i < total], distributing contiguous chunks over
+   [jobs] domains (the caller plus [jobs - 1] pool workers). *)
+let run_chunked ~jobs ~chunk ~total apply =
+  let n_chunks = (total + chunk - 1) / chunk in
+  let helpers = min (jobs - 1) (n_chunks - 1) in
+  if helpers <= 0 then
+    for i = 0 to total - 1 do
+      apply i
+    done
+  else begin
+    ensure_workers helpers;
+    let next_chunk = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let work () =
+      let rec loop () =
+        let c = Atomic.fetch_and_add next_chunk 1 in
+        if c < n_chunks then begin
+          (if Atomic.get failure = None then
+             try
+               let lo = c * chunk in
+               let hi = min total (lo + chunk) - 1 in
+               for i = lo to hi do
+                 apply i
+               done
+             with e ->
+               let bt = Printexc.get_raw_backtrace () in
+               ignore (Atomic.compare_and_set failure None (Some (e, bt))));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let remaining = Atomic.make helpers in
+    let done_mutex = Mutex.create () in
+    let all_done = Condition.create () in
+    let helper () =
+      Fun.protect ~finally:(fun () ->
+          if Atomic.fetch_and_add remaining (-1) = 1 then begin
+            Mutex.lock done_mutex;
+            Condition.broadcast all_done;
+            Mutex.unlock done_mutex
+          end)
+        work
+    in
+    for _ = 1 to helpers do
+      submit helper
+    done;
+    work ();
+    Mutex.lock done_mutex;
+    while Atomic.get remaining > 0 do
+      Condition.wait all_done done_mutex
+    done;
+    Mutex.unlock done_mutex;
+    match Atomic.get failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
+  end
+
+let resolve_jobs = function
+  | Some n when n >= 1 -> n
+  | Some _ -> invalid_arg "Parallel: job count must be >= 1"
+  | None -> jobs ()
+
+let resolve_chunk chunk ~jobs ~total =
+  match chunk with
+  | Some c when c >= 1 -> c
+  | Some _ | None -> max 1 (total / (jobs * 4))
+
+(* Results are staged through an option array so every element type gets a
+   uniform boxed representation (no flat-float-array write hazards) and
+   [filter_map] falls out of the same code path. *)
+let map_options ~jobs ~chunk f a =
+  let total = Array.length a in
+  let out = Array.make total None in
+  let chunk = resolve_chunk chunk ~jobs ~total in
+  run_chunked ~jobs ~chunk ~total (fun i -> out.(i) <- Some (f a.(i)));
+  out
+
+let map_array ?jobs ?chunk f a =
+  let jobs = resolve_jobs jobs in
+  if jobs <= 1 || Array.length a <= 1 then Array.map f a
+  else
+    Array.map
+      (function Some v -> v | None -> assert false)
+      (map_options ~jobs ~chunk f a)
+
+let filter_map_array ?jobs ?chunk f a =
+  let jobs = resolve_jobs jobs in
+  if jobs <= 1 || Array.length a <= 1 then
+    Array.of_list (List.filter_map f (Array.to_list a))
+  else begin
+    let out = map_options ~jobs ~chunk f a in
+    let result = ref [] in
+    for i = Array.length out - 1 downto 0 do
+      match out.(i) with
+      | Some (Some v) -> result := v :: !result
+      | Some None -> ()
+      | None -> assert false
+    done;
+    Array.of_list !result
+  end
+
+let map ?jobs ?chunk f l =
+  let n = resolve_jobs jobs in
+  if n <= 1 then List.map f l
+  else Array.to_list (map_array ~jobs:n ?chunk f (Array.of_list l))
+
+let filter_map ?jobs ?chunk f l =
+  let n = resolve_jobs jobs in
+  if n <= 1 then List.filter_map f l
+  else Array.to_list (filter_map_array ~jobs:n ?chunk f (Array.of_list l))

@@ -1,0 +1,43 @@
+(** Fixed domain pool for data-parallel sweeps.
+
+    OCaml 5 gives us true shared-memory parallelism through [Domain]; this
+    module keeps a process-wide pool of worker domains and distributes
+    array/list work over it in contiguous chunks, preserving result order.
+    The pool size comes from the [ACS_JOBS] environment variable (a positive
+    integer), defaulting to [Domain.recommended_domain_count () - 1]; at an
+    effective job count <= 1 every entry point degrades to the plain
+    sequential [Array.map]/[List.map] code path, guaranteeing deterministic
+    behaviour with zero domain machinery.
+
+    All mapped functions must be pure: they run concurrently on arbitrary
+    domains and their results are written into a shared result slot exactly
+    once per index. Exceptions raised by the mapped function are caught on
+    the worker, the remaining chunks are abandoned, and the first exception
+    is re-raised (with its backtrace) on the calling domain. *)
+
+val jobs : unit -> int
+(** The effective job count: the innermost [with_jobs] override if any,
+    otherwise [ACS_JOBS], otherwise [recommended_domain_count () - 1]
+    (never below 1). Raises [Invalid_argument] if [ACS_JOBS] is set to
+    anything but a positive integer. *)
+
+val with_jobs : int -> (unit -> 'a) -> 'a
+(** [with_jobs n f] runs [f] with the effective job count forced to [n]
+    (>= 1), restoring the previous setting afterwards. The override is only
+    visible to calls made from the current domain, which is what tests need
+    to compare sequential and parallel runs in-process. *)
+
+val map_array : ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Order-preserving parallel [Array.map]. [?jobs] overrides the effective
+    job count for this call; [?chunk] sets the chunk size (default: spread
+    the input over ~4 chunks per job, at least 1 element each). *)
+
+val filter_map_array :
+  ?jobs:int -> ?chunk:int -> ('a -> 'b option) -> 'a array -> 'b array
+(** Order-preserving parallel [Array.map] followed by dropping [None]s. *)
+
+val map : ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving parallel [List.map]. *)
+
+val filter_map : ?jobs:int -> ?chunk:int -> ('a -> 'b option) -> 'a list -> 'b list
+(** Order-preserving parallel [List.filter_map]. *)

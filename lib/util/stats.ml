@@ -13,13 +13,20 @@ let require_non_empty name = function
   | [] -> invalid_arg (Printf.sprintf "Stats.%s: empty input" name)
   | _ :: _ -> ()
 
+let reject_nan name xs =
+  if List.exists Float.is_nan xs then
+    invalid_arg (Printf.sprintf "Stats.%s: NaN in input" name)
+
 let mean xs =
   require_non_empty "mean" xs;
   List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
 
 let sorted_array xs =
   let a = Array.of_list xs in
-  Array.sort compare a;
+  (* [Float.compare], not polymorphic [compare]: it is specialized for
+     floats and totally ordered (polymorphic compare silently misorders
+     around NaN, which the entry points below reject anyway). *)
+  Array.sort Float.compare a;
   a
 
 let percentile_of_sorted p a =
@@ -30,16 +37,21 @@ let percentile_of_sorted p a =
     let lo = int_of_float (Float.floor rank) in
     let hi = int_of_float (Float.ceil rank) in
     let frac = rank -. float_of_int lo in
-    (a.(lo) *. (1. -. frac)) +. (a.(hi) *. frac)
+    (* Exact-integer ranks must index directly: interpolating would compute
+       [inf *. 0.] = NaN when an endpoint is infinite. *)
+    if lo = hi then a.(lo)
+    else (a.(lo) *. (1. -. frac)) +. (a.(hi) *. frac)
   end
 
 let percentile p xs =
   require_non_empty "percentile" xs;
+  reject_nan "percentile" xs;
   if p < 0. || p > 100. then invalid_arg "Stats.percentile: p outside [0,100]";
   percentile_of_sorted p (sorted_array xs)
 
 let median xs =
   require_non_empty "median" xs;
+  reject_nan "median" xs;
   percentile_of_sorted 50. (sorted_array xs)
 
 let stddev xs =
@@ -60,14 +72,22 @@ let iqr xs =
 
 let summarize xs =
   require_non_empty "summarize" xs;
+  reject_nan "summarize" xs;
+  (* Sort once and derive every statistic from the same array (the previous
+     version re-sorted the input for the median and each percentile). *)
   let a = sorted_array xs in
+  let n = Array.length a in
+  let mean = Array.fold_left ( +. ) 0. a /. float_of_int n in
+  let sq =
+    Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. a
+  in
   {
-    count = Array.length a;
+    count = n;
     min = a.(0);
-    max = a.(Array.length a - 1);
-    mean = mean xs;
+    max = a.(n - 1);
+    mean;
     median = percentile_of_sorted 50. a;
-    stddev = stddev xs;
+    stddev = sqrt (sq /. float_of_int n);
     p25 = percentile_of_sorted 25. a;
     p75 = percentile_of_sorted 75. a;
   }

@@ -20,7 +20,9 @@ val median : float list -> float
 
 val percentile : float -> float list -> float
 (** [percentile p xs] is the [p]-th percentile (0. <= p <= 100.) using
-    linear interpolation between closest ranks. *)
+    linear interpolation between closest ranks. Raises [Invalid_argument]
+    if any input is NaN (as do [median] and [summarize]): a NaN would
+    silently misorder the underlying sort. *)
 
 val stddev : float list -> float
 val range : float list -> float

@@ -107,6 +107,34 @@ let t_slo_attainment () =
   check_raises_invalid "bad objective" (fun () ->
       ignore (Simulator.slo_attainment s ~ttft_s:0. ~tbt_s:1.))
 
+let t_throughput_ignores_idle_leadin () =
+  (* Regression: throughput used to divide by the absolute clock, so a trace
+     whose first request arrives late reported an arbitrarily diluted
+     tokens/s. The same requests shifted 100 s into the future must report
+     the same throughput. *)
+  let base =
+    [
+      { Trace.id = 0; arrival_s = 0.; input_len = 256; output_len = 32 };
+      { Trace.id = 1; arrival_s = 0.5; input_len = 128; output_len = 16 };
+      { Trace.id = 2; arrival_s = 1.0; input_len = 512; output_len = 64 };
+    ]
+  in
+  let shifted =
+    List.map (fun r -> { r with Trace.arrival_s = r.Trace.arrival_s +. 100. }) base
+  in
+  let s0 = Simulator.run Presets.a100 Model.llama3_8b base in
+  let s1 = Simulator.run Presets.a100 Model.llama3_8b shifted in
+  Alcotest.(check bool) "positive throughput" true
+    (s0.Simulator.throughput_tokens_per_s > 0.);
+  check_close "shift-invariant throughput" s0.Simulator.throughput_tokens_per_s
+    s1.Simulator.throughput_tokens_per_s;
+  check_close "makespan still absolute" (s0.Simulator.makespan_s +. 100.)
+    s1.Simulator.makespan_s;
+  (* The throughput must reflect the serving span, not the absolute clock. *)
+  Alcotest.(check bool) "not diluted by the lead-in" true
+    (s1.Simulator.throughput_tokens_per_s
+    > float_of_int s1.Simulator.generated_tokens /. s1.Simulator.makespan_s)
+
 let t_empty_trace_rejected () =
   check_raises_invalid "empty" (fun () ->
       ignore (Simulator.run Presets.a100 Model.llama3_8b []))
@@ -122,5 +150,6 @@ let suite =
     test "memory bandwidth helps serving" t_memory_bandwidth_helps_serving;
     test "overload queues requests" t_overload_queues;
     test "slo attainment" t_slo_attainment;
+    test "throughput ignores idle lead-in" t_throughput_ignores_idle_leadin;
     test "empty trace rejected" t_empty_trace_rejected;
   ]

@@ -85,6 +85,19 @@ let t_empty_inputs () =
   check_raises_invalid "percentile range" (fun () ->
       Stats.percentile 101. [ 1. ])
 
+let t_nan_rejected () =
+  (* NaN is unordered, so any percentile over it is meaningless; the sort
+     now uses [Float.compare] (total order) and the entry points reject NaN
+     outright instead of returning a position-dependent value. *)
+  check_raises_invalid "percentile" (fun () ->
+      Stats.percentile 50. [ 1.; Float.nan; 3. ]);
+  check_raises_invalid "median" (fun () -> Stats.median [ Float.nan ]);
+  check_raises_invalid "summarize" (fun () ->
+      ignore (Stats.summarize [ 2.; Float.nan ]));
+  (* Infinities are ordered and stay accepted. *)
+  Alcotest.(check bool) "infinity ok" true
+    (Stats.percentile 100. [ 1.; Float.infinity ] = Float.infinity)
+
 let float_list = QCheck.(list_of_size Gen.(int_range 1 50) (float_range (-1e6) 1e6))
 
 let prop_median_bounds =
@@ -126,6 +139,7 @@ let suite =
     prop_correlation_bounds;
     test "argmin/argmax" t_argminmax;
     test "empty inputs rejected" t_empty_inputs;
+    test "NaN inputs rejected" t_nan_rejected;
     prop_median_bounds;
     prop_mean_bounds;
     prop_percentile_monotone;

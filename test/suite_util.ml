@@ -107,6 +107,40 @@ let t_csv_escape () =
   Alcotest.(check string) "row" "a,\"b,c\",d"
     (Csv.row_to_string [ "a"; "b,c"; "d" ])
 
+let t_csv_cr_escape () =
+  (* A bare CR splits the record for CRLF-aware readers, so it must force
+     quoting just like LF does. *)
+  Alcotest.(check string) "cr" "\"a\rb\"" (Csv.escape "a\rb");
+  Alcotest.(check string) "lf" "\"a\nb\"" (Csv.escape "a\nb");
+  Alcotest.(check string) "crlf" "\"a\r\nb\"" (Csv.escape "a\r\nb")
+
+let t_csv_parse_row () =
+  Alcotest.(check (list string)) "plain" [ "a"; "b"; "c" ]
+    (Csv.parse_row "a,b,c");
+  Alcotest.(check (list string)) "quoted comma" [ "a,b"; "c" ]
+    (Csv.parse_row "\"a,b\",c");
+  Alcotest.(check (list string)) "escaped quote" [ "a\"b" ]
+    (Csv.parse_row "\"a\"\"b\"");
+  Alcotest.(check (list string)) "empty cells" [ ""; ""; "" ]
+    (Csv.parse_row ",,")
+
+let cell_gen =
+  (* Printable ASCII plus the separators/quotes/newlines that exercise the
+     quoting rules. *)
+  QCheck.Gen.(
+    string_size (int_range 0 12)
+      ~gen:
+        (frequency
+           [ (6, printable); (2, oneofl [ ','; '"'; '\n'; '\r' ]) ]))
+
+let prop_csv_round_trip =
+  qcheck "parse_row (row_to_string cells) == cells"
+    QCheck.(
+      make
+        ~print:(fun cs -> String.concat "|" cs)
+        Gen.(list_size (int_range 1 8) cell_gen))
+    (fun cells -> Csv.parse_row (Csv.row_to_string cells) = cells)
+
 let t_csv_write () =
   let path = Filename.concat (Filename.get_temp_dir_name ()) "acs_test/out.csv" in
   Csv.write ~path ~header:[ "x"; "y" ] [ [ "1"; "2" ]; [ "3"; "4" ] ];
@@ -147,6 +181,9 @@ let suite =
     test "boxplot rendering" t_boxplot_renders;
     test "boxplot edge cases" t_boxplot_degenerate;
     test "csv escaping" t_csv_escape;
+    test "csv CR escaping" t_csv_cr_escape;
+    test "csv row parsing" t_csv_parse_row;
+    prop_csv_round_trip;
     test "csv writes files" t_csv_write;
     test "unit conversions" t_units;
     test "unit pretty printing" t_units_pp;
