@@ -24,21 +24,30 @@ let csv name header rows =
 let pct x = Printf.sprintf "%+.1f%%" (100. *. x)
 let ms s = Units.to_ms s
 
-(* Baselines: the modeled A100 running each model. *)
+(* Baselines: the modeled A100 running each model. Models are matched by
+   name - the old physical-equality ([==]) match silently recomputed the
+   baseline for any structurally-equal copy of a preset. *)
 
 let a100_gpt3 = lazy (Engine.simulate Presets.a100 Model.gpt3_175b)
 let a100_llama = lazy (Engine.simulate Presets.a100 Model.llama3_8b)
 
-let baseline = function
-  | m when m == Model.gpt3_175b -> Lazy.force a100_gpt3
-  | m when m == Model.llama3_8b -> Lazy.force a100_llama
-  | m -> Engine.simulate Presets.a100 m
+let baseline (m : Model.t) =
+  if m.Model.name = Model.gpt3_175b.Model.name then Lazy.force a100_gpt3
+  else if m.Model.name = Model.llama3_8b.Model.name then Lazy.force a100_llama
+  else Engine.simulate Presets.a100 m
 
-(* Sweeps, through the parallel + memoized evaluation engine. *)
+(* Sweeps come from the registry of named scenarios and run through the
+   parallel + memoized evaluation engine, so every section's design set
+   is a dumpable manifest (`acs scenarios --dump <name>`) and sections
+   sharing a context (Figs. 7/8/11, Table 4, the scorecard) share cache
+   entries. *)
 
-let oct2022 model = Eval.sweep ~model ~tpp_target:4800. Space.oct2022
-let oct2023 model tpp = Eval.sweep ~model ~tpp_target:tpp Space.oct2023
-let restricted model = Eval.sweep ~model ~tpp_target:4800. Space.restricted
+let scenario name =
+  match Scenario.find name with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Common.scenario: unknown scenario %S" name)
+
+let designs_of name = Eval.run (scenario name)
 
 (* Per-section observability: wall-clock (the CPU clock undercounts when
    evaluation runs on several domains), evaluations performed and cache
@@ -63,28 +72,22 @@ let timed f =
       (100. *. float_of_int hits /. float_of_int lookups)
   else note "[timing] %.2f s wall; %d design evaluations" dt evals
 
-let model_tag m = if m == Model.gpt3_175b then "gpt3" else "llama3"
+let model_tag (m : Model.t) =
+  (* By name, not [==]: a structurally-equal model copy must not be
+     mislabeled (the old physical match tagged every non-gpt3 model,
+     Mixtral included, as "llama3"). *)
+  if m.Model.name = Model.gpt3_175b.Model.name then "gpt3"
+  else if m.Model.name = Model.llama3_8b.Model.name then "llama3"
+  else
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | '0' .. '9' | '-' -> c
+        | _ -> '-')
+      (String.lowercase_ascii m.Model.name)
 
-let design_row (d : Design.t) =
-  [
-    string_of_int d.Design.params.Space.systolic_dim;
-    string_of_int d.Design.params.Space.lanes;
-    Printf.sprintf "%.0f" d.Design.params.Space.l1;
-    Printf.sprintf "%.0f" d.Design.params.Space.l2;
-    Printf.sprintf "%.1f" d.Design.params.Space.memory_bw;
-    Printf.sprintf "%.0f" d.Design.params.Space.device_bw;
-    Printf.sprintf "%.1f" d.Design.area_mm2;
-    Printf.sprintf "%.2f" (Spec.performance_density d.Design.spec);
-    Printf.sprintf "%.4f" (ms d.Design.ttft_s);
-    Printf.sprintf "%.5f" (ms d.Design.tbt_s);
-    Printf.sprintf "%.2f" d.Design.die_cost_usd;
-    Acr_2023.tier_to_string d.Design.acr2023_dc;
-    string_of_bool d.Design.within_reticle;
-  ]
+(* The standard design CSV lives with [Design] so `acs run` emits the
+   exact same rows. *)
 
-let design_header =
-  [
-    "systolic"; "lanes"; "l1_kb"; "l2_mb"; "membw_tb_s"; "devbw_gb_s";
-    "area_mm2"; "pd"; "ttft_ms"; "tbt_ms"; "die_cost_usd"; "acr2023_dc";
-    "within_reticle";
-  ]
+let design_row = Design.csv_row
+let design_header = Design.csv_header

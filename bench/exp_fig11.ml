@@ -82,10 +82,10 @@ let correlation_table name ~designs =
     params;
   Table.print ~title:(Printf.sprintf "Fig 11: %s parameter/latency correlations" name) t
 
-let analyze model name =
-  let designs =
-    List.filter Design.manufacturable (oct2023 model 4800.)
-  in
+let analyze name =
+  let s = scenario (Printf.sprintf "fig11-%s" name) in
+  let model = s.Scenario.model in
+  let designs = List.filter Design.manufacturable (Eval.run s) in
   let base = baseline model in
   let ttft_reports =
     Grouping.analyze ~baseline:base.Engine.ttft_s
@@ -122,10 +122,10 @@ let report_rows metric reports =
 
 let run () =
   section "Figure 11: indicator distributions for 4800-TPP designs (Fig 7 DSE)";
-  let g_ttft, g_tbt = analyze Model.gpt3_175b "gpt3" in
+  let g_ttft, g_tbt = analyze "gpt3" in
   note "(paper: 1-lane gives 5x narrower TTFT; 2.8 TB/s gives 20.6x narrower \
         TBT for GPT-3; 500 GB/s device BW narrows TTFT only 5.7%%)";
-  let l_ttft, l_tbt = analyze Model.llama3_8b "llama3" in
+  let l_ttft, l_tbt = analyze "llama3" in
   note "(paper: 3.3x / 10.7x for Llama 3)";
   csv "fig11.csv"
     [ "model_metric"; "grouping"; "n"; "median_s"; "min_s"; "max_s"; "narrowing" ]

@@ -31,9 +31,10 @@ let groups =
       both (l1_fixed_kb 32.) (memory_bw_fixed_tb_s 0.8);
     ]
 
-let analyze model name =
-  let designs = List.filter Design.manufacturable (restricted model) in
-  let base = baseline model in
+let analyze name =
+  let s = scenario (Printf.sprintf "fig12-%s" name) in
+  let designs = List.filter Design.manufacturable (Eval.run s) in
+  let base = baseline s.Scenario.model in
   let report metric_name metric baseline_v =
     let reports = Grouping.analyze ~baseline:baseline_v ~metric ~designs groups in
     let t =
@@ -78,10 +79,10 @@ let analyze model name =
 let run () =
   section "Figure 12 / Table 5: restricted design space distributions";
   print_table5 ();
-  let _g_ttft, g_tbt = analyze Model.gpt3_175b "gpt3" in
+  let _g_ttft, g_tbt = analyze "gpt3" in
   note "(paper GPT-3: 32 KB L1 -> median TTFT +58.7%%, 1.59x narrower; \
         0.8 TB/s -> median TBT +110%%, 41.8x narrower)";
-  let _l_ttft, l_tbt = analyze Model.llama3_8b "llama3" in
+  let _l_ttft, l_tbt = analyze "llama3" in
   note "(paper Llama 3: 32 KB L1 -> +52.6%%, 1.43x; 0.8 TB/s -> +58.7%%, 42.4x)";
   (* Headline regression: the combined TPP + memory-bandwidth policy. *)
   let find label reports =
@@ -98,5 +99,5 @@ let run () =
   let dump tag designs =
     csv (Printf.sprintf "fig12_%s.csv" tag) design_header (List.map design_row designs)
   in
-  dump "gpt3" (restricted Model.gpt3_175b);
-  dump "llama3" (restricted Model.llama3_8b)
+  dump "gpt3" (designs_of "fig12-gpt3");
+  dump "llama3" (designs_of "fig12-llama3")

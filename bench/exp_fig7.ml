@@ -8,6 +8,10 @@ open Common
 
 let targets = [ 1600.; 2400.; 4800. ]
 
+(* Registry scenario for one model tag and TPP target (the manifests
+   `fig7-gpt3-1600` ... `fig7-llama3-4800`). *)
+let scenario_name tag tpp = Printf.sprintf "fig7-%s-%.0f" tag tpp
+
 let marker_of_target tpp =
   if tpp = 1600. then '1' else if tpp = 2400. then '2' else '4'
 
@@ -32,9 +36,12 @@ let panel ~title ~xlabel ~ylabel ~x ~y per_target baseline_x baseline_y =
       ]
     plot
 
-let summarize model name =
+let summarize name =
+  let model = (scenario (scenario_name name 2400.)).Scenario.model in
   let base = baseline model in
-  let per_target = List.map (fun tpp -> (tpp, oct2023 model tpp)) targets in
+  let per_target =
+    List.map (fun tpp -> (tpp, designs_of (scenario_name name tpp))) targets
+  in
   panel
     ~title:(Printf.sprintf "Fig 7: %s prefill vs die area" name)
     ~xlabel:"die area (mm2)" ~ylabel:"TTFT (ms)"
@@ -74,10 +81,10 @@ let summarize model name =
 
 let run () =
   section "Figure 7: October 2023 design space exploration";
-  let g = summarize Model.gpt3_175b "gpt3" in
+  let g = summarize "gpt3" in
   note "(paper: 2400-TPP fastest TTFT +78.8%%; fastest TBT -20.9%% @1600, \
         -26.1%% @2400 for GPT-3)";
-  let l = summarize Model.llama3_8b "llama3" in
+  let l = summarize "llama3" in
   note "(paper: 2400-TPP fastest TTFT +54.6%%; fastest TBT -12.0%% @1600, \
         -12.8%% @2400 for Llama 3)";
   List.iter

@@ -31,9 +31,12 @@ let panel ~title ~ylabel ~y per_target =
     per_target;
   Scatter.print ~title ~legend plot
 
-let summarize model name =
+let summarize name =
   let per_target =
-    List.map (fun tpp -> (tpp, Latency_cost.points (oct2023 model tpp))) targets
+    List.map
+      (fun tpp ->
+        (tpp, Latency_cost.points (designs_of (Exp_fig7.scenario_name name tpp))))
+      targets
   in
   panel ~title:(Printf.sprintf "Fig 8: %s TTFT x die-cost" name)
     ~ylabel:"TTFT*cost (ms*$)"
@@ -45,7 +48,7 @@ let summarize model name =
     per_target;
   (* Paper Sec. 4.4: PD-compliant minimum latency-cost designs are ~2.6-2.9x
      worse than non-compliant ones at the 2400 target. *)
-  let designs = oct2023 model 2400. in
+  let designs = designs_of (Printf.sprintf "fig8-%s" name) in
   note "%s @2400 TPP: PD-compliant min TTFT-cost is %.2fx the non-compliant \
         optimum; TBT-cost %.2fx (paper: 2.72x / 2.64x GPT-3, 2.58x / 2.91x \
         Llama 3)"
@@ -56,8 +59,8 @@ let summarize model name =
 
 let run () =
   section "Figure 8: latency - die-cost products over the Fig 7 DSE";
-  let g = summarize Model.gpt3_175b "gpt3" in
-  let l = summarize Model.llama3_8b "llama3" in
+  let g = summarize "gpt3" in
+  let l = summarize "llama3" in
   let dump tag per_target =
     let rows =
       List.concat_map

@@ -7,7 +7,8 @@ open Common
 
 let run () =
   section "Power study: what the PD floor costs in watts (Table 4 designs)";
-  let designs = oct2023 Model.gpt3_175b 2400. in
+  (* Same manifest as Table 4: the 2400-TPP October 2023 sweep. *)
+  let designs = designs_of "table4" in
   let compliant d = Design.compliant_2023 d && Design.manufacturable d in
   let non_compliant d = (not (Design.compliant_2023 d)) && Design.manufacturable d in
   let pdc = Optimum.best_exn ~filters:[ compliant ] Optimum.Ttft designs in

@@ -24,19 +24,24 @@ let claims () =
   let a100 = Presets.a100 in
   let base_g = baseline Model.gpt3_175b in
   let base_l = baseline Model.llama3_8b in
+  (* Sweeps by registry scenario name; [model_tag] picks the family. *)
   let best22 model obj =
     Optimum.best_exn
       ~filters:[ Design.compliant_2022; Design.manufacturable ]
-      obj (oct2022 model)
+      obj
+      (designs_of (Printf.sprintf "fig6-%s" (model_tag model)))
   in
   let best23 model tpp obj =
     Optimum.best_exn
       ~filters:[ (fun d -> Design.compliant_2023 d && Design.manufacturable d) ]
       obj
-      (oct2023 model tpp)
+      (designs_of (Printf.sprintf "fig7-%s-%.0f" (model_tag model) tpp))
   in
   let fig12_group model metric_of baseline_v label =
-    let designs = List.filter Design.manufacturable (restricted model) in
+    let designs =
+      List.filter Design.manufacturable
+        (designs_of (Printf.sprintf "fig12-%s" (model_tag model)))
+    in
     let reports =
       Grouping.analyze ~baseline:baseline_v ~metric:metric_of ~designs
         [ (if label = "l1" then Grouping.l1_fixed_kb 32.
@@ -131,7 +136,7 @@ let claims () =
             (List.length
                (List.filter
                   (fun d -> Design.compliant_2023 d && Design.manufacturable d)
-                  (oct2023 Model.gpt3_175b 4800.))));
+                  (designs_of "fig7-gpt3-4800"))));
     };
     {
       id = "fig7-2400-ttft";
@@ -156,7 +161,7 @@ let claims () =
             (List.length
                (List.filter
                   (fun d -> Design.compliant_2023 d && Design.manufacturable d)
-                  (oct2023 Model.gpt3_175b 2400.))));
+                  (designs_of "fig7-gpt3-2400"))));
     };
     {
       id = "table4-diecost";

@@ -6,7 +6,7 @@ open Common
 
 let run () =
   section "Table 4: performance density and cost at the 2400 TPP target (GPT-3)";
-  let designs = oct2023 Model.gpt3_175b 2400. in
+  let designs = designs_of "table4" in
   let compliant d = Design.compliant_2023 d && Design.manufacturable d in
   let non_compliant d = (not (Design.compliant_2023 d)) && Design.manufacturable d in
   let best filter = Optimum.best_exn ~filters:[ filter ] Optimum.Ttft designs in

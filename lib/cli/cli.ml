@@ -142,6 +142,19 @@ let simulate_cmd =
 
 (* --- dse --- *)
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:"Worker domains for the sweep (overrides \\$(b,ACS_JOBS)).")
+
+let with_jobs_opt jobs f =
+  match jobs with
+  | Some n when n >= 1 -> Parallel.with_jobs n f
+  | Some n -> invalid_arg (Printf.sprintf "--jobs %d: must be >= 1" n)
+  | None -> f ()
+
 let dse_cmd =
   let rule =
     Arg.(value & opt (enum [ ("oct2022", `Oct2022); ("oct2023", `Oct2023); ("restricted", `Restricted) ]) `Oct2022
@@ -155,14 +168,16 @@ let dse_cmd =
            Optimum.Tbt
          & info [ "objective" ] ~doc:"ttft, tbt, ttft-cost or tbt-cost.")
   in
-  let run space model target top objective =
+  let run space model target top objective jobs =
     let sweep =
       match space with
       | `Oct2022 -> Space.oct2022
       | `Oct2023 -> Space.oct2023
       | `Restricted -> Space.restricted
     in
-    let designs = Design.evaluate_sweep ~model ~tpp_target:target sweep in
+    let designs =
+      with_jobs_opt jobs (fun () -> Eval.sweep ~model ~tpp_target:target sweep)
+    in
     let compliant =
       match space with
       | `Oct2022 | `Restricted -> Design.compliant_2022
@@ -190,7 +205,139 @@ let dse_cmd =
     | [] -> Format.printf "no compliant designs@."
   in
   Cmd.v (Cmd.info "dse" ~doc:"Run a design space exploration and print the best compliant designs.")
-    Term.(const run $ rule $ model_arg $ target $ top $ objective)
+    Term.(const run $ rule $ model_arg $ target $ top $ objective $ jobs_arg)
+
+(* --- scenarios --- *)
+
+let scenarios_cmd =
+  let dump =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dump" ] ~docv:"NAME"
+          ~doc:"Print the JSON manifest of one registry scenario (a starting \
+                point for custom manifests) instead of the listing.")
+  in
+  let run dump =
+    match dump with
+    | Some name -> begin
+        match Scenario.find name with
+        | Some s ->
+            print_endline (Json.to_string ~indent:2 (Scenario.to_json s));
+            `Ok ()
+        | None ->
+            `Error (false, Printf.sprintf "unknown scenario %S (run `acs scenarios` for the list)" name)
+      end
+    | None ->
+        let t =
+          Table.create
+            ~aligns:[ Table.Left; Table.Left; Table.Right; Table.Right; Table.Left ]
+            [ "name"; "model"; "designs"; "TPP target"; "regime" ]
+        in
+        List.iter
+          (fun s ->
+            Table.add_row t
+              [
+                s.Scenario.name;
+                s.Scenario.model.Model.name;
+                string_of_int (Scenario.size s);
+                Printf.sprintf "%.0f" s.Scenario.tpp_target;
+                Scenario.regime_token s.Scenario.regime;
+              ])
+          Scenario.registry;
+        Table.print t;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "scenarios"
+       ~doc:"List the registry of canonical experiment scenarios.")
+    Term.(ret (const run $ dump))
+
+(* --- run --- *)
+
+let run_cmd =
+  let target =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SCENARIO"
+          ~doc:"A JSON manifest file, or the name of a registry scenario \
+                (see `acs scenarios`).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:"Write \\$(docv)/<name>.csv with one row per evaluated design \
+                (the same columns the bench emits).")
+  in
+  let exec scenario jobs out =
+    with_jobs_opt jobs @@ fun () ->
+    Format.printf "%a@." Scenario.pp scenario;
+    Format.printf "domain pool: %d job%s@." (Parallel.jobs ())
+      (if Parallel.jobs () = 1 then "" else "s");
+    let designs = Eval.run scenario in
+    let ok =
+      List.filter
+        (fun d -> Scenario.compliant scenario d && Design.manufacturable d)
+        designs
+    in
+    Format.printf "%d designs, %d compliant (%s) and manufacturable@."
+      (List.length designs) (List.length ok)
+      (Timeline.regime_to_string scenario.Scenario.regime);
+    let base = Engine.simulate Presets.a100 scenario.Scenario.model in
+    List.iter
+      (fun (label, objective, metric, baseline) ->
+        match Optimum.best objective ok with
+        | Some d ->
+            Format.printf "best %s: %a (%+.1f%% vs modeled A100)@." label
+              Design.pp d
+              (100. *. (metric d -. baseline) /. baseline)
+        | None -> ())
+      [
+        ("TTFT", Optimum.Ttft, (fun d -> d.Design.ttft_s), base.Engine.ttft_s);
+        ("TBT", Optimum.Tbt, (fun d -> d.Design.tbt_s), base.Engine.tbt_s);
+      ];
+    (match out with
+    | None -> ()
+    | Some dir ->
+        let name =
+          if scenario.Scenario.name = "" then "scenario" else scenario.Scenario.name
+        in
+        let path = Filename.concat dir (name ^ ".csv") in
+        Csv.write ~path ~header:Design.csv_header (List.map Design.csv_row designs);
+        Format.printf "wrote %s (%d rows)@." path (List.length designs))
+  in
+  let run target jobs out =
+    let scenario =
+      if Sys.file_exists target && not (Sys.is_directory target) then
+        try Ok (Scenario.of_json (Json.of_file target))
+        with Json.Error msg ->
+          Error (Printf.sprintf "%s: %s" target msg)
+      else
+        match Scenario.find target with
+        | Some s -> Ok s
+        | None ->
+            Error
+              (Printf.sprintf
+                 "%S is neither a manifest file nor a registry scenario (run \
+                  `acs scenarios` for the list)"
+                 target)
+    in
+    match scenario with
+    | Error msg -> `Error (false, msg)
+    | Ok s -> (
+        try
+          exec s jobs out;
+          `Ok ()
+        with Invalid_argument msg -> `Error (false, msg))
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Evaluate a scenario manifest (file or registry name) and dump \
+             its designs.")
+    Term.(ret (const run $ target $ jobs_arg $ out))
 
 (* --- fps --- *)
 
@@ -336,7 +483,7 @@ let main =
       ~doc:"Chip architectures under advanced computing sanctions: simulator, policy engine and DSE."
   in
   Cmd.group info
-    [ classify_cmd; simulate_cmd; dse_cmd; survey_cmd; fps_cmd; serve_cmd;
-      package_cmd; plan_cmd ]
+    [ classify_cmd; simulate_cmd; dse_cmd; scenarios_cmd; run_cmd; survey_cmd;
+      fps_cmd; serve_cmd; package_cmd; plan_cmd ]
 
 

@@ -13,6 +13,8 @@
       Advanced Computing Rules and the proposed architecture-first policies
     - {!Gpu}, {!Database}: the real-device survey
     - {!Space}, {!Design}, {!Pareto}, {!Optimum}: design space exploration
+    - {!Scenario}, {!Eval}: typed experiment manifests and the parallel,
+      memoized evaluation engine keyed on them
     - {!Grouping}: architecture-first performance indicators
     - {!Marketing}, {!Arch_classifier}: externality analyses *)
 
@@ -22,6 +24,7 @@ module Table = Acs_util.Table
 module Scatter = Acs_util.Scatter
 module Boxplot = Acs_util.Boxplot
 module Csv = Acs_util.Csv
+module Json = Acs_util.Json
 module Units = Acs_util.Units
 module Systolic = Acs_hardware.Systolic
 module Memory = Acs_hardware.Memory
@@ -59,6 +62,7 @@ module Gpu = Acs_devicedb.Gpu
 module Database = Acs_devicedb.Database
 module Space = Acs_dse.Space
 module Design = Acs_dse.Design
+module Scenario = Acs_dse.Scenario
 module Eval = Acs_dse.Eval
 module Pareto = Acs_dse.Pareto
 module Optimum = Acs_dse.Optimum

@@ -58,6 +58,35 @@ let manufacturable d = d.within_reticle
 let ttft_cost_product d = Acs_util.Units.to_ms d.ttft_s *. d.die_cost_usd
 let tbt_cost_product d = Acs_util.Units.to_ms d.tbt_s *. d.die_cost_usd
 
+(* The standard design CSV: one row per evaluated design point. Shared by
+   the bench sections and `acs run` so a registry scenario and its bench
+   section emit byte-identical rows. *)
+
+let csv_header =
+  [
+    "systolic"; "lanes"; "l1_kb"; "l2_mb"; "membw_tb_s"; "devbw_gb_s";
+    "area_mm2"; "pd"; "ttft_ms"; "tbt_ms"; "die_cost_usd"; "acr2023_dc";
+    "within_reticle";
+  ]
+
+let csv_row d =
+  let ms s = Acs_util.Units.to_ms s in
+  [
+    string_of_int d.params.Space.systolic_dim;
+    string_of_int d.params.Space.lanes;
+    Printf.sprintf "%.0f" d.params.Space.l1;
+    Printf.sprintf "%.0f" d.params.Space.l2;
+    Printf.sprintf "%.1f" d.params.Space.memory_bw;
+    Printf.sprintf "%.0f" d.params.Space.device_bw;
+    Printf.sprintf "%.1f" d.area_mm2;
+    Printf.sprintf "%.2f" (Acs_policy.Spec.performance_density d.spec);
+    Printf.sprintf "%.4f" (ms d.ttft_s);
+    Printf.sprintf "%.5f" (ms d.tbt_s);
+    Printf.sprintf "%.2f" d.die_cost_usd;
+    Acs_policy.Acr_2023.tier_to_string d.acr2023_dc;
+    string_of_bool d.within_reticle;
+  ]
+
 let pp ppf d =
   Format.fprintf ppf
     "%dx%d x%d lanes, L1 %.0fKB, L2 %.0fMB, %.1fTB/s, %.0fGB/s: %.0f mm^2, \

@@ -51,3 +51,8 @@ val ttft_cost_product : t -> float
 
 val tbt_cost_product : t -> float
 val pp : Format.formatter -> t -> unit
+
+val csv_header : string list
+val csv_row : t -> string list
+(** The standard design CSV (parameters, area, PD, latencies, cost,
+    classification), shared by the bench sections and [acs run]. *)

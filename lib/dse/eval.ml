@@ -2,20 +2,15 @@ module Parallel = Acs_util.Parallel
 
 type stats = { lookups : int; hits : int; evaluations : int }
 
-(* The key captures everything [Design.evaluate]'s result depends on. All
-   components are closure-free records (floats/ints/strings), so structural
-   equality and the polymorphic hash are both safe. *)
-type key = {
-  params : Space.params;
-  tpp_target : float;
-  memory_gb : float option;
-  model : Acs_workload.Model.t;
-  calib : Acs_perfmodel.Calib.t option;
-  tp : int option;
-  request : Acs_workload.Request.t option;
-}
+(* The memo cache is keyed on scenarios directly: one {!Scenario.t} per
+   design point (the point scenario's [target] is [Point p]). Equality and
+   hashing come from [Scenario.Key] - explicit, context-only, with
+   documented nan/-0. float semantics - rather than the polymorphic
+   [Hashtbl.hash]/[(=)], under which a nan-bearing key (e.g. a probing
+   sweep with [memory_gb = nan]) would never hit. *)
+module Cache = Hashtbl.Make (Scenario.Key)
 
-let cache : (key, Design.t) Hashtbl.t = Hashtbl.create 4096
+let cache : Design.t Cache.t = Cache.create 4096
 let cache_mutex = Mutex.create ()
 let lookups = Atomic.make 0
 let hits = Atomic.make 0
@@ -30,18 +25,17 @@ let stats () =
 
 let clear () =
   Mutex.lock cache_mutex;
-  Hashtbl.reset cache;
+  Cache.reset cache;
   Mutex.unlock cache_mutex;
   Atomic.set lookups 0;
   Atomic.set hits 0;
   Atomic.set evaluations 0
 
-let key_of ?calib ?tp ?request ?memory_gb ~model ~tpp_target params =
-  { params; tpp_target; memory_gb; model; calib; tp; request }
+let point_key (s : Scenario.t) p = { s with Scenario.target = Scenario.Point p }
 
 let find_opt key =
   Mutex.lock cache_mutex;
-  let r = Hashtbl.find_opt cache key in
+  let r = Cache.find_opt cache key in
   Mutex.unlock cache_mutex;
   Atomic.incr lookups;
   if r <> None then Atomic.incr hits;
@@ -49,38 +43,25 @@ let find_opt key =
 
 let insert key design =
   Mutex.lock cache_mutex;
-  if not (Hashtbl.mem cache key) then Hashtbl.add cache key design;
+  if not (Cache.mem cache key) then Cache.add cache key design;
   Mutex.unlock cache_mutex
 
-let evaluate_raw ?calib ?tp ?request ?memory_gb ~model ~tpp_target params =
+let evaluate_point (s : Scenario.t) p =
   Atomic.incr evaluations;
-  Design.evaluate ?calib ?tp ?request ~model params
-    (Space.build ?memory_gb ~tpp_target params)
+  Design.evaluate ?calib:s.Scenario.calib ?tp:s.Scenario.tp
+    ?request:s.Scenario.request ~model:s.Scenario.model p
+    (Space.build ?memory_gb:s.Scenario.memory_gb
+       ~tpp_target:s.Scenario.tpp_target p)
 
-let evaluate ?calib ?tp ?request ?memory_gb ~model ~tpp_target params =
-  let key = key_of ?calib ?tp ?request ?memory_gb ~model ~tpp_target params in
-  match find_opt key with
-  | Some d -> d
-  | None ->
-      let d =
-        evaluate_raw ?calib ?tp ?request ?memory_gb ~model ~tpp_target params
-      in
-      insert key d;
-      d
-
-let sweep ?calib ?tp ?request ?memory_gb ?(cache = true) ~model ~tpp_target
-    sweep_def =
-  let params = Array.of_list (Space.enumerate sweep_def) in
-  let eval_one p =
-    evaluate_raw ?calib ?tp ?request ?memory_gb ~model ~tpp_target p
+let run ?(cache = true) (s : Scenario.t) =
+  let points =
+    match s.Scenario.target with
+    | Scenario.Point p -> [| p |]
+    | Scenario.Space sweep -> Array.of_list (Space.enumerate sweep)
   in
-  if not cache then Array.to_list (Parallel.map_array eval_one params)
+  if not cache then Array.to_list (Parallel.map_array (evaluate_point s) points)
   else begin
-    let keys =
-      Array.map
-        (fun p -> key_of ?calib ?tp ?request ?memory_gb ~model ~tpp_target p)
-        params
-    in
+    let keys = Array.map (point_key s) points in
     let found = Array.map find_opt keys in
     let missing = ref [] in
     Array.iteri
@@ -88,7 +69,7 @@ let sweep ?calib ?tp ?request ?memory_gb ?(cache = true) ~model ~tpp_target
       found;
     let missing = Array.of_list (List.rev !missing) in
     let computed =
-      Parallel.map_array (fun i -> eval_one params.(i)) missing
+      Parallel.map_array (fun i -> evaluate_point s points.(i)) missing
     in
     Array.iteri
       (fun j i ->
@@ -98,3 +79,25 @@ let sweep ?calib ?tp ?request ?memory_gb ?(cache = true) ~model ~tpp_target
     Array.to_list
       (Array.map (function Some d -> d | None -> assert false) found)
   end
+
+(* Legacy optional-argument entry points: thin wrappers that build an
+   anonymous scenario. They share the cache with registry scenarios of
+   the same context ([Scenario.equal] ignores name/description/regime). *)
+
+let scenario_of ?calib ?tp ?request ?memory_gb ~model ~tpp_target target =
+  Scenario.make ?request ?calib ?tp ?memory_gb ~name:"" ~model ~tpp_target
+    target
+
+let evaluate ?calib ?tp ?request ?memory_gb ~model ~tpp_target params =
+  match
+    run
+      (scenario_of ?calib ?tp ?request ?memory_gb ~model ~tpp_target
+         (Scenario.Point params))
+  with
+  | [ d ] -> d
+  | _ -> assert false
+
+let sweep ?calib ?tp ?request ?memory_gb ?cache ~model ~tpp_target sweep_def =
+  run ?cache
+    (scenario_of ?calib ?tp ?request ?memory_gb ~model ~tpp_target
+       (Scenario.Space sweep_def))

@@ -4,9 +4,13 @@
     sweeps, and several sections re-evaluate the very same design set
     (Figs. 7, 8, 11, Table 4 and the scorecard all share the Fig-7 sweep).
     This module is the shared evaluation engine: design points are
-    simulated in parallel over the {!Acs_util.Parallel} domain pool and the
-    results are cached process-wide, keyed on the full evaluation context
-    [(Space.params, tpp_target, memory_gb, model, calib, tp, request)].
+    simulated in parallel over the {!Acs_util.Parallel} domain pool and
+    the results are cached process-wide, keyed on per-point
+    {!Scenario.t} values (the scenario {e is} the evaluation context:
+    design parameters, TPP target, memory capacity, model, calibration,
+    parallelism and request shape). The cache is an explicit
+    [Hashtbl.Make (Scenario.Key)] - see {!Scenario.equal} for the
+    written-down equality, including its nan/-0. float semantics.
 
     [Design.evaluate] is pure, so parallel evaluation is bit-identical to
     the sequential path (the test suite asserts this); the cache is
@@ -17,6 +21,14 @@ type stats = {
   hits : int;  (** probes answered from the cache *)
   evaluations : int;  (** [Design.evaluate] runs actually performed *)
 }
+
+val run : ?cache:bool -> Scenario.t -> Design.t list
+(** Evaluates the scenario's target - every sweep point in
+    [Space.enumerate] order, or the single [Point] - through the cache
+    and the parallel pool. This is the primary entry point; the
+    optional-argument functions below are thin wrappers that build an
+    anonymous scenario and share the same cache. [~cache:false] skips
+    both lookup and insertion (used by the speed benchmarks). *)
 
 val evaluate :
   ?calib:Acs_perfmodel.Calib.t ->

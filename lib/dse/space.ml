@@ -33,6 +33,10 @@ let restricted =
     device_bw_gb_s = [ 400.; 500.; 600. ];
   }
 
+let named = [ ("oct2022", oct2022); ("oct2023", oct2023); ("restricted", restricted) ]
+let find_named name = List.assoc_opt (String.lowercase_ascii (String.trim name)) named
+let name_of s = List.find_map (fun (n, s') -> if s = s' then Some n else None) named
+
 let size s =
   List.length s.systolic_dims * List.length s.lanes_per_core
   * List.length s.l1_kb * List.length s.l2_mb
@@ -92,3 +96,70 @@ let build ?(memory_gb = 80.) ~tpp_target p =
 
 let designs ?memory_gb ~tpp_target s =
   Acs_util.Parallel.map (build ?memory_gb ~tpp_target) (enumerate s)
+
+(* --- JSON codecs --- *)
+
+module Json = Acs_util.Json
+
+let params_to_json p =
+  Json.obj
+    [
+      ("systolic_dim", Json.int p.systolic_dim);
+      ("lanes", Json.int p.lanes);
+      ("l1_kb", Json.float p.l1);
+      ("l2_mb", Json.float p.l2);
+      ("memory_bw_tb_s", Json.float p.memory_bw);
+      ("device_bw_gb_s", Json.float p.device_bw);
+    ]
+
+let params_of_json j =
+  {
+    systolic_dim = Json.to_int (Json.member "systolic_dim" j);
+    lanes = Json.to_int (Json.member "lanes" j);
+    l1 = Json.to_float (Json.member "l1_kb" j);
+    l2 = Json.to_float (Json.member "l2_mb" j);
+    memory_bw = Json.to_float (Json.member "memory_bw_tb_s" j);
+    device_bw = Json.to_float (Json.member "device_bw_gb_s" j);
+  }
+
+let sweep_to_json s =
+  (* The three paper sweeps serialize by name, keeping manifests readable
+     and diff-stable against future parameter edits. *)
+  match name_of s with
+  | Some n -> Json.string n
+  | None ->
+      Json.obj
+        [
+          ("systolic_dims", Json.list Json.int s.systolic_dims);
+          ("lanes_per_core", Json.list Json.int s.lanes_per_core);
+          ("l1_kb", Json.list Json.float s.l1_kb);
+          ("l2_mb", Json.list Json.float s.l2_mb);
+          ("memory_bw_tb_s", Json.list Json.float s.memory_bw_tb_s);
+          ("device_bw_gb_s", Json.list Json.float s.device_bw_gb_s);
+        ]
+
+let sweep_of_json = function
+  | Json.String name -> begin
+      match find_named name with
+      | Some s -> s
+      | None ->
+          raise
+            (Json.Error
+               (Printf.sprintf "unknown design space %S (known: %s)" name
+                  (String.concat ", " (List.map fst named))))
+    end
+  | j ->
+      let ints k = List.map Json.to_int (Json.to_list (Json.member k j)) in
+      let floats k = List.map Json.to_float (Json.to_list (Json.member k j)) in
+      let s =
+        {
+          systolic_dims = ints "systolic_dims";
+          lanes_per_core = ints "lanes_per_core";
+          l1_kb = floats "l1_kb";
+          l2_mb = floats "l2_mb";
+          memory_bw_tb_s = floats "memory_bw_tb_s";
+          device_bw_gb_s = floats "device_bw_gb_s";
+        }
+      in
+      if size s = 0 then raise (Json.Error "design space has an empty axis");
+      s

@@ -26,6 +26,16 @@ val restricted : sweep
 
 val size : sweep -> int
 
+val named : (string * sweep) list
+(** The paper's sweeps by manifest name: oct2022, oct2023, restricted. *)
+
+val find_named : string -> sweep option
+(** Case-insensitive lookup in {!named}. *)
+
+val name_of : sweep -> string option
+(** Reverse lookup: the manifest name of a structurally-equal named
+    sweep. *)
+
 type params = {
   systolic_dim : int;
   lanes : int;
@@ -45,3 +55,17 @@ val build : ?memory_gb:float -> tpp_target:float -> params -> Acs_hardware.Devic
 val designs : ?memory_gb:float -> tpp_target:float -> sweep -> Acs_hardware.Device.t list
 (** Devices for every swept combination, in [enumerate] order; built in
     parallel over the {!Acs_util.Parallel} pool. *)
+
+(** {2 JSON codecs (scenario manifests)} *)
+
+val params_to_json : params -> Acs_util.Json.t
+val params_of_json : Acs_util.Json.t -> params
+
+val sweep_to_json : sweep -> Acs_util.Json.t
+(** Sweeps structurally equal to a {!named} one serialize as their name;
+    anything else as the full per-axis lists. *)
+
+val sweep_of_json : Acs_util.Json.t -> sweep
+(** Accepts a name from {!named} or the full per-axis form. Raises
+    {!Acs_util.Json.Error} on unknown names and empty axes.
+    [sweep_of_json (sweep_to_json s) = s]. *)

@@ -33,6 +33,62 @@ let default =
     vector_efficiency = 0.8;
   }
 
+module Json = Acs_util.Json
+
+(* One row per knob keeps the codec honest: adding a field to [t] without
+   extending this list is a type error in [to_json]/[of_json] below. *)
+let fields =
+  [
+    ("dram_efficiency", (fun t -> t.dram_efficiency),
+     fun t v -> { t with dram_efficiency = v });
+    ("dram_ramp_bytes", (fun t -> t.dram_ramp_bytes),
+     fun t v -> { t with dram_ramp_bytes = v });
+    ("per_core_dram_bw", (fun t -> t.per_core_dram_bw),
+     fun t v -> { t with per_core_dram_bw = v });
+    ("kernel_overhead_s", (fun t -> t.kernel_overhead_s),
+     fun t v -> { t with kernel_overhead_s = v });
+    ("feed_bytes_16x16", (fun t -> t.feed_bytes_16x16),
+     fun t v -> { t with feed_bytes_16x16 = v });
+    ("feed_knee_ratio", (fun t -> t.feed_knee_ratio),
+     fun t v -> { t with feed_knee_ratio = v });
+    ("feed_knee_power", (fun t -> t.feed_knee_power),
+     fun t v -> { t with feed_knee_power = v });
+    ("control_overhead", (fun t -> t.control_overhead),
+     fun t v -> { t with control_overhead = v });
+    ("drain_overhead", (fun t -> t.drain_overhead),
+     fun t v -> { t with drain_overhead = v });
+    ("sched_overhead_per_core", (fun t -> t.sched_overhead_per_core),
+     fun t v -> { t with sched_overhead_per_core = v });
+    ("overlap_leak", (fun t -> t.overlap_leak),
+     fun t v -> { t with overlap_leak = v });
+    ("l2_reuse_bytes", (fun t -> t.l2_reuse_bytes),
+     fun t v -> { t with l2_reuse_bytes = v });
+    ("hop_latency_s", (fun t -> t.hop_latency_s),
+     fun t v -> { t with hop_latency_s = v });
+    ("vector_efficiency", (fun t -> t.vector_efficiency),
+     fun t v -> { t with vector_efficiency = v });
+  ]
+
+let to_json t =
+  Json.obj (List.map (fun (name, get, _) -> (name, Json.float (get t))) fields)
+
+let of_json j =
+  (match j with
+  | Json.Obj members ->
+      List.iter
+        (fun (k, _) ->
+          if not (List.exists (fun (name, _, _) -> name = k) fields) then
+            raise
+              (Json.Error (Printf.sprintf "unknown calibration knob %S" k)))
+        members
+  | _ -> raise (Json.Error "calibration must be a JSON object"));
+  List.fold_left
+    (fun t (name, _, set) ->
+      match Json.member name j with
+      | Json.Null -> t
+      | v -> set t (Json.to_float v))
+    default fields
+
 let feed_bytes t systolic =
   (* Operand tiles scale with the array edge (dim_x + dim_y), i.e. with the
      square root of the MAC count for square arrays. *)

@@ -56,3 +56,12 @@ val default : t
 
 val feed_bytes : t -> Acs_hardware.Systolic.t -> float
 (** Feed requirement for an arbitrary array size. *)
+
+val to_json : t -> Acs_util.Json.t
+(** All fourteen knobs, one member each. *)
+
+val of_json : Acs_util.Json.t -> t
+(** Knobs absent from the object keep their {!default} value, so a
+    manifest can override a single constant; unknown members raise
+    {!Acs_util.Json.Error} (a typo must not silently calibrate nothing).
+    [of_json (to_json c) = c]. *)

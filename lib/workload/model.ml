@@ -129,6 +129,76 @@ let find_preset name =
   let norm s = String.lowercase_ascii (String.trim s) in
   List.find_opt (fun m -> norm m.name = norm name) presets
 
+(* --- JSON codec --- *)
+
+module Json = Acs_util.Json
+
+let activation_to_string = function Gelu -> "gelu" | Swiglu -> "swiglu"
+
+let activation_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "gelu" -> Gelu
+  | "swiglu" -> Swiglu
+  | other -> raise (Json.Error (Printf.sprintf "unknown activation %S" other))
+
+let to_json t =
+  Json.obj
+    [
+      ("name", Json.string t.name);
+      ("num_layers", Json.int t.num_layers);
+      ("d_model", Json.int t.d_model);
+      ("ffn_dim", Json.int t.ffn_dim);
+      ("n_heads", Json.int t.n_heads);
+      ("n_kv_heads", Json.int t.n_kv_heads);
+      ("activation", Json.string (activation_to_string t.activation));
+      ( "moe",
+        Json.option
+          (fun m ->
+            Json.obj
+              [
+                ("num_experts", Json.int m.num_experts);
+                ("top_k", Json.int m.top_k);
+              ])
+          t.moe );
+      ("bytes_per_param", Json.float t.bytes_per_param);
+    ]
+
+let of_json = function
+  | Json.String name -> begin
+      match find_preset name with
+      | Some m -> m
+      | None ->
+          raise
+            (Json.Error
+               (Printf.sprintf "unknown model preset %S (known: %s)" name
+                  (String.concat ", " (List.map (fun m -> m.name) presets))))
+    end
+  | j ->
+      let field k = Json.member k j in
+      let moe =
+        Json.to_option
+          (fun m ->
+            {
+              num_experts = Json.to_int (Json.member "num_experts" m);
+              top_k = Json.to_int (Json.member "top_k" m);
+            })
+          (field "moe")
+      in
+      let bytes_per_param =
+        match field "bytes_per_param" with
+        | Json.Null -> 2.
+        | v -> Json.to_float v
+      in
+      make ~bytes_per_param ?moe
+        ~name:(Json.to_str (field "name"))
+        ~num_layers:(Json.to_int (field "num_layers"))
+        ~d_model:(Json.to_int (field "d_model"))
+        ~ffn_dim:(Json.to_int (field "ffn_dim"))
+        ~n_heads:(Json.to_int (field "n_heads"))
+        ~n_kv_heads:(Json.to_int (field "n_kv_heads"))
+        ~activation:(activation_of_string (Json.to_str (field "activation")))
+        ()
+
 let pp ppf t =
   Format.fprintf ppf
     "%s: %d layers, d=%d, ffn=%d, heads=%d (kv=%d), %s, %.3g params" t.name

@@ -81,3 +81,17 @@ val mixtral_8x7b : t
 val presets : t list
 val find_preset : string -> t option
 val pp : Format.formatter -> t -> unit
+
+(** {2 JSON codec (scenario manifests)} *)
+
+val activation_to_string : activation -> string
+
+val to_json : t -> Acs_util.Json.t
+(** Full record encoding; [moe] is omitted for dense models. *)
+
+val of_json : Acs_util.Json.t -> t
+(** Accepts either a preset name (a JSON string such as ["GPT-3 175B"]) or
+    the full record form emitted by {!to_json} ([bytes_per_param]
+    defaults to 2 when absent). [of_json (to_json m) = m]. Raises
+    {!Acs_util.Json.Error} on unknown presets and malformed records,
+    [Invalid_argument] on shape violations (via {!make}). *)

@@ -12,3 +12,19 @@ let decode_context t = t.input_len + (t.output_len / 2)
 let pp ppf t =
   Format.fprintf ppf "batch %d, input %d, output %d" t.batch t.input_len
     t.output_len
+
+module Json = Acs_util.Json
+
+let to_json t =
+  Json.obj
+    [
+      ("batch", Json.int t.batch);
+      ("input_len", Json.int t.input_len);
+      ("output_len", Json.int t.output_len);
+    ]
+
+let of_json j =
+  make
+    ~batch:(Json.to_int (Json.member "batch" j))
+    ~input_len:(Json.to_int (Json.member "input_len" j))
+    ~output_len:(Json.to_int (Json.member "output_len" j))

@@ -18,3 +18,7 @@ val decode_context : t -> int
 (** KV length of the modeled decode step: [input_len + output_len / 2]. *)
 
 val pp : Format.formatter -> t -> unit
+
+val to_json : t -> Acs_util.Json.t
+val of_json : Acs_util.Json.t -> t
+(** [of_json (to_json r) = r]; validation as in {!make}. *)

@@ -20,6 +20,48 @@ let t_errors () =
   Alcotest.(check bool) "unknown --like fails" true
     (run [ "simulate"; "--like"; "RTX 9999" ] <> 0)
 
+let t_scenarios_errors () =
+  Alcotest.(check bool) "unknown --dump fails" true
+    (run [ "scenarios"; "--dump"; "fig99" ] <> 0)
+
+let t_run_verb () =
+  let out = Filename.temp_file "acs_run" "" in
+  Sys.remove out;
+  (* a100-proxy is a single-point scenario: fast enough for a unit test. *)
+  Alcotest.(check int) "run registry scenario" 0
+    (run [ "run"; "a100-proxy"; "--jobs"; "2"; "--out"; out ]);
+  let csv = Filename.concat out "a100-proxy.csv" in
+  Alcotest.(check bool) "csv written" true (Sys.file_exists csv);
+  let ic = open_in csv in
+  let header = input_line ic in
+  let row = input_line ic in
+  close_in ic;
+  Alcotest.(check string) "bench-identical header"
+    (String.concat "," Core.Design.csv_header)
+    header;
+  Alcotest.(check bool) "row present" true (String.length row > 0);
+  (* The same scenario as a manifest file. *)
+  let manifest = Filename.temp_file "acs_scenario" ".json" in
+  let oc = open_out manifest in
+  output_string oc
+    (Core.Json.to_string
+       (Core.Scenario.to_json (Option.get (Core.Scenario.find "a100-proxy"))));
+  close_out oc;
+  Alcotest.(check int) "run manifest file" 0 (run [ "run"; manifest ]);
+  Sys.remove manifest
+
+let t_run_errors () =
+  Alcotest.(check bool) "unknown scenario fails" true
+    (run [ "run"; "no-such-scenario" ] <> 0);
+  Alcotest.(check bool) "--jobs 0 fails" true
+    (run [ "run"; "a100-proxy"; "--jobs"; "0" ] <> 0);
+  let bad = Filename.temp_file "acs_bad" ".json" in
+  let oc = open_out bad in
+  output_string oc {|{"model": "GPT-3 175B"}|};
+  close_out oc;
+  Alcotest.(check bool) "malformed manifest fails" true (run [ "run"; bad ] <> 0);
+  Sys.remove bad
+
 let t_plan_infeasible () =
   Alcotest.(check bool) "impossible plan fails" true
     (run [ "plan"; "--model"; "GPT-3 175B"; "--max-devices"; "1"; "--memgb"; "16" ] <> 0)
@@ -33,7 +75,15 @@ let suite =
     test "simulate --like with report"
       (ok "simulate" [ "simulate"; "--like"; "H20"; "--model"; "Llama 3 8B"; "--report" ]);
     test "dse quick"
-      (ok "dse" [ "dse"; "--space"; "oct2022"; "--model"; "Llama 3 8B"; "--top"; "2" ]);
+      (ok "dse"
+         [ "dse"; "--space"; "oct2022"; "--model"; "Llama 3 8B"; "--top"; "2";
+           "--jobs"; "2" ]);
+    test "scenarios listing" (ok "scenarios" [ "scenarios" ]);
+    test "scenarios --dump"
+      (ok "scenarios" [ "scenarios"; "--dump"; "fig7-gpt3" ]);
+    test "scenarios errors" t_scenarios_errors;
+    test "run verb" t_run_verb;
+    test "run error handling" t_run_errors;
     test "survey" (ok "survey" [ "survey"; "--only"; "dc" ]);
     test "fps" (ok "fps" [ "fps"; "--like"; "RTX 4090" ]);
     test "serve short"

@@ -151,6 +151,90 @@ let t_csv_write () =
   Alcotest.(check string) "header" "x,y" line1;
   Alcotest.(check string) "row" "1,2" line2
 
+(* Json *)
+
+let t_json_parse () =
+  let v =
+    Json.of_string
+      {| { "a": [1, 2.5, -3e2], "b": "x\ny \u0041\uD83D\uDE00", "c": {"d": null, "e": true} } |}
+  in
+  Alcotest.(check bool) "array" true
+    (Json.member "a" v = Json.List [ Json.Number 1.; Json.Number 2.5; Json.Number (-300.) ]);
+  Alcotest.(check string) "escapes + surrogate pair" "x\ny A\xF0\x9F\x98\x80"
+    (Json.to_str (Json.member "b" v));
+  Alcotest.(check bool) "null member" true
+    (Json.member "d" (Json.member "c" v) = Json.Null);
+  Alcotest.(check bool) "absent member is Null" true
+    (Json.member "zzz" v = Json.Null);
+  Alcotest.(check bool) "mem" true
+    (Json.mem "d" (Json.member "c" v) && not (Json.mem "zzz" v))
+
+let t_json_errors () =
+  let fails s =
+    match Json.of_string s with
+    | exception Json.Error _ -> ()
+    | _ -> Alcotest.failf "expected Json.Error on %S" s
+  in
+  List.iter fails
+    [
+      ""; "{"; "[1,]"; "{\"a\" 1}"; "nul"; "\"unterminated"; "1 2";
+      "\"\\uD800x\""; "\"\\q\""; "01a";
+    ];
+  (match Json.to_int (Json.Number 1.5) with
+  | exception Json.Error _ -> ()
+  | _ -> Alcotest.fail "to_int on 1.5 must fail");
+  check_raises_invalid "nan has no encoding" (fun () ->
+      ignore (Json.to_string (Json.Number Float.nan)))
+
+let t_json_print () =
+  let v = Json.obj [ ("keep", Json.int 1); ("drop", Json.option Json.float None) ] in
+  Alcotest.(check string) "obj drops Null members" {|{"keep":1}|}
+    (Json.to_string v);
+  Alcotest.(check string) "indent"
+    "{\n  \"keep\": 1\n}"
+    (Json.to_string ~indent:2 v)
+
+let json_arb =
+  let open QCheck.Gen in
+  let finite_float =
+    oneof
+      [
+        float_bound_inclusive 1e6;
+        map float_of_int int;
+        map (fun f -> if Float.is_finite f then f else 0.) float;
+        oneofl [ 0.; -0.; 1e-7; 2.5; max_float; -1.0000000000000002 ];
+      ]
+  in
+  let key = string_size ~gen:printable (int_range 0 6) in
+  let gen =
+    sized
+    @@ fix (fun self n ->
+           let scalar =
+             oneof
+               [
+                 return Json.Null;
+                 map (fun b -> Json.Bool b) bool;
+                 map (fun f -> Json.Number f) finite_float;
+                 map (fun s -> Json.String s) (string_size (int_range 0 8));
+               ]
+           in
+           if n = 0 then scalar
+           else
+             frequency
+               [
+                 (2, scalar);
+                 (1, map (fun l -> Json.List l) (list_size (int_range 0 4) (self (n / 2))));
+                 (1, map (fun l -> Json.Obj l)
+                       (list_size (int_range 0 4) (pair key (self (n / 2)))));
+               ])
+  in
+  QCheck.make ~print:(fun v -> Json.to_string ~indent:2 v) gen
+
+let prop_json_round_trip =
+  qcheck "Json.of_string (to_string v) = v" json_arb (fun v ->
+      Json.of_string (Json.to_string v) = v
+      && Json.of_string (Json.to_string ~indent:2 v) = v)
+
 (* Units *)
 
 let t_units () =
@@ -185,6 +269,10 @@ let suite =
     test "csv row parsing" t_csv_parse_row;
     prop_csv_round_trip;
     test "csv writes files" t_csv_write;
+    test "json parsing" t_json_parse;
+    test "json malformed inputs" t_json_errors;
+    test "json printing" t_json_print;
+    prop_json_round_trip;
     test "unit conversions" t_units;
     test "unit pretty printing" t_units_pp;
   ]

@@ -23,6 +23,7 @@ let () =
       ("timeline", Suite_timeline.suite);
       ("devicedb", Suite_devicedb.suite);
       ("dse", Suite_dse.suite);
+      ("scenario", Suite_scenario.suite);
       ("search", Suite_search.suite);
       ("indicators", Suite_indicators.suite);
       ("externality", Suite_externality.suite);
