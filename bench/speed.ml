@@ -27,6 +27,18 @@ let seq_name = "sweep/thinned-fig7-1job"
 let par_jobs = 4
 let par_name = Printf.sprintf "sweep/thinned-fig7-%djobs" par_jobs
 
+(* Tracing on vs off around the same engine call. Both variants toggle the
+   flag so the ratio isolates the instrumentation itself: the off variant
+   should cost the untraced baseline plus a branch, nothing more. *)
+let simulate_traced enabled () =
+  Core.Tracing.set_enabled enabled;
+  Fun.protect
+    ~finally:(fun () -> Core.Tracing.set_enabled false)
+    (fun () -> ignore (Core.Engine.simulate Core.Presets.a100 Core.Model.gpt3_175b))
+
+let trace_off_name = "trace/simulate-gpt3-off"
+let trace_on_name = "trace/simulate-gpt3-on"
+
 let tests =
   let a100 = Core.Presets.a100 in
   let params =
@@ -63,6 +75,17 @@ let tests =
              ignore
                (Core.Cost_model.good_die_cost_usd ~process:Core.Cost_model.n7
                   ~die_area_mm2:753. ())));
+      (* The trace pair must run before the sweep tests: the first parallel
+         sweep leaves idle pool domains behind, and every minor collection
+         thereafter pays a cross-domain synchronization that would swamp
+         the branch being measured here. *)
+      Test.make_grouped ~name:"trace"
+        [
+          Test.make ~name:"simulate-gpt3-off"
+            (Staged.stage (simulate_traced false));
+          Test.make ~name:"simulate-gpt3-on"
+            (Staged.stage (simulate_traced true));
+        ];
       Test.make_grouped ~name:"sweep"
         [
           Test.make ~name:"thinned-fig7-1job" (Staged.stage (sweep_once 1));
@@ -81,6 +104,10 @@ let run () =
   let cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
   in
+  (* The traced variant records thousands of spans per quota; keep the ring
+     tiny so the retained spans don't become GC ballast that drags every
+     measurement taken after it. *)
+  Core.Tracing.set_capacity 64;
   let raw = Benchmark.all cfg instances tests in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = ref [] in
@@ -111,6 +138,17 @@ let run () =
          jobs vs 1 (%d job(s) default on this machine)"
         (Core.Space.size thinned) (seq_ns /. par_ns) par_jobs (Common.jobs ())
   | _ -> Common.note "[speed] sweep benchmarks missing from OLS estimates");
+  (match (find trace_off_name, find trace_on_name, find "acs/simulate-gpt3") with
+  | Some (_, off_ns), Some (_, on_ns), Some (_, base_ns)
+    when off_ns > 0. && base_ns > 0. ->
+      Common.note
+        "[speed] tracing on simulate-gpt3: untraced %.0f ns/run, disabled \
+         %.0f ns/run (%.2fx - the enabled-flag branch), enabled %.0f ns/run \
+         (%.2fx)"
+        base_ns off_ns (off_ns /. base_ns) on_ns (on_ns /. base_ns)
+  | _, _, _ -> Common.note "[speed] trace benchmarks missing from OLS estimates");
+  (* Drop the bench ring and restore the default capacity (which clears). *)
+  Core.Tracing.set_capacity 65536;
   Common.csv "speed.csv"
     [ "benchmark"; "ns_per_run" ]
     (List.map (fun (name, est) -> [ name; Printf.sprintf "%.1f" est ]) rows)

@@ -155,6 +155,61 @@ let with_jobs_opt jobs f =
   | Some n -> invalid_arg (Printf.sprintf "--jobs %d: must be >= 1" n)
   | None -> f ()
 
+(* --- observability helpers --- *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Enable span tracing and write a Chrome-trace JSON to \\$(docv) \
+              (load it in chrome://tracing or https://ui.perfetto.dev).")
+
+let eval_cache_note () =
+  let s = Eval.stats () in
+  if s.Eval.lookups > 0 then
+    Format.printf "eval cache: %d/%d hits (%.0f%%), %d evaluations@."
+      s.Eval.hits s.Eval.lookups
+      (100. *. float_of_int s.Eval.hits /. float_of_int s.Eval.lookups)
+      s.Eval.evaluations
+
+let metrics_summary () =
+  eval_cache_note ();
+  Table.print ~title:"metrics" (Metrics.summary_table ())
+
+let write_trace path =
+  Tracing.write path;
+  Format.printf "wrote trace %s (%d spans%s)@." path
+    (List.length (Tracing.spans ()))
+    (let d = Tracing.dropped () in
+     if d = 0 then "" else Printf.sprintf ", %d overwritten" d)
+
+(* [--trace FILE]: run the body with tracing on, dump the Chrome trace and
+   finish with the metrics summary table. Without the flag the body runs
+   untouched (tracing stays branch-only-disabled). *)
+let with_trace_opt trace f =
+  match trace with
+  | None -> f ()
+  | Some path ->
+      let result = Tracing.with_tracing true f in
+      write_trace path;
+      metrics_summary ();
+      result
+
+let scenario_of_target target =
+  if Sys.file_exists target && not (Sys.is_directory target) then
+    try Ok (Scenario.of_json (Json.of_file target))
+    with Json.Error msg -> Error (Printf.sprintf "%s: %s" target msg)
+  else
+    match Scenario.find target with
+    | Some s -> Ok s
+    | None ->
+        Error
+          (Printf.sprintf
+             "%S is neither a manifest file nor a registry scenario (run \
+              `acs scenarios` for the list)"
+             target)
+
 let dse_cmd =
   let rule =
     Arg.(value & opt (enum [ ("oct2022", `Oct2022); ("oct2023", `Oct2023); ("restricted", `Restricted) ]) `Oct2022
@@ -168,7 +223,8 @@ let dse_cmd =
            Optimum.Tbt
          & info [ "objective" ] ~doc:"ttft, tbt, ttft-cost or tbt-cost.")
   in
-  let run space model target top objective jobs =
+  let run space model target top objective jobs trace =
+    with_trace_opt trace @@ fun () ->
     let sweep =
       match space with
       | `Oct2022 -> Space.oct2022
@@ -205,7 +261,8 @@ let dse_cmd =
     | [] -> Format.printf "no compliant designs@."
   in
   Cmd.v (Cmd.info "dse" ~doc:"Run a design space exploration and print the best compliant designs.")
-    Term.(const run $ rule $ model_arg $ target $ top $ objective $ jobs_arg)
+    Term.(const run $ rule $ model_arg $ target $ top $ objective $ jobs_arg
+          $ trace_arg)
 
 (* --- scenarios --- *)
 
@@ -272,8 +329,9 @@ let run_cmd =
           ~doc:"Write \\$(docv)/<name>.csv with one row per evaluated design \
                 (the same columns the bench emits).")
   in
-  let exec scenario jobs out =
+  let exec scenario jobs out trace =
     with_jobs_opt jobs @@ fun () ->
+    with_trace_opt trace @@ fun () ->
     Format.printf "%a@." Scenario.pp scenario;
     Format.printf "domain pool: %d job%s@." (Parallel.jobs ())
       (if Parallel.jobs () = 1 then "" else "s");
@@ -309,27 +367,12 @@ let run_cmd =
         Csv.write ~path ~header:Design.csv_header (List.map Design.csv_row designs);
         Format.printf "wrote %s (%d rows)@." path (List.length designs))
   in
-  let run target jobs out =
-    let scenario =
-      if Sys.file_exists target && not (Sys.is_directory target) then
-        try Ok (Scenario.of_json (Json.of_file target))
-        with Json.Error msg ->
-          Error (Printf.sprintf "%s: %s" target msg)
-      else
-        match Scenario.find target with
-        | Some s -> Ok s
-        | None ->
-            Error
-              (Printf.sprintf
-                 "%S is neither a manifest file nor a registry scenario (run \
-                  `acs scenarios` for the list)"
-                 target)
-    in
-    match scenario with
+  let run target jobs out trace =
+    match scenario_of_target target with
     | Error msg -> `Error (false, msg)
     | Ok s -> (
         try
-          exec s jobs out;
+          exec s jobs out trace;
           `Ok ()
         with Invalid_argument msg -> `Error (false, msg))
   in
@@ -337,7 +380,72 @@ let run_cmd =
     (Cmd.info "run"
        ~doc:"Evaluate a scenario manifest (file or registry name) and dump \
              its designs.")
-    Term.(ret (const run $ target $ jobs_arg $ out))
+    Term.(ret (const run $ target $ jobs_arg $ out $ trace_arg))
+
+(* --- profile --- *)
+
+let profile_cmd =
+  let target =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SCENARIO"
+          ~doc:"A JSON manifest file, or the name of a registry scenario \
+                (see `acs scenarios`).")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:"Also write the full metrics registry (counters, gauges, \
+                histogram buckets) as JSON to \\$(docv).")
+  in
+  let exec scenario jobs trace metrics_out =
+    with_jobs_opt jobs @@ fun () ->
+    Format.printf "%a@." Scenario.pp scenario;
+    Format.printf "domain pool: %d job%s@." (Parallel.jobs ())
+      (if Parallel.jobs () = 1 then "" else "s");
+    let root =
+      "profile:"
+      ^ (if scenario.Scenario.name = "" then "scenario" else scenario.Scenario.name)
+    in
+    (* Tracing is always on for a profile run - that is the point of the
+       verb - so the engine's per-phase spans and histograms populate even
+       when no --trace file was requested. *)
+    let designs =
+      Tracing.with_tracing true (fun () ->
+          Tracing.with_span root (fun () -> Eval.run scenario))
+    in
+    Format.printf "%d designs evaluated@." (List.length designs);
+    Option.iter write_trace trace;
+    (match metrics_out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            Json.to_channel ~indent:2 oc (Metrics.export ());
+            output_char oc '\n');
+        Format.printf "wrote metrics %s@." path);
+    metrics_summary ()
+  in
+  let run target jobs trace metrics_out =
+    match scenario_of_target target with
+    | Error msg -> `Error (false, msg)
+    | Ok s -> (
+        try
+          exec s jobs trace metrics_out;
+          `Ok ()
+        with Invalid_argument msg -> `Error (false, msg))
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Evaluate a scenario with span tracing on and report where the \
+             time went (metrics summary, optional Chrome trace and metrics \
+             JSON).")
+    Term.(ret (const run $ target $ jobs_arg $ trace_arg $ metrics_out))
 
 (* --- fps --- *)
 
@@ -363,7 +471,7 @@ let serve_cmd =
   let mean_input = Arg.(value & opt int 512 & info [ "mean-input" ] ~doc:"Mean prompt length.") in
   let mean_output = Arg.(value & opt int 128 & info [ "mean-output" ] ~doc:"Mean generation length.") in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Trace RNG seed.") in
-  let run device model rate duration mean_input mean_output seed =
+  let run device model rate duration mean_input mean_output seed trace_file =
     let trace =
       Trace.synthetic ~seed ~rate_per_s:rate ~duration_s:duration ~mean_input
         ~mean_output ()
@@ -371,6 +479,7 @@ let serve_cmd =
     Format.printf "%a@." Device.pp device;
     Format.printf "trace: %d requests, %d output tokens@." (List.length trace)
       (Trace.total_output_tokens trace);
+    with_trace_opt trace_file @@ fun () ->
     let stats = Simulator.run device model trace in
     Format.printf "%a@." Simulator.pp_stats stats
   in
@@ -378,7 +487,7 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:"Simulate continuous-batching serving of a synthetic trace.")
     Term.(const run $ device_args $ model_arg $ rate $ duration $ mean_input
-          $ mean_output $ seed)
+          $ mean_output $ seed $ trace_arg)
 
 (* --- package --- *)
 
@@ -483,7 +592,7 @@ let main =
       ~doc:"Chip architectures under advanced computing sanctions: simulator, policy engine and DSE."
   in
   Cmd.group info
-    [ classify_cmd; simulate_cmd; dse_cmd; scenarios_cmd; run_cmd; survey_cmd;
-      fps_cmd; serve_cmd; package_cmd; plan_cmd ]
+    [ classify_cmd; simulate_cmd; dse_cmd; scenarios_cmd; run_cmd; profile_cmd;
+      survey_cmd; fps_cmd; serve_cmd; package_cmd; plan_cmd ]
 
 

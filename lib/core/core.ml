@@ -2,6 +2,8 @@
 
     {2 Substrates}
     - {!Stats}, {!Table}, {!Scatter}, {!Csv}, {!Units}: utilities
+    - {!Tracing}, {!Metrics}: span tracing and the metrics registry
+      (observability of the engine, DSE and serving hot paths)
     - {!Systolic}, {!Memory}, {!Interconnect}, {!Process}, {!Device},
       {!Presets}: the hardware template
     - {!Model}, {!Request}, {!Op}, {!Layer}: LLM workloads
@@ -20,6 +22,12 @@
 
 module Stats = Acs_util.Stats
 module Parallel = Acs_util.Parallel
+
+module Tracing = Acs_util.Trace
+(** [Acs_util.Trace] (the span tracer), aliased to avoid clashing with the
+    serving {!Trace} below. *)
+
+module Metrics = Acs_util.Metrics
 module Table = Acs_util.Table
 module Scatter = Acs_util.Scatter
 module Boxplot = Acs_util.Boxplot

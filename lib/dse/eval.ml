@@ -1,6 +1,16 @@
 module Parallel = Acs_util.Parallel
+module Span = Acs_util.Trace
+module Metrics = Acs_util.Metrics
 
 type stats = { lookups : int; hits : int; evaluations : int }
+
+(* Registry metrics mirroring the local atomics: the atomics feed
+   [stats ()] (and [Common.timed]); the registry feeds `acs profile`'s
+   summary and the metrics export. *)
+let m_lookups = lazy (Metrics.counter "dse_cache_lookups_total")
+let m_hits = lazy (Metrics.counter "dse_cache_hits_total")
+let m_evals = lazy (Metrics.counter "dse_evaluations_total")
+let m_eval_seconds = lazy (Metrics.histogram "dse_eval_seconds")
 
 (* The memo cache is keyed on scenarios directly: one {!Scenario.t} per
    design point (the point scenario's [target] is [Point p]). Equality and
@@ -38,7 +48,12 @@ let find_opt key =
   let r = Cache.find_opt cache key in
   Mutex.unlock cache_mutex;
   Atomic.incr lookups;
-  if r <> None then Atomic.incr hits;
+  Metrics.incr (Lazy.force m_lookups);
+  let hit_counter = Lazy.force m_hits in
+  if r <> None then begin
+    Atomic.incr hits;
+    Metrics.incr hit_counter
+  end;
   r
 
 let insert key design =
@@ -48,10 +63,25 @@ let insert key design =
 
 let evaluate_point (s : Scenario.t) p =
   Atomic.incr evaluations;
-  Design.evaluate ?calib:s.Scenario.calib ?tp:s.Scenario.tp
-    ?request:s.Scenario.request ~model:s.Scenario.model p
-    (Space.build ?memory_gb:s.Scenario.memory_gb
-       ~tpp_target:s.Scenario.tpp_target p)
+  Metrics.incr (Lazy.force m_evals);
+  let eval () =
+    Design.evaluate ?calib:s.Scenario.calib ?tp:s.Scenario.tp
+      ?request:s.Scenario.request ~model:s.Scenario.model p
+      (Space.build ?memory_gb:s.Scenario.memory_gb
+         ~tpp_target:s.Scenario.tpp_target p)
+  in
+  Metrics.time (Lazy.force m_eval_seconds) (fun () ->
+      if not (Span.enabled ()) then eval ()
+      else
+        Span.with_span "eval.point"
+          ~attrs:
+            [ ("systolic", Span.Int p.Space.systolic_dim);
+              ("lanes", Span.Int p.Space.lanes);
+              ("l1_kb", Span.Float p.Space.l1);
+              ("l2_mb", Span.Float p.Space.l2);
+              ("membw_tb_s", Span.Float p.Space.memory_bw);
+              ("devbw_gb_s", Span.Float p.Space.device_bw) ]
+          eval)
 
 let run ?(cache = true) (s : Scenario.t) =
   let points =
@@ -59,26 +89,40 @@ let run ?(cache = true) (s : Scenario.t) =
     | Scenario.Point p -> [| p |]
     | Scenario.Space sweep -> Array.of_list (Space.enumerate sweep)
   in
-  if not cache then Array.to_list (Parallel.map_array (evaluate_point s) points)
-  else begin
-    let keys = Array.map (point_key s) points in
-    let found = Array.map find_opt keys in
-    let missing = ref [] in
-    Array.iteri
-      (fun i -> function None -> missing := i :: !missing | Some _ -> ())
-      found;
-    let missing = Array.of_list (List.rev !missing) in
-    let computed =
-      Parallel.map_array (fun i -> evaluate_point s points.(i)) missing
-    in
-    Array.iteri
-      (fun j i ->
-        insert keys.(i) computed.(j);
-        found.(i) <- Some computed.(j))
-      missing;
-    Array.to_list
-      (Array.map (function Some d -> d | None -> assert false) found)
-  end
+  let run_points () =
+    if not cache then
+      Array.to_list (Parallel.map_array (evaluate_point s) points)
+    else begin
+      let keys = Array.map (point_key s) points in
+      let found = Array.map find_opt keys in
+      let missing = ref [] in
+      Array.iteri
+        (fun i -> function None -> missing := i :: !missing | Some _ -> ())
+        found;
+      let missing = Array.of_list (List.rev !missing) in
+      let computed =
+        Parallel.map_array (fun i -> evaluate_point s points.(i)) missing
+      in
+      Array.iteri
+        (fun j i ->
+          insert keys.(i) computed.(j);
+          found.(i) <- Some computed.(j))
+        missing;
+      Array.to_list
+        (Array.map (function Some d -> d | None -> assert false) found)
+    end
+  in
+  if not (Span.enabled ()) then run_points ()
+  else
+    Span.with_span "eval.run"
+      ~attrs:
+        [ ( "scenario",
+            Span.Str
+              (if s.Scenario.name = "" then "<anonymous>" else s.Scenario.name)
+          );
+          ("points", Span.Int (Array.length points));
+          ("cache", Span.Bool cache) ]
+      run_points
 
 (* Legacy optional-argument entry points: thin wrappers that build an
    anonymous scenario. They share the cache with registry scenarios of

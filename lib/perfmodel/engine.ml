@@ -25,12 +25,56 @@ let op_latencies ?(calib = Calib.default) ?(tp = 4) ?(request = Request.default)
   let ops = Layer.ops model request ~tp phase in
   List.map (fun op -> (op, Op_model.latency ~calib device ~tp op)) ops
 
+module Span = Acs_util.Trace
+module Metrics = Acs_util.Metrics
+
+let dominant_bound (b : Op_model.breakdown) =
+  if b.Op_model.comm_s >= b.Op_model.compute_s
+     && b.Op_model.comm_s >= b.Op_model.memory_s
+  then "communication"
+  else if b.Op_model.compute_s >= b.Op_model.memory_s then "compute"
+  else "memory"
+
+let phase_histogram phase =
+  Metrics.histogram "engine_phase_seconds"
+    ~labels:[ ("phase", Layer.phase_to_string phase) ]
+
+(* Instrumented per-phase evaluation: one span per phase carrying the
+   modeled flops/bytes/bound, plus a per-phase histogram of the modeled
+   layer latency. Everything is behind one [Span.enabled] branch so the
+   disabled cost stays branch-only (the speed bench's [trace] group holds
+   this to account). *)
+let observed_phase_breakdown ~calib ~tp ~request device model phase =
+  if not (Span.enabled ()) then
+    phase_breakdown ~calib ~tp ~request device model phase
+  else
+    Span.with_span
+      ("engine." ^ Layer.phase_to_string phase)
+      ~attrs:[ ("model", Span.Str model.Model.name); ("tp", Span.Int tp) ]
+      (fun () ->
+        let b = phase_breakdown ~calib ~tp ~request device model phase in
+        let flops = Layer.total_flops model request ~tp phase in
+        let bytes =
+          List.fold_left
+            (fun acc op -> acc +. Op_model.dram_traffic_bytes ~calib device op)
+             0.
+            (Layer.ops model request ~tp phase)
+        in
+        Span.add_attr "flops" (Span.Float flops);
+        Span.add_attr "dram_bytes" (Span.Float bytes);
+        Span.add_attr "bound" (Span.Str (dominant_bound b));
+        Span.add_attr "layer_s" (Span.Float b.Op_model.total_s);
+        Metrics.observe (phase_histogram phase) b.Op_model.total_s;
+        b)
+
 let simulate ?(calib = Calib.default) ?(tp = 4) ?(request = Request.default)
     device model =
   let prefill =
-    phase_breakdown ~calib ~tp ~request device model Layer.Prefill
+    observed_phase_breakdown ~calib ~tp ~request device model Layer.Prefill
   in
-  let decode = phase_breakdown ~calib ~tp ~request device model Layer.Decode in
+  let decode =
+    observed_phase_breakdown ~calib ~tp ~request device model Layer.Decode
+  in
   {
     device;
     model;

@@ -4,6 +4,16 @@ module Model = Acs_workload.Model
 module Request = Acs_workload.Request
 module Engine = Acs_perfmodel.Engine
 module Stats = Acs_util.Stats
+module Span = Acs_util.Trace
+module Metrics = Acs_util.Metrics
+
+(* Registry metrics are always on (atomic bumps, far cheaper than the
+   engine calls they count); spans and their attribute lists are built
+   only when tracing is enabled. *)
+let m_prefills = lazy (Metrics.counter "serving_prefill_batches_total")
+let m_decodes = lazy (Metrics.counter "serving_decode_steps_total")
+let m_admitted = lazy (Metrics.counter "serving_admitted_total")
+let m_occupancy = lazy (Metrics.histogram "serving_batch_occupancy")
 
 type config = { tp : int; max_batch : int }
 
@@ -72,7 +82,7 @@ let decode_step_s ~calib ~config dev model ~batch ~context =
   let r = Engine.simulate ?calib ~tp:config.tp ~request dev model in
   Engine.model_tbt_s r
 
-let run ?(config = default_config) ?calib dev model requests =
+let run_sim ~config ~calib dev model requests =
   if requests = [] then invalid_arg "Simulator.run: empty trace";
   let mean_context =
     let n = float_of_int (List.length requests) in
@@ -105,6 +115,7 @@ let run ?(config = default_config) ?calib dev model requests =
     waiting := rest;
     admitted
   in
+  let kv_headroom () = batch_bound - List.length !active in
   while !waiting <> [] || !active <> [] do
     (* Jump idle time. *)
     (match (!active, !waiting) with
@@ -118,7 +129,19 @@ let run ?(config = default_config) ?calib dev model requests =
       let input_len =
         List.fold_left (fun acc r -> max acc r.Trace.input_len) 1 admitted
       in
-      let t = prefill_s ~calib ~config dev model ~batch ~input_len in
+      Metrics.incr (Lazy.force m_prefills);
+      Metrics.incr ~by:batch (Lazy.force m_admitted);
+      let t =
+        let step () = prefill_s ~calib ~config dev model ~batch ~input_len in
+        if not (Span.enabled ()) then step ()
+        else
+          Span.with_span "serve.prefill"
+            ~attrs:
+              [ ("admitted", Span.Int batch);
+                ("input_len", Span.Int input_len);
+                ("kv_headroom", Span.Int (kv_headroom ())) ]
+            step
+      in
       clock := !clock +. t;
       List.iter
         (fun (r : Trace.request) ->
@@ -150,7 +173,19 @@ let run ?(config = default_config) ?calib dev model requests =
           let context =
             List.fold_left (fun acc a -> acc + a.context) 0 batch_list / batch
           in
-          let t = decode_step_s ~calib ~config dev model ~batch ~context in
+          Metrics.incr (Lazy.force m_decodes);
+          Metrics.observe (Lazy.force m_occupancy) (float_of_int batch);
+          let t =
+            let step () = decode_step_s ~calib ~config dev model ~batch ~context in
+            if not (Span.enabled ()) then step ()
+            else
+              Span.with_span "serve.decode"
+                ~attrs:
+                  [ ("batch", Span.Int batch);
+                    ("context", Span.Int context);
+                    ("kv_headroom", Span.Int (kv_headroom ())) ]
+                step
+          in
           clock := !clock +. t;
           busy_weighted := !busy_weighted +. (float_of_int batch *. t);
           busy_time := !busy_time +. t;
@@ -217,15 +252,35 @@ let run ?(config = default_config) ?calib dev model requests =
     kv_limited_batch = batch_bound;
   }
 
+let run ?(config = default_config) ?calib dev model requests =
+  if not (Span.enabled ()) then run_sim ~config ~calib dev model requests
+  else
+    Span.with_span "serve.run"
+      ~attrs:
+        [ ("requests", Span.Int (List.length requests));
+          ("tp", Span.Int config.tp);
+          ("max_batch", Span.Int config.max_batch) ]
+      (fun () ->
+        let s = run_sim ~config ~calib dev model requests in
+        Span.add_attr "generated_tokens" (Span.Int s.generated_tokens);
+        Span.add_attr "makespan_s" (Span.Float s.makespan_s);
+        s)
+
 let slo_attainment stats ~ttft_s ~tbt_s =
   if ttft_s <= 0. || tbt_s <= 0. then
     invalid_arg "Simulator.slo_attainment: objectives must be positive";
-  let ok o =
-    o.ttft_s <= ttft_s
-    && (o.request.Trace.output_len <= 1 || o.tbt_s <= tbt_s)
-  in
-  let met = List.length (List.filter ok stats.outcomes) in
-  float_of_int met /. float_of_int (List.length stats.outcomes)
+  match stats.outcomes with
+  | [] ->
+      (* Zero requests, zero violations: report full attainment rather
+         than leaking 0/0 = nan into downstream arithmetic. *)
+      1.
+  | outcomes ->
+      let ok o =
+        o.ttft_s <= ttft_s
+        && (o.request.Trace.output_len <= 1 || o.tbt_s <= tbt_s)
+      in
+      let met = List.length (List.filter ok outcomes) in
+      float_of_int met /. float_of_int (List.length outcomes)
 
 let pp_stats ppf s =
   Format.fprintf ppf

@@ -6,7 +6,13 @@
     prefill as a batch) or generates one token for every active request;
     step latency comes from the device model at the current batch size and
     average context, times the layer count. Memory capacity bounds the
-    resident KV cache and therefore the achievable batch. *)
+    resident KV cache and therefore the achievable batch.
+
+    The simulator is instrumented: iteration counters, admitted-request
+    totals and a batch-occupancy histogram always accumulate in
+    {!Acs_util.Metrics}, and with {!Acs_util.Trace} enabled each prefill
+    batch and decode step emits a span (admitted count, batch, context,
+    KV headroom) nested under a per-run [serve.run] root. *)
 
 type config = {
   tp : int;  (** tensor-parallel group size *)
@@ -48,7 +54,8 @@ val kv_capacity_batch :
 
 val slo_attainment : stats -> ttft_s:float -> tbt_s:float -> float
 (** Fraction of requests meeting both latency objectives (a single-token
-    request trivially meets the TBT objective). *)
+    request trivially meets the TBT objective). Always in [0, 1]: an
+    empty outcome list reports 1 (vacuously met) instead of 0/0 = nan. *)
 
 val run :
   ?config:config ->

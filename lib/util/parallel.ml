@@ -28,6 +28,16 @@ let with_jobs n f =
   forced_jobs := Some n;
   Fun.protect ~finally:(fun () -> forced_jobs := prev) f
 
+(* --- observability --- *)
+
+let m_pool_size = lazy (Metrics.gauge "parallel_pool_size")
+let m_maps = lazy (Metrics.counter "parallel_maps_total")
+let m_chunks = lazy (Metrics.counter "parallel_chunks_total")
+
+let busy_gauge () =
+  Metrics.gauge "parallel_busy_seconds"
+    ~labels:[ ("domain", string_of_int (Domain.self () :> int)) ]
+
 (* --- the pool --- *)
 
 let pool_mutex = Mutex.create ()
@@ -92,12 +102,19 @@ let run_chunked ~jobs ~chunk ~total apply =
     done
   else begin
     ensure_workers helpers;
+    Metrics.incr (Lazy.force m_maps);
+    Metrics.set_gauge (Lazy.force m_pool_size) (float_of_int !worker_count);
     let next_chunk = Atomic.make 0 in
     let failure = Atomic.make None in
     let work () =
+      (* Per-domain busy time: the window each participating domain spends
+         claiming and processing chunks of this map. *)
+      let busy = busy_gauge () in
+      let t0 = Monotonic_clock.now () in
       let rec loop () =
         let c = Atomic.fetch_and_add next_chunk 1 in
         if c < n_chunks then begin
+          Metrics.incr (Lazy.force m_chunks);
           (if Atomic.get failure = None then
              try
                let lo = c * chunk in
@@ -111,11 +128,17 @@ let run_chunked ~jobs ~chunk ~total apply =
           loop ()
         end
       in
-      loop ()
+      loop ();
+      Metrics.add_gauge busy
+        (Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) /. 1e9)
     in
     let remaining = Atomic.make helpers in
     let done_mutex = Mutex.create () in
     let all_done = Condition.create () in
+    let traced_work () =
+      if Trace.enabled () then Trace.with_span "parallel.worker" work
+      else work ()
+    in
     let helper () =
       Fun.protect ~finally:(fun () ->
           if Atomic.fetch_and_add remaining (-1) = 1 then begin
@@ -123,17 +146,26 @@ let run_chunked ~jobs ~chunk ~total apply =
             Condition.broadcast all_done;
             Mutex.unlock done_mutex
           end)
-        work
+        traced_work
     in
-    for _ = 1 to helpers do
-      submit helper
-    done;
-    work ();
-    Mutex.lock done_mutex;
-    while Atomic.get remaining > 0 do
-      Condition.wait all_done done_mutex
-    done;
-    Mutex.unlock done_mutex;
+    let dispatch_and_wait () =
+      for _ = 1 to helpers do
+        submit helper
+      done;
+      work ();
+      Mutex.lock done_mutex;
+      while Atomic.get remaining > 0 do
+        Condition.wait all_done done_mutex
+      done;
+      Mutex.unlock done_mutex
+    in
+    (if Trace.enabled () then
+       Trace.with_span "parallel.map"
+         ~attrs:
+           [ ("jobs", Trace.Int jobs); ("chunks", Trace.Int n_chunks);
+             ("items", Trace.Int total) ]
+         dispatch_and_wait
+     else dispatch_and_wait ());
     match Atomic.get failure with
     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
     | None -> ()

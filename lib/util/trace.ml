@@ -1,0 +1,176 @@
+type attr = Int of int | Float of float | Str of string | Bool of bool
+
+type span = {
+  name : string;
+  start_ns : int64;
+  dur_ns : int64;
+  domain : int;
+  depth : int;
+  attrs : (string * attr) list;
+}
+
+let now () = Monotonic_clock.now ()
+
+(* All span timestamps are relative to this so exported microsecond values
+   stay small regardless of the raw clock origin. *)
+let epoch = now ()
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let set_enabled on = Atomic.set enabled_flag on
+
+let with_tracing on f =
+  let prev = enabled () in
+  set_enabled on;
+  Fun.protect ~finally:(fun () -> set_enabled prev) f
+
+(* --- ring buffer --- *)
+
+let buffer_mutex = Mutex.create ()
+let capacity = ref 65536
+let buffer : span option array ref = ref (Array.make !capacity None)
+let total = ref 0 (* spans ever recorded since the last clear *)
+
+let clear () =
+  Mutex.lock buffer_mutex;
+  buffer := Array.make !capacity None;
+  total := 0;
+  Mutex.unlock buffer_mutex
+
+let set_capacity n =
+  if n < 1 then invalid_arg "Trace.set_capacity: capacity must be >= 1";
+  Mutex.lock buffer_mutex;
+  capacity := n;
+  buffer := Array.make n None;
+  total := 0;
+  Mutex.unlock buffer_mutex
+
+let record s =
+  Mutex.lock buffer_mutex;
+  !buffer.(!total mod !capacity) <- Some s;
+  incr total;
+  Mutex.unlock buffer_mutex
+
+let spans () =
+  Mutex.lock buffer_mutex;
+  let buf = Array.copy !buffer and n = !total and cap = !capacity in
+  Mutex.unlock buffer_mutex;
+  (* Oldest first: the ring wraps at [total mod capacity]. *)
+  let count = min n cap in
+  List.filter_map
+    (fun i -> buf.((n - count + i) mod cap))
+    (List.init count Fun.id)
+
+let recorded () =
+  Mutex.lock buffer_mutex;
+  let n = !total in
+  Mutex.unlock buffer_mutex;
+  n
+
+let dropped () =
+  Mutex.lock buffer_mutex;
+  let d = max 0 (!total - !capacity) in
+  Mutex.unlock buffer_mutex;
+  d
+
+(* --- per-domain span stacks --- *)
+
+type frame = {
+  f_name : string;
+  f_start : int64;
+  f_depth : int;
+  mutable f_attrs : (string * attr) list;
+}
+
+let stack_key : frame list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let domain_id () = (Domain.self () :> int)
+
+let close_frame frame =
+  let stack = Domain.DLS.get stack_key in
+  (match !stack with
+  | top :: rest when top == frame -> stack := rest
+  | other -> stack := List.filter (fun f -> f != frame) other);
+  record
+    {
+      name = frame.f_name;
+      start_ns = Int64.sub frame.f_start epoch;
+      dur_ns = Int64.sub (now ()) frame.f_start;
+      domain = domain_id ();
+      depth = frame.f_depth;
+      attrs = frame.f_attrs;
+    }
+
+let with_span ?(attrs = []) name f =
+  if not (enabled ()) then f ()
+  else begin
+    let stack = Domain.DLS.get stack_key in
+    let frame =
+      { f_name = name; f_start = now (); f_depth = List.length !stack;
+        f_attrs = attrs }
+    in
+    stack := frame :: !stack;
+    (* A raising body must still close its span: close in [finally], then
+       let the exception propagate. *)
+    Fun.protect ~finally:(fun () -> close_frame frame) f
+  end
+
+let add_attr key value =
+  if enabled () then
+    match !(Domain.DLS.get stack_key) with
+    | [] -> ()
+    | frame :: _ -> frame.f_attrs <- frame.f_attrs @ [ (key, value) ]
+
+let instant ?(attrs = []) name =
+  if enabled () then begin
+    let stack = !(Domain.DLS.get stack_key) in
+    record
+      {
+        name;
+        start_ns = Int64.sub (now ()) epoch;
+        dur_ns = 0L;
+        domain = domain_id ();
+        depth = List.length stack;
+        attrs;
+      }
+  end
+
+(* --- Chrome trace export --- *)
+
+let attr_json = function
+  | Int i -> Json.int i
+  | Float f ->
+      if Float.is_finite f then Json.float f
+      else Json.string (string_of_float f)
+  | Str s -> Json.string s
+  | Bool b -> Json.bool b
+
+let event_json s =
+  Json.obj
+    [
+      ("name", Json.string s.name);
+      ("cat", Json.string "acs");
+      ("ph", Json.string "X");
+      ("ts", Json.float (Int64.to_float s.start_ns /. 1e3));
+      ("dur", Json.float (Int64.to_float s.dur_ns /. 1e3));
+      ("pid", Json.int 1);
+      ("tid", Json.int s.domain);
+      ( "args",
+        Json.obj (List.map (fun (k, v) -> (k, attr_json v)) s.attrs) );
+    ]
+
+let to_chrome_json () =
+  Json.obj
+    [
+      ("traceEvents", Json.List (List.map event_json (spans ())));
+      ("displayTimeUnit", Json.string "ms");
+    ]
+
+let write path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Json.to_channel ~indent:1 oc (to_chrome_json ());
+      output_char oc '\n')

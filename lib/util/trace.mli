@@ -1,0 +1,87 @@
+(** Hierarchical span tracing with near-zero disabled cost.
+
+    A span is a named, timed region of execution with key/value attributes
+    and the domain it ran on. Spans nest: {!with_span} pushes a frame on a
+    per-domain stack, runs the body, and records the completed span into a
+    process-wide ring buffer - also when the body raises, so a raising
+    evaluation still closes its span (the exception is re-raised).
+
+    Tracing is {e disabled by default}. When disabled, {!with_span} is a
+    single atomic-flag load and a branch before calling the body directly;
+    instrumented hot paths additionally gate their attribute construction
+    on {!enabled} so the disabled cost stays branch-only (the bench's
+    [trace] group measures exactly this). When enabled, each span costs two
+    monotonic-clock reads plus one mutex-protected ring-buffer write.
+
+    The buffer is a fixed-capacity ring: once full, the oldest spans are
+    overwritten ({!dropped} says how many) and memory use stays bounded no
+    matter how long a traced run lasts.
+
+    Traces export as Chrome trace format JSON ({!to_chrome_json} /
+    {!write}) - load the file in [chrome://tracing] or
+    {{:https://ui.perfetto.dev}Perfetto}. Span nesting is reconstructed by
+    the viewer from containment of [ts]/[dur] intervals per thread, which
+    holds by construction: a child span opens after and closes before its
+    parent on the same domain. *)
+
+type attr = Int of int | Float of float | Str of string | Bool of bool
+
+type span = {
+  name : string;
+  start_ns : int64;  (** relative to the process trace epoch *)
+  dur_ns : int64;
+  domain : int;  (** id of the domain that ran the span *)
+  depth : int;  (** nesting depth when the span opened; 0 = root *)
+  attrs : (string * attr) list;
+}
+
+val enabled : unit -> bool
+(** One atomic load; instrumentation sites branch on this before building
+    attribute lists. *)
+
+val set_enabled : bool -> unit
+(** Turns recording on/off globally (all domains). Spans already open keep
+    recording when they close; spans opened while disabled are never
+    recorded. *)
+
+val with_tracing : bool -> (unit -> 'a) -> 'a
+(** [with_tracing on f] runs [f] with tracing forced on/off, restoring the
+    previous setting afterwards (also on raise). *)
+
+val with_span : ?attrs:(string * attr) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] times [f] as a span. Exception-safe: a raising [f]
+    still closes and records the span, then the exception propagates. When
+    tracing is disabled this is just [f ()]. *)
+
+val add_attr : string -> attr -> unit
+(** Attach an attribute to the innermost open span of the calling domain
+    (no-op when tracing is disabled or no span is open). Lets a body
+    record values it only knows after doing the work. *)
+
+val instant : ?attrs:(string * attr) list -> string -> unit
+(** A zero-duration marker span at the current time. *)
+
+val spans : unit -> span list
+(** The buffered spans, oldest first (recording order: spans appear when
+    they {e close}). *)
+
+val recorded : unit -> int
+(** Spans recorded since the last {!clear}, including overwritten ones. *)
+
+val dropped : unit -> int
+(** [recorded () - |spans ()|]: spans lost to ring-buffer overwrite. *)
+
+val clear : unit -> unit
+(** Empty the buffer and reset the counters (keeps the enabled flag). *)
+
+val set_capacity : int -> unit
+(** Resize the ring buffer (>= 1; default 65536). Implies {!clear}. *)
+
+val to_chrome_json : unit -> Json.t
+(** The buffer as a Chrome trace: [{"traceEvents": [{"ph": "X", "ts": ...,
+    "dur": ..., "tid": <domain>, "args": {attrs}}, ...]}]. Timestamps are
+    microseconds from the trace epoch. Non-finite float attributes are
+    stringified (JSON has no literal for them). *)
+
+val write : string -> unit
+(** [to_chrome_json] serialized to a file. *)

@@ -62,6 +62,42 @@ let t_run_errors () =
   Alcotest.(check bool) "malformed manifest fails" true (run [ "run"; bad ] <> 0);
   Sys.remove bad
 
+let t_profile_verb () =
+  let trace = Filename.temp_file "acs_trace" ".json" in
+  let metrics = Filename.temp_file "acs_metrics" ".json" in
+  Alcotest.(check int) "profile a scenario" 0
+    (run
+       [ "profile"; "a100-proxy"; "--jobs"; "2"; "--trace"; trace;
+         "--metrics"; metrics ]);
+  (* The trace file is valid Chrome trace format with at least one span. *)
+  let t = Core.Json.of_file trace in
+  Alcotest.(check bool) "trace has events" true
+    (Core.Json.to_list (Core.Json.member "traceEvents" t) <> []);
+  (* The metrics export carries the eval histogram fed by the profile. *)
+  let m = Core.Json.of_file metrics in
+  let hist_names =
+    List.map
+      (fun e -> Core.Json.to_str (Core.Json.member "name" e))
+      (Core.Json.to_list (Core.Json.member "histograms" m))
+  in
+  Alcotest.(check bool) "eval latencies exported" true
+    (List.mem "dse_eval_seconds" hist_names);
+  Sys.remove trace;
+  Sys.remove metrics;
+  Alcotest.(check bool) "profile unknown scenario fails" true
+    (run [ "profile"; "no-such-scenario" ] <> 0);
+  Alcotest.(check bool) "tracing left disabled" true
+    (not (Core.Tracing.enabled ()))
+
+let t_run_trace_flag () =
+  let trace = Filename.temp_file "acs_run_trace" ".json" in
+  Alcotest.(check int) "run --trace" 0
+    (run [ "run"; "a100-proxy"; "--jobs"; "2"; "--trace"; trace ]);
+  let t = Core.Json.of_file trace in
+  Alcotest.(check bool) "trace written by run" true
+    (Core.Json.to_list (Core.Json.member "traceEvents" t) <> []);
+  Sys.remove trace
+
 let t_plan_infeasible () =
   Alcotest.(check bool) "impossible plan fails" true
     (run [ "plan"; "--model"; "GPT-3 175B"; "--max-devices"; "1"; "--memgb"; "16" ] <> 0)
@@ -91,6 +127,8 @@ let suite =
          [ "serve"; "--model"; "Llama 3 8B"; "--rate"; "2"; "--duration"; "5" ]);
     test "package" (ok "package" [ "package"; "--dies"; "4"; "--die-area"; "755" ]);
     test "plan" (ok "plan" [ "plan"; "--model"; "Llama 3 8B" ]);
+    test "profile verb" t_profile_verb;
+    test "run --trace" t_run_trace_flag;
     test "error handling" t_errors;
     test "infeasible plan" t_plan_infeasible;
   ]

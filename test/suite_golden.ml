@@ -1,0 +1,53 @@
+open Helpers
+
+(* Golden-file regression tests: [acs run] output for the paper's headline
+   scenarios is byte-compared against checked-in fixtures, locking down the
+   perf model, the design-space enumeration order and the CSV formatting at
+   once. The output is jobs-independent (results land in [enumerate]
+   order), so the comparison is exact.
+
+   To regenerate after an intentional model change:
+
+     dune exec bin/acs_cli.exe -- run table4 --out test/golden
+     dune exec bin/acs_cli.exe -- run scorecard --out test/golden
+*)
+
+let run args =
+  Cmdliner.Cmd.eval ~argv:(Array.of_list ("acs" :: args)) Acs_cli.Cli.main
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Fixtures live next to the test sources; the runner executes from the
+   build sandbox, where the (deps) clause of test/dune stages them. *)
+let golden name = Filename.concat "golden" (name ^ ".csv")
+
+let temp_dir () =
+  let d = Filename.temp_file "acs_golden" "" in
+  Sys.remove d;
+  d
+
+let t_golden name () =
+  let out = temp_dir () in
+  Alcotest.(check int) ("run " ^ name) 0
+    (run [ "run"; name; "--out"; out; "--jobs"; "2" ]);
+  let produced = Filename.concat out (name ^ ".csv") in
+  let expected = read_file (golden name) in
+  let actual = read_file produced in
+  Sys.remove produced;
+  if String.length actual = 0 then Alcotest.failf "%s: empty output" name;
+  if not (String.equal expected actual) then
+    Alcotest.failf
+      "%s.csv drifted from test/golden/%s.csv (%d vs %d bytes). If the \
+       change is intentional, regenerate with: dune exec bin/acs_cli.exe -- \
+       run %s --out test/golden"
+      name name (String.length expected) (String.length actual) name
+
+let suite =
+  [
+    test "table4 output matches fixture" (t_golden "table4");
+    test "scorecard output matches fixture" (t_golden "scorecard");
+  ]

@@ -1,0 +1,322 @@
+open Core
+open Helpers
+
+(* Tracing and the metrics registry are process-global; every test starts
+   from a clean slate and leaves tracing disabled. *)
+let fresh () =
+  Tracing.set_enabled false;
+  Tracing.set_capacity 65536;
+  Tracing.clear ();
+  Metrics.reset ()
+
+let span_names () = List.map (fun s -> s.Tracing.name) (Tracing.spans ())
+
+(* {2 Span tracer} *)
+
+let t_disabled_noop () =
+  fresh ();
+  let r = Tracing.with_span "invisible" (fun () -> 41 + 1) in
+  Alcotest.(check int) "body ran" 42 r;
+  Tracing.instant "also-invisible";
+  Tracing.add_attr "k" (Tracing.Int 1);
+  Alcotest.(check int) "nothing recorded" 0 (Tracing.recorded ());
+  Alcotest.(check (list string)) "no spans" [] (span_names ())
+
+let t_nesting () =
+  fresh ();
+  Tracing.with_tracing true (fun () ->
+      Tracing.with_span "outer"
+        ~attrs:[ ("phase", Tracing.Str "test") ]
+        (fun () ->
+          Tracing.with_span "inner" (fun () -> ignore (Sys.opaque_identity 1));
+          Tracing.add_attr "late" (Tracing.Bool true)));
+  (* Spans record when they close: inner first. *)
+  Alcotest.(check (list string)) "close order" [ "inner"; "outer" ]
+    (span_names ());
+  match Tracing.spans () with
+  | [ inner; outer ] ->
+      Alcotest.(check int) "outer is a root" 0 outer.Tracing.depth;
+      Alcotest.(check int) "inner nested once" 1 inner.Tracing.depth;
+      let open Int64 in
+      let i_end = add inner.Tracing.start_ns inner.Tracing.dur_ns in
+      let o_end = add outer.Tracing.start_ns outer.Tracing.dur_ns in
+      Alcotest.(check bool) "inner opens after outer" true
+        (inner.Tracing.start_ns >= outer.Tracing.start_ns);
+      Alcotest.(check bool) "inner closes before outer" true (i_end <= o_end);
+      Alcotest.(check bool) "declared attr kept" true
+        (List.mem_assoc "phase" outer.Tracing.attrs);
+      Alcotest.(check bool) "add_attr lands on the open span" true
+        (List.mem_assoc "late" outer.Tracing.attrs)
+  | spans -> Alcotest.failf "expected 2 spans, got %d" (List.length spans)
+
+let t_exception_safety () =
+  fresh ();
+  Tracing.with_tracing true (fun () ->
+      (match Tracing.with_span "boom" (fun () -> raise Exit) with
+      | () -> Alcotest.fail "exception swallowed"
+      | exception Exit -> ());
+      (* The raising span closed and the stack unwound: the next span is a
+         fresh root, not a child of a leaked frame. *)
+      Tracing.with_span "after" (fun () -> ()));
+  match Tracing.spans () with
+  | [ boom; after ] ->
+      Alcotest.(check string) "raising span recorded" "boom" boom.Tracing.name;
+      Alcotest.(check int) "stack unwound" 0 after.Tracing.depth
+  | spans -> Alcotest.failf "expected 2 spans, got %d" (List.length spans)
+
+let t_with_tracing_restores () =
+  fresh ();
+  (match Tracing.with_tracing true (fun () -> raise Exit) with
+  | () -> Alcotest.fail "exception swallowed"
+  | exception Exit -> ());
+  Alcotest.(check bool) "flag restored on raise" false (Tracing.enabled ())
+
+let t_ring_overflow () =
+  fresh ();
+  Tracing.set_capacity 4;
+  Tracing.with_tracing true (fun () ->
+      for i = 1 to 10 do
+        Tracing.instant (Printf.sprintf "s%d" i)
+      done);
+  Alcotest.(check int) "all recorded" 10 (Tracing.recorded ());
+  Alcotest.(check int) "oldest overwritten" 6 (Tracing.dropped ());
+  Alcotest.(check (list string)) "newest survive, oldest first"
+    [ "s7"; "s8"; "s9"; "s10" ] (span_names ());
+  check_raises_invalid "capacity >= 1" (fun () -> Tracing.set_capacity 0);
+  fresh ()
+
+let t_chrome_export () =
+  fresh ();
+  Tracing.with_tracing true (fun () ->
+      Tracing.with_span "work"
+        ~attrs:[ ("n", Tracing.Int 3); ("bad", Tracing.Float nan) ]
+        (fun () -> Tracing.instant "mark"));
+  let json = Tracing.to_chrome_json () in
+  let events = Json.to_list (Json.member "traceEvents" json) in
+  Alcotest.(check int) "one event per span" 2 (List.length events);
+  List.iter
+    (fun e ->
+      Alcotest.(check string) "complete event" "X"
+        (Json.to_str (Json.member "ph" e));
+      Alcotest.(check bool) "timestamp present" true
+        (Json.to_float (Json.member "ts" e) >= 0.);
+      Alcotest.(check bool) "duration present" true
+        (Json.to_float (Json.member "dur" e) >= 0.);
+      ignore (Json.to_int (Json.member "tid" e)))
+    events;
+  let work =
+    List.find (fun e -> Json.to_str (Json.member "name" e) = "work") events
+  in
+  let args = Json.member "args" work in
+  Alcotest.(check int) "int attr" 3 (Json.to_int (Json.member "n" args));
+  (* JSON has no nan literal; the exporter must stringify, not crash. *)
+  Alcotest.(check string) "non-finite attr stringified" "nan"
+    (Json.to_str (Json.member "bad" args));
+  (* The serialized form must parse back. *)
+  let reparsed = Json.of_string (Json.to_string json) in
+  Alcotest.(check int) "round-trips" 2
+    (List.length (Json.to_list (Json.member "traceEvents" reparsed)))
+
+let t_write_file () =
+  fresh ();
+  Tracing.with_tracing true (fun () -> Tracing.instant "only");
+  let path = Filename.temp_file "acs_trace" ".json" in
+  Tracing.write path;
+  let json = Json.of_file path in
+  Sys.remove path;
+  Alcotest.(check int) "file holds the trace" 1
+    (List.length (Json.to_list (Json.member "traceEvents" json)))
+
+(* {2 Metrics registry} *)
+
+let t_counter_identity () =
+  fresh ();
+  let a = Metrics.counter "obs_test_total" in
+  Metrics.incr a;
+  Metrics.incr ~by:4 a;
+  (* Get-or-create: a second lookup is the same underlying counter. *)
+  let b = Metrics.counter "obs_test_total" in
+  Alcotest.(check int) "one metric behind both handles" 5
+    (Metrics.counter_value b);
+  (* Labels distinguish; kind clashes are programming errors. *)
+  let l = Metrics.counter ~labels:[ ("k", "v") ] "obs_test_total" in
+  Alcotest.(check int) "labelled is separate" 0 (Metrics.counter_value l);
+  check_raises_invalid "negative increment" (fun () -> Metrics.incr ~by:(-1) a);
+  check_raises_invalid "kind mismatch" (fun () ->
+      ignore (Metrics.gauge "obs_test_total"))
+
+let t_gauge () =
+  fresh ();
+  let g = Metrics.gauge "obs_test_gauge" in
+  Metrics.set_gauge g 2.5;
+  Metrics.add_gauge g 0.5;
+  check_close "set then add" 3. (Metrics.gauge_value g)
+
+let t_histogram () =
+  fresh ();
+  let h = Metrics.histogram "obs_test_seconds" in
+  Alcotest.(check bool) "empty quantile is nan" true
+    (Float.is_nan (Metrics.quantile h 0.5));
+  List.iter (Metrics.observe h) [ 1e-6; 2e-6; 1e-3; 0.1 ];
+  Alcotest.(check int) "count" 4 (Metrics.hist_count h);
+  check_close "sum" (1e-6 +. 2e-6 +. 1e-3 +. 0.1) (Metrics.hist_sum h);
+  let q50 = Metrics.quantile h 0.5 and q95 = Metrics.quantile h 0.95 in
+  Alcotest.(check bool) "quantiles ordered" true (q50 <= q95);
+  (* Bucket bounds overestimate by at most one log-scale step (10^0.25). *)
+  check_between "p95 brackets the top sample" 0.099 0.18 q95;
+  let bounds = List.map fst (Metrics.buckets h) in
+  Alcotest.(check bool) "bucket bounds ascend" true
+    (List.sort compare bounds = bounds);
+  Alcotest.(check int) "4 observations across buckets" 4
+    (List.fold_left (fun acc (_, c) -> acc + c) 0 (Metrics.buckets h));
+  check_raises_invalid "quantile range" (fun () ->
+      ignore (Metrics.quantile h 1.5));
+  (* NaN: counted, not summed. *)
+  Metrics.observe h nan;
+  Alcotest.(check int) "nan counted" 5 (Metrics.hist_count h);
+  Alcotest.(check bool) "nan not summed" true
+    (Float.is_finite (Metrics.hist_sum h))
+
+let t_time_exception_safe () =
+  fresh ();
+  let h = Metrics.histogram "obs_test_timer_seconds" in
+  (match Metrics.time h (fun () -> raise Exit) with
+  | () -> Alcotest.fail "exception swallowed"
+  | exception Exit -> ());
+  Alcotest.(check int) "raising body still observed" 1 (Metrics.hist_count h)
+
+let t_export_and_reset () =
+  fresh ();
+  Metrics.incr (Metrics.counter "obs_export_total");
+  Metrics.set_gauge (Metrics.gauge "obs_export_gauge") 7.;
+  Metrics.observe (Metrics.histogram "obs_export_seconds") 1e-3;
+  let json = Metrics.export () in
+  let names section =
+    List.map
+      (fun e -> Json.to_str (Json.member "name" e))
+      (Json.to_list (Json.member section json))
+  in
+  Alcotest.(check bool) "counter exported" true
+    (List.mem "obs_export_total" (names "counters"));
+  Alcotest.(check bool) "gauge exported" true
+    (List.mem "obs_export_gauge" (names "gauges"));
+  Alcotest.(check bool) "histogram exported" true
+    (List.mem "obs_export_seconds" (names "histograms"));
+  let h =
+    List.find
+      (fun e -> Json.to_str (Json.member "name" e) = "obs_export_seconds")
+      (Json.to_list (Json.member "histograms" json))
+  in
+  Alcotest.(check int) "histogram count serialized" 1
+    (Json.to_int (Json.member "count" h));
+  ignore (Json.to_list (Json.member "buckets" h));
+  (* Reset zeroes in place: cached handles keep reporting. *)
+  let c = Metrics.counter "obs_export_total" in
+  Metrics.reset ();
+  Alcotest.(check int) "reset zeroes" 0 (Metrics.counter_value c);
+  Metrics.incr c;
+  Alcotest.(check int) "handle survives reset" 1 (Metrics.counter_value c);
+  (* The summary table renders without raising, one row per metric. *)
+  ignore (Metrics.summary_table ())
+
+let t_multi_domain_counter () =
+  fresh ();
+  let c = Metrics.counter "obs_domains_total" in
+  let h = Metrics.histogram "obs_domains_seconds" in
+  let worker () =
+    for _ = 1 to 1000 do
+      Metrics.incr c;
+      Metrics.observe h 1e-6
+    done
+  in
+  let domains = List.init 4 (fun _ -> Domain.spawn worker) in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "no lost counter updates" 4000 (Metrics.counter_value c);
+  Alcotest.(check int) "no lost observations" 4000 (Metrics.hist_count h);
+  check_close ~eps:1e-6 "cas-summed" 4e-3 (Metrics.hist_sum h)
+
+(* {2 Instrumented subsystems} *)
+
+let t_engine_spans () =
+  fresh ();
+  Tracing.with_tracing true (fun () ->
+      ignore (Engine.simulate Presets.a100 Model.llama3_8b));
+  let names = span_names () in
+  Alcotest.(check bool) "prefill span" true (List.mem "engine.prefill" names);
+  Alcotest.(check bool) "decode span" true (List.mem "engine.decode" names);
+  let prefill =
+    List.find (fun s -> s.Tracing.name = "engine.prefill") (Tracing.spans ())
+  in
+  List.iter
+    (fun key ->
+      Alcotest.(check bool) (key ^ " attr") true
+        (List.mem_assoc key prefill.Tracing.attrs))
+    [ "flops"; "dram_bytes"; "bound"; "layer_s" ];
+  (* The per-phase latency histograms populate under tracing. *)
+  let h phase =
+    Metrics.histogram ~labels:[ ("phase", phase) ] "engine_phase_seconds"
+  in
+  Alcotest.(check bool) "prefill histogram fed" true
+    (Metrics.hist_count (h "prefill") > 0);
+  Alcotest.(check bool) "decode histogram fed" true
+    (Metrics.hist_count (h "decode") > 0)
+
+let t_serving_spans () =
+  fresh ();
+  let trace =
+    Trace.synthetic ~rate_per_s:4. ~duration_s:5. ~mean_input:128 ~mean_output:16
+      ()
+  in
+  let stats =
+    Tracing.with_tracing true (fun () ->
+        Simulator.run Presets.a100 Model.llama3_8b trace)
+  in
+  let names = span_names () in
+  Alcotest.(check bool) "run span" true (List.mem "serve.run" names);
+  Alcotest.(check bool) "prefill spans" true (List.mem "serve.prefill" names);
+  Alcotest.(check bool) "decode spans" true (List.mem "serve.decode" names);
+  let root =
+    List.find (fun s -> s.Tracing.name = "serve.run") (Tracing.spans ())
+  in
+  (match List.assoc_opt "generated_tokens" root.Tracing.attrs with
+  | Some (Tracing.Int n) ->
+      Alcotest.(check int) "root records token total"
+        stats.Simulator.generated_tokens n
+  | _ -> Alcotest.fail "generated_tokens attr missing");
+  (* Counters accumulate regardless of tracing. *)
+  Alcotest.(check bool) "admitted counted" true
+    (Metrics.counter_value (Metrics.counter "serving_admitted_total")
+    = List.length trace)
+
+let t_eval_cache_metrics () =
+  fresh ();
+  Eval.clear ();
+  let scenario = Option.get (Scenario.find "a100-proxy") in
+  ignore (Eval.run scenario);
+  ignore (Eval.run scenario);
+  let v name = Metrics.counter_value (Metrics.counter name) in
+  Alcotest.(check int) "two lookups" 2 (v "dse_cache_lookups_total");
+  Alcotest.(check int) "second is a hit" 1 (v "dse_cache_hits_total");
+  Alcotest.(check int) "one evaluation" 1 (v "dse_evaluations_total");
+  Alcotest.(check int) "evaluation timed" 1
+    (Metrics.hist_count (Metrics.histogram "dse_eval_seconds"))
+
+let suite =
+  [
+    test "disabled tracing is a no-op" t_disabled_noop;
+    test "span nesting and attributes" t_nesting;
+    test "raising body closes its span" t_exception_safety;
+    test "with_tracing restores on raise" t_with_tracing_restores;
+    test "ring buffer overwrites oldest" t_ring_overflow;
+    test "chrome trace export" t_chrome_export;
+    test "trace file write" t_write_file;
+    test "counter get-or-create" t_counter_identity;
+    test "gauge set and accumulate" t_gauge;
+    test "histogram observe and quantile" t_histogram;
+    test "timer observes raising body" t_time_exception_safe;
+    test "export and in-place reset" t_export_and_reset;
+    test "counters across domains" t_multi_domain_counter;
+    test "engine phase spans and histograms" t_engine_spans;
+    test "serving spans and counters" t_serving_spans;
+    test "eval cache metrics" t_eval_cache_metrics;
+  ]

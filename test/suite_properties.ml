@@ -1,0 +1,115 @@
+open Core
+open Helpers
+
+(* Property tests over random valid design points (satellite of the
+   observability PR): the perf model must stay physical - finite, positive,
+   and monotone in the resources it consumes - across the whole sanctioned
+   design space, not just the hand-picked fixtures. *)
+
+let tpp_targets = [ 1600.; 2400.; 4800. ]
+
+(* A design point drawn from the October 2023 sweep axes x a TPP target:
+   exactly the population [acs run] evaluates. *)
+let point_gen =
+  let open QCheck.Gen in
+  let s = Space.oct2023 in
+  let* systolic_dim = oneofl s.Space.systolic_dims in
+  let* lanes = oneofl s.Space.lanes_per_core in
+  let* l1 = oneofl s.Space.l1_kb in
+  let* l2 = oneofl s.Space.l2_mb in
+  let* memory_bw = oneofl s.Space.memory_bw_tb_s in
+  let* device_bw = oneofl s.Space.device_bw_gb_s in
+  let* tpp_target = oneofl tpp_targets in
+  return ({ Space.systolic_dim; lanes; l1; l2; memory_bw; device_bw }, tpp_target)
+
+let point_arb =
+  QCheck.make
+    ~print:(fun (p, tpp) ->
+      Printf.sprintf "dim=%d lanes=%d l1=%g l2=%g membw=%g devbw=%g tpp=%g"
+        p.Space.systolic_dim p.Space.lanes p.Space.l1 p.Space.l2
+        p.Space.memory_bw p.Space.device_bw tpp)
+    point_gen
+
+let evaluate (p, tpp_target) =
+  Design.evaluate ~model:Model.llama3_8b p (Space.build ~tpp_target p)
+
+(* <= with relative slack for float noise across the two evaluations. *)
+let leq a b = a <= b *. (1. +. 1e-9)
+
+let t_latencies_physical =
+  qcheck ~count:60 "design latencies finite and positive" point_arb
+    (fun point ->
+      let d = evaluate point in
+      Float.is_finite d.Design.ttft_s
+      && Float.is_finite d.Design.tbt_s
+      && d.Design.ttft_s > 0. && d.Design.tbt_s > 0.)
+
+let t_monotone_memory_bw =
+  qcheck ~count:40 "latency non-increasing in HBM bandwidth" point_arb
+    (fun ((p, tpp_target) as point) ->
+      let base = evaluate point in
+      let faster =
+        evaluate ({ p with Space.memory_bw = 2. *. p.Space.memory_bw }, tpp_target)
+      in
+      leq faster.Design.ttft_s base.Design.ttft_s
+      && leq faster.Design.tbt_s base.Design.tbt_s)
+
+let t_monotone_compute =
+  qcheck ~count:40 "latency non-increasing in compute throughput" point_arb
+    (fun (p, tpp_target) ->
+      (* Double the clock on the same built device: pure compute-throughput
+         scaling, with memory and interconnect untouched. *)
+      let dev = Space.build ~tpp_target p in
+      let faster = { dev with Device.frequency_hz = 2. *. dev.Device.frequency_hz } in
+      let r0 = Engine.simulate dev Model.llama3_8b in
+      let r1 = Engine.simulate faster Model.llama3_8b in
+      leq (Engine.model_ttft_s r1) (Engine.model_ttft_s r0)
+      && leq (Engine.model_tbt_s r1) (Engine.model_tbt_s r0))
+
+(* Random per-device operators for the breakdown invariant. *)
+let op_gen =
+  let open QCheck.Gen in
+  oneof
+    [
+      (let* m = int_range 1 4096 in
+       let* k = int_range 1 8192 in
+       let* n = int_range 1 8192 in
+       let* batch_count = int_range 1 16 in
+       let* weights_streamed = bool in
+       return
+         (Op.Matmul
+            { Op.label = "mm"; m; k; n; batch_count; weights_streamed }));
+      (let* elements = map float_of_int (int_range 1 10_000_000) in
+       let* flops_per_element = oneofl [ 1.; 2.; 5.; 10. ] in
+       let* memory_passes = oneofl [ 1.; 2.; 3.; 5. ] in
+       return
+         (Op.Elementwise
+            { Op.label = "ew"; elements; flops_per_element; memory_passes }));
+      (let* bytes = map float_of_int (int_range 1 1_000_000_000) in
+       return (Op.All_reduce { Op.label = "ar"; bytes }));
+    ]
+
+let op_arb =
+  QCheck.make
+    ~print:(fun (op, _) -> Format.asprintf "%a" Op.pp op)
+    QCheck.Gen.(pair op_gen (int_range 1 8))
+
+let t_breakdown_bounded =
+  qcheck ~count:100 "breakdown components bounded by op total"
+    (QCheck.pair device_arb op_arb)
+    (fun (dev, (op, tp)) ->
+      let b = Op_model.latency dev ~tp op in
+      Float.is_finite b.Op_model.total_s
+      && b.Op_model.total_s >= 0.
+      && leq b.Op_model.compute_s b.Op_model.total_s
+      && leq b.Op_model.memory_s b.Op_model.total_s
+      && leq b.Op_model.comm_s b.Op_model.total_s
+      && leq b.Op_model.overhead_s b.Op_model.total_s)
+
+let suite =
+  [
+    t_latencies_physical;
+    t_monotone_memory_bw;
+    t_monotone_compute;
+    t_breakdown_bounded;
+  ]

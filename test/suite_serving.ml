@@ -139,6 +139,100 @@ let t_empty_trace_rejected () =
   check_raises_invalid "empty" (fun () ->
       ignore (Simulator.run Presets.a100 Model.llama3_8b []))
 
+let t_empty_outcomes_slo () =
+  (* Regression: 0 requests used to report 0/0 = nan attainment. *)
+  let empty =
+    {
+      Simulator.outcomes = [];
+      makespan_s = 0.;
+      generated_tokens = 0;
+      throughput_tokens_per_s = 0.;
+      mean_batch_occupancy = 0.;
+      p50_ttft_s = 0.;
+      p95_ttft_s = 0.;
+      p50_tbt_s = 0.;
+      p95_tbt_s = 0.;
+      kv_limited_batch = 0;
+    }
+  in
+  check_close "vacuously met" 1.
+    (Simulator.slo_attainment empty ~ttft_s:0.5 ~tbt_s:0.05)
+
+(* Random synthetic traces for the scheduler invariants. *)
+let trace_arb =
+  let gen =
+    let open QCheck.Gen in
+    let* seed = int_range 0 10_000 in
+    let* rate_per_s = oneofl [ 0.5; 2.; 8.; 30. ] in
+    let* duration_s = oneofl [ 2.; 5.; 10. ] in
+    let* mean_input = int_range 16 512 in
+    let* mean_output = int_range 8 64 in
+    return
+      ( Trace.synthetic ~seed ~rate_per_s ~duration_s ~mean_input ~mean_output
+          (),
+        (seed, rate_per_s, duration_s) )
+  in
+  QCheck.make
+    ~print:(fun (tr, (seed, rate, dur)) ->
+      Printf.sprintf "seed=%d rate=%g dur=%g (%d requests)" seed rate dur
+        (List.length tr))
+    gen
+
+let t_scheduler_invariants =
+  qcheck ~count:25 "scheduler invariants on random traces" trace_arb
+    (fun (tr, _) ->
+      tr = []
+      ||
+      let s = Simulator.run Presets.a100 Model.llama3_8b tr in
+      let all_finish = List.length s.Simulator.outcomes = List.length tr in
+      let tokens =
+        s.Simulator.generated_tokens = Trace.total_output_tokens tr
+      in
+      let ttft_positive =
+        List.for_all (fun o -> o.Simulator.ttft_s > 0.) s.Simulator.outcomes
+      in
+      let batch_bounded =
+        s.Simulator.kv_limited_batch >= 1
+        && s.Simulator.kv_limited_batch
+           <= Simulator.default_config.Simulator.max_batch
+      in
+      let slo = Simulator.slo_attainment s ~ttft_s:1. ~tbt_s:0.05 in
+      let slo_bounded = slo >= 0. && slo <= 1. in
+      (* FCFS: in arrival order, first-token times never go backwards
+         (prefill-priority admits the head of the queue first). *)
+      let by_arrival =
+        List.sort
+          (fun a b ->
+            compare
+              (a.Simulator.request.Trace.arrival_s, a.Simulator.request.Trace.id)
+              (b.Simulator.request.Trace.arrival_s, b.Simulator.request.Trace.id))
+          s.Simulator.outcomes
+      in
+      let first_token o =
+        o.Simulator.request.Trace.arrival_s +. o.Simulator.ttft_s
+      in
+      let rec fcfs = function
+        | a :: (b :: _ as rest) ->
+            first_token a <= first_token b +. 1e-9 && fcfs rest
+        | _ -> true
+      in
+      all_finish && tokens && ttft_positive && batch_bounded && slo_bounded
+      && fcfs by_arrival)
+
+let t_jobs_deterministic () =
+  (* The simulator's results must not depend on the domain-pool size. *)
+  let tr =
+    Trace.synthetic ~seed:11 ~rate_per_s:4. ~duration_s:8. ~mean_input:256
+      ~mean_output:24 ()
+  in
+  let s1 =
+    Parallel.with_jobs 1 (fun () -> Simulator.run Presets.a100 Model.llama3_8b tr)
+  in
+  let s4 =
+    Parallel.with_jobs 4 (fun () -> Simulator.run Presets.a100 Model.llama3_8b tr)
+  in
+  Alcotest.(check bool) "bit-identical stats across pool sizes" true (s1 = s4)
+
 let suite =
   [
     test "trace determinism" t_trace_determinism;
@@ -152,4 +246,7 @@ let suite =
     test "slo attainment" t_slo_attainment;
     test "throughput ignores idle lead-in" t_throughput_ignores_idle_leadin;
     test "empty trace rejected" t_empty_trace_rejected;
+    test "empty outcomes meet slo vacuously" t_empty_outcomes_slo;
+    t_scheduler_invariants;
+    test "pool size does not change results" t_jobs_deterministic;
   ]

@@ -11,6 +11,8 @@ let () =
       ("package", Suite_package.suite);
       ("graphics", Suite_graphics.suite);
       ("serving", Suite_serving.suite);
+      ("observability", Suite_observability.suite);
+      ("properties", Suite_properties.suite);
       ("historical", Suite_historical.suite);
       ("diffusion", Suite_diffusion.suite);
       ("binning", Suite_binning.suite);
@@ -28,5 +30,6 @@ let () =
       ("indicators", Suite_indicators.suite);
       ("externality", Suite_externality.suite);
       ("cli", Suite_cli.suite);
+      ("golden", Suite_golden.suite);
       ("experiments", Suite_experiments.suite);
     ]
