@@ -95,7 +95,217 @@ let tests =
         ];
     ]
 
-let run () =
+(* --- sweep throughput: the compiled fast path and the sharded cache ---
+
+   Wall-clock points/s over a full canonical registry sweep (fig6-llama3,
+   512 points), reported for the legacy per-op path ([Design.evaluate],
+   which rebuilds the op list per point) against the compiled path
+   ([Eval.run ~cache:false], which compiles the context once), at 1 job
+   and at [par_jobs]; plus warm-cache lookup throughput of the sharded
+   cache ([Eval.probe]) against a reconstruction of the pre-sharding
+   design (one global [Hashtbl] behind one mutex, keyed on full per-point
+   scenarios). Manual best-of-N timing rather than bechamel: each run is
+   tens of milliseconds, far above clock resolution, and a cold sweep
+   must not be iterated inside one bechamel quota. *)
+
+let quick () =
+  match Sys.getenv_opt "ACS_BENCH_QUICK" with
+  | None | Some "" | Some "0" -> false
+  | Some _ -> true
+
+let time_best ~repeats f =
+  (* One untimed warm-up run: the first invocation pays first-touch cache
+     and allocator effects that would otherwise bias whichever variant
+     happens to be measured first. *)
+  f ();
+  let best = ref infinity in
+  for _ = 1 to repeats do
+    let t0 = Common.wall_s () in
+    f ();
+    let dt = Common.wall_s () -. t0 in
+    if dt < !best then best := dt
+  done;
+  !best
+
+let throughput_scenario = "fig6-llama3"
+
+module Mutex_cache = Hashtbl.Make (Core.Scenario.Key)
+
+let sweep_throughput () =
+  Common.section
+    "Sweep throughput: compiled workloads and the sharded eval cache";
+  let s = Common.scenario throughput_scenario in
+  let model = s.Core.Scenario.model
+  and tpp_target = s.Core.Scenario.tpp_target in
+  let points =
+    match s.Core.Scenario.target with
+    | Core.Scenario.Space sw -> Array.of_list (Core.Space.enumerate sw)
+    | Core.Scenario.Point p -> [| p |]
+  in
+  let n_points = Array.length points in
+  (* Best-of-5 even in quick mode: one cold sweep is ~3 ms, and a single
+     sample is noisy enough to invert the compiled-vs-legacy ratio. *)
+  let repeats = 5 in
+  let at jobs f () = Core.Parallel.with_jobs jobs f in
+  (* The legacy cold sweep: per-point [Design.evaluate] with the same
+     per-point instrumentation (evaluation counter + latency histogram)
+     [Eval.run ~cache:false] carries - exactly what it did before
+     workload precompilation, so the ratio isolates the compiled
+     representation. *)
+  let m_evals = Core.Metrics.counter "dse_evaluations_total" in
+  let m_eval_seconds = Core.Metrics.histogram "dse_eval_seconds" in
+  let legacy () =
+    ignore
+      (Core.Parallel.map_array
+         (fun p ->
+           Core.Metrics.incr m_evals;
+           Core.Metrics.time m_eval_seconds (fun () ->
+               Core.Design.evaluate ~model p (Core.Space.build ~tpp_target p)))
+         points)
+  in
+  let compiled () = ignore (Core.Eval.run ~cache:false s) in
+  (* Sequential variants run first, before any pool domain exists; then
+     the pool is spun up once so neither parallel variant pays domain
+     spawn-up inside its timing (and both sequential variants saw the
+     same domain-free GC). *)
+  let timed_at name jobs f = (name, jobs, time_best ~repeats (at jobs f)) in
+  let cold_seq =
+    [ timed_at "cold-legacy" 1 legacy; timed_at "cold-compiled" 1 compiled ]
+  in
+  Core.Parallel.with_jobs par_jobs (fun () ->
+      ignore (Core.Parallel.map_array Fun.id (Array.init 64 Fun.id)));
+  let cold =
+    cold_seq
+    @ [
+        timed_at "cold-legacy" par_jobs legacy;
+        timed_at "cold-compiled" par_jobs compiled;
+      ]
+  in
+  (* Warm lookups. Populate the real (sharded) cache, and mirror its
+     contents into a reconstruction of the pre-sharding design: one
+     global table behind one mutex, keyed on full per-point scenarios,
+     the hash computed under the lock (inside [find_opt]). Each probe
+     pass touches every point [rounds] times from [par_jobs] domains. *)
+  Core.Parallel.with_jobs par_jobs (fun () -> ignore (Core.Eval.run s));
+  let designs = Core.Eval.run s in
+  let mcache = Mutex_cache.create 4096 in
+  let mlock = Mutex.create () in
+  List.iteri
+    (fun i d ->
+      Mutex_cache.replace mcache
+        { s with Core.Scenario.target = Core.Scenario.Point points.(i) }
+        d)
+    designs;
+  let rounds = if quick () then 4 else 16 in
+  let probes = n_points * rounds in
+  let probe_all probe_one =
+    Core.Parallel.map_array
+      (fun p ->
+        let found = ref 0 in
+        for _ = 1 to rounds do
+          if probe_one p then incr found
+        done;
+        !found)
+      points
+  in
+  let mutex_probe p =
+    let key = { s with Core.Scenario.target = Core.Scenario.Point p } in
+    Mutex.lock mlock;
+    let r = Mutex_cache.find_opt mcache key in
+    Mutex.unlock mlock;
+    Option.is_some r
+  in
+  let warm =
+    List.map
+      (fun (name, probe_one) ->
+        ( name,
+          par_jobs,
+          time_best ~repeats
+            (at par_jobs (fun () -> ignore (probe_all probe_one))) ))
+      [
+        ("warm-mutex", mutex_probe);
+        ("warm-sharded", (fun p -> Core.Eval.probe s p));
+      ]
+  in
+  let t =
+    Core.Table.create
+      ~aligns:[ Core.Table.Left; Core.Table.Right; Core.Table.Right;
+                Core.Table.Right ]
+      [ "variant"; "jobs"; "ms"; "points/s" ]
+  in
+  let work = function
+    | name when String.length name >= 4 && String.sub name 0 4 = "warm" ->
+        probes
+    | _ -> n_points
+  in
+  let rows =
+    List.map
+      (fun (name, jobs, dt) ->
+        (name, jobs, dt, float_of_int (work name) /. dt))
+      (cold @ warm)
+  in
+  List.iter
+    (fun (name, jobs, dt, rate) ->
+      Core.Table.add_row t
+        [ name; string_of_int jobs; Printf.sprintf "%.1f" (1e3 *. dt);
+          Printf.sprintf "%.0f" rate ])
+    rows;
+  Core.Table.print t;
+  let rate_of name jobs =
+    List.find_map
+      (fun (n, j, _, r) -> if n = name && j = jobs then Some r else None)
+      rows
+  in
+  (match (rate_of "cold-legacy" 1, rate_of "cold-compiled" 1) with
+  | Some lg, Some cp when lg > 0. ->
+      Common.note
+        "[speed] cold %s sweep (%d points, 1 job): compiled %.0f points/s vs \
+         legacy %.0f points/s (%.2fx)"
+        throughput_scenario n_points cp lg (cp /. lg)
+  | _ -> ());
+  (match (rate_of "cold-legacy" par_jobs, rate_of "cold-compiled" par_jobs) with
+  | Some lg, Some cp when lg > 0. ->
+      Common.note
+        "[speed] cold %s sweep (%d points, %d jobs): compiled %.0f points/s \
+         vs legacy %.0f points/s (%.2fx)"
+        throughput_scenario n_points par_jobs cp lg (cp /. lg)
+  | _ -> ());
+  (match (rate_of "warm-mutex" par_jobs, rate_of "warm-sharded" par_jobs) with
+  | Some mx, Some sh when mx > 0. ->
+      Common.note
+        "[speed] warm cache (%d probes, %d jobs): sharded %.0f lookups/s vs \
+         single-mutex %.0f lookups/s (%.2fx)"
+        probes par_jobs sh mx (sh /. mx)
+  | _ -> ());
+  (try Sys.mkdir Common.results_dir 0o755 with Sys_error _ -> ());
+  let json =
+    Core.Json.obj
+      [
+        ("scenario", Core.Json.string throughput_scenario);
+        ("points", Core.Json.int n_points);
+        ("repeats", Core.Json.int repeats);
+        ("quick", Core.Json.bool (quick ()));
+        ( "results",
+          Core.Json.list
+            (fun (name, jobs, dt, rate) ->
+              Core.Json.obj
+                [
+                  ("variant", Core.Json.string name);
+                  ("jobs", Core.Json.int jobs);
+                  ("seconds", Core.Json.float dt);
+                  ("per_second", Core.Json.float rate);
+                ])
+            rows );
+      ]
+  in
+  let path = Filename.concat Common.results_dir "sweep_throughput.json" in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Core.Json.to_channel ~indent:2 oc json);
+  Common.note "[json] wrote %s (%d variants)" path (List.length rows)
+
+let run_bechamel () =
   Common.section "Microbenchmarks (bechamel): simulator throughput";
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
@@ -152,3 +362,10 @@ let run () =
   Common.csv "speed.csv"
     [ "benchmark"; "ns_per_run" ]
     (List.map (fun (name, est) -> [ name; Printf.sprintf "%.1f" est ]) rows)
+
+let run () =
+  (* Quick mode (ACS_BENCH_QUICK=1, the CI smoke step) runs only the
+     wall-clock sweep-throughput group; the bechamel microbenchmarks need
+     multi-second quotas to stabilize. *)
+  if not (quick ()) then run_bechamel ();
+  sweep_throughput ()

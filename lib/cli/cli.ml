@@ -165,6 +165,37 @@ let trace_arg =
         ~doc:"Enable span tracing and write a Chrome-trace JSON to \\$(docv) \
               (load it in chrome://tracing or https://ui.perfetto.dev).")
 
+(* End-of-run throughput summary for the sweep verbs (`acs dse`, `acs
+   run`): wall-clock points/s plus cache effectiveness, both read from
+   the metrics registry the evaluation engine already feeds (the same
+   counters `acs profile` summarizes). *)
+let wall_s () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
+
+let eval_counters () =
+  let v name = Metrics.counter_value (Metrics.counter name) in
+  ( v "dse_cache_lookups_total",
+    v "dse_cache_hits_total",
+    v "dse_evaluations_total" )
+
+let summarized_run f =
+  let l0, h0, e0 = eval_counters () in
+  let t0 = wall_s () in
+  let designs = f () in
+  let dt = wall_s () -. t0 in
+  let l1, h1, e1 = eval_counters () in
+  let lookups = l1 - l0 and hits = h1 - h0 and evals = e1 - e0 in
+  let points = List.length designs in
+  Format.printf "evaluated %d designs in %.2f s%s: %d simulated%s@." points dt
+    (if dt > 0. then
+       Printf.sprintf " (%.0f points/s)" (float_of_int points /. dt)
+     else "")
+    evals
+    (if lookups > 0 then
+       Printf.sprintf ", cache %d/%d hits (%.0f%%)" hits lookups
+         (100. *. float_of_int hits /. float_of_int lookups)
+     else "");
+  designs
+
 let eval_cache_note () =
   let s = Eval.stats () in
   if s.Eval.lookups > 0 then
@@ -232,7 +263,9 @@ let dse_cmd =
       | `Restricted -> Space.restricted
     in
     let designs =
-      with_jobs_opt jobs (fun () -> Eval.sweep ~model ~tpp_target:target sweep)
+      summarized_run (fun () ->
+          with_jobs_opt jobs (fun () ->
+              Eval.sweep ~model ~tpp_target:target sweep))
     in
     let compliant =
       match space with
@@ -335,7 +368,7 @@ let run_cmd =
     Format.printf "%a@." Scenario.pp scenario;
     Format.printf "domain pool: %d job%s@." (Parallel.jobs ())
       (if Parallel.jobs () = 1 then "" else "s");
-    let designs = Eval.run scenario in
+    let designs = summarized_run (fun () -> Eval.run scenario) in
     let ok =
       List.filter
         (fun d -> Scenario.compliant scenario d && Design.manufacturable d)

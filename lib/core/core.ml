@@ -6,7 +6,7 @@
       (observability of the engine, DSE and serving hot paths)
     - {!Systolic}, {!Memory}, {!Interconnect}, {!Process}, {!Device},
       {!Presets}: the hardware template
-    - {!Model}, {!Request}, {!Op}, {!Layer}: LLM workloads
+    - {!Model}, {!Request}, {!Op}, {!Layer}, {!Compiled}: LLM workloads
     - {!Calib}, {!Op_model}, {!Engine}: the analytical performance model
     - {!Area_model}, {!Cost_model}: silicon area and cost
 
@@ -46,6 +46,7 @@ module Request = Acs_workload.Request
 module Op = Acs_workload.Op
 module Graphics = Acs_workload.Graphics
 module Layer = Acs_workload.Layer
+module Compiled = Acs_workload.Compiled
 module Calib = Acs_perfmodel.Calib
 module Op_model = Acs_perfmodel.Op_model
 module Engine = Acs_perfmodel.Engine

@@ -16,10 +16,9 @@ type t = {
   tbt_s : float;
 }
 
-let evaluate ?calib ?tp ?request ~model params device =
+let of_result params device (result : Acs_perfmodel.Engine.result) =
   let area_mm2 = Area_model.total_mm2 device in
   let spec = Acs_policy.Spec.of_device ~area_mm2 device in
-  let result = Acs_perfmodel.Engine.simulate ?calib ?tp ?request device model in
   let process = Cost_model.n7 in
   (* Designs far beyond the reticle limit may not even fit a wafer; give
      them infinite cost instead of failing (they are filtered out as
@@ -44,6 +43,14 @@ let evaluate ?calib ?tp ?request ~model params device =
     ttft_s = result.Acs_perfmodel.Engine.ttft_s;
     tbt_s = result.Acs_perfmodel.Engine.tbt_s;
   }
+
+let evaluate ?calib ?tp ?request ~model params device =
+  of_result params device
+    (Acs_perfmodel.Engine.simulate ?calib ?tp ?request device model)
+
+let evaluate_compiled ?calib compiled params device =
+  of_result params device
+    (Acs_perfmodel.Engine.simulate_compiled ?calib compiled device)
 
 let evaluate_sweep ?calib ?tp ?request ~model ~tpp_target sweep =
   let params = Space.enumerate sweep in

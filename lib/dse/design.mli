@@ -27,6 +27,18 @@ val evaluate :
   Acs_hardware.Device.t ->
   t
 
+val evaluate_compiled :
+  ?calib:Acs_perfmodel.Calib.t ->
+  Acs_workload.Compiled.t ->
+  Space.params ->
+  Acs_hardware.Device.t ->
+  t
+(** [evaluate_compiled ?calib (Engine.compile ?tp ?request model) p dev]
+    produces the same design (bit-identical latencies) as
+    [evaluate ?calib ?tp ?request ~model p dev], via
+    {!Acs_perfmodel.Engine.simulate_compiled}; the compilation cost is
+    paid once per sweep rather than once per point. *)
+
 val evaluate_sweep :
   ?calib:Acs_perfmodel.Calib.t ->
   ?tp:int ->

@@ -12,16 +12,48 @@ let m_hits = lazy (Metrics.counter "dse_cache_hits_total")
 let m_evals = lazy (Metrics.counter "dse_evaluations_total")
 let m_eval_seconds = lazy (Metrics.histogram "dse_eval_seconds")
 
-(* The memo cache is keyed on scenarios directly: one {!Scenario.t} per
-   design point (the point scenario's [target] is [Point p]). Equality and
-   hashing come from [Scenario.Key] - explicit, context-only, with
-   documented nan/-0. float semantics - rather than the polymorphic
-   [Hashtbl.hash]/[(=)], under which a nan-bearing key (e.g. a probing
-   sweep with [memory_gb = nan]) would never hit. *)
-module Cache = Hashtbl.Make (Scenario.Key)
+(* The memo cache is keyed per design point: the sweep's shared context
+   (a {!Scenario.t}; [Scenario.context_equal] ignores name, description,
+   regime and the target) paired with the raw point [params]. The hash is
+   computed once per point - [Scenario.point_hash] over a context hash
+   computed once per sweep - stored in the key, and reused by lookup,
+   shard selection and insertion; building a full per-point scenario
+   value, as the first cut of this cache did, is no longer needed.
+   Equality and hashing keep the documented nan/-0. float semantics of
+   [Scenario.Key] (under the polymorphic [(=)], a nan-bearing key - e.g.
+   a probing sweep with [memory_gb = nan] - would never hit). *)
+module Pkey = struct
+  type t = {
+    ctx : Scenario.t;
+    params : Space.params;
+    hash : int;  (** [Scenario.point_hash], precomputed *)
+  }
 
-let cache : Design.t Cache.t = Cache.create 4096
-let cache_mutex = Mutex.create ()
+  let equal a b =
+    (* params first: the cheap field-by-field compare almost always
+       decides within one bucket. *)
+    Space.params_equal a.params b.params && Scenario.context_equal a.ctx b.ctx
+
+  let hash k = k.hash
+end
+
+module Pcache = Hashtbl.Make (Pkey)
+
+(* The cache is sharded N ways, each shard a table behind its own mutex,
+   so concurrent domains probing a warm cache do not serialize on one
+   global lock (they did, and the lock was held across the full
+   scenario hash + equality walk). The shard index comes from bits 24+ of
+   the key hash: [Hashtbl] buckets on the low bits, so taking high bits
+   keeps the two choices uncorrelated. *)
+let n_shards = 16
+
+type shard = { lock : Mutex.t; table : Design.t Pcache.t }
+
+let shards =
+  Array.init n_shards (fun _ ->
+      { lock = Mutex.create (); table = Pcache.create 512 })
+
+let shard_of hash = shards.((hash lsr 24) land (n_shards - 1))
 let lookups = Atomic.make 0
 let hits = Atomic.make 0
 let evaluations = Atomic.make 0
@@ -34,39 +66,55 @@ let stats () =
   }
 
 let clear () =
-  Mutex.lock cache_mutex;
-  Cache.reset cache;
-  Mutex.unlock cache_mutex;
+  Array.iter
+    (fun s ->
+      Mutex.lock s.lock;
+      Pcache.reset s.table;
+      Mutex.unlock s.lock)
+    shards;
   Atomic.set lookups 0;
   Atomic.set hits 0;
   Atomic.set evaluations 0
 
-let point_key (s : Scenario.t) p = { s with Scenario.target = Scenario.Point p }
+let point_key ~ctx_hash (s : Scenario.t) p =
+  {
+    Pkey.ctx = s;
+    params = p;
+    hash = Scenario.point_hash ~context_hash:ctx_hash p;
+  }
 
-let find_opt key =
-  Mutex.lock cache_mutex;
-  let r = Cache.find_opt cache key in
-  Mutex.unlock cache_mutex;
+let find_opt (key : Pkey.t) =
+  let shard = shard_of key.Pkey.hash in
+  Mutex.lock shard.lock;
+  let r = Pcache.find_opt shard.table key in
+  Mutex.unlock shard.lock;
   Atomic.incr lookups;
   Metrics.incr (Lazy.force m_lookups);
-  let hit_counter = Lazy.force m_hits in
-  if r <> None then begin
+  if Option.is_some r then begin
     Atomic.incr hits;
-    Metrics.incr hit_counter
+    Metrics.incr (Lazy.force m_hits)
   end;
   r
 
-let insert key design =
-  Mutex.lock cache_mutex;
-  if not (Cache.mem cache key) then Cache.add cache key design;
-  Mutex.unlock cache_mutex
+let insert (key : Pkey.t) design =
+  let shard = shard_of key.Pkey.hash in
+  Mutex.lock shard.lock;
+  if not (Pcache.mem shard.table key) then Pcache.add shard.table key design;
+  Mutex.unlock shard.lock
 
-let evaluate_point (s : Scenario.t) p =
+let probe (s : Scenario.t) p =
+  Option.is_some
+    (find_opt (point_key ~ctx_hash:(Scenario.context_hash s) s p))
+
+let compile_scenario (s : Scenario.t) =
+  Acs_perfmodel.Engine.compile ?tp:s.Scenario.tp ?request:s.Scenario.request
+    s.Scenario.model
+
+let evaluate_point (s : Scenario.t) compiled p =
   Atomic.incr evaluations;
   Metrics.incr (Lazy.force m_evals);
   let eval () =
-    Design.evaluate ?calib:s.Scenario.calib ?tp:s.Scenario.tp
-      ?request:s.Scenario.request ~model:s.Scenario.model p
+    Design.evaluate_compiled ?calib:s.Scenario.calib compiled p
       (Space.build ?memory_gb:s.Scenario.memory_gb
          ~tpp_target:s.Scenario.tpp_target p)
   in
@@ -90,24 +138,36 @@ let run ?(cache = true) (s : Scenario.t) =
     | Scenario.Space sweep -> Array.of_list (Space.enumerate sweep)
   in
   let run_points () =
-    if not cache then
-      Array.to_list (Parallel.map_array (evaluate_point s) points)
+    if not cache then begin
+      let compiled = compile_scenario s in
+      Array.to_list (Parallel.map_array (evaluate_point s compiled) points)
+    end
     else begin
-      let keys = Array.map (point_key s) points in
+      let ctx_hash = Scenario.context_hash s in
+      let keys = Array.map (point_key ~ctx_hash s) points in
       let found = Array.map find_opt keys in
       let missing = ref [] in
       Array.iteri
         (fun i -> function None -> missing := i :: !missing | Some _ -> ())
         found;
       let missing = Array.of_list (List.rev !missing) in
-      let computed =
-        Parallel.map_array (fun i -> evaluate_point s points.(i)) missing
-      in
-      Array.iteri
-        (fun j i ->
-          insert keys.(i) computed.(j);
-          found.(i) <- Some computed.(j))
-        missing;
+      if Array.length missing > 0 then begin
+        (* Compile the shared context once, on the caller, and only when
+           something actually needs evaluating: a warm run pays nothing,
+           and the workers just read the compiled value ([Lazy.force]
+           would not be safe to share across domains). *)
+        let compiled = compile_scenario s in
+        let computed =
+          Parallel.map_array
+            (fun i -> evaluate_point s compiled points.(i))
+            missing
+        in
+        Array.iteri
+          (fun j i ->
+            insert keys.(i) computed.(j);
+            found.(i) <- Some computed.(j))
+          missing
+      end;
       Array.to_list
         (Array.map (function Some d -> d | None -> assert false) found)
     end
@@ -126,7 +186,8 @@ let run ?(cache = true) (s : Scenario.t) =
 
 (* Legacy optional-argument entry points: thin wrappers that build an
    anonymous scenario. They share the cache with registry scenarios of
-   the same context ([Scenario.equal] ignores name/description/regime). *)
+   the same context ([Scenario.context_equal] ignores
+   name/description/regime). *)
 
 let scenario_of ?calib ?tp ?request ?memory_gb ~model ~tpp_target target =
   Scenario.make ?request ?calib ?tp ?memory_gb ~name:"" ~model ~tpp_target

@@ -3,18 +3,23 @@
     Every headline figure re-runs [Design.evaluate] over 512-4800-point
     sweeps, and several sections re-evaluate the very same design set
     (Figs. 7, 8, 11, Table 4 and the scorecard all share the Fig-7 sweep).
-    This module is the shared evaluation engine: design points are
-    simulated in parallel over the {!Acs_util.Parallel} domain pool and
-    the results are cached process-wide, keyed on per-point
-    {!Scenario.t} values (the scenario {e is} the evaluation context:
-    design parameters, TPP target, memory capacity, model, calibration,
-    parallelism and request shape). The cache is an explicit
-    [Hashtbl.Make (Scenario.Key)] - see {!Scenario.equal} for the
-    written-down equality, including its nan/-0. float semantics.
+    This module is the shared evaluation engine. The (model, request, tp)
+    context is compiled once per run ({!Acs_perfmodel.Engine.compile}),
+    design points are simulated against it in parallel over the
+    {!Acs_util.Parallel} domain pool via
+    {!Acs_perfmodel.Engine.simulate_compiled} - bit-identical to the
+    per-op path, which the test suite asserts - and the results are
+    cached process-wide.
 
-    [Design.evaluate] is pure, so parallel evaluation is bit-identical to
-    the sequential path (the test suite asserts this); the cache is
-    protected by a mutex and safe to share between domains. *)
+    Cache keys pair the sweep's shared context (a {!Scenario.t} under
+    {!Scenario.context_equal}, which ignores name/description/regime and
+    the target) with the raw point [Space.params]; the key hash is
+    precomputed ({!Scenario.point_hash} over one per-sweep context hash)
+    and stored, so probes never re-hash. Equality keeps the written-down
+    nan/-0. float semantics of {!Scenario.equal}. The table is sharded 16
+    ways on the high hash bits, each shard behind its own mutex, so
+    concurrent domains probing a warm cache do not serialize on a global
+    lock; it stays safe to share between domains. *)
 
 type stats = {
   lookups : int;  (** cache probes *)
@@ -56,6 +61,13 @@ val sweep :
     are returned directly; the missing ones are evaluated in parallel and
     inserted. [~cache:false] skips both lookup and insertion (used by the
     speed benchmarks to measure raw evaluation throughput). *)
+
+val probe : Scenario.t -> Space.params -> bool
+(** Lookup only - no evaluation, no insertion: is this context + point
+    cached? Keys exactly as {!run} does (context hash plus
+    {!Scenario.point_hash}) and counts in {!stats} as a lookup, so the
+    speed bench can measure contended lookup throughput against a
+    single-mutex baseline. *)
 
 val stats : unit -> stats
 (** Cumulative counters since start (or the last [clear]). *)

@@ -63,9 +63,6 @@ let opt_eq eq a b =
   | Some x, Some y -> eq x y
   | None, Some _ | Some _, None -> false
 
-let list_eq eq a b =
-  List.compare_lengths a b = 0 && List.for_all2 eq a b
-
 let model_eq (a : Model.t) (b : Model.t) =
   String.equal a.Model.name b.Model.name
   && a.Model.num_layers = b.Model.num_layers
@@ -102,36 +99,24 @@ let calib_eq (a : Calib.t) (b : Calib.t) =
   && float_eq a.Calib.hop_latency_s b.Calib.hop_latency_s
   && float_eq a.Calib.vector_efficiency b.Calib.vector_efficiency
 
-let params_eq (a : Space.params) (b : Space.params) =
-  a.Space.systolic_dim = b.Space.systolic_dim
-  && a.Space.lanes = b.Space.lanes
-  && float_eq a.Space.l1 b.Space.l1
-  && float_eq a.Space.l2 b.Space.l2
-  && float_eq a.Space.memory_bw b.Space.memory_bw
-  && float_eq a.Space.device_bw b.Space.device_bw
-
-let sweep_eq (a : Space.sweep) (b : Space.sweep) =
-  list_eq ( = ) a.Space.systolic_dims b.Space.systolic_dims
-  && list_eq ( = ) a.Space.lanes_per_core b.Space.lanes_per_core
-  && list_eq float_eq a.Space.l1_kb b.Space.l1_kb
-  && list_eq float_eq a.Space.l2_mb b.Space.l2_mb
-  && list_eq float_eq a.Space.memory_bw_tb_s b.Space.memory_bw_tb_s
-  && list_eq float_eq a.Space.device_bw_gb_s b.Space.device_bw_gb_s
-
 let target_eq a b =
   match (a, b) with
-  | Space x, Space y -> sweep_eq x y
-  | Point x, Point y -> params_eq x y
+  | Space x, Space y -> Space.sweep_equal x y
+  | Point x, Point y -> Space.params_equal x y
   | Space _, Point _ | Point _, Space _ -> false
 
-let equal a b =
+(* Everything but the target: the part of the key shared by every point
+   of one sweep. [Eval]'s per-point cache key pairs this with raw
+   [Space.params]. *)
+let context_equal a b =
   float_eq a.tpp_target b.tpp_target
   && opt_eq float_eq a.memory_gb b.memory_gb
   && opt_eq ( = ) a.tp b.tp
   && model_eq a.model b.model
   && opt_eq request_eq a.request b.request
   && opt_eq calib_eq a.calib b.calib
-  && target_eq a.target b.target
+
+let equal a b = context_equal a b && target_eq a.target b.target
 
 (* Hash combination: h <+> x folds one component in; [land max_int]
    keeps the value non-negative on 63-bit ints. *)
@@ -142,7 +127,6 @@ let float_hash f =
   else Int64.to_int (Int64.bits_of_float (f +. 0.)) land max_int
 
 let opt_hash hash = function None -> 17 | Some x -> 19 <+> hash x
-let list_hash hash xs = List.fold_left (fun h x -> h <+> hash x) 23 xs
 
 let model_hash (m : Model.t) =
   Hashtbl.hash m.Model.name
@@ -171,31 +155,21 @@ let calib_hash (c : Calib.t) =
       c.Calib.vector_efficiency;
     ]
 
-let params_hash (p : Space.params) =
-  p.Space.systolic_dim <+> p.Space.lanes <+> float_hash p.Space.l1
-  <+> float_hash p.Space.l2 <+> float_hash p.Space.memory_bw
-  <+> float_hash p.Space.device_bw
-
-let sweep_hash (s : Space.sweep) =
-  list_hash Fun.id s.Space.systolic_dims
-  <+> list_hash Fun.id s.Space.lanes_per_core
-  <+> list_hash float_hash s.Space.l1_kb
-  <+> list_hash float_hash s.Space.l2_mb
-  <+> list_hash float_hash s.Space.memory_bw_tb_s
-  <+> list_hash float_hash s.Space.device_bw_gb_s
-
 let target_hash = function
-  | Space s -> 2 <+> sweep_hash s
-  | Point p -> 3 <+> params_hash p
+  | Space s -> 2 <+> Space.sweep_hash s
+  | Point p -> 3 <+> Space.params_hash p
 
-let hash t =
+let context_hash t =
   float_hash t.tpp_target
   <+> opt_hash float_hash t.memory_gb
   <+> opt_hash Fun.id t.tp
   <+> model_hash t.model
   <+> opt_hash request_hash t.request
   <+> opt_hash calib_hash t.calib
-  <+> target_hash t.target
+
+let hash t = context_hash t <+> target_hash t.target
+
+let point_hash ~context_hash p = context_hash <+> (3 <+> Space.params_hash p)
 
 module Key = struct
   type nonrec t = t

@@ -80,6 +80,20 @@ val compliant : t -> Design.t -> bool
 val equal : t -> t -> bool
 val hash : t -> int
 
+val context_equal : t -> t -> bool
+(** {!equal} without the target: the part of the key shared by every point
+    of one sweep. [equal a b] is [context_equal a b] plus target
+    equality. *)
+
+val context_hash : t -> int
+(** {!hash} without the target folded in; [hash t] extends it with the
+    target, so a sweep's points can reuse one context hash. *)
+
+val point_hash : context_hash:int -> Space.params -> int
+(** [point_hash ~context_hash:(context_hash s) p
+    = hash { s with target = Point p }], computed without allocating the
+    scenario - the [Eval] cache hashes sweep points this way. *)
+
 module Key : Hashtbl.HashedType with type t = t
 (** The above pair, packaged for [Hashtbl.Make]. *)
 

@@ -1,31 +1,38 @@
-let adjacent values current =
+let adjacent ?(cmp = compare) values current =
   (* Previous and next swept value around [current]: both for an interior
      value, one at either end of the sweep, none when [current] is not a
      swept value at all. [walk] handles every list shape, including the
-     empty and singleton sweeps. *)
+     empty and singleton sweeps. Sorting, dedup and the membership test
+     all go through [cmp], so float dimensions can pass [Float.compare]
+     and keep nan findable (the polymorphic [=] is false on [nan = nan],
+     which would silently drop a dimension's neighbors). *)
+  let eq a b = cmp a b = 0 in
   let rec walk = function
     | a :: b :: rest ->
-        if b = current then (if rest = [] then [ a ] else [ a; List.hd rest ])
-        else if a = current then [ b ]
+        if eq b current then
+          match rest with [] -> [ a ] | c :: _ -> [ a; c ]
+        else if eq a current then [ b ]
         else walk (b :: rest)
     | [ _ ] | [] -> []
   in
-  walk (List.sort_uniq compare values)
+  walk (List.sort_uniq cmp values)
 
 let neighbors (sweep : Space.sweep) (p : Space.params) =
-  let with_dim values current rebuild =
-    List.map rebuild (adjacent values current)
+  let with_dim ~cmp values current rebuild =
+    List.map rebuild (adjacent ~cmp values current)
   in
-  with_dim sweep.Space.systolic_dims p.Space.systolic_dim (fun v ->
-      { p with Space.systolic_dim = v })
-  @ with_dim sweep.Space.lanes_per_core p.Space.lanes (fun v ->
+  with_dim ~cmp:Int.compare sweep.Space.systolic_dims p.Space.systolic_dim
+    (fun v -> { p with Space.systolic_dim = v })
+  @ with_dim ~cmp:Int.compare sweep.Space.lanes_per_core p.Space.lanes (fun v ->
         { p with Space.lanes = v })
-  @ with_dim sweep.Space.l1_kb p.Space.l1 (fun v -> { p with Space.l1 = v })
-  @ with_dim sweep.Space.l2_mb p.Space.l2 (fun v -> { p with Space.l2 = v })
-  @ with_dim sweep.Space.memory_bw_tb_s p.Space.memory_bw (fun v ->
-        { p with Space.memory_bw = v })
-  @ with_dim sweep.Space.device_bw_gb_s p.Space.device_bw (fun v ->
-        { p with Space.device_bw = v })
+  @ with_dim ~cmp:Float.compare sweep.Space.l1_kb p.Space.l1 (fun v ->
+        { p with Space.l1 = v })
+  @ with_dim ~cmp:Float.compare sweep.Space.l2_mb p.Space.l2 (fun v ->
+        { p with Space.l2 = v })
+  @ with_dim ~cmp:Float.compare sweep.Space.memory_bw_tb_s p.Space.memory_bw
+      (fun v -> { p with Space.memory_bw = v })
+  @ with_dim ~cmp:Float.compare sweep.Space.device_bw_gb_s p.Space.device_bw
+      (fun v -> { p with Space.device_bw = v })
 
 type outcome = { best : Design.t; evaluated : int; steps : int }
 

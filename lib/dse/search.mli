@@ -7,10 +7,13 @@
     parameter to an adjacent swept value); [optimize] restarts it from a
     deterministic set of corners plus the lattice center. *)
 
-val adjacent : 'a list -> 'a -> 'a list
+val adjacent : ?cmp:('a -> 'a -> int) -> 'a list -> 'a -> 'a list
 (** [adjacent values current]: the previous and next swept value around
     [current] in the sorted deduplicated [values] — both for an interior
-    value, one at either end, and none when [current] is not swept. *)
+    value, one at either end, and none when [current] is not swept.
+    Ordering, dedup and membership all use [cmp] (default the polymorphic
+    [compare]); pass [Float.compare] for float dimensions so that values
+    equal after sorting dedup consistently and nan is findable. *)
 
 val neighbors : Space.sweep -> Space.params -> Space.params list
 (** Lattice neighbors: for each dimension, the previous and next swept

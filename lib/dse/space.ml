@@ -77,6 +77,57 @@ let enumerate s =
     s.systolic_dims;
   List.rev !acc
 
+(* --- structural equality and hashing ---
+
+   The [Eval] cache keys on these; they live here (not in [Scenario]) so a
+   per-point key can hash raw [params] without allocating a scenario.
+   Floats go through [Float.compare], making nan equal to itself and [-0.]
+   equal to [0.] - the polymorphic [=] returns false on nan, which would
+   make a nan-bearing key unfindable. The hash normalizes the same two
+   cases (every nan to one constant, [-0.] folded onto [0.] by adding [0.]
+   before taking its bits), keeping it consistent with equality. *)
+
+let float_eq a b = Float.compare a b = 0
+let list_eq eq a b = List.compare_lengths a b = 0 && List.for_all2 eq a b
+
+(* Hash combination: h <+> x folds one component in; [land max_int] keeps
+   the value non-negative on 63-bit ints. *)
+let ( <+> ) h x = ((h * 31) + x) land max_int
+
+let float_hash f =
+  if Float.is_nan f then 0x7ff8
+  else Int64.to_int (Int64.bits_of_float (f +. 0.)) land max_int
+
+let list_hash hash xs = List.fold_left (fun h x -> h <+> hash x) 23 xs
+
+let params_equal (a : params) (b : params) =
+  a.systolic_dim = b.systolic_dim
+  && a.lanes = b.lanes
+  && float_eq a.l1 b.l1
+  && float_eq a.l2 b.l2
+  && float_eq a.memory_bw b.memory_bw
+  && float_eq a.device_bw b.device_bw
+
+let params_hash (p : params) =
+  p.systolic_dim <+> p.lanes <+> float_hash p.l1 <+> float_hash p.l2
+  <+> float_hash p.memory_bw <+> float_hash p.device_bw
+
+let sweep_equal (a : sweep) (b : sweep) =
+  list_eq ( = ) a.systolic_dims b.systolic_dims
+  && list_eq ( = ) a.lanes_per_core b.lanes_per_core
+  && list_eq float_eq a.l1_kb b.l1_kb
+  && list_eq float_eq a.l2_mb b.l2_mb
+  && list_eq float_eq a.memory_bw_tb_s b.memory_bw_tb_s
+  && list_eq float_eq a.device_bw_gb_s b.device_bw_gb_s
+
+let sweep_hash (s : sweep) =
+  list_hash Fun.id s.systolic_dims
+  <+> list_hash Fun.id s.lanes_per_core
+  <+> list_hash float_hash s.l1_kb
+  <+> list_hash float_hash s.l2_mb
+  <+> list_hash float_hash s.memory_bw_tb_s
+  <+> list_hash float_hash s.device_bw_gb_s
+
 let build ?(memory_gb = 80.) ~tpp_target p =
   let systolic = Systolic.square p.systolic_dim in
   let cores =

@@ -48,6 +48,19 @@ type params = {
 val enumerate : sweep -> params list
 (** Cartesian product in a deterministic order. *)
 
+(** {2 Structural equality and hashing (the [Eval] cache keys)}
+
+    Floats compare by [Float.compare] - nan equals nan and [-0.] equals
+    [0.], unlike the polymorphic [(=)] (under which a nan-bearing cache
+    key could never be found again). The hashes normalize the same two
+    cases (all nans hash alike, [-0.] hashes as [0.]), keeping them
+    consistent with the equalities. *)
+
+val params_equal : params -> params -> bool
+val params_hash : params -> int
+val sweep_equal : sweep -> sweep -> bool
+val sweep_hash : sweep -> int
+
 val build : ?memory_gb:float -> tpp_target:float -> params -> Acs_hardware.Device.t
 (** Instantiate a device under the TPP target (strictly below it).
     Memory capacity defaults to 80 GB. *)

@@ -27,6 +27,23 @@ val simulate :
 (** Defaults: the paper's setting of 4-way tensor parallelism and
     batch 32 / input 2048 / output 1024. *)
 
+val compile :
+  ?tp:int ->
+  ?request:Acs_workload.Request.t ->
+  Acs_workload.Model.t ->
+  Acs_workload.Compiled.t
+(** Flatten the (model, request, tp) context once (see
+    {!Acs_workload.Compiled}); defaults match {!simulate}. *)
+
+val simulate_compiled :
+  ?calib:Calib.t -> Acs_workload.Compiled.t -> Acs_hardware.Device.t -> result
+(** [simulate_compiled ?calib (compile ?tp ?request model) device] is
+    bit-identical to [simulate ?calib ?tp ?request device model] - every
+    breakdown field, not just the totals - but hoists all per-device terms
+    out of the op loop and walks flat arrays instead of rebuilding the op
+    list, which is what makes cold sweeps fast. The property suite holds
+    the identity to account. *)
+
 val op_latencies :
   ?calib:Calib.t ->
   ?tp:int ->

@@ -31,50 +31,78 @@ let effective_dram_bandwidth ?(calib = Calib.default) (dev : Device.t) =
 
 let round_up_to x multiple = (x + multiple - 1) / multiple * multiple
 
-let matmul_compute_efficiency ?(calib = Calib.default) (dev : Device.t)
-    (mm : Op.matmul) =
+(* The matmul efficiency model splits into per-device terms (control,
+   scheduling, the L1 share and full feed demand) and per-shape terms
+   (rounding, fill, the skinny-feed derate). [matmul_env] hoists the
+   per-device terms so a compiled sweep computes them once per design
+   point instead of once per op; [matmul_efficiency_in] combines them with
+   a shape in exactly the legacy expression order, keeping the product
+   bit-identical. *)
+type matmul_env = {
+  dx : int;
+  dy : int;
+  control : float;
+  scheduling : float;
+  l1_share : float;  (** L1 bytes per lane *)
+  feed_full : float;  (** feed bytes wanted by a non-skinny product *)
+  feed_knee_ratio : float;
+  feed_knee_power : float;
+}
+
+let matmul_env ?(calib = Calib.default) (dev : Device.t) =
   let dx = dev.Device.systolic.Systolic.dim_x in
   let dy = dev.Device.systolic.Systolic.dim_y in
+  {
+    dx;
+    dy;
+    control =
+      1.
+      /. (1.
+         +. calib.Calib.control_overhead
+            *. ((1. /. float_of_int dx) +. (1. /. float_of_int dy))
+         +. (calib.Calib.drain_overhead *. float_of_int (dx * dy)));
+    scheduling =
+      1.
+      /. (1.
+         +. (calib.Calib.sched_overhead_per_core
+            *. float_of_int dev.Device.core_count));
+    l1_share = Device.l1_per_lane dev;
+    feed_full = Calib.feed_bytes calib dev.Device.systolic;
+    feed_knee_ratio = calib.Calib.feed_knee_ratio;
+    feed_knee_power = calib.Calib.feed_knee_power;
+  }
+
+let matmul_efficiency_in env ~m ~n =
+  let dx = env.dx and dy = env.dy in
   let rounding =
     let f actual dim =
       float_of_int actual /. float_of_int (round_up_to actual dim)
     in
-    f mm.Op.m dx *. f mm.Op.n dy
+    f m dx *. f n dy
   in
   let fill =
-    let m' = float_of_int (round_up_to mm.Op.m dx) in
+    let m' = float_of_int (round_up_to m dx) in
     m' /. (m' +. float_of_int dx)
   in
-  let control =
-    1.
-    /. (1.
-       +. calib.Calib.control_overhead
-          *. ((1. /. float_of_int dx) +. (1. /. float_of_int dy))
-       +. (calib.Calib.drain_overhead *. float_of_int (dx * dy)))
-  in
   let feed =
-    let share = Device.l1_per_lane dev in
+    let share = env.l1_share in
     (* Skinny products (decode GEMVs) stream short row chunks and need
        proportionally less double-buffer capacity. *)
-    let skinny =
-      Float.min 1. (float_of_int mm.Op.m /. float_of_int (8 * dx))
-    in
-    let need = skinny *. Calib.feed_bytes calib dev.Device.systolic in
+    let skinny = Float.min 1. (float_of_int m /. float_of_int (8 * dx)) in
+    let need = skinny *. env.feed_full in
     let soft = share /. (share +. need) in
-    let knee = calib.Calib.feed_knee_ratio *. need in
+    let knee = env.feed_knee_ratio *. need in
     let hard =
       if knee <= 0. then 1.
-      else Float.min 1. ((share /. knee) ** calib.Calib.feed_knee_power)
+      else Float.min 1. ((share /. knee) ** env.feed_knee_power)
     in
     soft *. hard
   in
-  let scheduling =
-    1.
-    /. (1.
-       +. (calib.Calib.sched_overhead_per_core
-          *. float_of_int dev.Device.core_count))
-  in
-  rounding *. fill *. control *. feed *. scheduling
+  rounding *. fill *. env.control *. feed *. env.scheduling
+
+let matmul_compute_efficiency ?(calib = Calib.default) (dev : Device.t)
+    (mm : Op.matmul) =
+  matmul_efficiency_in (matmul_env ~calib dev) ~m:mm.Op.m ~n:mm.Op.n
 
 let bytes_per_value = 2.
 

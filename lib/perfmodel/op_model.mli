@@ -39,6 +39,22 @@ val matmul_compute_efficiency :
   ?calib:Calib.t -> Acs_hardware.Device.t -> Acs_workload.Op.matmul -> float
 (** Product of the four derating factors, in (0, 1]. *)
 
+type matmul_env
+(** The per-device terms of the matmul efficiency model (control,
+    scheduling, L1 share, feed demand), hoisted so a compiled sweep
+    computes them once per design point instead of once per op. *)
+
+val matmul_env : ?calib:Calib.t -> Acs_hardware.Device.t -> matmul_env
+
+val matmul_efficiency_in : matmul_env -> m:int -> n:int -> float
+(** [matmul_efficiency_in (matmul_env ~calib dev) ~m ~n] is bit-identical
+    to [matmul_compute_efficiency ~calib dev mm] for a matmul with those
+    row/column counts (the per-shape and per-device factors are multiplied
+    in the same order). *)
+
+val bytes_per_value : float
+(** FP16 operand width assumed throughout the traffic model. *)
+
 val dram_traffic_bytes :
   ?calib:Calib.t -> Acs_hardware.Device.t -> Acs_workload.Op.t -> float
 (** Modeled DRAM bytes moved by one operator (zero for collectives), as

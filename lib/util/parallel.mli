@@ -29,8 +29,11 @@ val with_jobs : int -> (unit -> 'a) -> 'a
 
 val map_array : ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
 (** Order-preserving parallel [Array.map]. [?jobs] overrides the effective
-    job count for this call; [?chunk] sets the chunk size (default: spread
-    the input over ~4 chunks per job, at least 1 element each). *)
+    job count for this call; [?chunk] sets the chunk size. The default
+    chunk size is auto-tuned from [total / jobs]: the target chunks-per-
+    domain grows with the log of the per-domain share and is bounded to
+    [2, 16], so dynamic chunk claiming can smooth uneven per-item cost
+    without shredding short inputs or queueing thousands of claims. *)
 
 val filter_map_array :
   ?jobs:int -> ?chunk:int -> ('a -> 'b option) -> 'a array -> 'b array
@@ -41,3 +44,30 @@ val map : ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
 
 val filter_map : ?jobs:int -> ?chunk:int -> ('a -> 'b option) -> 'a list -> 'b list
 (** Order-preserving parallel [List.filter_map]. *)
+
+val map_reduce_array :
+  ?jobs:int ->
+  ?chunk:int ->
+  map:('a -> 'b) ->
+  combine:('b -> 'b -> 'b) ->
+  'b ->
+  'a array ->
+  'b
+(** [map_reduce_array ~map ~combine init a] folds [combine] over the mapped
+    elements without materializing the intermediate array: each worker folds
+    its chunk into one partial, and the partials are folded into [init] on
+    the calling domain in chunk order. [combine] must be associative; given
+    that, the result equals the sequential
+    [Array.fold_left (fun acc x -> combine acc (map x)) init a] and is
+    deterministic for a fixed chunking. Sweeps use this to fold
+    best-so-far designs or row counts without building per-point lists. *)
+
+val map_reduce :
+  ?jobs:int ->
+  ?chunk:int ->
+  map:('a -> 'b) ->
+  combine:('b -> 'b -> 'b) ->
+  'b ->
+  'a list ->
+  'b
+(** List version of {!map_reduce_array}. *)

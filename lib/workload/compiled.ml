@@ -1,0 +1,84 @@
+(* Device-independent precompilation of a layer's operator list.
+
+   [Layer.ops] rebuilds the full op list - with per-op record and list
+   allocation and a dozen [float_of_int] conversions each - for every
+   design point a sweep evaluates, even though the ops depend only on
+   (model, request, tp, phase) and never on the device. This module runs
+   [Layer.ops] once per evaluation context and flattens each phase into an
+   array of ops whose device-independent prefactors (MAC counts, operand
+   bytes, elementwise flops and traffic, collective bytes) are already
+   reduced to floats. The per-device latency model then only combines
+   these prefactors with per-device terms.
+
+   Every prefactor is computed by the exact expression the legacy per-op
+   path uses (via the {!Op} helpers), so a compiled evaluation is
+   bit-identical to the list-walking one - the property suite asserts
+   this against [Engine.simulate]. *)
+
+type matmul = {
+  m : int;  (** rows, for the rounding/fill/feed efficiency terms *)
+  n : int;  (** columns, for the rounding efficiency term *)
+  macs : float;  (** [Op.matmul_macs] *)
+  compulsory_bytes : float;  (** weight + activation DRAM traffic *)
+  mac_bytes : float;  (** [2 * macs * bytes_per_value], for L2 tiling *)
+  out_bytes : float;  (** output operand bytes, for L2 tiling *)
+  weights_streamed : bool;
+}
+
+type op =
+  | Matmul of matmul
+  | Elementwise of { flops : float; bytes : float }
+  | All_reduce of { bytes : float }
+
+type phase = {
+  ops : op array;  (** in [Layer.ops] order *)
+  flops : float;  (** [Layer.total_flops] of the phase *)
+}
+
+type t = {
+  model : Model.t;
+  request : Request.t;
+  tp : int;
+  prefill : phase;
+  decode : phase;
+}
+
+let compile_op ~bytes_per_value = function
+  | Op.Matmul mm ->
+      Matmul
+        {
+          m = mm.Op.m;
+          n = mm.Op.n;
+          macs = Op.matmul_macs mm;
+          compulsory_bytes =
+            Op.matmul_weight_bytes mm ~bytes_per_value
+            +. Op.matmul_activation_bytes mm ~bytes_per_value;
+          mac_bytes = 2. *. Op.matmul_macs mm *. bytes_per_value;
+          out_bytes =
+            float_of_int (mm.Op.m * mm.Op.n * mm.Op.batch_count)
+            *. bytes_per_value;
+          weights_streamed = mm.Op.weights_streamed;
+        }
+  | Op.Elementwise ew ->
+      Elementwise
+        {
+          flops = ew.Op.elements *. ew.Op.flops_per_element;
+          bytes = Op.elementwise_bytes ew;
+        }
+  | Op.All_reduce c -> All_reduce { bytes = c.Op.bytes }
+
+let compile_phase ~bytes_per_value model request ~tp phase =
+  let ops = Layer.ops model request ~tp phase in
+  {
+    ops = Array.of_list (List.map (compile_op ~bytes_per_value) ops);
+    flops = List.fold_left (fun acc op -> acc +. Op.flops op) 0. ops;
+  }
+
+let compile ?(tp = 4) ?(request = Request.default) ~bytes_per_value model =
+  {
+    model;
+    request;
+    tp;
+    prefill = compile_phase ~bytes_per_value model request ~tp Layer.Prefill;
+    decode = compile_phase ~bytes_per_value model request ~tp Layer.Decode;
+  }

@@ -1,0 +1,50 @@
+(** Precompiled workloads: the device-independent part of a layer's op
+    list, flattened once per evaluation context.
+
+    A design-space sweep evaluates thousands of devices against the {e
+    same} (model, request, tp) context, yet [Layer.ops] re-derives the op
+    list - allocating every op record and converting every dimension to
+    float - per design point. [compile] runs the derivation once and
+    reduces each op to the prefactors the latency model actually needs;
+    [Engine.simulate_compiled] then evaluates a device against the flat
+    arrays with no list traversal or re-derivation.
+
+    All prefactors are computed with the exact expressions of the per-op
+    path ({!Op.matmul_macs}, {!Op.matmul_weight_bytes},
+    {!Op.elementwise_bytes}, ...), so compiled evaluation is bit-identical
+    to the legacy path. *)
+
+type matmul = {
+  m : int;  (** rows, for the rounding/fill/feed efficiency terms *)
+  n : int;  (** columns, for the rounding efficiency term *)
+  macs : float;  (** [Op.matmul_macs] *)
+  compulsory_bytes : float;
+      (** weight + activation DRAM bytes ([Op.matmul_weight_bytes +.
+          Op.matmul_activation_bytes]) *)
+  mac_bytes : float;  (** [2 *. macs *. bytes_per_value], for L2 tiling *)
+  out_bytes : float;  (** output operand bytes, for L2 tiling *)
+  weights_streamed : bool;
+}
+
+type op =
+  | Matmul of matmul
+  | Elementwise of { flops : float; bytes : float }
+  | All_reduce of { bytes : float }
+
+type phase = {
+  ops : op array;  (** in [Layer.ops] order *)
+  flops : float;  (** [Layer.total_flops] of the phase *)
+}
+
+type t = {
+  model : Model.t;
+  request : Request.t;
+  tp : int;
+  prefill : phase;
+  decode : phase;
+}
+
+val compile : ?tp:int -> ?request:Request.t -> bytes_per_value:float -> Model.t -> t
+(** Defaults match [Engine.simulate]: [tp = 4] and [Request.default].
+    Raises [Invalid_argument] (from [Layer.ops]) when [tp] is not positive
+    or does not divide the model's head count. *)

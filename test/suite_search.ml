@@ -86,6 +86,21 @@ let t_adjacent () =
   Alcotest.(check (list int)) "singleton" [] (Search.adjacent [ 7 ] 7);
   Alcotest.(check (list int)) "empty" [] (Search.adjacent [] 7)
 
+let t_adjacent_float () =
+  let cmp = Float.compare in
+  (* Values equal under the comparator must dedup: 0. and -0. are one
+     swept value, so 1. sees a single low neighbor. *)
+  Alcotest.(check (list (float 0.))) "equal-after-sort dedup" [ 0.; 2. ]
+    (Search.adjacent ~cmp [ 2.; 0.; -0.; 1. ] 1.);
+  Alcotest.(check (list (float 0.))) "-0. finds 0." [ 1. ]
+    (Search.adjacent ~cmp [ 0.; 1.; 2. ] (-0.));
+  (* Under [Float.compare], nan is a findable (smallest) value; under the
+     polymorphic [=] it could never match itself. *)
+  Alcotest.(check (list (float 0.))) "nan findable" [ 1. ]
+    (Search.adjacent ~cmp [ 1.; Float.nan; 4. ] Float.nan);
+  Alcotest.(check (list int)) "default compare unchanged" [ 1; 3 ]
+    (Search.adjacent [ 3; 1; 2 ] 2)
+
 (* The parallel pool. *)
 
 let pool_args =
@@ -114,6 +129,27 @@ let t_parallel_arrays () =
   Alcotest.(check bool) "filter_map_array" true
     (Parallel.filter_map_array ~jobs:4 ~chunk:5 keep_even xs
     = Array.of_list (List.filter_map keep_even (Array.to_list xs)))
+
+let prop_map_reduce =
+  qcheck "Parallel.map_reduce == sequential fold" pool_args
+    (fun (jobs, chunk, xs) ->
+      let f x = (x * 2) + 1 in
+      Parallel.map_reduce ~jobs ~chunk ~map:f ~combine:( + ) 0 xs
+      = List.fold_left (fun acc x -> acc + f x) 0 xs)
+
+let t_map_reduce_order () =
+  (* Concatenation is associative but not commutative: the fold must
+     combine per-chunk partials in chunk order, whatever domain finished
+     first. Also exercises the auto-tuned chunk (no ~chunk). *)
+  let xs = Array.init 53 string_of_int in
+  let expected = String.concat "" (Array.to_list xs) in
+  Alcotest.(check string) "explicit chunk" expected
+    (Parallel.map_reduce_array ~jobs:4 ~chunk:5 ~map:Fun.id ~combine:( ^ ) ""
+       xs);
+  Alcotest.(check string) "auto-tuned chunk" expected
+    (Parallel.map_reduce_array ~jobs:4 ~map:Fun.id ~combine:( ^ ) "" xs);
+  Alcotest.(check string) "empty input" "seed"
+    (Parallel.map_reduce_array ~jobs:4 ~map:Fun.id ~combine:( ^ ) "seed" [||])
 
 let t_parallel_exception () =
   match
@@ -177,8 +213,11 @@ let suite =
     test "multi-start matches the sweep optimum" t_optimize_matches_sweep;
     test "infeasible everywhere" t_infeasible_everywhere;
     test "adjacent swept values" t_adjacent;
+    test "adjacent under Float.compare" t_adjacent_float;
     prop_parallel_map;
     prop_parallel_filter_map;
+    prop_map_reduce;
+    test "map_reduce combines in chunk order" t_map_reduce_order;
     test "parallel array variants" t_parallel_arrays;
     test "parallel exception propagation" t_parallel_exception;
     test "parallel job-count validation" t_parallel_jobs_validation;

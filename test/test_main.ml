@@ -6,6 +6,7 @@ let () =
       ("hardware", Suite_hardware.suite);
       ("workload", Suite_workload.suite);
       ("perfmodel", Suite_perfmodel.suite);
+      ("compiled", Suite_compiled.suite);
       ("area+cost", Suite_area_cost.suite);
       ("power", Suite_power.suite);
       ("package", Suite_package.suite);
