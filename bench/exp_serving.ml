@@ -20,6 +20,11 @@ let ai_limited =
     ~interconnect:(Interconnect.of_total_gb_s 400.)
     ()
 
+(* The interactive-serving objective the attainment column scores:
+   first token within 2 s, then a steady 10 tok/s stream. *)
+let slo_ttft_s = 2.
+let slo_tbt_s = 0.1
+
 let run () =
   section "Serving study: continuous batching on restricted vs compliant parts";
   let trace =
@@ -33,14 +38,18 @@ let run () =
   let t =
     Table.create
       ~aligns:
-        [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ]
+        [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right;
+          Table.Right; Table.Right; Table.Right ]
       [ "device"; "tok/s"; "p50 TTFT (ms)"; "p95 TTFT (ms)"; "p50 TBT (ms)";
-        "p95 TBT (ms)"; "batch occ" ]
+        "p95 TBT (ms)"; "batch occ"; "SLO %" ]
   in
   let rows =
     List.map
       (fun dev ->
         let s = Simulator.run dev Model.llama3_8b trace in
+        let slo =
+          Simulator.slo_attainment s ~ttft_s:slo_ttft_s ~tbt_s:slo_tbt_s
+        in
         let cells =
           [
             dev.Device.name;
@@ -50,18 +59,41 @@ let run () =
             Printf.sprintf "%.1f" (1e3 *. s.Simulator.p50_tbt_s);
             Printf.sprintf "%.1f" (1e3 *. s.Simulator.p95_tbt_s);
             Printf.sprintf "%.1f" s.Simulator.mean_batch_occupancy;
+            Printf.sprintf "%.1f" (100. *. slo);
           ]
         in
         Table.add_row t cells;
         cells)
       [ Presets.a100; h20_style; ai_limited ]
   in
-  Table.print ~title:"Llama 3 8B serving (tp=4, max batch 64)" t;
+  Table.print
+    ~title:
+      (Printf.sprintf
+         "Llama 3 8B serving (tp=4, max batch 64, SLO: TTFT<=%.0fs TBT<=%.0fms)"
+         slo_ttft_s (1e3 *. slo_tbt_s))
+    t;
   note "The H20-style compliant part (low TPP, huge bandwidth) serves \
         decode-heavy traffic essentially as well as the restricted A100; \
         the architecture-first 'AI-targeted' limits are what actually \
         degrade token latency - the paper's policy argument at the \
         request level.";
+  (* Same trace under both scheduling policies on the A100: decode-fair
+     trades first-token latency for smoother streaming, visible in the
+     p95 tails. *)
+  let by_policy policy =
+    Simulator.run
+      ~config:{ Simulator.default_config with Simulator.policy }
+      Presets.a100 Model.llama3_8b trace
+  in
+  let pf = by_policy Simulator.Prefill_priority
+  and df = by_policy Simulator.Decode_fair in
+  note "policy on A100: prefill-priority p95 TTFT %.0f ms / p95 TBT %.1f ms \
+        vs decode-fair %.0f ms / %.1f ms"
+    (1e3 *. pf.Simulator.p95_ttft_s)
+    (1e3 *. pf.Simulator.p95_tbt_s)
+    (1e3 *. df.Simulator.p95_ttft_s)
+    (1e3 *. df.Simulator.p95_tbt_s);
   csv "serving_study.csv"
-    [ "device"; "tok_s"; "p50_ttft_ms"; "p95_ttft_ms"; "p50_tbt_ms"; "p95_tbt_ms"; "occupancy" ]
+    [ "device"; "tok_s"; "p50_ttft_ms"; "p95_ttft_ms"; "p50_tbt_ms";
+      "p95_tbt_ms"; "occupancy"; "slo_pct" ]
     rows

@@ -305,6 +305,132 @@ let sweep_throughput () =
     (fun () -> Core.Json.to_channel ~indent:2 oc json);
   Common.note "[json] wrote %s (%d variants)" path (List.length rows)
 
+(* --- serving throughput: the scheduler on the compiled engine path ---
+
+   Wall-clock scheduler iterations/s over a fixed synthetic trace, legacy
+   engine (one [Engine.simulate] per step) against the compiled stepper
+   ([Engine.compile] + [simulate_compiled], memoized per (phase, batch,
+   context-bucket)). Both engines bucket contexts identically, so the
+   resulting stats are equal and the ratio isolates the stepping cost.
+   Manual best-of-N for the same reason as the sweep above: one run is
+   tens of milliseconds and must not be iterated inside a bechamel
+   quota. *)
+
+let serving_throughput () =
+  Common.section "Serving throughput: scheduler steps on the compiled engine";
+  let duration_s = if quick () then 15. else 60. in
+  let trace =
+    Core.Trace.synthetic ~rate_per_s:3. ~duration_s ~mean_input:512
+      ~mean_output:128 ()
+  in
+  let device = Core.Presets.a100 and model = Core.Model.llama3_8b in
+  let repeats = if quick () then 3 else 5 in
+  let variants =
+    [
+      ( "legacy",
+        { Core.Simulator.default_config with
+          Core.Simulator.engine = Core.Simulator.Legacy } );
+      ("compiled", Core.Simulator.default_config);
+      ( "compiled-decode-fair",
+        { Core.Simulator.default_config with
+          Core.Simulator.policy = Core.Simulator.Decode_fair } );
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, config) ->
+        let stats = ref None in
+        let dt =
+          time_best ~repeats (fun () ->
+              stats := Some (Core.Simulator.run ~config device model trace))
+        in
+        let s = Option.get !stats in
+        let steps = s.Core.Simulator.prefill_batches
+                    + s.Core.Simulator.decode_steps in
+        (name, config, s, steps, dt, float_of_int steps /. dt))
+      variants
+  in
+  let t =
+    Core.Table.create
+      ~aligns:[ Core.Table.Left; Core.Table.Left; Core.Table.Right;
+                Core.Table.Right; Core.Table.Right; Core.Table.Right ]
+      [ "variant"; "policy"; "steps"; "ms"; "steps/s"; "sim tok/s" ]
+  in
+  List.iter
+    (fun (name, config, s, steps, dt, rate) ->
+      Core.Table.add_row t
+        [ name;
+          Core.Simulator.policy_to_string config.Core.Simulator.policy;
+          string_of_int steps; Printf.sprintf "%.1f" (1e3 *. dt);
+          Printf.sprintf "%.0f" rate;
+          Printf.sprintf "%.0f" s.Core.Simulator.throughput_tokens_per_s ])
+    rows;
+  Core.Table.print
+    ~title:
+      (Printf.sprintf "Llama 3 8B on A100, %d requests over %.0f s"
+         (List.length trace) duration_s)
+    t;
+  let rate_of name =
+    List.find_map
+      (fun (n, _, _, _, _, r) -> if n = name then Some r else None)
+      rows
+  in
+  (match (rate_of "legacy", rate_of "compiled") with
+  | Some lg, Some cp when lg > 0. ->
+      Common.note
+        "[speed] serving steps (%d requests): compiled %.0f steps/s vs \
+         legacy %.0f steps/s (%.2fx)"
+        (List.length trace) cp lg (cp /. lg)
+  | _ -> ());
+  (* The two engines must tell the same story; a drift here means the
+     memo key (or the bucketing) diverged from the legacy stepper. *)
+  (match rows with
+  | (_, _, legacy_stats, _, _, _) :: (_, _, compiled_stats, _, _, _) :: _
+    when legacy_stats <> compiled_stats ->
+      Common.note
+        "[speed] WARNING: legacy and compiled serving stats diverge"
+  | _ -> ());
+  (try Sys.mkdir Common.results_dir 0o755 with Sys_error _ -> ());
+  let json =
+    Core.Json.obj
+      [
+        ("device", Core.Json.string device.Core.Device.name);
+        ("model", Core.Json.string model.Core.Model.name);
+        ("requests", Core.Json.int (List.length trace));
+        ("trace_duration_s", Core.Json.float duration_s);
+        ("repeats", Core.Json.int repeats);
+        ("quick", Core.Json.bool (quick ()));
+        ( "results",
+          Core.Json.list
+            (fun (name, config, s, steps, dt, rate) ->
+              Core.Json.obj
+                [
+                  ("variant", Core.Json.string name);
+                  ( "engine",
+                    Core.Json.string
+                      (Core.Simulator.engine_to_string
+                         config.Core.Simulator.engine) );
+                  ( "policy",
+                    Core.Json.string
+                      (Core.Simulator.policy_to_string
+                         config.Core.Simulator.policy) );
+                  ("steps", Core.Json.int steps);
+                  ("seconds", Core.Json.float dt);
+                  ("steps_per_second", Core.Json.float rate);
+                  ( "sim_tokens_per_second",
+                    Core.Json.float s.Core.Simulator.throughput_tokens_per_s
+                  );
+                ])
+            rows );
+      ]
+  in
+  let path = Filename.concat Common.results_dir "serving_throughput.json" in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Core.Json.to_channel ~indent:2 oc json);
+  Common.note "[json] wrote %s (%d variants)" path (List.length rows)
+
 let run_bechamel () =
   Common.section "Microbenchmarks (bechamel): simulator throughput";
   let ols =
@@ -368,4 +494,5 @@ let run () =
      wall-clock sweep-throughput group; the bechamel microbenchmarks need
      multi-second quotas to stabilize. *)
   if not (quick ()) then run_bechamel ();
-  sweep_throughput ()
+  sweep_throughput ();
+  serving_throughput ()

@@ -504,7 +504,51 @@ let serve_cmd =
   let mean_input = Arg.(value & opt int 512 & info [ "mean-input" ] ~doc:"Mean prompt length.") in
   let mean_output = Arg.(value & opt int 128 & info [ "mean-output" ] ~doc:"Mean generation length.") in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Trace RNG seed.") in
-  let run device model rate duration mean_input mean_output seed trace_file =
+  let tp =
+    Arg.(value & opt int Simulator.default_config.Simulator.tp
+         & info [ "tp" ] ~doc:"Tensor-parallel group size.")
+  in
+  let max_batch =
+    Arg.(value & opt int Simulator.default_config.Simulator.max_batch
+         & info [ "max-batch" ] ~doc:"Scheduler cap on concurrent requests.")
+  in
+  let policy =
+    Arg.(value
+         & opt (enum [ ("prefill", Simulator.Prefill_priority);
+                       ("decode-fair", Simulator.Decode_fair) ])
+             Simulator.default_config.Simulator.policy
+         & info [ "policy" ]
+             ~doc:"Scheduling policy: 'prefill' admits whenever anything \
+                   fits (lowest TTFT); 'decode-fair' interleaves a decode \
+                   step between admissions (bounded TBT stalls).")
+  in
+  let engine =
+    Arg.(value
+         & opt (enum [ ("compiled", Simulator.Compiled);
+                       ("legacy", Simulator.Legacy) ])
+             Simulator.default_config.Simulator.engine
+         & info [ "engine" ]
+             ~doc:"Step-latency engine: 'compiled' (memoized \
+                   Engine.compile/simulate_compiled fast path) or 'legacy' \
+                   (one Engine.simulate per step). Identical results; see \
+                   the serving_throughput bench for the speed gap.")
+  in
+  let slo_ttft =
+    Arg.(value & opt (some float) None
+         & info [ "slo-ttft" ] ~docv:"SECONDS"
+             ~doc:"TTFT objective; with --slo-tbt (or alone) prints SLO \
+                   attainment over completed requests.")
+  in
+  let slo_tbt =
+    Arg.(value & opt (some float) None
+         & info [ "slo-tbt" ] ~docv:"SECONDS"
+             ~doc:"Time-between-tokens objective; see --slo-ttft.")
+  in
+  let exec device model rate duration mean_input mean_output seed trace_file
+      tp max_batch policy engine slo_ttft slo_tbt =
+    let config =
+      { Simulator.default_config with Simulator.tp; max_batch; policy; engine }
+    in
     let trace =
       Trace.synthetic ~seed ~rate_per_s:rate ~duration_s:duration ~mean_input
         ~mean_output ()
@@ -512,15 +556,39 @@ let serve_cmd =
     Format.printf "%a@." Device.pp device;
     Format.printf "trace: %d requests, %d output tokens@." (List.length trace)
       (Trace.total_output_tokens trace);
+    Format.printf "scheduler: tp=%d, max batch %d, %s policy, %s engine@."
+      config.Simulator.tp config.Simulator.max_batch
+      (Simulator.policy_to_string config.Simulator.policy)
+      (Simulator.engine_to_string config.Simulator.engine);
     with_trace_opt trace_file @@ fun () ->
-    let stats = Simulator.run device model trace in
-    Format.printf "%a@." Simulator.pp_stats stats
+    let stats = Simulator.run ~config device model trace in
+    Format.printf "%a@." Simulator.pp_stats stats;
+    match (slo_ttft, slo_tbt) with
+    | None, None -> ()
+    | _ ->
+        (* A single-sided objective leaves the other side unconstrained. *)
+        let ttft_s = Option.value slo_ttft ~default:infinity in
+        let tbt_s = Option.value slo_tbt ~default:infinity in
+        Format.printf "SLO attainment (TTFT <= %g s, TBT <= %g s): %.1f%%@."
+          ttft_s tbt_s
+          (100. *. Simulator.slo_attainment stats ~ttft_s ~tbt_s)
+  in
+  let run device model rate duration mean_input mean_output seed trace_file tp
+      max_batch policy engine slo_ttft slo_tbt =
+    match
+      exec device model rate duration mean_input mean_output seed trace_file
+        tp max_batch policy engine slo_ttft slo_tbt
+    with
+    | () -> `Ok ()
+    | exception Simulator.Infeasible msg -> `Error (false, msg)
+    | exception Invalid_argument msg -> `Error (false, msg)
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Simulate continuous-batching serving of a synthetic trace.")
-    Term.(const run $ device_args $ model_arg $ rate $ duration $ mean_input
-          $ mean_output $ seed $ trace_arg)
+    Term.(ret (const run $ device_args $ model_arg $ rate $ duration
+           $ mean_input $ mean_output $ seed $ trace_arg $ tp $ max_batch
+           $ policy $ engine $ slo_ttft $ slo_tbt))
 
 (* --- package --- *)
 

@@ -13,11 +13,36 @@ module Metrics = Acs_util.Metrics
 let m_prefills = lazy (Metrics.counter "serving_prefill_batches_total")
 let m_decodes = lazy (Metrics.counter "serving_decode_steps_total")
 let m_admitted = lazy (Metrics.counter "serving_admitted_total")
+let m_rejected = lazy (Metrics.counter "serving_rejected_total")
 let m_occupancy = lazy (Metrics.histogram "serving_batch_occupancy")
 
-type config = { tp : int; max_batch : int }
+type policy = Prefill_priority | Decode_fair
+type engine = Legacy | Compiled
 
-let default_config = { tp = 4; max_batch = 64 }
+type config = {
+  tp : int;
+  max_batch : int;
+  policy : policy;
+  engine : engine;
+  context_bucket : int;
+}
+
+let default_config =
+  {
+    tp = 4;
+    max_batch = 64;
+    policy = Prefill_priority;
+    engine = Compiled;
+    context_bucket = 64;
+  }
+
+let policy_to_string = function
+  | Prefill_priority -> "prefill-priority"
+  | Decode_fair -> "decode-fair"
+
+let engine_to_string = function Legacy -> "legacy" | Compiled -> "compiled"
+
+exception Infeasible of string
 
 type request_outcome = {
   request : Trace.request;
@@ -28,8 +53,10 @@ type request_outcome = {
 
 type stats = {
   outcomes : request_outcome list;
+  rejected : Trace.request list;
   makespan_s : float;
   generated_tokens : int;
+  produced_tokens : int;
   throughput_tokens_per_s : float;
   mean_batch_occupancy : float;
   p50_ttft_s : float;
@@ -37,6 +64,10 @@ type stats = {
   p50_tbt_s : float;
   p95_tbt_s : float;
   kv_limited_batch : int;
+  prefill_batches : int;
+  decode_steps : int;
+  peak_hbm_bytes : float;
+  hbm_capacity_bytes : float;
 }
 
 let kv_bytes_per_token_per_device config (model : Model.t) =
@@ -50,19 +81,88 @@ let kv_bytes_per_token_per_device config (model : Model.t) =
   *. float_of_int model.Model.num_layers
   *. fraction
 
+let weight_bytes_per_device config (model : Model.t) =
+  Model.total_params model *. model.Model.bytes_per_param
+  /. float_of_int config.tp
+
 let kv_capacity_batch config dev model ~context =
   if context <= 0 then invalid_arg "Simulator.kv_capacity_batch: context";
   let capacity = dev.Device.memory.Memory.capacity_bytes in
-  let weights =
-    Model.total_params model *. model.Model.bytes_per_param
-    /. float_of_int config.tp
-  in
+  let weights = weight_bytes_per_device config model in
   let per_request =
     kv_bytes_per_token_per_device config model *. float_of_int context
   in
   let free = capacity -. weights in
   if free <= 0. then 0
   else min config.max_batch (int_of_float (free /. per_request))
+
+(* --- step latencies ---
+
+   Every scheduler step is one engine evaluation at the step's (batch,
+   length). The compiled engine flattens the (model, request, tp) context
+   with [Engine.compile] and evaluates the device against the flat arrays
+   ([simulate_compiled], bit-identical to [simulate] per the PR 4 property
+   suite), then memoizes the whole-model step time keyed on
+   (phase, batch, bucketed length): a long trace revisits the same few
+   hundred keys, so almost every step is a hashtable hit. The legacy
+   engine re-runs [Engine.simulate] per step - kept as the baseline the
+   [serving_throughput] bench compares against. Both engines see the
+   same bucketed lengths, so their schedules (and stats) are identical. *)
+
+type stepper = {
+  prefill_s : batch:int -> input_len:int -> float;
+  decode_s : batch:int -> context:int -> float;
+}
+
+let bucketed config len =
+  let b = config.context_bucket in
+  let len = max 1 len in
+  if b <= 1 then len else (len + b - 1) / b * b
+
+let step_request ~prefill ~batch ~len =
+  (* output_len 0 puts the decode phase exactly at context [len], matching
+     the legacy per-step convention; prefill reads TTFT so its output
+     length is irrelevant beyond being >= 1. *)
+  Request.make ~batch ~input_len:len ~output_len:(if prefill then 1 else 0)
+
+let make_stepper ~config ~calib dev model =
+  let of_result ~prefill r =
+    if prefill then Engine.model_ttft_s r else Engine.model_tbt_s r
+  in
+  let eval =
+    match config.engine with
+    | Legacy ->
+        fun ~prefill ~batch ~len ->
+          of_result ~prefill
+            (Engine.simulate ?calib ~tp:config.tp
+               ~request:(step_request ~prefill ~batch ~len)
+               dev model)
+    | Compiled ->
+        let memo : (bool * int * int, float) Hashtbl.t = Hashtbl.create 256 in
+        fun ~prefill ~batch ~len ->
+          let key = (prefill, batch, len) in
+          match Hashtbl.find_opt memo key with
+          | Some t -> t
+          | None ->
+              let compiled =
+                Engine.compile ~tp:config.tp
+                  ~request:(step_request ~prefill ~batch ~len)
+                  model
+              in
+              let t =
+                of_result ~prefill (Engine.simulate_compiled ?calib compiled dev)
+              in
+              Hashtbl.add memo key t;
+              t
+  in
+  {
+    prefill_s =
+      (fun ~batch ~input_len ->
+        eval ~prefill:true ~batch ~len:(bucketed config input_len));
+    decode_s =
+      (fun ~batch ~context ->
+        eval ~prefill:false ~batch ~len:(bucketed config context));
+  }
 
 (* Mutable per-request bookkeeping. *)
 type active = {
@@ -72,77 +172,141 @@ type active = {
   mutable context : int;
 }
 
-let prefill_s ~calib ~config dev model ~batch ~input_len =
-  let request = Request.make ~batch ~input_len ~output_len:1 in
-  let r = Engine.simulate ?calib ~tp:config.tp ~request dev model in
-  Engine.model_ttft_s r
-
-let decode_step_s ~calib ~config dev model ~batch ~context =
-  let request = Request.make ~batch ~input_len:(max 1 context) ~output_len:0 in
-  let r = Engine.simulate ?calib ~tp:config.tp ~request dev model in
-  Engine.model_tbt_s r
-
 let run_sim ~config ~calib dev model requests =
   if requests = [] then invalid_arg "Simulator.run: empty trace";
-  let mean_context =
-    let n = float_of_int (List.length requests) in
-    let sum =
-      List.fold_left
-        (fun acc (r : Trace.request) ->
-          acc + r.Trace.input_len + (r.Trace.output_len / 2))
-        0 requests
-    in
-    max 1 (int_of_float (float_of_int sum /. n))
+  if config.tp < 1 then invalid_arg "Simulator.run: tp must be >= 1";
+  if config.max_batch < 1 then invalid_arg "Simulator.run: max_batch must be >= 1";
+  let capacity = dev.Device.memory.Memory.capacity_bytes in
+  let weights = weight_bytes_per_device config model in
+  if weights >= capacity then
+    raise
+      (Infeasible
+         (Printf.sprintf
+            "%s at tp=%d needs %.1f GiB of weights per device but %s has only \
+             %.1f GiB of HBM - no KV cache can fit"
+            model.Model.name config.tp
+            (weights /. (1024. ** 3.))
+            dev.Device.name
+            (capacity /. (1024. ** 3.))));
+  let kv_tok = kv_bytes_per_token_per_device config model in
+  let free = capacity -. weights in
+  (* A request's KV footprint peaks at completion: input_len prompt tokens
+     plus every generated token stay resident until it finishes. Admission
+     reserves that whole trajectory, so live KV can never outgrow HBM no
+     matter how contexts evolve - KV-safe by construction, with no
+     preemption path needed. *)
+  let reserve (r : Trace.request) =
+    kv_tok *. float_of_int (r.Trace.input_len + r.Trace.output_len)
   in
-  let batch_bound =
-    max 1 (kv_capacity_batch config dev model ~context:mean_context)
+  (* Requests whose KV can never fit even alone would otherwise pin the
+     FCFS queue head forever; mark them rejected up front instead. *)
+  let feasible, rejected =
+    List.partition (fun r -> reserve r <= free) requests
   in
-  let waiting = ref (List.sort (fun a b -> compare a.Trace.arrival_s b.Trace.arrival_s) requests) in
+  if rejected <> [] then
+    Metrics.incr ~by:(List.length rejected) (Lazy.force m_rejected);
+  let waiting =
+    ref
+      (List.sort
+         (fun (a : Trace.request) b -> compare a.Trace.arrival_s b.Trace.arrival_s)
+         feasible)
+  in
   let active : active list ref = ref [] in
   let outcomes = ref [] in
   let clock = ref 0. in
   let busy_weighted = ref 0. in
   let busy_time = ref 0. in
-  let admit_ready () =
-    let rec take acc queue n =
+  let prefill_batches = ref 0 in
+  let decode_steps = ref 0 in
+  let produced_tokens = ref 0 in
+  let reserved = ref 0. in
+  let peak = ref weights in
+  let last_was_prefill = ref false in
+  let stepper = make_stepper ~config ~calib dev model in
+  let live_bytes () =
+    weights
+    +. (kv_tok
+       *. float_of_int (List.fold_left (fun acc a -> acc + a.context) 0 !active))
+  in
+  let note_peak () = peak := Float.max !peak (live_bytes ()) in
+  (* FCFS admission: walk the queue head while requests have arrived and
+     their reservations fit next to everything already resident. The first
+     non-fitting (or future) request blocks the rest - no head-of-line
+     bypass, so admission order is exactly arrival order. *)
+  let admissible () =
+    let rec take acc res n queue =
       match queue with
-      | r :: rest when n > 0 && r.Trace.arrival_s <= !clock ->
-          take (r :: acc) rest (n - 1)
+      | (r : Trace.request) :: rest
+        when n > 0 && r.Trace.arrival_s <= !clock && res +. reserve r <= free ->
+          take (r :: acc) (res +. reserve r) (n - 1) rest
       | _ -> (List.rev acc, queue)
     in
-    let slots = batch_bound - List.length !active in
-    let admitted, rest = take [] !waiting slots in
-    waiting := rest;
-    admitted
+    take [] !reserved (config.max_batch - List.length !active) !waiting
   in
-  let kv_headroom () = batch_bound - List.length !active in
+  let finish (a : active) =
+    let tokens_after_first = a.req.Trace.output_len - 1 in
+    outcomes :=
+      {
+        request = a.req;
+        ttft_s = a.first_token_s -. a.req.Trace.arrival_s;
+        tbt_s =
+          (if tokens_after_first <= 0 then 0.
+           else (!clock -. a.first_token_s) /. float_of_int tokens_after_first);
+        finish_s = !clock;
+      }
+      :: !outcomes;
+    reserved := !reserved -. reserve a.req
+  in
   while !waiting <> [] || !active <> [] do
-    (* Jump idle time. *)
+    (* Float hygiene: releases are interleaved with later reservations, so
+       [reserved] can drain to a tiny nonzero residue instead of exactly 0.
+       Snapping it when the batch empties keeps admission exact there - a
+       feasible queue head must always fit into an empty batch. *)
+    if !active = [] then reserved := 0.;
+    (* Event jump: with nothing resident, advance straight to the next
+       arrival instead of spinning. *)
     (match (!active, !waiting) with
     | [], next :: _ when next.Trace.arrival_s > !clock ->
         clock := next.Trace.arrival_s
-    | _, _ -> ());
-    let admitted = admit_ready () in
-    if admitted <> [] then begin
-      (* Batched prefill of the admitted requests (prefill-priority). *)
+    | _ -> ());
+    let admitted, rest = admissible () in
+    let can_prefill = admitted <> [] in
+    let can_decode = !active <> [] in
+    let do_prefill =
+      can_prefill
+      && ((not can_decode)
+         ||
+         match config.policy with
+         | Prefill_priority -> true
+         | Decode_fair -> not !last_was_prefill)
+    in
+    if do_prefill then begin
+      last_was_prefill := true;
+      waiting := rest;
+      List.iter (fun r -> reserved := !reserved +. reserve r) admitted;
       let batch = List.length admitted in
       let input_len =
         List.fold_left (fun acc r -> max acc r.Trace.input_len) 1 admitted
       in
       Metrics.incr (Lazy.force m_prefills);
       Metrics.incr ~by:batch (Lazy.force m_admitted);
+      Metrics.observe (Lazy.force m_occupancy) (float_of_int batch);
       let t =
-        let step () = prefill_s ~calib ~config dev model ~batch ~input_len in
+        let step () = stepper.prefill_s ~batch ~input_len in
         if not (Span.enabled ()) then step ()
         else
           Span.with_span "serve.prefill"
             ~attrs:
               [ ("admitted", Span.Int batch);
                 ("input_len", Span.Int input_len);
-                ("kv_headroom", Span.Int (kv_headroom ())) ]
+                ("kv_free_bytes", Span.Float (free -. !reserved)) ]
             step
       in
       clock := !clock +. t;
+      busy_weighted := !busy_weighted +. (float_of_int batch *. t);
+      busy_time := !busy_time +. t;
+      incr prefill_batches;
+      produced_tokens := !produced_tokens + batch;
       List.iter
         (fun (r : Trace.request) ->
           let entry =
@@ -153,65 +317,55 @@ let run_sim ~config ~calib dev model requests =
               context = r.Trace.input_len + 1;
             }
           in
-          if r.Trace.output_len <= 1 then
-            outcomes :=
-              {
-                request = r;
-                ttft_s = !clock -. r.Trace.arrival_s;
-                tbt_s = 0.;
-                finish_s = !clock;
-              }
-              :: !outcomes
-          else active := entry :: !active)
-        admitted
+          if r.Trace.output_len <= 1 then finish entry
+          else active := !active @ [ entry ])
+        admitted;
+      note_peak ()
+    end
+    else if can_decode then begin
+      last_was_prefill := false;
+      let batch_list = !active in
+      let batch = List.length batch_list in
+      let context =
+        List.fold_left (fun acc a -> acc + a.context) 0 batch_list / batch
+      in
+      Metrics.incr (Lazy.force m_decodes);
+      Metrics.observe (Lazy.force m_occupancy) (float_of_int batch);
+      let t =
+        let step () = stepper.decode_s ~batch ~context in
+        if not (Span.enabled ()) then step ()
+        else
+          Span.with_span "serve.decode"
+            ~attrs:
+              [ ("batch", Span.Int batch);
+                ("context", Span.Int context);
+                ("kv_free_bytes", Span.Float (free -. !reserved)) ]
+            step
+      in
+      clock := !clock +. t;
+      busy_weighted := !busy_weighted +. (float_of_int batch *. t);
+      busy_time := !busy_time +. t;
+      incr decode_steps;
+      produced_tokens := !produced_tokens + batch;
+      List.iter
+        (fun a ->
+          a.produced <- a.produced + 1;
+          a.context <- a.context + 1)
+        batch_list;
+      note_peak ();
+      let finished, still_active =
+        List.partition (fun a -> a.produced >= a.req.Trace.output_len) batch_list
+      in
+      List.iter finish finished;
+      active := still_active
     end
     else begin
-      match !active with
+      (* Nothing resident and the queue head has not arrived; unreachable
+         given the event jump above, but advance defensively rather than
+         spin. *)
+      match !waiting with
+      | next :: _ -> clock := Float.max !clock next.Trace.arrival_s
       | [] -> ()
-      | batch_list ->
-          let batch = List.length batch_list in
-          let context =
-            List.fold_left (fun acc a -> acc + a.context) 0 batch_list / batch
-          in
-          Metrics.incr (Lazy.force m_decodes);
-          Metrics.observe (Lazy.force m_occupancy) (float_of_int batch);
-          let t =
-            let step () = decode_step_s ~calib ~config dev model ~batch ~context in
-            if not (Span.enabled ()) then step ()
-            else
-              Span.with_span "serve.decode"
-                ~attrs:
-                  [ ("batch", Span.Int batch);
-                    ("context", Span.Int context);
-                    ("kv_headroom", Span.Int (kv_headroom ())) ]
-                step
-          in
-          clock := !clock +. t;
-          busy_weighted := !busy_weighted +. (float_of_int batch *. t);
-          busy_time := !busy_time +. t;
-          List.iter
-            (fun a ->
-              a.produced <- a.produced + 1;
-              a.context <- a.context + 1)
-            batch_list;
-          let finished, still_active =
-            List.partition (fun a -> a.produced >= a.req.Trace.output_len) batch_list
-          in
-          List.iter
-            (fun a ->
-              let tokens_after_first = a.req.Trace.output_len - 1 in
-              outcomes :=
-                {
-                  request = a.req;
-                  ttft_s = a.first_token_s -. a.req.Trace.arrival_s;
-                  tbt_s =
-                    (!clock -. a.first_token_s)
-                    /. float_of_int (max 1 tokens_after_first);
-                  finish_s = !clock;
-                }
-                :: !outcomes)
-            finished;
-          active := still_active
     end
   done;
   let outcomes = List.rev !outcomes in
@@ -232,16 +386,29 @@ let run_sim ~config ~calib dev model requests =
     else 0.
   in
   let ttfts = List.map (fun o -> o.ttft_s) outcomes in
+  let ttfts = if ttfts = [] then [ 0. ] else ttfts in
   let tbts =
     List.filter_map
       (fun o -> if o.tbt_s > 0. then Some o.tbt_s else None)
       outcomes
   in
   let tbts = if tbts = [] then [ 0. ] else tbts in
+  let mean_context =
+    let n = float_of_int (List.length requests) in
+    let sum =
+      List.fold_left
+        (fun acc (r : Trace.request) ->
+          acc + r.Trace.input_len + (r.Trace.output_len / 2))
+        0 requests
+    in
+    max 1 (int_of_float (float_of_int sum /. n))
+  in
   {
     outcomes;
+    rejected;
     makespan_s = !clock;
     generated_tokens;
+    produced_tokens = !produced_tokens;
     throughput_tokens_per_s = throughput;
     mean_batch_occupancy =
       (if !busy_time > 0. then !busy_weighted /. !busy_time else 0.);
@@ -249,7 +416,11 @@ let run_sim ~config ~calib dev model requests =
     p95_ttft_s = Stats.percentile 95. ttfts;
     p50_tbt_s = Stats.percentile 50. tbts;
     p95_tbt_s = Stats.percentile 95. tbts;
-    kv_limited_batch = batch_bound;
+    kv_limited_batch = kv_capacity_batch config dev model ~context:mean_context;
+    prefill_batches = !prefill_batches;
+    decode_steps = !decode_steps;
+    peak_hbm_bytes = !peak;
+    hbm_capacity_bytes = capacity;
   }
 
 let run ?(config = default_config) ?calib dev model requests =
@@ -259,7 +430,9 @@ let run ?(config = default_config) ?calib dev model requests =
       ~attrs:
         [ ("requests", Span.Int (List.length requests));
           ("tp", Span.Int config.tp);
-          ("max_batch", Span.Int config.max_batch) ]
+          ("max_batch", Span.Int config.max_batch);
+          ("policy", Span.Str (policy_to_string config.policy));
+          ("engine", Span.Str (engine_to_string config.engine)) ]
       (fun () ->
         let s = run_sim ~config ~calib dev model requests in
         Span.add_attr "generated_tokens" (Span.Int s.generated_tokens);
@@ -284,9 +457,16 @@ let slo_attainment stats ~ttft_s ~tbt_s =
 
 let pp_stats ppf s =
   Format.fprintf ppf
-    "%d requests, %d tokens in %.1f s (%.0f tok/s); batch occ %.1f (cap \
-     %d); TTFT p50/p95 %.0f/%.0f ms; TBT p50/p95 %.1f/%.1f ms"
-    (List.length s.outcomes) s.generated_tokens s.makespan_s
-    s.throughput_tokens_per_s s.mean_batch_occupancy s.kv_limited_batch
+    "%d requests%s, %d tokens in %.1f s (%.0f tok/s); %d prefill batches + \
+     %d decode steps; batch occ %.1f (cap %d); peak HBM %.1f/%.1f GiB; TTFT \
+     p50/p95 %.0f/%.0f ms; TBT p50/p95 %.1f/%.1f ms"
+    (List.length s.outcomes)
+    (match List.length s.rejected with
+    | 0 -> ""
+    | n -> Printf.sprintf " (+%d rejected: KV can never fit)" n)
+    s.generated_tokens s.makespan_s s.throughput_tokens_per_s s.prefill_batches
+    s.decode_steps s.mean_batch_occupancy s.kv_limited_batch
+    (s.peak_hbm_bytes /. (1024. ** 3.))
+    (s.hbm_capacity_bytes /. (1024. ** 3.))
     (1e3 *. s.p50_ttft_s) (1e3 *. s.p95_ttft_s) (1e3 *. s.p50_tbt_s)
     (1e3 *. s.p95_tbt_s)

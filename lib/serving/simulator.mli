@@ -1,26 +1,72 @@
 (** Iteration-level (continuous-batching) serving simulator, in the style
     of Orca/vLLM schedulers, driven by the analytical per-layer latencies
-    of {!Acs_perfmodel.Engine}.
+    of {!Acs_perfmodel.Engine} on its compiled fast path.
 
-    Each scheduler iteration either admits waiting requests (running their
-    prefill as a batch) or generates one token for every active request;
-    step latency comes from the device model at the current batch size and
-    average context, times the layer count. Memory capacity bounds the
-    resident KV cache and therefore the achievable batch.
+    The scheduler is event-driven: each iteration either admits waiting
+    requests (running their prefill as one batch) or generates one token
+    for every active request, and with nothing resident the clock jumps
+    straight to the next arrival. Step latency comes from the device model
+    at the step's batch size and (bucketed) context; on the default
+    {!Compiled} engine each distinct (phase, batch, context-bucket) step
+    is compiled once with {!Acs_perfmodel.Engine.compile}, evaluated with
+    [simulate_compiled] and memoized, so long traces pay a few hundred
+    engine calls instead of one per step.
 
-    The simulator is instrumented: iteration counters, admitted-request
-    totals and a batch-occupancy histogram always accumulate in
-    {!Acs_util.Metrics}, and with {!Acs_util.Trace} enabled each prefill
-    batch and decode step emits a span (admitted count, batch, context,
-    KV headroom) nested under a per-run [serve.run] root. *)
+    KV safety is by construction: admission reserves a request's whole KV
+    trajectory (prompt plus every token it will generate), and a request
+    is admitted only when that reservation fits in HBM next to the
+    reservations of everything already resident (weights included).
+    Admission is strictly FCFS - a non-fitting queue head blocks later
+    arrivals rather than being bypassed. Requests whose KV can never fit
+    even alone are reported in [rejected] instead of pinning the queue,
+    and a deployment whose weights alone exceed HBM raises {!Infeasible}
+    rather than simulating an impossible configuration.
+
+    The simulator is instrumented: iteration counters, admitted/rejected
+    totals and a batch-occupancy histogram (prefill and decode iterations
+    alike) always accumulate in {!Acs_util.Metrics}, and with
+    {!Acs_util.Trace} enabled each prefill batch and decode step emits a
+    span (batch, context, free KV bytes) nested under a per-run
+    [serve.run] root. *)
+
+type policy =
+  | Prefill_priority
+      (** admit whenever anything fits; decode only when nothing is
+          admissible. Minimizes TTFT under load. *)
+  | Decode_fair
+      (** strict interleave under contention: after a prefill batch, at
+          least one decode step runs before the next admission. Bounds the
+          TBT stalls that prefill bursts inject. *)
+
+type engine =
+  | Legacy  (** one {!Acs_perfmodel.Engine.simulate} call per step *)
+  | Compiled
+      (** {!Acs_perfmodel.Engine.compile} + [simulate_compiled], memoized
+          per (phase, batch, context-bucket). Identical step times (the
+          compiled engine is bit-identical per the PR 4 property suite);
+          the [serving_throughput] bench records the speed gap. *)
 
 type config = {
   tp : int;  (** tensor-parallel group size *)
   max_batch : int;  (** scheduler cap on concurrent requests *)
+  policy : policy;
+  engine : engine;
+  context_bucket : int;
+      (** step lengths are rounded up to this granularity before hitting
+          the engine (and the memo); 1 disables bucketing. Both engines
+          bucket identically, so the choice never splits their results. *)
 }
 
 val default_config : config
-(** tp = 4, max_batch = 64. *)
+(** tp = 4, max_batch = 64, [Prefill_priority], [Compiled], bucket 64. *)
+
+val policy_to_string : policy -> string
+val engine_to_string : engine -> string
+
+exception Infeasible of string
+(** Raised by {!run} when the model's weights alone exceed the device's
+    HBM at the configured [tp]: no KV cache fits, so no trace can be
+    served. The message names the model, device and both byte totals. *)
 
 type request_outcome = {
   request : Trace.request;
@@ -31,31 +77,54 @@ type request_outcome = {
 
 type stats = {
   outcomes : request_outcome list;
+      (** completed requests only; see [rejected] for the rest *)
+  rejected : Trace.request list;
+      (** requests whose KV trajectory exceeds free HBM even in an
+          otherwise empty batch - the deployment can never serve them *)
   makespan_s : float;
       (** absolute clock at the last completion (the trace starts at 0) *)
   generated_tokens : int;
+      (** sum of [output_len] over completed requests *)
+  produced_tokens : int;
+      (** tokens the scheduler actually generated, counted step by step
+          (one per active request per decode iteration, plus the first
+          token each prefill emits). Token conservation is
+          [produced_tokens = sum of (max 1 output_len) over completed
+          requests] - the property suite holds it to account. *)
   throughput_tokens_per_s : float;
       (** generated tokens over the serving span, i.e. from the first
           arrival to the last completion — idle time before the first
           request does not dilute it; 0 on a degenerate zero-length span *)
   mean_batch_occupancy : float;
+      (** time-weighted mean batch size across {e all} iterations,
+          prefill batches included *)
   p50_ttft_s : float;
   p95_ttft_s : float;
   p50_tbt_s : float;
   p95_tbt_s : float;
   kv_limited_batch : int;
-      (** the batch bound implied by HBM capacity at mean context; equals
-          [max_batch] when memory is not the binder *)
+      (** informational: the batch bound HBM implies at the trace's mean
+          context (0 when not even one such request fits). Admission no
+          longer uses it - per-request reservations do - but it remains
+          the right scale bar for [mean_batch_occupancy]. *)
+  prefill_batches : int;
+  decode_steps : int;
+  peak_hbm_bytes : float;
+      (** high-water mark of weights + live KV across the run; the KV
+          safety invariant is [peak_hbm_bytes <= hbm_capacity_bytes] *)
+  hbm_capacity_bytes : float;
 }
 
 val kv_capacity_batch :
   config -> Acs_hardware.Device.t -> Acs_workload.Model.t -> context:int -> int
-(** How many requests fit in HBM once weights are resident. *)
+(** How many requests of [context] tokens fit in HBM once weights are
+    resident (0 when weights leave no room, or none fits). *)
 
 val slo_attainment : stats -> ttft_s:float -> tbt_s:float -> float
-(** Fraction of requests meeting both latency objectives (a single-token
-    request trivially meets the TBT objective). Always in [0, 1]: an
-    empty outcome list reports 1 (vacuously met) instead of 0/0 = nan. *)
+(** Fraction of completed requests meeting both latency objectives (a
+    single-token request trivially meets the TBT objective). Always in
+    [0, 1]: an empty outcome list reports 1 (vacuously met) instead of
+    0/0 = nan. *)
 
 val run :
   ?config:config ->
@@ -65,6 +134,7 @@ val run :
   Trace.request list ->
   stats
 (** Simulates the whole trace; raises [Invalid_argument] on an empty
-    trace. *)
+    trace or a non-positive [tp]/[max_batch], and {!Infeasible} when the
+    weights alone exceed HBM. *)
 
 val pp_stats : Format.formatter -> stats -> unit

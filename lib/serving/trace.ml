@@ -5,16 +5,27 @@ type request = {
   output_len : int;
 }
 
-let exponential state ~rate = -.log (Random.State.float state 1.) /. rate
+(* [Random.State.float st 1.] draws from [0, 1): 0 is a real (if rare)
+   return value and values within one ulp of 1 occur for some seeds.
+   Both endpoints poison the inverse-CDF transforms below - [log 0.] is
+   -inf, and [int_of_float] of an infinite quotient is undefined (it can
+   come back huge or negative). Clamp the variate into the open interval
+   before taking any logarithm. *)
+let clamp_unit u = Float.max 1e-12 (Float.min u (1. -. 1e-12))
 
-let geometric state ~mean =
+let exponential_of_u ~rate u = -.log (clamp_unit u) /. rate
+let exponential state ~rate = exponential_of_u ~rate (Random.State.float state 1.)
+
+let geometric_of_u ~mean u =
   (* Support >= 1 with the requested mean. *)
   if mean <= 1 then 1
   else begin
     let p = 1. /. float_of_int mean in
-    let u = Random.State.float state 1. in
+    let u = clamp_unit u in
     1 + int_of_float (log (1. -. u) /. log (1. -. p))
   end
+
+let geometric state ~mean = geometric_of_u ~mean (Random.State.float state 1.)
 
 let synthetic ?(seed = 42) ~rate_per_s ~duration_s ~mean_input ~mean_output () =
   if rate_per_s <= 0. || duration_s <= 0. then

@@ -19,5 +19,20 @@ val synthetic :
     geometric around their means with a floor of 8 tokens. Deterministic
     for a given seed (default 42). Sorted by arrival time. *)
 
+val exponential_of_u : rate:float -> float -> float
+(** The inverse-CDF transform behind the Poisson inter-arrival gaps,
+    exposed for testing its edge cases. The uniform variate is clamped
+    into the open unit interval, so the result is finite and positive for
+    {e any} input, including the [u = 0.] that [Random.State.float]
+    can return (which would otherwise yield an infinite gap that silently
+    truncates the trace). *)
+
+val geometric_of_u : mean:int -> float -> int
+(** Geometric sample (support >= 1) from a uniform variate, exposed for
+    testing: with [u] within one ulp of 1, the unclamped transform divides
+    [-inf] by a negative constant and [int_of_float +inf] is undefined
+    (huge or negative lengths). The clamp bounds the result to roughly
+    [28 * mean]. [mean <= 1] degenerates to the constant 1. *)
+
 val total_output_tokens : request list -> int
 val pp : Format.formatter -> request -> unit

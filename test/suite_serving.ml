@@ -33,15 +33,46 @@ let t_trace_validation () =
   check_raises_invalid "means" (fun () ->
       ignore (Trace.synthetic ~rate_per_s:1. ~duration_s:1. ~mean_input:0 ~mean_output:1 ()))
 
+let t_geometric_overflow () =
+  (* Regression: with u within one ulp of 1, [log (1. -. u)] is -inf and
+     [int_of_float] of the infinite quotient was undefined - lengths came
+     back huge or negative. The clamped transform must stay bounded and
+     positive over the whole closed interval, endpoints included. *)
+  let mean = 128 in
+  List.iter
+    (fun u ->
+      let len = Trace.geometric_of_u ~mean u in
+      if len < 1 then
+        Alcotest.failf "geometric_of_u %.17g: non-positive length %d" u len;
+      if len > 30 * mean then
+        Alcotest.failf "geometric_of_u %.17g: unbounded length %d" u len)
+    [ 0.; 1e-16; 0.5; 0.999999; 1. -. 1e-16; 1. ];
+  Alcotest.(check int) "mean <= 1 degenerates" 1 (Trace.geometric_of_u ~mean:1 0.9);
+  (* The exponential transform must never produce an infinite gap (which
+     silently truncated the trace) - not even at u = 0, a real return
+     value of [Random.State.float]. *)
+  List.iter
+    (fun u ->
+      let gap = Trace.exponential_of_u ~rate:2. u in
+      if not (Float.is_finite gap) || gap <= 0. then
+        Alcotest.failf "exponential_of_u %.17g: bad gap %g" u gap)
+    [ 0.; 1e-16; 0.5; 1. -. 1e-16; 1. ]
+
 let t_run_accounting () =
   let stats = Simulator.run Presets.a100 Model.llama3_8b small_trace in
   Alcotest.(check int) "every request finishes"
     (List.length small_trace)
     (List.length stats.Simulator.outcomes);
+  Alcotest.(check int) "nothing rejected" 0 (List.length stats.Simulator.rejected);
   Alcotest.(check int) "token accounting"
     (Trace.total_output_tokens small_trace)
     stats.Simulator.generated_tokens;
+  Alcotest.(check int) "token conservation (scheduler-counted)"
+    (Trace.total_output_tokens small_trace)
+    stats.Simulator.produced_tokens;
   Alcotest.(check bool) "positive makespan" true (stats.Simulator.makespan_s > 0.);
+  Alcotest.(check bool) "steps counted" true
+    (stats.Simulator.prefill_batches > 0 && stats.Simulator.decode_steps > 0);
   List.iter
     (fun o ->
       if o.Simulator.ttft_s <= 0. then Alcotest.fail "non-positive ttft";
@@ -67,7 +98,8 @@ let t_kv_capacity () =
     (cap > 0 && cap <= Simulator.default_config.Simulator.max_batch);
   (* GPT-3 on one device does not even fit its weights. *)
   let none =
-    Simulator.kv_capacity_batch { Simulator.tp = 1; max_batch = 64 }
+    Simulator.kv_capacity_batch
+      { Simulator.default_config with Simulator.tp = 1 }
       Presets.a100 Model.gpt3_175b ~context:2048
   in
   Alcotest.(check int) "gpt-3 weights exceed one device" 0 none;
@@ -75,6 +107,147 @@ let t_kv_capacity () =
       ignore
         (Simulator.kv_capacity_batch Simulator.default_config Presets.a100
            Model.llama3_8b ~context:0))
+
+let t_infeasible_deployment () =
+  (* Regression: weights alone exceeding HBM used to be silently patched
+     over with [max 1 (kv_capacity_batch ...)], simulating a deployment
+     that cannot exist. It must raise a clear error instead. *)
+  let trace = [ { Trace.id = 0; arrival_s = 0.; input_len = 64; output_len = 8 } ] in
+  match
+    Simulator.run
+      ~config:{ Simulator.default_config with Simulator.tp = 1 }
+      Presets.a100 Model.gpt3_175b trace
+  with
+  | _ -> Alcotest.fail "expected Infeasible"
+  | exception Simulator.Infeasible msg ->
+      Alcotest.(check bool) "message names the model" true
+        (String.length msg > 0
+        && String.exists (fun _ -> true) msg
+        &&
+        let contains s sub =
+          let n = String.length s and m = String.length sub in
+          let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+          go 0
+        in
+        contains msg Model.gpt3_175b.Model.name)
+
+(* A device with just enough HBM above the Llama-3-8B tp=1 weights that
+   small requests fit but a huge one never can. *)
+let tight_device ~free_gb =
+  (* [Memory.make] takes decimal GB; leave exactly [free_gb] of KV room
+     above the tp=1 weights. *)
+  let weights_gb =
+    Model.total_params Model.llama3_8b *. Model.llama3_8b.Model.bytes_per_param
+    /. 1e9
+  in
+  Device.make ~name:"tight-hbm" ~core_count:108 ~lanes_per_core:4
+    ~systolic:(Systolic.square 16) ~l1_kb:192. ~l2_mb:40.
+    ~memory:
+      (Memory.make ~capacity_gb:(weights_gb +. free_gb) ~bandwidth_tb_s:2.)
+    ~interconnect:(Interconnect.of_total_gb_s 600.)
+    ()
+
+let tight_config = { Simulator.default_config with Simulator.tp = 1 }
+
+let t_never_fit_rejected () =
+  (* free_gb = 2 leaves room for ~15k KV tokens at tp=1; the 20k-token
+     request can never fit and must be rejected instead of pinning the
+     FCFS queue (or silently overcommitting KV as the old scheduler did). *)
+  let dev = tight_device ~free_gb:2. in
+  let trace =
+    [
+      { Trace.id = 0; arrival_s = 0.; input_len = 256; output_len = 32 };
+      { Trace.id = 1; arrival_s = 0.1; input_len = 20_000; output_len = 64 };
+      { Trace.id = 2; arrival_s = 0.2; input_len = 512; output_len = 16 };
+    ]
+  in
+  let s = Simulator.run ~config:tight_config dev Model.llama3_8b trace in
+  Alcotest.(check int) "two complete" 2 (List.length s.Simulator.outcomes);
+  Alcotest.(check (list int)) "the huge request is rejected" [ 1 ]
+    (List.map (fun r -> r.Trace.id) s.Simulator.rejected);
+  Alcotest.(check int) "tokens from completed requests only" (32 + 16)
+    s.Simulator.generated_tokens;
+  Alcotest.(check int) "conservation over completed" (32 + 16)
+    s.Simulator.produced_tokens;
+  Alcotest.(check bool) "kv never exceeds capacity" true
+    (s.Simulator.peak_hbm_bytes <= s.Simulator.hbm_capacity_bytes)
+
+let t_kv_admission_is_safe () =
+  (* Heavy homogeneous load against a tight KV budget: concurrency must be
+     clipped by per-request reservations, never by luck, and the live-KV
+     high-water mark must stay under HBM at every step. *)
+  let dev = tight_device ~free_gb:1. in
+  let trace =
+    Trace.synthetic ~rate_per_s:40. ~duration_s:5. ~mean_input:512
+      ~mean_output:64 ()
+  in
+  let s = Simulator.run ~config:tight_config dev Model.llama3_8b trace in
+  Alcotest.(check int) "everything eventually completes"
+    (List.length trace)
+    (List.length s.Simulator.outcomes);
+  Alcotest.(check bool) "kv never exceeds capacity" true
+    (s.Simulator.peak_hbm_bytes <= s.Simulator.hbm_capacity_bytes);
+  Alcotest.(check bool) "occupancy within the mean-context bound" true
+    (s.Simulator.mean_batch_occupancy
+    <= float_of_int s.Simulator.kv_limited_batch +. 1e-9)
+
+let t_engine_identity () =
+  (* The compiled stepper must be a pure speedup: simulate_compiled is
+     bit-identical to simulate, both engines bucket step lengths the same
+     way, so whole-run stats compare [=] - every float, both policies. *)
+  List.iter
+    (fun policy ->
+      let config engine =
+        { Simulator.default_config with Simulator.policy; engine }
+      in
+      let legacy =
+        Simulator.run ~config:(config Simulator.Legacy) Presets.a100
+          Model.llama3_8b small_trace
+      in
+      let compiled =
+        Simulator.run ~config:(config Simulator.Compiled) Presets.a100
+          Model.llama3_8b small_trace
+      in
+      Alcotest.(check bool)
+        (Simulator.policy_to_string policy ^ ": legacy = compiled")
+        true (legacy = compiled))
+    [ Simulator.Prefill_priority; Simulator.Decode_fair ]
+
+let t_policies_schedule_differently () =
+  (* Under contention the two policies must actually produce different
+     schedules (decode-fair interleaves decode steps between admissions). *)
+  let trace =
+    Trace.synthetic ~rate_per_s:60. ~duration_s:10. ~mean_input:256
+      ~mean_output:64 ()
+  in
+  let at policy =
+    Simulator.run
+      ~config:{ Simulator.default_config with Simulator.policy }
+      Presets.a100 Model.llama3_8b trace
+  in
+  let pp = at Simulator.Prefill_priority and df = at Simulator.Decode_fair in
+  Alcotest.(check bool) "schedules differ" true
+    (pp.Simulator.makespan_s <> df.Simulator.makespan_s
+    || pp.Simulator.prefill_batches <> df.Simulator.prefill_batches);
+  Alcotest.(check int) "both conserve tokens"
+    pp.Simulator.generated_tokens df.Simulator.generated_tokens
+
+let t_prefill_counts_in_occupancy () =
+  (* Regression: a prefill-only trace (every request finishes at its first
+     token) used to report occupancy 0 because only decode steps fed the
+     busy-time accumulators. *)
+  let trace =
+    List.init 8 (fun i ->
+        { Trace.id = i; arrival_s = 0.05 *. float_of_int i; input_len = 256;
+          output_len = 1 })
+  in
+  let s = Simulator.run Presets.a100 Model.llama3_8b trace in
+  Alcotest.(check int) "no decode steps" 0 s.Simulator.decode_steps;
+  Alcotest.(check bool) "prefill batches fill the occupancy stat" true
+    (s.Simulator.mean_batch_occupancy >= 1.);
+  Alcotest.(check bool) "occupancy within the admission cap" true
+    (s.Simulator.mean_batch_occupancy
+    <= float_of_int Simulator.default_config.Simulator.max_batch)
 
 let t_memory_bandwidth_helps_serving () =
   let fast =
@@ -144,8 +317,10 @@ let t_empty_outcomes_slo () =
   let empty =
     {
       Simulator.outcomes = [];
+      rejected = [];
       makespan_s = 0.;
       generated_tokens = 0;
+      produced_tokens = 0;
       throughput_tokens_per_s = 0.;
       mean_batch_occupancy = 0.;
       p50_ttft_s = 0.;
@@ -153,6 +328,10 @@ let t_empty_outcomes_slo () =
       p50_tbt_s = 0.;
       p95_tbt_s = 0.;
       kv_limited_batch = 0;
+      prefill_batches = 0;
+      decode_steps = 0;
+      peak_hbm_bytes = 0.;
+      hbm_capacity_bytes = 0.;
     }
   in
   check_close "vacuously met" 1.
@@ -178,46 +357,69 @@ let trace_arb =
         (List.length tr))
     gen
 
+let scheduler_invariants policy (tr, _) =
+  tr = []
+  ||
+  let s =
+    Simulator.run
+      ~config:{ Simulator.default_config with Simulator.policy }
+      Presets.a100 Model.llama3_8b tr
+  in
+  let all_finish =
+    List.length s.Simulator.outcomes + List.length s.Simulator.rejected
+    = List.length tr
+  in
+  let tokens = s.Simulator.generated_tokens = Trace.total_output_tokens tr in
+  let conserved = s.Simulator.produced_tokens = s.Simulator.generated_tokens in
+  let ttft_positive =
+    List.for_all (fun o -> o.Simulator.ttft_s > 0.) s.Simulator.outcomes
+  in
+  let batch_bounded =
+    s.Simulator.kv_limited_batch >= 1
+    && s.Simulator.kv_limited_batch
+       <= Simulator.default_config.Simulator.max_batch
+  in
+  (* The tentpole KV invariant: live KV (plus weights) never exceeds the
+     device's HBM at any scheduler step. *)
+  let kv_safe =
+    s.Simulator.peak_hbm_bytes <= s.Simulator.hbm_capacity_bytes
+  in
+  let occupancy_bounded =
+    s.Simulator.mean_batch_occupancy
+    <= float_of_int s.Simulator.kv_limited_batch +. 1e-9
+  in
+  let slo = Simulator.slo_attainment s ~ttft_s:1. ~tbt_s:0.05 in
+  let slo_bounded = slo >= 0. && slo <= 1. in
+  (* FCFS: in arrival order, first-token times never go backwards
+     (admission never bypasses the queue head under either policy). *)
+  let by_arrival =
+    List.sort
+      (fun a b ->
+        compare
+          (a.Simulator.request.Trace.arrival_s, a.Simulator.request.Trace.id)
+          (b.Simulator.request.Trace.arrival_s, b.Simulator.request.Trace.id))
+      s.Simulator.outcomes
+  in
+  let first_token o =
+    o.Simulator.request.Trace.arrival_s +. o.Simulator.ttft_s
+  in
+  let rec fcfs = function
+    | a :: (b :: _ as rest) ->
+        first_token a <= first_token b +. 1e-9 && fcfs rest
+    | _ -> true
+  in
+  all_finish && tokens && conserved && ttft_positive && batch_bounded
+  && kv_safe && occupancy_bounded && slo_bounded && fcfs by_arrival
+
 let t_scheduler_invariants =
-  qcheck ~count:25 "scheduler invariants on random traces" trace_arb
-    (fun (tr, _) ->
-      tr = []
-      ||
-      let s = Simulator.run Presets.a100 Model.llama3_8b tr in
-      let all_finish = List.length s.Simulator.outcomes = List.length tr in
-      let tokens =
-        s.Simulator.generated_tokens = Trace.total_output_tokens tr
-      in
-      let ttft_positive =
-        List.for_all (fun o -> o.Simulator.ttft_s > 0.) s.Simulator.outcomes
-      in
-      let batch_bounded =
-        s.Simulator.kv_limited_batch >= 1
-        && s.Simulator.kv_limited_batch
-           <= Simulator.default_config.Simulator.max_batch
-      in
-      let slo = Simulator.slo_attainment s ~ttft_s:1. ~tbt_s:0.05 in
-      let slo_bounded = slo >= 0. && slo <= 1. in
-      (* FCFS: in arrival order, first-token times never go backwards
-         (prefill-priority admits the head of the queue first). *)
-      let by_arrival =
-        List.sort
-          (fun a b ->
-            compare
-              (a.Simulator.request.Trace.arrival_s, a.Simulator.request.Trace.id)
-              (b.Simulator.request.Trace.arrival_s, b.Simulator.request.Trace.id))
-          s.Simulator.outcomes
-      in
-      let first_token o =
-        o.Simulator.request.Trace.arrival_s +. o.Simulator.ttft_s
-      in
-      let rec fcfs = function
-        | a :: (b :: _ as rest) ->
-            first_token a <= first_token b +. 1e-9 && fcfs rest
-        | _ -> true
-      in
-      all_finish && tokens && ttft_positive && batch_bounded && slo_bounded
-      && fcfs by_arrival)
+  qcheck ~count:25 "scheduler invariants on random traces (prefill-priority)"
+    trace_arb
+    (scheduler_invariants Simulator.Prefill_priority)
+
+let t_scheduler_invariants_decode_fair =
+  qcheck ~count:25 "scheduler invariants on random traces (decode-fair)"
+    trace_arb
+    (scheduler_invariants Simulator.Decode_fair)
 
 let t_jobs_deterministic () =
   (* The simulator's results must not depend on the domain-pool size. *)
@@ -238,9 +440,16 @@ let suite =
     test "trace determinism" t_trace_determinism;
     test "trace shape" t_trace_shape;
     test "trace validation" t_trace_validation;
+    test "trace generator edge cases stay bounded" t_geometric_overflow;
     test "run accounting" t_run_accounting;
     test "percentiles ordered" t_percentiles_ordered;
     test "kv capacity bound" t_kv_capacity;
+    test "infeasible deployment raises" t_infeasible_deployment;
+    test "never-fitting requests are rejected" t_never_fit_rejected;
+    test "kv admission is safe under pressure" t_kv_admission_is_safe;
+    test "compiled engine = legacy engine, both policies" t_engine_identity;
+    test "policies schedule differently under load" t_policies_schedule_differently;
+    test "prefill batches count in occupancy" t_prefill_counts_in_occupancy;
     test "memory bandwidth helps serving" t_memory_bandwidth_helps_serving;
     test "overload queues requests" t_overload_queues;
     test "slo attainment" t_slo_attainment;
@@ -248,5 +457,6 @@ let suite =
     test "empty trace rejected" t_empty_trace_rejected;
     test "empty outcomes meet slo vacuously" t_empty_outcomes_slo;
     t_scheduler_invariants;
+    t_scheduler_invariants_decode_fair;
     test "pool size does not change results" t_jobs_deterministic;
   ]
