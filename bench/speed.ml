@@ -431,6 +431,127 @@ let serving_throughput () =
     (fun () -> Core.Json.to_channel ~indent:2 oc json);
   Common.note "[json] wrote %s (%d variants)" path (List.length rows)
 
+(* --- fleet throughput: the cluster simulator over the same trace ---
+
+   Wall-clock scheduler iterations/s across a whole fleet: the same trace
+   dispatched to a homogeneous pool, a disaggregated prefill/decode
+   split, and a heterogeneous mix. Each pool shares one compiled stepper
+   across its groups, so the fleet's step rate measures routing and
+   bookkeeping overhead on top of the memoized engine path. *)
+
+let fleet_throughput () =
+  Common.section "Fleet throughput: multi-device cluster simulation";
+  let duration_s = if quick () then 15. else 60. in
+  let trace =
+    Core.Trace.synthetic ~rate_per_s:6. ~duration_s ~mean_input:512
+      ~mean_output:128 ()
+  in
+  let device = Core.Presets.a100 and model = Core.Model.llama3_8b in
+  let slow =
+    { device with
+      Core.Device.name = "a100-slow";
+      memory = Core.Memory.make ~capacity_gb:80. ~bandwidth_tb_s:1. }
+  in
+  let repeats = if quick () then 3 else 5 in
+  let variants =
+    [
+      ( "homogeneous-x4",
+        Core.Fleet.make [ Core.Fleet.pool ~count:4 device ] );
+      ( "disaggregated-1p3d",
+        Core.Fleet.make
+          [
+            Core.Fleet.pool ~role:Core.Fleet.Prefill ~count:1 device;
+            Core.Fleet.pool ~role:Core.Fleet.Decode ~count:3 device;
+          ] );
+      ( "heterogeneous-affine",
+        Core.Fleet.make ~routing:Core.Fleet.Phase_affine
+          [
+            Core.Fleet.pool ~count:2 device;
+            Core.Fleet.pool ~count:2 slow;
+          ] );
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, fleet) ->
+        let stats = ref None in
+        let dt =
+          time_best ~repeats (fun () ->
+              stats := Some (Core.Fleet.run fleet model trace))
+        in
+        let fs = Option.get !stats in
+        let steps =
+          List.fold_left
+            (fun acc ps ->
+              Array.fold_left
+                (fun acc s ->
+                  acc + s.Core.Simulator.prefill_batches
+                  + s.Core.Simulator.decode_steps)
+                acc ps.Core.Fleet.per_group)
+            0 fs.Core.Fleet.pools
+        in
+        (name, fleet, fs, steps, dt, float_of_int steps /. dt))
+      variants
+  in
+  let t =
+    Core.Table.create
+      ~aligns:[ Core.Table.Left; Core.Table.Right; Core.Table.Right;
+                Core.Table.Right; Core.Table.Right; Core.Table.Right ]
+      [ "fleet"; "groups"; "steps"; "ms"; "steps/s"; "sim tok/s" ]
+  in
+  List.iter
+    (fun (name, _, fs, steps, dt, rate) ->
+      Core.Table.add_row t
+        [ name; string_of_int fs.Core.Fleet.groups; string_of_int steps;
+          Printf.sprintf "%.1f" (1e3 *. dt); Printf.sprintf "%.0f" rate;
+          Printf.sprintf "%.0f" fs.Core.Fleet.throughput_tokens_per_s ])
+    rows;
+  Core.Table.print
+    ~title:
+      (Printf.sprintf "Llama 3 8B fleets, %d requests over %.0f s"
+         (List.length trace) duration_s)
+    t;
+  (try Sys.mkdir Common.results_dir 0o755 with Sys_error _ -> ());
+  let json =
+    Core.Json.obj
+      [
+        ("device", Core.Json.string device.Core.Device.name);
+        ("model", Core.Json.string model.Core.Model.name);
+        ("requests", Core.Json.int (List.length trace));
+        ("trace_duration_s", Core.Json.float duration_s);
+        ("repeats", Core.Json.int repeats);
+        ("quick", Core.Json.bool (quick ()));
+        ( "results",
+          Core.Json.list
+            (fun (name, fleet, fs, steps, dt, rate) ->
+              Core.Json.obj
+                [
+                  ("variant", Core.Json.string name);
+                  ( "routing",
+                    Core.Json.string
+                      (Core.Fleet.routing_to_string fleet.Core.Fleet.routing)
+                  );
+                  ("groups", Core.Json.int fs.Core.Fleet.groups);
+                  ( "disaggregated",
+                    Core.Json.bool (Core.Fleet.disaggregated fleet) );
+                  ("steps", Core.Json.int steps);
+                  ("seconds", Core.Json.float dt);
+                  ("steps_per_second", Core.Json.float rate);
+                  ( "sim_tokens_per_second",
+                    Core.Json.float fs.Core.Fleet.throughput_tokens_per_s );
+                  ( "handoff_transfers",
+                    Core.Json.int fs.Core.Fleet.handoff_transfers );
+                ])
+            rows );
+      ]
+  in
+  let path = Filename.concat Common.results_dir "fleet_throughput.json" in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Core.Json.to_channel ~indent:2 oc json);
+  Common.note "[json] wrote %s (%d variants)" path (List.length rows)
+
 let run_bechamel () =
   Common.section "Microbenchmarks (bechamel): simulator throughput";
   let ols =
@@ -495,4 +616,5 @@ let run () =
      multi-second quotas to stabilize. *)
   if not (quick ()) then run_bechamel ();
   sweep_throughput ();
-  serving_throughput ()
+  serving_throughput ();
+  fleet_throughput ()

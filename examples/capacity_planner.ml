@@ -93,9 +93,61 @@ let cluster_plan model =
     [ a100; h20_style ];
   print_newline ()
 
+(* Fleet planning: single-request latency says which device is fastest;
+   the buyer's actual question is how many of each it takes to serve a
+   load, which depends on batching, KV capacity and queueing. Measure a
+   small saturated fleet of each candidate with the event-driven cluster
+   simulator and size it for the target. *)
+let fleet_plan model ~target_qps =
+  let trace =
+    Trace.synthetic ~rate_per_s:30. ~duration_s:10. ~mean_input:512
+      ~mean_output:128 ()
+  in
+  let t =
+    Table.create
+      ~aligns:
+        [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right;
+          Table.Right ]
+      [ "device"; "req/s (2 groups)"; "util"; "p95 TBT (ms)";
+        Printf.sprintf "groups @ %.0f req/s" target_qps; "$ / M tokens (si)" ]
+  in
+  List.iter
+    (fun dev ->
+      let fleet = Fleet.make [ Fleet.pool ~count:2 dev ] in
+      let fs = Fleet.run fleet model trace in
+      let groups =
+        match Fleet.devices_for_qps fs ~target_qps with
+        | [ (_, n) ] -> string_of_int n
+        | _ -> "-"
+      in
+      let cost =
+        Fleet.silicon_usd_per_mtok
+          ~die_cost_usd:(fun d ->
+            Cost_model.good_die_cost_usd ~process:Cost_model.n7
+              ~die_area_mm2:(Area_model.total_mm2 d) ())
+          fleet fs
+      in
+      Table.add_row t
+        [
+          dev.Device.name;
+          Printf.sprintf "%.2f" fs.Fleet.requests_per_s;
+          (match fs.Fleet.pools with
+          | [ ps ] -> Printf.sprintf "%.0f%%" (100. *. ps.Fleet.utilization)
+          | _ -> "-");
+          Printf.sprintf "%.1f" (1e3 *. fs.Fleet.p95_tbt_s);
+          groups;
+          Printf.sprintf "%.2f" cost;
+        ])
+    [ a100; best_2022 model; h20_style ];
+  Table.print
+    ~title:
+      (Printf.sprintf "Fleet plan: %s, 512/128-token traffic" model.Model.name)
+    t
+
 let () =
   plan Model.gpt3_175b;
   plan Model.llama3_8b;
+  fleet_plan Model.llama3_8b ~target_qps:100.;
   cluster_plan Model.gpt3_175b;
   cluster_plan Model.mixtral_8x7b;
   print_endline

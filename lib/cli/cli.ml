@@ -496,63 +496,95 @@ let fps_cmd =
     (Cmd.info "fps" ~doc:"Estimate gaming frame rates of a template device.")
     Term.(const run $ device_args)
 
-(* --- serve --- *)
+(* --- shared serving flags (serve + fleet) ---
 
-let serve_cmd =
+   Both verbs drive the same synthetic traces and scheduler configs, so
+   the flag vocabulary is one term: a spec that either command turns into
+   a trace with [synthesize]. *)
+
+type trace_spec = {
+  rate : float;
+  duration : float;
+  mean_input : int;
+  mean_output : int;
+  seed : int;
+}
+
+let trace_spec_term =
   let rate = Arg.(value & opt float 3. & info [ "rate" ] ~doc:"Requests per second.") in
   let duration = Arg.(value & opt float 60. & info [ "duration" ] ~doc:"Trace duration, seconds.") in
   let mean_input = Arg.(value & opt int 512 & info [ "mean-input" ] ~doc:"Mean prompt length.") in
   let mean_output = Arg.(value & opt int 128 & info [ "mean-output" ] ~doc:"Mean generation length.") in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Trace RNG seed.") in
-  let tp =
-    Arg.(value & opt int Simulator.default_config.Simulator.tp
-         & info [ "tp" ] ~doc:"Tensor-parallel group size.")
+  let build rate duration mean_input mean_output seed =
+    { rate; duration; mean_input; mean_output; seed }
   in
-  let max_batch =
-    Arg.(value & opt int Simulator.default_config.Simulator.max_batch
-         & info [ "max-batch" ] ~doc:"Scheduler cap on concurrent requests.")
-  in
-  let policy =
-    Arg.(value
-         & opt (enum [ ("prefill", Simulator.Prefill_priority);
-                       ("decode-fair", Simulator.Decode_fair) ])
-             Simulator.default_config.Simulator.policy
-         & info [ "policy" ]
-             ~doc:"Scheduling policy: 'prefill' admits whenever anything \
-                   fits (lowest TTFT); 'decode-fair' interleaves a decode \
-                   step between admissions (bounded TBT stalls).")
-  in
-  let engine =
-    Arg.(value
-         & opt (enum [ ("compiled", Simulator.Compiled);
-                       ("legacy", Simulator.Legacy) ])
-             Simulator.default_config.Simulator.engine
-         & info [ "engine" ]
-             ~doc:"Step-latency engine: 'compiled' (memoized \
-                   Engine.compile/simulate_compiled fast path) or 'legacy' \
-                   (one Engine.simulate per step). Identical results; see \
-                   the serving_throughput bench for the speed gap.")
-  in
-  let slo_ttft =
-    Arg.(value & opt (some float) None
-         & info [ "slo-ttft" ] ~docv:"SECONDS"
-             ~doc:"TTFT objective; with --slo-tbt (or alone) prints SLO \
-                   attainment over completed requests.")
-  in
-  let slo_tbt =
-    Arg.(value & opt (some float) None
-         & info [ "slo-tbt" ] ~docv:"SECONDS"
-             ~doc:"Time-between-tokens objective; see --slo-ttft.")
-  in
-  let exec device model rate duration mean_input mean_output seed trace_file
-      tp max_batch policy engine slo_ttft slo_tbt =
+  Term.(const build $ rate $ duration $ mean_input $ mean_output $ seed)
+
+let synthesize spec =
+  Trace.synthetic ~seed:spec.seed ~rate_per_s:spec.rate
+    ~duration_s:spec.duration ~mean_input:spec.mean_input
+    ~mean_output:spec.mean_output ()
+
+let tp_arg =
+  Arg.(value & opt int Simulator.default_config.Simulator.tp
+       & info [ "tp" ] ~doc:"Tensor-parallel group size.")
+
+let max_batch_arg =
+  Arg.(value & opt int Simulator.default_config.Simulator.max_batch
+       & info [ "max-batch" ] ~doc:"Scheduler cap on concurrent requests.")
+
+let policy_arg =
+  Arg.(value
+       & opt (enum [ ("prefill", Simulator.Prefill_priority);
+                     ("decode-fair", Simulator.Decode_fair) ])
+           Simulator.default_config.Simulator.policy
+       & info [ "policy" ]
+           ~doc:"Scheduling policy: 'prefill' admits whenever anything \
+                 fits (lowest TTFT); 'decode-fair' interleaves a decode \
+                 step between admissions (bounded TBT stalls).")
+
+let engine_arg =
+  Arg.(value
+       & opt (enum [ ("compiled", Simulator.Compiled);
+                     ("legacy", Simulator.Legacy) ])
+           Simulator.default_config.Simulator.engine
+       & info [ "engine" ]
+           ~doc:"Step-latency engine: 'compiled' (memoized \
+                 Engine.compile/simulate_compiled fast path) or 'legacy' \
+                 (one Engine.simulate per step). Identical results; see \
+                 the serving_throughput bench for the speed gap.")
+
+let slo_ttft_arg =
+  Arg.(value & opt (some float) None
+       & info [ "slo-ttft" ] ~docv:"SECONDS"
+           ~doc:"TTFT objective; with --slo-tbt (or alone) prints SLO \
+                 attainment over completed requests.")
+
+let slo_tbt_arg =
+  Arg.(value & opt (some float) None
+       & info [ "slo-tbt" ] ~docv:"SECONDS"
+           ~doc:"Time-between-tokens objective; see --slo-ttft.")
+
+(* A single-sided objective leaves the other side unconstrained. *)
+let print_slo attainment = function
+  | None, None -> ()
+  | slo_ttft, slo_tbt ->
+      let ttft_s = Option.value slo_ttft ~default:infinity in
+      let tbt_s = Option.value slo_tbt ~default:infinity in
+      Format.printf "SLO attainment (TTFT <= %g s, TBT <= %g s): %.1f%%@."
+        ttft_s tbt_s
+        (100. *. attainment ~ttft_s ~tbt_s)
+
+(* --- serve --- *)
+
+let serve_cmd =
+  let exec device model spec trace_file tp max_batch policy engine slo_ttft
+      slo_tbt =
     let config =
       { Simulator.default_config with Simulator.tp; max_batch; policy; engine }
     in
-    let trace =
-      Trace.synthetic ~seed ~rate_per_s:rate ~duration_s:duration ~mean_input
-        ~mean_output ()
-    in
+    let trace = synthesize spec in
     Format.printf "%a@." Device.pp device;
     Format.printf "trace: %d requests, %d output tokens@." (List.length trace)
       (Trace.total_output_tokens trace);
@@ -563,21 +595,13 @@ let serve_cmd =
     with_trace_opt trace_file @@ fun () ->
     let stats = Simulator.run ~config device model trace in
     Format.printf "%a@." Simulator.pp_stats stats;
-    match (slo_ttft, slo_tbt) with
-    | None, None -> ()
-    | _ ->
-        (* A single-sided objective leaves the other side unconstrained. *)
-        let ttft_s = Option.value slo_ttft ~default:infinity in
-        let tbt_s = Option.value slo_tbt ~default:infinity in
-        Format.printf "SLO attainment (TTFT <= %g s, TBT <= %g s): %.1f%%@."
-          ttft_s tbt_s
-          (100. *. Simulator.slo_attainment stats ~ttft_s ~tbt_s)
+    print_slo (Simulator.slo_attainment stats) (slo_ttft, slo_tbt)
   in
-  let run device model rate duration mean_input mean_output seed trace_file tp
-      max_batch policy engine slo_ttft slo_tbt =
+  let run device model spec trace_file tp max_batch policy engine slo_ttft
+      slo_tbt =
     match
-      exec device model rate duration mean_input mean_output seed trace_file
-        tp max_batch policy engine slo_ttft slo_tbt
+      exec device model spec trace_file tp max_batch policy engine slo_ttft
+        slo_tbt
     with
     | () -> `Ok ()
     | exception Simulator.Infeasible msg -> `Error (false, msg)
@@ -586,9 +610,164 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Simulate continuous-batching serving of a synthetic trace.")
-    Term.(ret (const run $ device_args $ model_arg $ rate $ duration
-           $ mean_input $ mean_output $ seed $ trace_arg $ tp $ max_batch
-           $ policy $ engine $ slo_ttft $ slo_tbt))
+    Term.(ret (const run $ device_args $ model_arg $ trace_spec_term
+           $ trace_arg $ tp_arg $ max_batch_arg $ policy_arg $ engine_arg
+           $ slo_ttft_arg $ slo_tbt_arg))
+
+(* --- fleet --- *)
+
+let fleet_cmd =
+  (* [role=]DEVICE:COUNT, where DEVICE is a database name and COUNT a
+     number of tensor-parallel groups. The count is split off the last
+     colon so device names containing colons keep working. *)
+  let pool_spec_conv =
+    let parse s =
+      let role, rest =
+        match String.index_opt s '=' with
+        | Some i ->
+            let role = String.sub s 0 i in
+            let rest = String.sub s (i + 1) (String.length s - i - 1) in
+            (match role with
+            | "unified" -> Ok Fleet.Unified
+            | "prefill" -> Ok Fleet.Prefill
+            | "decode" -> Ok Fleet.Decode
+            | r ->
+                Error
+                  (Printf.sprintf
+                     "unknown pool role %S (unified, prefill or decode)" r))
+            |> fun role -> (role, rest)
+        | None -> (Ok Fleet.Unified, s)
+      in
+      match role with
+      | Error msg -> Error (`Msg msg)
+      | Ok role -> (
+          match String.rindex_opt rest ':' with
+          | None ->
+              Error
+                (`Msg
+                   (Printf.sprintf "pool %S: expected [role=]DEVICE:COUNT" s))
+          | Some i -> (
+              let name = String.sub rest 0 i in
+              let count = String.sub rest (i + 1) (String.length rest - i - 1) in
+              match (Database.find name, int_of_string_opt count) with
+              | None, _ ->
+                  Error
+                    (`Msg
+                       (Printf.sprintf "unknown device %S (see `acs survey`)"
+                          name))
+              | _, None ->
+                  Error (`Msg (Printf.sprintf "pool count %S: not a number" count))
+              | Some gpu, Some count -> Ok (role, Gpu.to_template gpu, count)))
+    in
+    let print ppf (role, dev, count) =
+      Format.fprintf ppf "%s=%s:%d" (Fleet.role_to_string role)
+        dev.Device.name count
+    in
+    Arg.conv (parse, print)
+  in
+  let pools_arg =
+    Arg.(value & opt_all pool_spec_conv []
+         & info [ "pool" ] ~docv:"[ROLE=]DEVICE:COUNT"
+             ~doc:"Add a pool of \\$(docv) tensor-parallel groups (repeat \
+                   for heterogeneous or disaggregated fleets), e.g. \
+                   'H100:4' or 'prefill=H100:2' with 'decode=H20:6'.")
+  in
+  let routing_arg =
+    Arg.(value
+         & opt (enum [ ("round-robin", Fleet.Round_robin);
+                       ("least-loaded", Fleet.Least_loaded);
+                       ("phase-affine", Fleet.Phase_affine) ])
+             Fleet.Least_loaded
+         & info [ "routing" ]
+             ~doc:"Dispatch policy: 'round-robin' rotates, 'least-loaded' \
+                   picks the fewest outstanding tokens, 'phase-affine' \
+                   prices each request on each candidate and picks the \
+                   cheapest estimated completion.")
+  in
+  let handoff_arg =
+    Arg.(value & opt (some float) None
+         & info [ "handoff-gb-s" ] ~docv:"GB_S"
+             ~doc:"Prefill-to-decode KV link bandwidth; defaults to the \
+                   slowest pool device interconnect.")
+  in
+  let target_qps_arg =
+    Arg.(value & opt (some float) None
+         & info [ "target-qps" ] ~docv:"QPS"
+             ~doc:"Also print the per-pool group counts needed to sustain \
+                   \\$(docv) completed requests per second.")
+  in
+  let exec model spec trace_file pools routing handoff_gb_s target_qps tp
+      max_batch policy engine slo_ttft slo_tbt =
+    if pools = [] then
+      invalid_arg "pass at least one --pool, e.g. --pool H100:4";
+    let config =
+      { Simulator.default_config with Simulator.tp; max_batch; policy; engine }
+    in
+    let fleet =
+      Fleet.make ~routing ?handoff_gb_s
+        (List.map
+           (fun (role, dev, count) -> Fleet.pool ~role ~config ~count dev)
+           pools)
+    in
+    let trace = synthesize spec in
+    Format.printf "fleet: %s routing, %s; pools: %s@."
+      (Fleet.routing_to_string routing)
+      (if Fleet.disaggregated fleet then "disaggregated" else "unified")
+      (String.concat ", "
+         (List.map
+            (fun (p : Fleet.pool) ->
+              Printf.sprintf "%s x%d (tp=%d)" p.Fleet.name p.Fleet.count
+                config.Simulator.tp)
+            fleet.Fleet.pools));
+    Format.printf "trace: %d requests, %d output tokens@." (List.length trace)
+      (Trace.total_output_tokens trace);
+    with_trace_opt trace_file @@ fun () ->
+    let fs = Fleet.run fleet model trace in
+    Format.printf "%a@." Fleet.pp_fleet_stats fs;
+    print_slo (Fleet.slo_attainment fs) (slo_ttft, slo_tbt);
+    let die_cost dev =
+      Cost_model.die_cost_usd ~process:Cost_model.n7
+        ~die_area_mm2:(Area_model.total_mm2 dev)
+    in
+    let cost = Fleet.silicon_usd_per_mtok ~die_cost_usd:die_cost fleet fs in
+    if Float.is_finite cost then
+      Format.printf "silicon: $%.2f per million tokens (N7 dies, 3-year \
+                     amortization)@."
+        cost;
+    match target_qps with
+    | None -> ()
+    | Some q -> (
+        match Fleet.devices_for_qps fs ~target_qps:q with
+        | [] ->
+            Format.printf
+              "no completed requests - cannot size the fleet for %g req/s@." q
+        | plan ->
+            let groups = List.fold_left (fun acc (_, n) -> acc + n) 0 plan in
+            Format.printf "groups for %g req/s: %s (%d groups, %d dies)@." q
+              (String.concat ", "
+                 (List.map (fun (n, c) -> Printf.sprintf "%s x%d" n c) plan))
+              groups
+              (groups * config.Simulator.tp))
+  in
+  let run model spec trace_file pools routing handoff target_qps tp max_batch
+      policy engine slo_ttft slo_tbt =
+    match
+      exec model spec trace_file pools routing handoff target_qps tp max_batch
+        policy engine slo_ttft slo_tbt
+    with
+    | () -> `Ok ()
+    | exception Simulator.Infeasible msg -> `Error (false, msg)
+    | exception Invalid_argument msg -> `Error (false, msg)
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:"Simulate a multi-device serving fleet (homogeneous, \
+             heterogeneous or disaggregated prefill/decode) against one \
+             shared trace.")
+    Term.(ret (const run $ model_arg $ trace_spec_term $ trace_arg
+           $ pools_arg $ routing_arg $ handoff_arg $ target_qps_arg $ tp_arg
+           $ max_batch_arg $ policy_arg $ engine_arg $ slo_ttft_arg
+           $ slo_tbt_arg))
 
 (* --- package --- *)
 
@@ -694,6 +873,6 @@ let main =
   in
   Cmd.group info
     [ classify_cmd; simulate_cmd; dse_cmd; scenarios_cmd; run_cmd; profile_cmd;
-      survey_cmd; fps_cmd; serve_cmd; package_cmd; plan_cmd ]
+      survey_cmd; fps_cmd; serve_cmd; fleet_cmd; package_cmd; plan_cmd ]
 
 

@@ -83,3 +83,7 @@ module Marketing = Acs_externality.Marketing
 module Arch_classifier = Acs_externality.Arch_classifier
 module Trace = Acs_serving.Trace
 module Simulator = Acs_serving.Simulator
+
+(* [Cluster] is taken by the multi-device perf-model topology above; the
+   serving fleet simulator goes by [Fleet] at the umbrella level. *)
+module Fleet = Acs_serving.Cluster

@@ -1,0 +1,552 @@
+module Device = Acs_hardware.Device
+module Model = Acs_workload.Model
+module Stats = Acs_util.Stats
+module Span = Acs_util.Trace
+module Metrics = Acs_util.Metrics
+
+let m_routed = lazy (Metrics.counter "fleet_routed_total")
+let m_handoffs = lazy (Metrics.counter "fleet_handoffs_total")
+let m_handoff_s = lazy (Metrics.histogram "fleet_handoff_seconds")
+
+type role = Unified | Prefill | Decode
+type routing = Round_robin | Least_loaded | Phase_affine
+
+type pool = {
+  name : string;
+  device : Device.t;
+  count : int;
+  role : role;
+  config : Simulator.config;
+}
+
+type t = { pools : pool list; routing : routing; handoff_gb_s : float option }
+
+let role_to_string = function
+  | Unified -> "unified"
+  | Prefill -> "prefill"
+  | Decode -> "decode"
+
+let routing_to_string = function
+  | Round_robin -> "round-robin"
+  | Least_loaded -> "least-loaded"
+  | Phase_affine -> "phase-affine"
+
+let pool ?name ?(role = Unified) ?(config = Simulator.default_config) ~count
+    device =
+  if count < 1 then invalid_arg "Cluster.pool: count must be >= 1";
+  let name =
+    match name with
+    | Some n -> n
+    | None -> (
+        match role with
+        | Unified -> device.Device.name
+        | Prefill -> "prefill:" ^ device.Device.name
+        | Decode -> "decode:" ^ device.Device.name)
+  in
+  { name; device; count; role; config }
+
+let disaggregated t = List.exists (fun p -> p.role = Prefill) t.pools
+
+let make ?(routing = Least_loaded) ?handoff_gb_s pools =
+  if pools = [] then invalid_arg "Cluster.make: at least one pool";
+  (match handoff_gb_s with
+  | Some b when b <= 0. ->
+      invalid_arg "Cluster.make: handoff_gb_s must be positive"
+  | _ -> ());
+  let names = List.map (fun p -> p.name) pools in
+  if List.length (List.sort_uniq compare names) <> List.length names then
+    invalid_arg
+      "Cluster.make: duplicate pool names (pass ~name to disambiguate)";
+  let has r = List.exists (fun p -> p.role = r) pools in
+  (match (has Unified, has Prefill, has Decode) with
+  | _, false, false | false, true, true -> ()
+  | _ ->
+      invalid_arg
+        "Cluster.make: pools must be all unified, or a prefill/decode split \
+         with both sides present");
+  { pools; routing; handoff_gb_s }
+
+type pool_stats = {
+  pool_name : string;
+  pool_role : role;
+  pool_count : int;
+  per_group : Simulator.stats array;
+  pool_completed : int;
+  pool_rejected : int;
+  pool_produced_tokens : int;
+  utilization : float;
+  occupancy : float;
+}
+
+type fleet_stats = {
+  outcomes : Simulator.request_outcome list;
+  rejected : Trace.request list;
+  pools : pool_stats list;
+  groups : int;
+  makespan_s : float;
+  serving_span_s : float;
+  generated_tokens : int;
+  produced_tokens : int;
+  throughput_tokens_per_s : float;
+  requests_per_s : float;
+  p50_ttft_s : float;
+  p95_ttft_s : float;
+  p50_tbt_s : float;
+  p95_tbt_s : float;
+  handoff_transfers : int;
+  handoff_bytes : float;
+  mean_handoff_s : float;
+}
+
+(* --- routing ---
+
+   A node is one scheduler instance plus the stepper it shares with its
+   pool siblings (the router prices requests with it under
+   [Phase_affine]). Routing happens in global arrival order; candidates
+   are advanced to the arrival time first, so load signals reflect what
+   each device will have finished by then. Stepping is otherwise deferred
+   to the final drain - per-instance schedules depend only on the
+   submitted set and order, so this is equivalent to a synchronous
+   co-simulation (and makes a 1-group fleet reproduce {!Simulator.run}
+   exactly). *)
+
+type node = { inst : Simulator.Instance.t; stepper : Simulator.stepper }
+
+type router = {
+  nodes : node array;
+  routing : routing;
+  mutable cursor : int;
+}
+
+(* Single-request service time on a candidate: the phase-affinity signal.
+   Batch-1 latencies overestimate amortized per-token cost, but they
+   overestimate every candidate consistently, and ranking is all routing
+   needs. *)
+let est_service_s (st : Simulator.stepper) ~prefilled (r : Trace.request) =
+  let prefill_t =
+    if prefilled then 0.
+    else st.Simulator.prefill_s ~batch:1 ~input_len:r.Trace.input_len
+  in
+  let decode_tokens = r.Trace.output_len - if prefilled then 0 else 1 in
+  if decode_tokens <= 0 then prefill_t
+  else
+    prefill_t
+    +. float_of_int decode_tokens
+       *. st.Simulator.decode_s ~batch:1 ~context:r.Trace.input_len
+
+let dispatch router ~prefilled (r : Trace.request) =
+  let nodes = router.nodes in
+  let n = Array.length nodes in
+  let advance () =
+    Array.iter
+      (fun nd -> Simulator.Instance.run_until nd.inst r.Trace.arrival_s)
+      nodes
+  in
+  let argmin score =
+    let best = ref 0 and best_score = ref (score nodes.(0)) in
+    for i = 1 to n - 1 do
+      let s = score nodes.(i) in
+      if s < !best_score then begin
+        best := i;
+        best_score := s
+      end
+    done;
+    nodes.(!best)
+  in
+  let chosen =
+    if n = 1 then nodes.(0)
+    else
+      match router.routing with
+      | Round_robin ->
+          let i = router.cursor mod n in
+          router.cursor <- router.cursor + 1;
+          nodes.(i)
+      | Least_loaded ->
+          advance ();
+          argmin (fun nd -> float_of_int (Simulator.Instance.load nd.inst))
+      | Phase_affine ->
+          advance ();
+          (* Estimated completion: backlog drain plus own service time,
+             both priced with the candidate's stepper. Heterogeneous
+             devices rank by phase-relevant speed; identical ones fall
+             back to load balancing through the backlog term. *)
+          argmin (fun nd ->
+              float_of_int (Simulator.Instance.load nd.inst)
+              *. nd.stepper.Simulator.decode_s ~batch:1
+                   ~context:r.Trace.input_len
+              +. est_service_s nd.stepper ~prefilled r)
+  in
+  Simulator.Instance.submit ~prefilled chosen.inst r;
+  Metrics.incr (Lazy.force m_routed)
+
+(* --- the fleet run --- *)
+
+let by_arrival (a : Trace.request) (b : Trace.request) =
+  compare a.Trace.arrival_s b.Trace.arrival_s
+
+let by_arrival_id (a : Trace.request) (b : Trace.request) =
+  compare (a.Trace.arrival_s, a.Trace.id) (b.Trace.arrival_s, b.Trace.id)
+
+let handoff_bytes_per_s (t : t) =
+  (match t.handoff_gb_s with
+  | Some gb -> gb
+  | None ->
+      List.fold_left
+        (fun acc p -> Float.min acc (Device.device_bandwidth_gb_s p.device))
+        infinity t.pools)
+  *. 1e9
+
+(* Full-model KV for the prompt plus the prefill's token: every layer's
+   cache crosses the link, regardless of how tp shards it at either
+   end. *)
+let handoff_kv_bytes (model : Model.t) ~input_len =
+  Model.kv_cache_bytes_per_token model
+  *. float_of_int model.Model.num_layers
+  *. float_of_int (input_len + 1)
+
+let run_fleet ?calib (t : t) model requests =
+  if requests = [] then invalid_arg "Cluster.run: empty trace";
+  let requests = List.stable_sort by_arrival requests in
+  let originals : (int, Trace.request) Hashtbl.t =
+    Hashtbl.create (List.length requests)
+  in
+  List.iter
+    (fun (r : Trace.request) ->
+      if Hashtbl.mem originals r.Trace.id then
+        invalid_arg
+          (Printf.sprintf
+             "Cluster.run: duplicate request id %d (ids key the \
+              prefill-to-decode handoff match)"
+             r.Trace.id);
+      Hashtbl.add originals r.Trace.id r)
+    requests;
+  let pools_nodes =
+    List.map
+      (fun p ->
+        let stepper =
+          Simulator.make_stepper ?calib ~config:p.config p.device model
+        in
+        ( p,
+          Array.init p.count (fun _ ->
+              {
+                inst =
+                  Simulator.Instance.create ~stepper ~config:p.config p.device
+                    model;
+                stepper;
+              }) ))
+      t.pools
+  in
+  let nodes_of_role want =
+    Array.concat
+      (List.filter_map
+         (fun (p, nds) -> if p.role = want then Some nds else None)
+         pools_nodes)
+  in
+  let all_nodes = Array.concat (List.map snd pools_nodes) in
+  let drain nodes = Array.iter (fun nd -> Simulator.Instance.drain nd.inst) nodes in
+  let handoff_transfers = ref 0 in
+  let handoff_bytes = ref 0. in
+  let handoff_seconds = ref 0. in
+  (* Merged per-original outcomes and rejects, in whatever order the
+     phases produce them; sorted once at the end. *)
+  let merged : Simulator.request_outcome list ref = ref [] in
+  let rejected : Trace.request list ref = ref [] in
+  if not (disaggregated t) then begin
+    let router = { nodes = all_nodes; routing = t.routing; cursor = 0 } in
+    List.iter (dispatch router ~prefilled:false) requests;
+    drain all_nodes;
+    Array.iter
+      (fun nd ->
+        let s = Simulator.Instance.stats nd.inst in
+        merged := s.Simulator.outcomes @ !merged;
+        rejected := s.Simulator.rejected @ !rejected)
+      all_nodes
+  end
+  else begin
+    let bw = handoff_bytes_per_s t in
+    if (not (Float.is_finite bw)) || bw <= 0. then
+      invalid_arg
+        "Cluster.run: fleet has no positive interconnect bandwidth for the \
+         KV handoff; pass ~handoff_gb_s";
+    let p_nodes = nodes_of_role Prefill and d_nodes = nodes_of_role Decode in
+    let p_router = { nodes = p_nodes; routing = t.routing; cursor = 0 } in
+    (* Phase 1: every request runs prefill (plus its first token) on the
+       prefill side. *)
+    List.iter
+      (fun (r : Trace.request) ->
+        dispatch p_router ~prefilled:false { r with Trace.output_len = 1 })
+      requests;
+    drain p_nodes;
+    let prefill_outcome : (int, Simulator.request_outcome) Hashtbl.t =
+      Hashtbl.create (List.length requests)
+    in
+    let decode_reqs = ref [] in
+    Array.iter
+      (fun nd ->
+        let s = Simulator.Instance.stats nd.inst in
+        List.iter
+          (fun (r : Trace.request) ->
+            rejected := Hashtbl.find originals r.Trace.id :: !rejected)
+          s.Simulator.rejected;
+        List.iter
+          (fun (o : Simulator.request_outcome) ->
+            let orig = Hashtbl.find originals o.Simulator.request.Trace.id in
+            Hashtbl.add prefill_outcome orig.Trace.id o;
+            if orig.Trace.output_len <= 1 then
+              (* Nothing left to decode: the prefill outcome is the whole
+                 request. *)
+              merged :=
+                {
+                  Simulator.request = orig;
+                  ttft_s = o.Simulator.ttft_s;
+                  tbt_s = 0.;
+                  finish_s = o.Simulator.finish_s;
+                }
+                :: !merged
+            else begin
+              (* Ship the KV and re-arrive on the decode side after the
+                 transfer; the one prefill token is already in the
+                 context, so the decode sub-request carries the remaining
+                 output. *)
+              let bytes = handoff_kv_bytes model ~input_len:orig.Trace.input_len in
+              let transfer = bytes /. bw in
+              incr handoff_transfers;
+              handoff_bytes := !handoff_bytes +. bytes;
+              handoff_seconds := !handoff_seconds +. transfer;
+              Metrics.incr (Lazy.force m_handoffs);
+              Metrics.observe (Lazy.force m_handoff_s) transfer;
+              decode_reqs :=
+                {
+                  orig with
+                  Trace.arrival_s = o.Simulator.finish_s +. transfer;
+                  input_len = orig.Trace.input_len + 1;
+                  output_len = orig.Trace.output_len - 1;
+                }
+                :: !decode_reqs
+            end)
+          s.Simulator.outcomes)
+      p_nodes;
+    (* Phase 2: decode-side continuation, arrivals in handoff order. *)
+    let d_router = { nodes = d_nodes; routing = t.routing; cursor = 0 } in
+    List.iter
+      (dispatch d_router ~prefilled:true)
+      (List.sort by_arrival_id !decode_reqs);
+    drain d_nodes;
+    Array.iter
+      (fun nd ->
+        let s = Simulator.Instance.stats nd.inst in
+        List.iter
+          (fun (r : Trace.request) ->
+            rejected := Hashtbl.find originals r.Trace.id :: !rejected)
+          s.Simulator.rejected;
+        List.iter
+          (fun (o : Simulator.request_outcome) ->
+            let orig = Hashtbl.find originals o.Simulator.request.Trace.id in
+            let p = Hashtbl.find prefill_outcome orig.Trace.id in
+            let rest = orig.Trace.output_len - 1 in
+            merged :=
+              {
+                Simulator.request = orig;
+                (* First token came off the prefill side; everything
+                   after it - transfer, decode queueing, decode steps -
+                   spreads over the remaining tokens. *)
+                ttft_s = p.Simulator.ttft_s;
+                tbt_s =
+                  (o.Simulator.finish_s -. p.Simulator.finish_s)
+                  /. float_of_int rest;
+                finish_s = o.Simulator.finish_s;
+              }
+              :: !merged)
+          s.Simulator.outcomes)
+      d_nodes
+  end;
+  (* --- aggregate --- *)
+  let outcomes =
+    List.sort
+      (fun (a : Simulator.request_outcome) (b : Simulator.request_outcome) ->
+        compare
+          (a.Simulator.finish_s, a.Simulator.request.Trace.id)
+          (b.Simulator.finish_s, b.Simulator.request.Trace.id))
+      !merged
+  in
+  let rejected = List.sort by_arrival_id !rejected in
+  let stats_by_pool =
+    List.map
+      (fun (p, nds) ->
+        (p, Array.map (fun nd -> Simulator.Instance.stats nd.inst) nds))
+      pools_nodes
+  in
+  let makespan_s =
+    List.fold_left
+      (fun acc (_, sts) ->
+        Array.fold_left
+          (fun acc s -> Float.max acc s.Simulator.makespan_s)
+          acc sts)
+      0. stats_by_pool
+  in
+  let first_arrival = (List.hd requests).Trace.arrival_s in
+  let span = makespan_s -. first_arrival in
+  let span = if span > 0. && Float.is_finite span then span else 0. in
+  let pools =
+    List.map
+      (fun (p, sts) ->
+        let sum f = Array.fold_left (fun acc s -> acc + f s) 0 sts in
+        let busy =
+          Array.fold_left (fun acc s -> acc +. s.Simulator.busy_s) 0. sts
+        in
+        let occ_weighted =
+          Array.fold_left
+            (fun acc s ->
+              acc +. (s.Simulator.mean_batch_occupancy *. s.Simulator.busy_s))
+            0. sts
+        in
+        {
+          pool_name = p.name;
+          pool_role = p.role;
+          pool_count = p.count;
+          per_group = sts;
+          pool_completed = sum (fun s -> List.length s.Simulator.outcomes);
+          pool_rejected = sum (fun s -> List.length s.Simulator.rejected);
+          pool_produced_tokens = sum (fun s -> s.Simulator.produced_tokens);
+          utilization =
+            (if span > 0. then busy /. (float_of_int p.count *. span) else 0.);
+          occupancy = (if busy > 0. then occ_weighted /. busy else 0.);
+        })
+      stats_by_pool
+  in
+  let generated_tokens =
+    List.fold_left
+      (fun acc (o : Simulator.request_outcome) ->
+        acc + o.Simulator.request.Trace.output_len)
+      0 outcomes
+  in
+  let produced_tokens =
+    List.fold_left (fun acc ps -> acc + ps.pool_produced_tokens) 0 pools
+  in
+  let completed = List.length outcomes in
+  let ttfts = List.map (fun (o : Simulator.request_outcome) -> o.Simulator.ttft_s) outcomes in
+  let ttfts = if ttfts = [] then [ 0. ] else ttfts in
+  let tbts =
+    List.filter_map
+      (fun (o : Simulator.request_outcome) ->
+        if o.Simulator.tbt_s > 0. then Some o.Simulator.tbt_s else None)
+      outcomes
+  in
+  let tbts = if tbts = [] then [ 0. ] else tbts in
+  {
+    outcomes;
+    rejected;
+    pools;
+    groups = Array.length all_nodes;
+    makespan_s;
+    serving_span_s = span;
+    generated_tokens;
+    produced_tokens;
+    throughput_tokens_per_s =
+      (if span > 0. then float_of_int generated_tokens /. span else 0.);
+    requests_per_s =
+      (if span > 0. then float_of_int completed /. span else 0.);
+    p50_ttft_s = Stats.percentile 50. ttfts;
+    p95_ttft_s = Stats.percentile 95. ttfts;
+    p50_tbt_s = Stats.percentile 50. tbts;
+    p95_tbt_s = Stats.percentile 95. tbts;
+    handoff_transfers = !handoff_transfers;
+    handoff_bytes = !handoff_bytes;
+    mean_handoff_s =
+      (if !handoff_transfers > 0 then
+         !handoff_seconds /. float_of_int !handoff_transfers
+       else 0.);
+  }
+
+let run ?calib (t : t) model requests =
+  if not (Span.enabled ()) then run_fleet ?calib t model requests
+  else
+    Span.with_span "fleet.run"
+      ~attrs:
+        [ ("pools", Span.Int (List.length t.pools));
+          ( "groups",
+            Span.Int (List.fold_left (fun acc p -> acc + p.count) 0 t.pools) );
+          ("routing", Span.Str (routing_to_string t.routing));
+          ("disaggregated", Span.Str (string_of_bool (disaggregated t)));
+          ("requests", Span.Int (List.length requests)) ]
+      (fun () ->
+        let s = run_fleet ?calib t model requests in
+        Span.add_attr "generated_tokens" (Span.Int s.generated_tokens);
+        Span.add_attr "makespan_s" (Span.Float s.makespan_s);
+        s)
+
+let slo_attainment fs ~ttft_s ~tbt_s =
+  if ttft_s <= 0. || tbt_s <= 0. then
+    invalid_arg "Cluster.slo_attainment: objectives must be positive";
+  match fs.outcomes with
+  | [] -> 1.
+  | outcomes ->
+      let ok (o : Simulator.request_outcome) =
+        o.Simulator.ttft_s <= ttft_s
+        && (o.Simulator.request.Trace.output_len <= 1
+           || o.Simulator.tbt_s <= tbt_s)
+      in
+      float_of_int (List.length (List.filter ok outcomes))
+      /. float_of_int (List.length outcomes)
+
+let devices_for_qps fs ~target_qps =
+  if target_qps <= 0. then
+    invalid_arg "Cluster.devices_for_qps: target_qps must be positive";
+  if fs.requests_per_s <= 0. then []
+  else
+    List.map
+      (fun ps ->
+        (* The pool sustained the fleet's request rate at its measured
+           utilization, so its groups saturate at [rate / utilization];
+           scale the group count to put [target_qps] at full busy. *)
+        let need =
+          int_of_float
+            (ceil
+               (target_qps *. ps.utilization *. float_of_int ps.pool_count
+               /. fs.requests_per_s))
+        in
+        (ps.pool_name, max 1 need))
+      fs.pools
+
+let silicon_usd_per_mtok ?(lifetime_years = 3.) ~die_cost_usd (t : t) fs =
+  let silicon =
+    List.fold_left
+      (fun acc p ->
+        acc
+        +. float_of_int (p.count * p.config.Simulator.tp)
+           *. die_cost_usd p.device)
+      0. t.pools
+  in
+  let tokens =
+    fs.throughput_tokens_per_s *. lifetime_years *. 365.25 *. 86400.
+  in
+  if tokens <= 0. then infinity else silicon /. tokens *. 1e6
+
+let pp_fleet_stats ppf fs =
+  Format.fprintf ppf
+    "%d requests%s, %d tokens in %.1f s (%.0f tok/s, %.2f req/s) on %d \
+     groups; TTFT p50/p95 %.0f/%.0f ms; TBT p50/p95 %.1f/%.1f ms%s"
+    (List.length fs.outcomes)
+    (match List.length fs.rejected with
+    | 0 -> ""
+    | n -> Printf.sprintf " (+%d rejected)" n)
+    fs.generated_tokens fs.makespan_s fs.throughput_tokens_per_s
+    fs.requests_per_s fs.groups (1e3 *. fs.p50_ttft_s) (1e3 *. fs.p95_ttft_s)
+    (1e3 *. fs.p50_tbt_s) (1e3 *. fs.p95_tbt_s)
+    (if fs.handoff_transfers = 0 then ""
+     else
+       Printf.sprintf "; %d KV handoffs (%.1f GiB, mean %.2f ms)"
+         fs.handoff_transfers
+         (fs.handoff_bytes /. (1024. ** 3.))
+         (1e3 *. fs.mean_handoff_s));
+  List.iter
+    (fun ps ->
+      Format.fprintf ppf
+        "@\n  %-16s %-8s x%-3d util %4.0f%%  occ %5.1f  %6d done  %3d rej  \
+         %9d tok"
+        ps.pool_name
+        (role_to_string ps.pool_role)
+        ps.pool_count
+        (100. *. ps.utilization)
+        ps.occupancy ps.pool_completed ps.pool_rejected ps.pool_produced_tokens)
+    fs.pools

@@ -59,6 +59,7 @@ type stats = {
   produced_tokens : int;
   throughput_tokens_per_s : float;
   mean_batch_occupancy : float;
+  busy_s : float;
   p50_ttft_s : float;
   p95_ttft_s : float;
   p50_tbt_s : float;
@@ -107,7 +108,12 @@ let kv_capacity_batch config dev model ~context =
    hundred keys, so almost every step is a hashtable hit. The legacy
    engine re-runs [Engine.simulate] per step - kept as the baseline the
    [serving_throughput] bench compares against. Both engines see the
-   same bucketed lengths, so their schedules (and stats) are identical. *)
+   same bucketed lengths, so their schedules (and stats) are identical.
+
+   A stepper is a value so a fleet of identical devices can share one:
+   the memo inside is keyed purely on (phase, batch, length), which only
+   depends on (config, device, model) - exactly the sharing key
+   {!Cluster} uses. *)
 
 type stepper = {
   prefill_s : batch:int -> input_len:int -> float;
@@ -125,7 +131,7 @@ let step_request ~prefill ~batch ~len =
      length is irrelevant beyond being >= 1. *)
   Request.make ~batch ~input_len:len ~output_len:(if prefill then 1 else 0)
 
-let make_stepper ~config ~calib dev model =
+let make_stepper ?calib ~config dev model =
   let of_result ~prefill r =
     if prefill then Engine.model_ttft_s r else Engine.model_tbt_s r
   in
@@ -164,126 +170,272 @@ let make_stepper ~config ~calib dev model =
         eval ~prefill:false ~batch ~len:(bucketed config context));
   }
 
-(* Mutable per-request bookkeeping. *)
-type active = {
+(* --- the per-device instance ---
+
+   The event-driven scheduler as a steppable value: requests are submitted
+   over (simulated) time, [step] runs one scheduler iteration, and [stats]
+   snapshots the accounting. [run] below is submit-everything-then-drain;
+   {!Cluster} interleaves submission with stepping to route a shared trace
+   across many instances. *)
+
+(* Mutable per-request bookkeeping. [prefilled] marks requests whose KV
+   arrived from another device (disaggregated handoff): admission reserves
+   their KV but runs no prefill batch - they join the decode set directly
+   and their first token is the first local decode step. *)
+type entry = {
   req : Trace.request;
-  first_token_s : float;
-  mutable produced : int;  (** tokens generated, including the first *)
+  prefilled : bool;
+  mutable first_token_s : float;  (** nan until the first token *)
+  mutable produced : int;
   mutable context : int;
 }
 
-let run_sim ~config ~calib dev model requests =
-  if requests = [] then invalid_arg "Simulator.run: empty trace";
-  if config.tp < 1 then invalid_arg "Simulator.run: tp must be >= 1";
-  if config.max_batch < 1 then invalid_arg "Simulator.run: max_batch must be >= 1";
-  let capacity = dev.Device.memory.Memory.capacity_bytes in
-  let weights = weight_bytes_per_device config model in
-  if weights >= capacity then
-    raise
-      (Infeasible
-         (Printf.sprintf
-            "%s at tp=%d needs %.1f GiB of weights per device but %s has only \
-             %.1f GiB of HBM - no KV cache can fit"
-            model.Model.name config.tp
-            (weights /. (1024. ** 3.))
-            dev.Device.name
-            (capacity /. (1024. ** 3.))));
-  let kv_tok = kv_bytes_per_token_per_device config model in
-  let free = capacity -. weights in
-  (* A request's KV footprint peaks at completion: input_len prompt tokens
-     plus every generated token stay resident until it finishes. Admission
-     reserves that whole trajectory, so live KV can never outgrow HBM no
-     matter how contexts evolve - KV-safe by construction, with no
-     preemption path needed. *)
-  let reserve (r : Trace.request) =
-    kv_tok *. float_of_int (r.Trace.input_len + r.Trace.output_len)
-  in
-  (* Requests whose KV can never fit even alone would otherwise pin the
-     FCFS queue head forever; mark them rejected up front instead. *)
-  let feasible, rejected =
-    List.partition (fun r -> reserve r <= free) requests
-  in
-  if rejected <> [] then
-    Metrics.incr ~by:(List.length rejected) (Lazy.force m_rejected);
-  let waiting =
-    ref
-      (List.sort
-         (fun (a : Trace.request) b -> compare a.Trace.arrival_s b.Trace.arrival_s)
-         feasible)
-  in
-  let active : active list ref = ref [] in
-  let outcomes = ref [] in
-  let clock = ref 0. in
-  let busy_weighted = ref 0. in
-  let busy_time = ref 0. in
-  let prefill_batches = ref 0 in
-  let decode_steps = ref 0 in
-  let produced_tokens = ref 0 in
-  let reserved = ref 0. in
-  let peak = ref weights in
-  let last_was_prefill = ref false in
-  let stepper = make_stepper ~config ~calib dev model in
-  let live_bytes () =
-    weights
-    +. (kv_tok
-       *. float_of_int (List.fold_left (fun acc a -> acc + a.context) 0 !active))
-  in
-  let note_peak () = peak := Float.max !peak (live_bytes ()) in
-  (* FCFS admission: walk the queue head while requests have arrived and
-     their reservations fit next to everything already resident. The first
-     non-fitting (or future) request blocks the rest - no head-of-line
-     bypass, so admission order is exactly arrival order. *)
-  let admissible () =
-    let rec take acc res n queue =
-      match queue with
-      | (r : Trace.request) :: rest
-        when n > 0 && r.Trace.arrival_s <= !clock && res +. reserve r <= free ->
-          take (r :: acc) (res +. reserve r) (n - 1) rest
-      | _ -> (List.rev acc, queue)
+module Instance = struct
+  (* The waiting queue is FCFS in submission (= arrival) order, stored as
+     the classic two-list functional queue so both [submit] and admission
+     pops are O(1) amortized even with a million-request backlog. *)
+  type t = {
+    config : config;
+    stepper : stepper;
+    capacity : float;
+    weights : float;
+    kv_tok : float;
+    free : float;
+    mutable q_front : (Trace.request * bool) list;
+    mutable q_back : (Trace.request * bool) list;  (** newest first *)
+    mutable active : entry list;
+    mutable outcomes : request_outcome list;
+    mutable rejected_rev : Trace.request list;
+    mutable clock : float;
+    mutable busy_weighted : float;
+    mutable busy_time : float;
+    mutable prefill_batches : int;
+    mutable decode_steps : int;
+    mutable produced_tokens : int;
+    mutable reserved : float;
+    mutable peak : float;
+    mutable last_was_prefill : bool;
+    (* Submission accounting for the final stats. *)
+    mutable submitted : int;
+    mutable first_arrival : float;
+    mutable context_sum : int;
+    (* Outstanding-work estimate for router load balancing. *)
+    mutable work_tokens : int;
+  }
+
+  let reserve inst (r : Trace.request) =
+    inst.kv_tok *. float_of_int (r.Trace.input_len + r.Trace.output_len)
+
+  let create ?calib ?stepper ~config dev model =
+    if config.tp < 1 then invalid_arg "Simulator.run: tp must be >= 1";
+    if config.max_batch < 1 then
+      invalid_arg "Simulator.run: max_batch must be >= 1";
+    let capacity = dev.Device.memory.Memory.capacity_bytes in
+    let weights = weight_bytes_per_device config model in
+    if weights >= capacity then
+      raise
+        (Infeasible
+           (Printf.sprintf
+              "%s at tp=%d needs %.1f GiB of weights per device but %s has \
+               only %.1f GiB of HBM - no KV cache can fit"
+              model.Model.name config.tp
+              (weights /. (1024. ** 3.))
+              dev.Device.name
+              (capacity /. (1024. ** 3.))));
+    let stepper =
+      match stepper with
+      | Some s -> s
+      | None -> make_stepper ?calib ~config dev model
     in
-    take [] !reserved (config.max_batch - List.length !active) !waiting
-  in
-  let finish (a : active) =
+    let kv_tok = kv_bytes_per_token_per_device config model in
+    {
+      config;
+      stepper;
+      capacity;
+      weights;
+      kv_tok;
+      free = capacity -. weights;
+      q_front = [];
+      q_back = [];
+      active = [];
+      outcomes = [];
+      rejected_rev = [];
+      clock = 0.;
+      busy_weighted = 0.;
+      busy_time = 0.;
+      prefill_batches = 0;
+      decode_steps = 0;
+      produced_tokens = 0;
+      reserved = 0.;
+      peak = weights;
+      last_was_prefill = false;
+      submitted = 0;
+      first_arrival = infinity;
+      context_sum = 0;
+      work_tokens = 0;
+    }
+
+  (* Requests whose KV can never fit even alone would otherwise pin the
+     FCFS queue head forever; mark them rejected at submission instead.
+     Requests must be submitted in (fleet-wide) arrival order - the queue
+     is FCFS by construction. *)
+  let submit ?(prefilled = false) inst (r : Trace.request) =
+    inst.submitted <- inst.submitted + 1;
+    inst.first_arrival <- Float.min inst.first_arrival r.Trace.arrival_s;
+    inst.context_sum <-
+      inst.context_sum + r.Trace.input_len + (r.Trace.output_len / 2);
+    if reserve inst r > inst.free then begin
+      inst.rejected_rev <- r :: inst.rejected_rev;
+      Metrics.incr (Lazy.force m_rejected)
+    end
+    else begin
+      (* A prefilled request costs this device only its remaining decode
+         tokens; a fresh one also has its whole prompt to process. *)
+      inst.work_tokens <-
+        inst.work_tokens + r.Trace.output_len
+        + (if prefilled then 0 else r.Trace.input_len);
+      inst.q_back <- (r, prefilled) :: inst.q_back
+    end
+
+  let queue_head inst =
+    (match (inst.q_front, inst.q_back) with
+    | [], (_ :: _ as back) ->
+        inst.q_front <- List.rev back;
+        inst.q_back <- []
+    | _ -> ());
+    match inst.q_front with [] -> None | head :: _ -> Some head
+
+  let queue_pop inst =
+    match inst.q_front with
+    | head :: rest ->
+        inst.q_front <- rest;
+        head
+    | [] -> assert false (* callers pop only after a successful peek *)
+
+  let now inst = inst.clock
+  let idle inst = inst.q_front = [] && inst.q_back = [] && inst.active = []
+  let load inst = inst.work_tokens
+
+  let live_bytes inst =
+    inst.weights
+    +. inst.kv_tok
+       *. float_of_int
+            (List.fold_left (fun acc a -> acc + a.context) 0 inst.active)
+
+  let note_peak inst = inst.peak <- Float.max inst.peak (live_bytes inst)
+
+  let finish inst (a : entry) =
     let tokens_after_first = a.req.Trace.output_len - 1 in
-    outcomes :=
+    inst.outcomes <-
       {
         request = a.req;
         ttft_s = a.first_token_s -. a.req.Trace.arrival_s;
         tbt_s =
           (if tokens_after_first <= 0 then 0.
-           else (!clock -. a.first_token_s) /. float_of_int tokens_after_first);
-        finish_s = !clock;
+           else
+             (inst.clock -. a.first_token_s) /. float_of_int tokens_after_first);
+        finish_s = inst.clock;
       }
-      :: !outcomes;
-    reserved := !reserved -. reserve a.req
-  in
-  while !waiting <> [] || !active <> [] do
+      :: inst.outcomes;
+    inst.reserved <- inst.reserved -. reserve inst a.req
+
+  (* FCFS admission: walk the queue head while requests have arrived and
+     their reservations fit next to everything already resident. The first
+     non-fitting (or future) request blocks the rest - no head-of-line
+     bypass, so admission order is exactly arrival order. A head request is
+     admissible when it has arrived, its reservation fits, and a batch slot
+     is open. *)
+  let head_admissible inst ~slots =
+    slots > 0
+    &&
+    match queue_head inst with
+    | Some (r, _) ->
+        r.Trace.arrival_s <= inst.clock
+        && inst.reserved +. reserve inst r <= inst.free
+    | None -> false
+
+  (* Prefilled requests at the queue head join the decode set instantly:
+     their KV is already materialized (the handoff delay was paid as
+     arrival time), so admission costs reservation bookkeeping and nothing
+     else - no prefill batch, no clock advance. Joins stop at the first
+     fresh (or blocked) head, keeping admission strictly FCFS even in a
+     mixed queue. *)
+  let join_prefilled inst =
+    let joined = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let slots = inst.config.max_batch - List.length inst.active in
+      match queue_head inst with
+      | Some (r, true) when head_admissible inst ~slots ->
+          ignore (queue_pop inst);
+          inst.reserved <- inst.reserved +. reserve inst r;
+          incr joined;
+          inst.active <-
+            inst.active
+            @ [
+                {
+                  req = r;
+                  prefilled = true;
+                  first_token_s = Float.nan;
+                  produced = 0;
+                  context = r.Trace.input_len;
+                };
+              ]
+      | _ -> continue := false
+    done;
+    if !joined > 0 then begin
+      Metrics.incr ~by:!joined (Lazy.force m_admitted);
+      note_peak inst
+    end
+
+  (* Pop the maximal admissible run of fresh requests at the queue head,
+     reserving as it goes. Called only once the policy has decided to run
+     a prefill batch. *)
+  let take_fresh inst =
+    let rec take acc n =
+      if n <= 0 then List.rev acc
+      else
+        match queue_head inst with
+        | Some (r, false)
+          when r.Trace.arrival_s <= inst.clock
+               && inst.reserved +. reserve inst r <= inst.free ->
+            ignore (queue_pop inst);
+            inst.reserved <- inst.reserved +. reserve inst r;
+            take (r :: acc) (n - 1)
+        | _ -> List.rev acc
+    in
+    take [] (inst.config.max_batch - List.length inst.active)
+
+  let step inst =
     (* Float hygiene: releases are interleaved with later reservations, so
        [reserved] can drain to a tiny nonzero residue instead of exactly 0.
        Snapping it when the batch empties keeps admission exact there - a
        feasible queue head must always fit into an empty batch. *)
-    if !active = [] then reserved := 0.;
+    if inst.active = [] then inst.reserved <- 0.;
     (* Event jump: with nothing resident, advance straight to the next
        arrival instead of spinning. *)
-    (match (!active, !waiting) with
-    | [], next :: _ when next.Trace.arrival_s > !clock ->
-        clock := next.Trace.arrival_s
+    (match (inst.active, queue_head inst) with
+    | [], Some (next, _) when next.Trace.arrival_s > inst.clock ->
+        inst.clock <- next.Trace.arrival_s
     | _ -> ());
-    let admitted, rest = admissible () in
-    let can_prefill = admitted <> [] in
-    let can_decode = !active <> [] in
+    join_prefilled inst;
+    let slots = inst.config.max_batch - List.length inst.active in
+    let can_prefill =
+      head_admissible inst ~slots
+      && match queue_head inst with Some (_, pre) -> not pre | None -> false
+    in
+    let can_decode = inst.active <> [] in
     let do_prefill =
       can_prefill
       && ((not can_decode)
          ||
-         match config.policy with
+         match inst.config.policy with
          | Prefill_priority -> true
-         | Decode_fair -> not !last_was_prefill)
+         | Decode_fair -> not inst.last_was_prefill)
     in
     if do_prefill then begin
-      last_was_prefill := true;
-      waiting := rest;
-      List.iter (fun r -> reserved := !reserved +. reserve r) admitted;
+      inst.last_was_prefill <- true;
+      let admitted = take_fresh inst in
       let batch = List.length admitted in
       let input_len =
         List.fold_left (fun acc r -> max acc r.Trace.input_len) 1 admitted
@@ -292,39 +444,42 @@ let run_sim ~config ~calib dev model requests =
       Metrics.incr ~by:batch (Lazy.force m_admitted);
       Metrics.observe (Lazy.force m_occupancy) (float_of_int batch);
       let t =
-        let step () = stepper.prefill_s ~batch ~input_len in
+        let step () = inst.stepper.prefill_s ~batch ~input_len in
         if not (Span.enabled ()) then step ()
         else
           Span.with_span "serve.prefill"
             ~attrs:
               [ ("admitted", Span.Int batch);
                 ("input_len", Span.Int input_len);
-                ("kv_free_bytes", Span.Float (free -. !reserved)) ]
+                ("kv_free_bytes", Span.Float (inst.free -. inst.reserved)) ]
             step
       in
-      clock := !clock +. t;
-      busy_weighted := !busy_weighted +. (float_of_int batch *. t);
-      busy_time := !busy_time +. t;
-      incr prefill_batches;
-      produced_tokens := !produced_tokens + batch;
+      inst.clock <- inst.clock +. t;
+      inst.busy_weighted <- inst.busy_weighted +. (float_of_int batch *. t);
+      inst.busy_time <- inst.busy_time +. t;
+      inst.prefill_batches <- inst.prefill_batches + 1;
+      inst.produced_tokens <- inst.produced_tokens + batch;
       List.iter
         (fun (r : Trace.request) ->
+          inst.work_tokens <-
+            inst.work_tokens - r.Trace.input_len - min 1 r.Trace.output_len;
           let entry =
             {
               req = r;
-              first_token_s = !clock;
+              prefilled = false;
+              first_token_s = inst.clock;
               produced = 1;
               context = r.Trace.input_len + 1;
             }
           in
-          if r.Trace.output_len <= 1 then finish entry
-          else active := !active @ [ entry ])
+          if r.Trace.output_len <= 1 then finish inst entry
+          else inst.active <- inst.active @ [ entry ])
         admitted;
-      note_peak ()
+      note_peak inst
     end
     else if can_decode then begin
-      last_was_prefill := false;
-      let batch_list = !active in
+      inst.last_was_prefill <- false;
+      let batch_list = inst.active in
       let batch = List.length batch_list in
       let context =
         List.fold_left (fun acc a -> acc + a.context) 0 batch_list / batch
@@ -332,96 +487,125 @@ let run_sim ~config ~calib dev model requests =
       Metrics.incr (Lazy.force m_decodes);
       Metrics.observe (Lazy.force m_occupancy) (float_of_int batch);
       let t =
-        let step () = stepper.decode_s ~batch ~context in
+        let step () = inst.stepper.decode_s ~batch ~context in
         if not (Span.enabled ()) then step ()
         else
           Span.with_span "serve.decode"
             ~attrs:
               [ ("batch", Span.Int batch);
                 ("context", Span.Int context);
-                ("kv_free_bytes", Span.Float (free -. !reserved)) ]
+                ("kv_free_bytes", Span.Float (inst.free -. inst.reserved)) ]
             step
       in
-      clock := !clock +. t;
-      busy_weighted := !busy_weighted +. (float_of_int batch *. t);
-      busy_time := !busy_time +. t;
-      incr decode_steps;
-      produced_tokens := !produced_tokens + batch;
+      inst.clock <- inst.clock +. t;
+      inst.busy_weighted <- inst.busy_weighted +. (float_of_int batch *. t);
+      inst.busy_time <- inst.busy_time +. t;
+      inst.decode_steps <- inst.decode_steps + 1;
+      inst.produced_tokens <- inst.produced_tokens + batch;
+      inst.work_tokens <- inst.work_tokens - batch;
       List.iter
         (fun a ->
           a.produced <- a.produced + 1;
-          a.context <- a.context + 1)
+          a.context <- a.context + 1;
+          if Float.is_nan a.first_token_s then a.first_token_s <- inst.clock)
         batch_list;
-      note_peak ();
+      note_peak inst;
       let finished, still_active =
-        List.partition (fun a -> a.produced >= a.req.Trace.output_len) batch_list
+        List.partition
+          (fun a -> a.produced >= a.req.Trace.output_len)
+          batch_list
       in
-      List.iter finish finished;
-      active := still_active
+      List.iter (finish inst) finished;
+      inst.active <- still_active
     end
     else begin
       (* Nothing resident and the queue head has not arrived; unreachable
          given the event jump above, but advance defensively rather than
          spin. *)
-      match !waiting with
-      | next :: _ -> clock := Float.max !clock next.Trace.arrival_s
-      | [] -> ()
+      match queue_head inst with
+      | Some (next, _) ->
+          inst.clock <- Float.max inst.clock next.Trace.arrival_s
+      | None -> ()
     end
-  done;
-  let outcomes = List.rev !outcomes in
-  let generated_tokens =
-    List.fold_left (fun acc o -> acc + o.request.Trace.output_len) 0 outcomes
-  in
-  (* Throughput over the span the server was actually serving: the clock
-     starts at 0 but the first request may arrive arbitrarily late, and that
-     idle lead-in says nothing about the hardware. *)
-  let first_arrival =
-    List.fold_left
-      (fun acc (r : Trace.request) -> Float.min acc r.Trace.arrival_s)
-      infinity requests
-  in
-  let serving_span = !clock -. first_arrival in
-  let throughput =
-    if serving_span > 0. then float_of_int generated_tokens /. serving_span
-    else 0.
-  in
-  let ttfts = List.map (fun o -> o.ttft_s) outcomes in
-  let ttfts = if ttfts = [] then [ 0. ] else ttfts in
-  let tbts =
-    List.filter_map
-      (fun o -> if o.tbt_s > 0. then Some o.tbt_s else None)
-      outcomes
-  in
-  let tbts = if tbts = [] then [ 0. ] else tbts in
-  let mean_context =
-    let n = float_of_int (List.length requests) in
-    let sum =
-      List.fold_left
-        (fun acc (r : Trace.request) ->
-          acc + r.Trace.input_len + (r.Trace.output_len / 2))
-        0 requests
+
+  let run_until inst horizon =
+    while (not (idle inst)) && inst.clock < horizon do
+      step inst
+    done
+
+  let drain inst =
+    while not (idle inst) do
+      step inst
+    done
+
+  let stats inst =
+    let outcomes = List.rev inst.outcomes in
+    let generated_tokens =
+      List.fold_left (fun acc o -> acc + o.request.Trace.output_len) 0 outcomes
     in
-    max 1 (int_of_float (float_of_int sum /. n))
-  in
-  {
-    outcomes;
-    rejected;
-    makespan_s = !clock;
-    generated_tokens;
-    produced_tokens = !produced_tokens;
-    throughput_tokens_per_s = throughput;
-    mean_batch_occupancy =
-      (if !busy_time > 0. then !busy_weighted /. !busy_time else 0.);
-    p50_ttft_s = Stats.percentile 50. ttfts;
-    p95_ttft_s = Stats.percentile 95. ttfts;
-    p50_tbt_s = Stats.percentile 50. tbts;
-    p95_tbt_s = Stats.percentile 95. tbts;
-    kv_limited_batch = kv_capacity_batch config dev model ~context:mean_context;
-    prefill_batches = !prefill_batches;
-    decode_steps = !decode_steps;
-    peak_hbm_bytes = !peak;
-    hbm_capacity_bytes = capacity;
-  }
+    (* Throughput over the span the server was actually serving: the clock
+       starts at 0 but the first request may arrive arbitrarily late, and
+       that idle lead-in says nothing about the hardware. *)
+    let serving_span = inst.clock -. inst.first_arrival in
+    let throughput =
+      if serving_span > 0. && Float.is_finite serving_span then
+        float_of_int generated_tokens /. serving_span
+      else 0.
+    in
+    let ttfts = List.map (fun o -> o.ttft_s) outcomes in
+    let ttfts = if ttfts = [] then [ 0. ] else ttfts in
+    let tbts =
+      List.filter_map
+        (fun o -> if o.tbt_s > 0. then Some o.tbt_s else None)
+        outcomes
+    in
+    let tbts = if tbts = [] then [ 0. ] else tbts in
+    let mean_context =
+      if inst.submitted = 0 then 1
+      else
+        max 1
+          (int_of_float
+             (float_of_int inst.context_sum /. float_of_int inst.submitted))
+    in
+    let kv_limited_batch =
+      (* The informational mean-context batch bound, inlined from
+         [kv_capacity_batch] against the instance's own free-HBM figure. *)
+      let per_request = inst.kv_tok *. float_of_int mean_context in
+      if inst.free <= 0. then 0
+      else min inst.config.max_batch (int_of_float (inst.free /. per_request))
+    in
+    {
+      outcomes;
+      rejected = List.rev inst.rejected_rev;
+      makespan_s = inst.clock;
+      generated_tokens;
+      produced_tokens = inst.produced_tokens;
+      throughput_tokens_per_s = throughput;
+      mean_batch_occupancy =
+        (if inst.busy_time > 0. then inst.busy_weighted /. inst.busy_time
+         else 0.);
+      busy_s = inst.busy_time;
+      p50_ttft_s = Stats.percentile 50. ttfts;
+      p95_ttft_s = Stats.percentile 95. ttfts;
+      p50_tbt_s = Stats.percentile 50. tbts;
+      p95_tbt_s = Stats.percentile 95. tbts;
+      kv_limited_batch;
+      prefill_batches = inst.prefill_batches;
+      decode_steps = inst.decode_steps;
+      peak_hbm_bytes = inst.peak;
+      hbm_capacity_bytes = inst.capacity;
+    }
+end
+
+let by_arrival (a : Trace.request) (b : Trace.request) =
+  compare a.Trace.arrival_s b.Trace.arrival_s
+
+let run_sim ~config ~calib dev model requests =
+  if requests = [] then invalid_arg "Simulator.run: empty trace";
+  let inst = Instance.create ?calib ~config dev model in
+  List.iter (Instance.submit inst) (List.stable_sort by_arrival requests);
+  Instance.drain inst;
+  Instance.stats inst
 
 let run ?(config = default_config) ?calib dev model requests =
   if not (Span.enabled ()) then run_sim ~config ~calib dev model requests

@@ -98,6 +98,11 @@ type stats = {
   mean_batch_occupancy : float;
       (** time-weighted mean batch size across {e all} iterations,
           prefill batches included *)
+  busy_s : float;
+      (** seconds the device spent running prefill batches or decode
+          steps - the makespan minus empty-batch idle time. Utilization
+          over a span is [busy_s / span]; {!Cluster} reports it per
+          pool. *)
   p50_ttft_s : float;
   p95_ttft_s : float;
   p50_tbt_s : float;
@@ -135,6 +140,89 @@ val run :
   stats
 (** Simulates the whole trace; raises [Invalid_argument] on an empty
     trace or a non-positive [tp]/[max_batch], and {!Infeasible} when the
-    weights alone exceed HBM. *)
+    weights alone exceed HBM. [rejected] is reported in arrival order.
+    Implemented as submit-everything-then-drain over {!Instance}. *)
 
 val pp_stats : Format.formatter -> stats -> unit
+
+(** {2 Incremental stepping (the fleet building block)}
+
+    {!run} simulates one device against a complete trace. A fleet
+    simulator ({!Cluster}) instead interleaves {e submission} with
+    {e stepping} across many devices: requests are routed as they arrive,
+    and each device advances its own clock one scheduler iteration at a
+    time. [stepper] and [Instance] expose exactly that seam. *)
+
+type stepper = {
+  prefill_s : batch:int -> input_len:int -> float;
+  decode_s : batch:int -> context:int -> float;
+}
+(** Step-latency oracle for one (config, device, model) triple: maps
+    (phase, batch, length) to seconds through the configured engine,
+    bucketing lengths per the config before evaluation. On the [Compiled]
+    engine the memo lives inside the stepper value, so sharing one
+    stepper across the instances of identical devices shares the memo - a
+    fleet of N equal devices pays the engine once, not N times, per
+    distinct step shape. The fields are exposed (rather than kept
+    abstract) because {!Cluster}'s phase-affine router prices a request
+    on each candidate device with them. *)
+
+val make_stepper :
+  ?calib:Acs_perfmodel.Calib.t ->
+  config:config ->
+  Acs_hardware.Device.t ->
+  Acs_workload.Model.t ->
+  stepper
+
+module Instance : sig
+  type t
+  (** One device's scheduler state: FCFS waiting queue, resident batch,
+      KV reservations and its own clock. *)
+
+  val create :
+    ?calib:Acs_perfmodel.Calib.t ->
+    ?stepper:stepper ->
+    config:config ->
+    Acs_hardware.Device.t ->
+    Acs_workload.Model.t ->
+    t
+  (** Validates like {!run} (raises [Invalid_argument] / {!Infeasible}).
+      Pass [stepper] to share a step-time memo across instances of
+      identical devices; it must have been built from the same
+      (config, device, model). *)
+
+  val submit : ?prefilled:bool -> t -> Trace.request -> unit
+  (** Enqueue a request. Submissions must be in arrival order (the queue
+      is FCFS by construction); a request whose KV can never fit is
+      recorded as rejected immediately. [prefilled] marks a request whose
+      KV already exists elsewhere (disaggregated handoff): admission
+      reserves its KV trajectory but runs no prefill batch - it joins the
+      decode set instantly and its first token is its first local decode
+      step, so its [ttft_s] measures decode-side queueing from
+      [arrival_s] (which the caller sets to prefill-finish plus transfer
+      delay). *)
+
+  val now : t -> float
+  (** The instance's clock (last completed iteration). *)
+
+  val idle : t -> bool
+  (** No waiting and no resident requests. *)
+
+  val load : t -> int
+  (** Outstanding-work estimate in tokens (unprocessed prompt tokens plus
+      tokens still to generate) - the least-loaded routing signal. *)
+
+  val step : t -> unit
+  (** One scheduler iteration: join prefilled arrivals, then either run a
+      prefill batch, a decode step, or jump to the next arrival. *)
+
+  val run_until : t -> float -> unit
+  (** Step while work remains and [now] is before the horizon. The last
+      step may overshoot the horizon (iterations are atomic). *)
+
+  val drain : t -> unit
+  (** Step until {!idle}. *)
+
+  val stats : t -> stats
+  (** Snapshot of the accounting; call after {!drain} for final stats. *)
+end

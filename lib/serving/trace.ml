@@ -27,11 +27,29 @@ let geometric_of_u ~mean u =
 
 let geometric state ~mean = geometric_of_u ~mean (Random.State.float state 1.)
 
+let min_mean_len = 8
+
+(* Lengths have a hard floor of [min_mean_len] tokens (a 0-token prompt or
+   reply is not a request). The floor used to be applied as a [max 8] clamp
+   on a plain geometric draw, which silently inflated the realized mean
+   above the requested one (worst for small means: a requested mean of 8
+   realized at ~11.6, +45% offered load). Shifting the distribution instead
+   - floor - 1 plus a geometric with mean (mean - floor + 1) - keeps the
+   support at [floor, inf) {e and} the realized mean at the requested mean,
+   so the offered load of every serving experiment is what its parameters
+   say. Means below the floor are rejected rather than rounded up. *)
+let floored_geometric state ~mean =
+  min_mean_len - 1 + geometric state ~mean:(mean - (min_mean_len - 1))
+
 let synthetic ?(seed = 42) ~rate_per_s ~duration_s ~mean_input ~mean_output () =
   if rate_per_s <= 0. || duration_s <= 0. then
     invalid_arg "Trace.synthetic: rate and duration must be positive";
-  if mean_input <= 0 || mean_output <= 0 then
-    invalid_arg "Trace.synthetic: mean lengths must be positive";
+  if mean_input < min_mean_len || mean_output < min_mean_len then
+    invalid_arg
+      (Printf.sprintf
+         "Trace.synthetic: mean lengths must be >= %d (the length floor; \
+          smaller means cannot be realized)"
+         min_mean_len);
   let state = Random.State.make [| seed |] in
   let rec collect acc id clock =
     let clock = clock +. exponential state ~rate:rate_per_s in
@@ -41,8 +59,8 @@ let synthetic ?(seed = 42) ~rate_per_s ~duration_s ~mean_input ~mean_output () =
         {
           id;
           arrival_s = clock;
-          input_len = max 8 (geometric state ~mean:mean_input);
-          output_len = max 8 (geometric state ~mean:mean_output);
+          input_len = floored_geometric state ~mean:mean_input;
+          output_len = floored_geometric state ~mean:mean_output;
         }
       in
       collect (request :: acc) (id + 1) clock

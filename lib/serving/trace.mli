@@ -7,6 +7,10 @@ type request = {
   output_len : int;
 }
 
+val min_mean_len : int
+(** The length floor (8 tokens): every sampled input/output length is at
+    least this, and {!synthetic} rejects requested means below it. *)
+
 val synthetic :
   ?seed:int ->
   rate_per_s:float ->
@@ -15,8 +19,11 @@ val synthetic :
   mean_output:int ->
   unit ->
   request list
-(** Poisson arrivals over [0, duration]; input/output lengths are
-    geometric around their means with a floor of 8 tokens. Deterministic
+(** Poisson arrivals over [0, duration]; input/output lengths are shifted
+    geometric - support [[min_mean_len, inf)] with realized mean equal to
+    the requested mean (the old [max 8] clamp on a plain geometric
+    silently inflated small means, overstating offered load). Raises
+    [Invalid_argument] when a mean is below {!min_mean_len}. Deterministic
     for a given seed (default 42). Sorted by arrival time. *)
 
 val exponential_of_u : rate:float -> float -> float

@@ -1,0 +1,306 @@
+(* Fleet simulator (Cluster): routing, disaggregated handoff, and the
+   invariants that tie fleet accounting back to the per-device simulator. *)
+
+open Core
+open Helpers
+
+let model = Model.llama3_8b
+let dev = Presets.a100
+
+let small_trace =
+  Trace.synthetic ~rate_per_s:4. ~duration_s:10. ~mean_input:256
+    ~mean_output:32 ()
+
+(* An overload trace: more offered work than a couple of groups serve in
+   the window, so routing decisions and queueing actually matter. *)
+let heavy_trace =
+  Trace.synthetic ~rate_per_s:20. ~duration_s:8. ~mean_input:256
+    ~mean_output:32 ()
+
+let unified ?(routing = Fleet.Least_loaded) ?(count = 2) () =
+  Fleet.make ~routing [ Fleet.pool ~count dev ]
+
+let disagg ?(routing = Fleet.Least_loaded) () =
+  Fleet.make ~routing
+    [
+      Fleet.pool ~role:Fleet.Prefill ~count:1 dev;
+      Fleet.pool ~role:Fleet.Decode ~count:2 dev;
+    ]
+
+let sum_groups fs f =
+  List.fold_left
+    (fun acc ps -> Array.fold_left (fun acc s -> acc + f s) acc ps.Fleet.per_group)
+    0 fs.Fleet.pools
+
+(* Every fleet run must conserve requests and tokens against its own
+   per-group stats, and no group may overcommit its HBM. *)
+let check_fleet_invariants ~trace fs =
+  let n_trace = List.length trace in
+  Alcotest.(check int)
+    "every request completes or is rejected" n_trace
+    (List.length fs.Fleet.outcomes + List.length fs.Fleet.rejected);
+  Alcotest.(check int)
+    "produced tokens = sum of per-group produced"
+    (sum_groups fs (fun s -> s.Simulator.produced_tokens))
+    fs.Fleet.produced_tokens;
+  Alcotest.(check int)
+    "completed = sum of per-pool completed"
+    (List.fold_left (fun acc ps -> acc + ps.Fleet.pool_completed) 0 fs.Fleet.pools)
+    (sum_groups fs (fun s -> List.length s.Simulator.outcomes));
+  List.iter
+    (fun ps ->
+      Array.iter
+        (fun s ->
+          if s.Simulator.peak_hbm_bytes > s.Simulator.hbm_capacity_bytes then
+            Alcotest.failf "group in %s overcommitted HBM: %.3g > %.3g"
+              ps.Fleet.pool_name s.Simulator.peak_hbm_bytes
+              s.Simulator.hbm_capacity_bytes;
+          check_between
+            (ps.Fleet.pool_name ^ " utilization")
+            0. 1.000001 ps.Fleet.utilization)
+        ps.Fleet.per_group)
+    fs.Fleet.pools;
+  (* Each original request id appears exactly once across outcomes and
+     rejects. *)
+  let seen = Hashtbl.create n_trace in
+  List.iter
+    (fun (o : Simulator.request_outcome) ->
+      Hashtbl.replace seen o.Simulator.request.Trace.id ())
+    fs.Fleet.outcomes;
+  List.iter (fun (r : Trace.request) -> Hashtbl.replace seen r.Trace.id ()) fs.Fleet.rejected;
+  Alcotest.(check int) "no request lost or duplicated" n_trace (Hashtbl.length seen)
+
+let t_single_group_identity () =
+  (* The acceptance bar: a 1-group unified fleet is the bare simulator,
+     bit for bit - same outcomes, same clocks, same peaks. *)
+  let fs = Fleet.run (unified ~count:1 ()) model small_trace in
+  let solo = Simulator.run dev model small_trace in
+  match fs.Fleet.pools with
+  | [ ps ] ->
+      Alcotest.(check int) "one group" 1 (Array.length ps.Fleet.per_group);
+      Alcotest.(check bool)
+        "1-group fleet stats = Simulator.run stats" true
+        (ps.Fleet.per_group.(0) = solo);
+      Alcotest.(check int)
+        "fleet outcome count matches" (List.length solo.Simulator.outcomes)
+        (List.length fs.Fleet.outcomes);
+      check_close "fleet generated = solo generated"
+        (float_of_int solo.Simulator.generated_tokens)
+        (float_of_int fs.Fleet.generated_tokens)
+  | _ -> Alcotest.fail "expected exactly one pool"
+
+let t_unified_conservation () =
+  let fs = Fleet.run (unified ()) model heavy_trace in
+  check_fleet_invariants ~trace:heavy_trace fs;
+  (* Unified fleets complete everything that fits, and generated tokens
+     split exactly across groups. *)
+  Alcotest.(check int)
+    "generated = sum of per-group generated"
+    (sum_groups fs (fun s -> s.Simulator.generated_tokens))
+    fs.Fleet.generated_tokens
+
+let t_heterogeneous_conservation () =
+  let slow =
+    { dev with
+      Device.name = "slow-a100";
+      memory = Memory.make ~capacity_gb:80. ~bandwidth_tb_s:1. }
+  in
+  let fleet =
+    Fleet.make ~routing:Fleet.Phase_affine
+      [ Fleet.pool ~count:1 dev; Fleet.pool ~count:2 slow ]
+  in
+  let fs = Fleet.run fleet model heavy_trace in
+  check_fleet_invariants ~trace:heavy_trace fs;
+  Alcotest.(check int) "three groups" 3 fs.Fleet.groups;
+  (* Phase-affine routing must still use every group under overload. *)
+  List.iter
+    (fun ps ->
+      if ps.Fleet.pool_completed + ps.Fleet.pool_rejected = 0 then
+        Alcotest.failf "pool %s never routed to" ps.Fleet.pool_name)
+    fs.Fleet.pools
+
+let t_round_robin_balances () =
+  let fs = Fleet.run (unified ~routing:Fleet.Round_robin ()) model heavy_trace in
+  match fs.Fleet.pools with
+  | [ ps ] ->
+      let counts =
+        Array.map
+          (fun s ->
+            List.length s.Simulator.outcomes + List.length s.Simulator.rejected)
+          ps.Fleet.per_group
+      in
+      let diff = abs (counts.(0) - counts.(1)) in
+      if diff > 1 then
+        Alcotest.failf "round-robin split %d/%d" counts.(0) counts.(1)
+  | _ -> Alcotest.fail "expected one pool"
+
+let t_disaggregated_conservation () =
+  let fs = Fleet.run (disagg ()) model heavy_trace in
+  check_fleet_invariants ~trace:heavy_trace fs;
+  (* Every completed multi-token request shipped its KV exactly once. *)
+  let multi =
+    List.length
+      (List.filter
+         (fun (o : Simulator.request_outcome) ->
+           o.Simulator.request.Trace.output_len > 1)
+         fs.Fleet.outcomes)
+  in
+  if fs.Fleet.handoff_transfers < multi then
+    Alcotest.failf "%d completions but only %d handoffs" multi
+      fs.Fleet.handoff_transfers;
+  Alcotest.(check bool) "handoff bytes accumulated" true (fs.Fleet.handoff_bytes > 0.);
+  Alcotest.(check bool) "handoff delay positive" true (fs.Fleet.mean_handoff_s > 0.);
+  (* Token conservation across the split: prefill contributes one token
+     per handed-off request, decode the rest, so the per-group sum equals
+     the unified count (no decode-side rejects here - the pools share one
+     device type). *)
+  Alcotest.(check int)
+    "produced = generated across the handoff" fs.Fleet.generated_tokens
+    fs.Fleet.produced_tokens;
+  (* The merged outcome timeline is causally ordered: first token before
+     finish, decode finish after the prefill-side handoff. *)
+  List.iter
+    (fun (o : Simulator.request_outcome) ->
+      if o.Simulator.ttft_s <= 0. then Alcotest.fail "non-positive ttft";
+      if o.Simulator.finish_s < o.Simulator.request.Trace.arrival_s then
+        Alcotest.fail "finished before arrival";
+      if o.Simulator.request.Trace.output_len > 1 && o.Simulator.tbt_s <= 0.
+      then Alcotest.fail "multi-token request with non-positive tbt")
+    fs.Fleet.outcomes
+
+let t_disagg_slower_ttft_than_idle_decode () =
+  (* The decode pool adds transfer delay to the token stream, never to
+     TTFT: first tokens come off the prefill side. With an idle prefill
+     pool, disaggregated p50 TTFT should be close to (and not wildly above)
+     a unified fleet of the same prefill silicon. *)
+  let light =
+    Trace.synthetic ~rate_per_s:1. ~duration_s:10. ~mean_input:256
+      ~mean_output:16 ()
+  in
+  let fs_u = Fleet.run (unified ~count:1 ()) model light in
+  let fs_d = Fleet.run (disagg ()) model light in
+  check_between "disagg p50 ttft vs unified" (0.5 *. fs_u.Fleet.p50_ttft_s)
+    (2. *. fs_u.Fleet.p50_ttft_s) fs_d.Fleet.p50_ttft_s
+
+let t_fleet_validation () =
+  check_raises_invalid "no pools" (fun () -> ignore (Fleet.make []));
+  check_raises_invalid "bad count" (fun () ->
+      ignore (Fleet.pool ~count:0 dev));
+  check_raises_invalid "duplicate names" (fun () ->
+      ignore (Fleet.make [ Fleet.pool ~count:1 dev; Fleet.pool ~count:2 dev ]));
+  check_raises_invalid "prefill without decode" (fun () ->
+      ignore (Fleet.make [ Fleet.pool ~role:Fleet.Prefill ~count:1 dev ]));
+  check_raises_invalid "unified mixed with prefill/decode" (fun () ->
+      ignore
+        (Fleet.make
+           [
+             Fleet.pool ~name:"u" ~count:1 dev;
+             Fleet.pool ~role:Fleet.Prefill ~count:1 dev;
+             Fleet.pool ~role:Fleet.Decode ~count:1 dev;
+           ]));
+  check_raises_invalid "non-positive handoff bandwidth" (fun () ->
+      ignore (Fleet.make ~handoff_gb_s:0. [ Fleet.pool ~count:1 dev ]));
+  check_raises_invalid "empty trace" (fun () ->
+      ignore (Fleet.run (unified ()) model []));
+  check_raises_invalid "duplicate request ids" (fun () ->
+      let r = { Trace.id = 1; arrival_s = 0.; input_len = 64; output_len = 8 } in
+      ignore (Fleet.run (unified ()) model [ r; r ]))
+
+let t_devices_for_qps () =
+  let fs = Fleet.run (unified ()) model heavy_trace in
+  check_raises_invalid "non-positive target" (fun () ->
+      ignore (Fleet.devices_for_qps fs ~target_qps:0.));
+  let achieved = fs.Fleet.requests_per_s in
+  Alcotest.(check bool) "fleet achieved a rate" true (achieved > 0.);
+  (* Sizing for the achieved rate can only shrink the fleet (utilization
+     <= 1); doubling the target is monotone. *)
+  let at_achieved = Fleet.devices_for_qps fs ~target_qps:achieved in
+  List.iter2
+    (fun (p : Fleet.pool) (name, n) ->
+      Alcotest.(check string) "plan order follows pools" p.Fleet.name name;
+      check_between "groups at achieved rate" 1. (float_of_int p.Fleet.count)
+        (float_of_int n))
+    (unified ()).Fleet.pools at_achieved;
+  let doubled = Fleet.devices_for_qps fs ~target_qps:(2. *. achieved) in
+  List.iter2
+    (fun (_, n1) (_, n2) ->
+      if n2 < n1 then Alcotest.failf "doubling the target shrank the fleet")
+    at_achieved doubled
+
+let t_cost_per_mtok () =
+  let fleet = unified () in
+  let fs = Fleet.run fleet model heavy_trace in
+  let cost =
+    Fleet.silicon_usd_per_mtok ~die_cost_usd:(fun _ -> 1000.) fleet fs
+  in
+  Alcotest.(check bool) "cost positive and finite" true
+    (cost > 0. && Float.is_finite cost);
+  (* Double the die price, double the rate. *)
+  let cost2 =
+    Fleet.silicon_usd_per_mtok ~die_cost_usd:(fun _ -> 2000.) fleet fs
+  in
+  check_close "cost scales with die price" (2. *. cost) cost2
+
+let t_fleet_slo () =
+  let fs = Fleet.run (unified ()) model small_trace in
+  let a = Fleet.slo_attainment fs ~ttft_s:1e9 ~tbt_s:1e9 in
+  check_close "loose objectives met" 1. a;
+  let z = Fleet.slo_attainment fs ~ttft_s:1e-12 ~tbt_s:1e-12 in
+  check_close "impossible objectives missed" 0. z;
+  check_raises_invalid "bad objective" (fun () ->
+      ignore (Fleet.slo_attainment fs ~ttft_s:0. ~tbt_s:1.))
+
+(* Property: over random fleet shapes, routings and traces, the
+   conservation and KV-safety invariants hold - including across the
+   disaggregated handoff. *)
+let t_fleet_properties =
+  let gen =
+    QCheck.make
+      ~print:(fun (count, routing, disagg, seed) ->
+        Printf.sprintf "count=%d routing=%d disagg=%b seed=%d" count routing
+          disagg seed)
+      QCheck.Gen.(
+        quad (int_range 1 3) (int_range 0 2) bool (int_range 0 1000))
+  in
+  qcheck ~count:10 "fleet invariants hold over random fleets" gen
+    (fun (count, routing, disaggregated, seed) ->
+      let routing =
+        match routing with
+        | 0 -> Fleet.Round_robin
+        | 1 -> Fleet.Least_loaded
+        | _ -> Fleet.Phase_affine
+      in
+      let fleet =
+        if disaggregated then
+          Fleet.make ~routing
+            [
+              Fleet.pool ~role:Fleet.Prefill ~count:1 dev;
+              Fleet.pool ~role:Fleet.Decode ~count dev;
+            ]
+        else Fleet.make ~routing [ Fleet.pool ~count dev ]
+      in
+      let trace =
+        Trace.synthetic ~seed ~rate_per_s:6. ~duration_s:5. ~mean_input:128
+          ~mean_output:16 ()
+      in
+      match trace with
+      | [] -> true
+      | trace ->
+          let fs = Fleet.run fleet model trace in
+          check_fleet_invariants ~trace fs;
+          true)
+
+let suite =
+  [
+    test "1-group fleet = bare simulator" t_single_group_identity;
+    test "unified fleet conserves tokens" t_unified_conservation;
+    test "heterogeneous fleet conserves tokens" t_heterogeneous_conservation;
+    test "round-robin balances requests" t_round_robin_balances;
+    test "disaggregated fleet conserves across handoff" t_disaggregated_conservation;
+    test "disaggregated ttft tracks prefill side" t_disagg_slower_ttft_than_idle_decode;
+    test "fleet validation" t_fleet_validation;
+    test "devices for target qps" t_devices_for_qps;
+    test "silicon cost per mtok" t_cost_per_mtok;
+    test "fleet slo attainment" t_fleet_slo;
+    t_fleet_properties;
+  ]

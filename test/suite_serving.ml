@@ -33,6 +33,40 @@ let t_trace_validation () =
   check_raises_invalid "means" (fun () ->
       ignore (Trace.synthetic ~rate_per_s:1. ~duration_s:1. ~mean_input:0 ~mean_output:1 ()))
 
+let t_trace_realized_mean () =
+  (* Regression for the length-floor bias: the old [max 8] clamp on a
+     plain geometric silently inflated realized means above the requested
+     ones (a requested mean of 8 realized at ~11.6, +45% offered load).
+     The shifted geometric must realize the requested mean... *)
+  let tr =
+    Trace.synthetic ~rate_per_s:200. ~duration_s:50. ~mean_input:12
+      ~mean_output:64 ()
+  in
+  let n = float_of_int (List.length tr) in
+  let mean f = List.fold_left (fun acc r -> acc +. float_of_int (f r)) 0. tr /. n in
+  check_within "realized mean input" ~tolerance:0.05 12.
+    (mean (fun r -> r.Trace.input_len));
+  check_within "realized mean output" ~tolerance:0.05 64.
+    (mean (fun r -> r.Trace.output_len));
+  (* ...degenerating to the constant floor at the floor itself... *)
+  let at_floor =
+    Trace.synthetic ~rate_per_s:50. ~duration_s:10.
+      ~mean_input:Trace.min_mean_len ~mean_output:Trace.min_mean_len ()
+  in
+  List.iter
+    (fun r ->
+      if r.Trace.input_len <> Trace.min_mean_len
+         || r.Trace.output_len <> Trace.min_mean_len then
+        Alcotest.failf "mean at the floor must be constant, got %d/%d"
+          r.Trace.input_len r.Trace.output_len)
+    at_floor;
+  (* ...and rejecting means below the floor instead of rounding them up. *)
+  check_raises_invalid "mean below floor" (fun () ->
+      ignore
+        (Trace.synthetic ~rate_per_s:1. ~duration_s:1.
+           ~mean_input:(Trace.min_mean_len - 1)
+           ~mean_output:Trace.min_mean_len ()))
+
 let t_geometric_overflow () =
   (* Regression: with u within one ulp of 1, [log (1. -. u)] is -inf and
      [int_of_float] of the infinite quotient was undefined - lengths came
@@ -323,6 +357,7 @@ let t_empty_outcomes_slo () =
       produced_tokens = 0;
       throughput_tokens_per_s = 0.;
       mean_batch_occupancy = 0.;
+      busy_s = 0.;
       p50_ttft_s = 0.;
       p95_ttft_s = 0.;
       p50_tbt_s = 0.;
@@ -440,6 +475,7 @@ let suite =
     test "trace determinism" t_trace_determinism;
     test "trace shape" t_trace_shape;
     test "trace validation" t_trace_validation;
+    test "trace realizes requested means" t_trace_realized_mean;
     test "trace generator edge cases stay bounded" t_geometric_overflow;
     test "run accounting" t_run_accounting;
     test "percentiles ordered" t_percentiles_ordered;

@@ -12,6 +12,7 @@ let () =
       ("package", Suite_package.suite);
       ("graphics", Suite_graphics.suite);
       ("serving", Suite_serving.suite);
+      ("fleet", Suite_fleet.suite);
       ("observability", Suite_observability.suite);
       ("properties", Suite_properties.suite);
       ("historical", Suite_historical.suite);
