@@ -24,10 +24,17 @@ let samples =
 
 let run () =
   section "Historical metrics: CTP (1991) vs APP (2006) vs TPP (2022)";
+  (* The 2022 line is the acr-2022 regime's TPP bound, queried from the
+     registry; the per-device verdict column applies the full rule (TPP
+     and device bandwidth), not just the compute line. *)
+  let tpp_2022 =
+    Option.get
+      (Regime.threshold ~verdict:Regime.License Regime.acr_2022 Regime.Tpp)
+  in
   let t =
     Table.create
-      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Left; Table.Left ]
-      [ "device"; "CTP (MTOPS)"; "APP (WT)"; "TPP"; "over 2001 CTP line"; "over 2006 APP line" ]
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Left; Table.Left; Table.Left ]
+      [ "device"; "CTP (MTOPS)"; "APP (WT)"; "TPP"; "over 2001 CTP line"; "over 2006 APP line"; "acr-2022 verdict" ]
   in
   let rows =
     List.map
@@ -41,10 +48,14 @@ let run () =
             ]
         in
         let app = Historical.app_wt ~fp64_flops:(fp64_tflops *. 1e12) ~kind:Historical.Vector in
-        let tpp =
+        let tpp, verdict =
           match db_name with
-          | Some n -> (Option.get (Database.find n)).Gpu.tpp
-          | None -> 0.
+          | Some n ->
+              let g = Option.get (Database.find n) in
+              ( g.Gpu.tpp,
+                Regime.verdict_to_string
+                  (Regime.verdict Regime.acr_2022 (Gpu.subject g)) )
+          | None -> (0., "-")
         in
         let cells =
           [
@@ -54,6 +65,7 @@ let run () =
             Printf.sprintf "%.0f" tpp;
             Printf.sprintf "%.0fx" (ctp /. Historical.ctp_threshold_2001_mtops);
             Printf.sprintf "%.0fx" (app /. Historical.app_threshold_2006_wt);
+            verdict;
           ]
         in
         Table.add_row t cells;
@@ -65,11 +77,11 @@ let run () =
         %.2f WT (2006), %.1f WT (2011), TPP %.0f (2022)."
     Historical.ctp_threshold_1998_mtops Historical.ctp_threshold_2001_mtops
     Historical.app_threshold_2006_wt Historical.app_threshold_2011_wt
-    Historical.tpp_threshold_2022;
+    tpp_2022;
   note "Every modern part - including a $300 consumer card - exceeds every \
         pre-2022 threshold by orders of magnitude, while APP's FP64 focus \
         would leave FP64-poor AI cards (RTX 4090: 1.16 WT) barely above the \
         2006 line: exactly why TPP reintroduced bitwidth scaling.";
   csv "historical_metrics.csv"
-    [ "device"; "ctp_mtops"; "app_wt"; "tpp"; "x_ctp2001"; "x_app2006" ]
+    [ "device"; "ctp_mtops"; "app_wt"; "tpp"; "x_ctp2001"; "x_app2006"; "acr_2022" ]
     rows

@@ -15,35 +15,60 @@ let hbm_packages =
   ]
 
 let run_hbm () =
+  (* The rule set comes from the regime registry; the thresholds shown in
+     the title are queried from it rather than restated. *)
+  let regime = Regime.hbm_2024 in
+  let bound verdict =
+    Option.get (Regime.threshold ~verdict regime Regime.Bw_density_gb_s_mm2)
+  in
   let t =
     Table.create
       ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Left ]
-      [ "package"; "BW (GB/s)"; "density (GB/s/mm2)"; "Dec 2024 status" ]
+      [ "package"; "BW (GB/s)"; "density (GB/s/mm2)"; "hbm-2024 verdict" ]
   in
   let rows =
     List.map
       (fun (name, bw, area) ->
-        let c = Hbm_2024.classify ~bandwidth_gb_s:bw ~package_area_mm2:area () in
+        let subject =
+          Regime.subject ~memory_bw_tb_s:(bw /. 1000.)
+            (Spec.make ~tpp:0. ~device_bw_gb_s:0. ~die_area_mm2:area ())
+        in
         let cells =
           [
             name;
             Printf.sprintf "%.0f" bw;
             Printf.sprintf "%.2f" (bw /. area);
-            Hbm_2024.classification_to_string c;
+            Regime.verdict_to_string (Regime.verdict regime subject);
           ]
         in
         Table.add_row t cells;
         cells)
       hbm_packages
   in
-  Table.print ~title:"December 2024 HBM memory-bandwidth-density rule" t;
+  Table.print
+    ~title:
+      (Printf.sprintf
+         "December 2024 HBM rule (NAC above %.1f, license at %.1f GB/s/mm2)"
+         (bound Regime.Nac) (bound Regime.License))
+    t;
   note "Every HBM3-class package is controlled as a commodity, yet the same \
         stacks installed in an H20 ship with the device: the rule regulates \
         the part, not the system.";
   csv "hbm_2024.csv" [ "package"; "bw_gb_s"; "density"; "status" ] rows
 
 let run_diffusion () =
-  let ledger = Diffusion_2025.create () in
+  (* The ledger's caps are the diffusion-2025 regime's TPP tiers: the NAC
+     line is the LPP small-order exception, the license line the country
+     allocation. *)
+  let tier verdict =
+    Option.get (Regime.threshold ~verdict Regime.diffusion_2025 Regime.Tpp)
+  in
+  let allocation = tier Regime.License in
+  let lpp = tier Regime.Nac in
+  let ledger =
+    Diffusion_2025.create ~country_allocation_tpp:allocation
+      ~lpp_annual_tpp:lpp ()
+  in
   let t =
     Table.create
       ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Left; Table.Right ]
@@ -79,8 +104,10 @@ let run_diffusion () =
   place "cloud-c" "H100 late order" 6_000 h100;
   Table.print
     ~title:
-      "January 2025 diffusion framework: a Tier-2 country's ledger (790M \
-       TPP allocation, 26.9M TPP/yr LPP exception)"
+      (Printf.sprintf
+         "January 2025 diffusion framework: a Tier-2 country's ledger \
+          (%.0fM TPP allocation, %.1fM TPP/yr LPP exception)"
+         (allocation /. 1e6) (lpp /. 1e6))
     t;
   note "Quantity controls change the game from per-device architecture to \
         aggregate TPP budgeting: low-TPP compliant devices (H20) stretch an \

@@ -24,13 +24,14 @@ let model = Model.gpt3_175b
 
 let describe name dev =
   let r = Engine.simulate dev model in
-  (* Derated SKUs ship on the flagship's die: PD uses its area. *)
-  let spec = Spec.of_device ~area_mm2:die_area dev in
-  ( name,
-    dev,
-    r,
-    Acr_2022.classification_to_string (Acr_2022.classify spec),
-    Acr_2023.tier_to_string (Acr_2023.classify Acr_2023.Data_center spec) )
+  (* Derated SKUs ship on the flagship's die: PD uses its area. Both
+     verdict columns come from the same registry values the rest of the
+     tree uses ([Regime.verdict] defaults to the data-center market). *)
+  let subject = Regime.of_spec (Spec.of_device ~area_mm2:die_area dev) in
+  let verdict regime =
+    Regime.verdict_to_string (Regime.verdict regime subject)
+  in
+  (name, dev, r, verdict Regime.acr_2022, verdict Regime.acr_2023)
 
 let () =
   let base = Engine.simulate flagship model in

@@ -7,66 +7,58 @@
    bandwidth, L1 capacity) target AI workloads with far less collateral
    damage than TPP alone.
 
+   Each draft is a single {!Core.Regime} value: the capture study, the
+   design-space compliance filter and the sweep's TPP cap are all derived
+   from that one value, so the rule under test cannot drift apart from the
+   rule being displayed. The CLI version of this study is
+   [acs policy-lab].
+
    Run with: dune exec examples/policy_lab.exe *)
 
 open Core
 
-type draft_rule = {
-  title : string;
-  captures : Gpu.t -> bool;  (** real products the rule would restrict *)
-  design_limits : Proposals.limits;  (** what future designs must obey *)
-}
-
 let drafts =
   [
-    {
-      title = "Status quo analogue: TPP >= 1600";
-      captures = (fun g -> g.Gpu.tpp >= 1600.);
-      design_limits = Proposals.tpp_only 1600.;
-    };
-    {
-      title = "Architecture-first: memory BW > 1.2 TB/s";
-      captures = (fun g -> g.Gpu.memory_bw_gb_s > 1200.);
-      design_limits =
-        { Proposals.unconstrained with Proposals.max_memory_bw_tb_s = Some 1.2 };
-    };
-    {
-      title = "Combined: TPP >= 1600 AND memory BW > 1.2 TB/s";
-      captures = (fun g -> g.Gpu.tpp >= 1600. && g.Gpu.memory_bw_gb_s > 1200.);
-      design_limits =
-        {
-          (Proposals.tpp_only 1600.) with
-          Proposals.max_memory_bw_tb_s = Some 1.2;
-        };
-    };
+    Regime.make ~description:"Status quo analogue: TPP >= 1600" "tpp-1600"
+      [ Regime.rule Regime.License (Regime.at_least Regime.Tpp 1600.) ];
+    Regime.make ~description:"Architecture-first: memory BW > 1.2 TB/s"
+      "membw-1.2"
+      [ Regime.rule Regime.License (Regime.above Regime.Memory_bw_tb_s 1.2) ];
+    Regime.make
+      ~description:"Combined: TPP >= 1600 AND memory BW > 1.2 TB/s"
+      "tpp-and-membw"
+      [
+        Regime.rule Regime.License
+          (Regime.all_of
+             [
+               Regime.at_least Regime.Tpp 1600.;
+               Regime.above Regime.Memory_bw_tb_s 1.2;
+             ]);
+      ];
   ]
 
-let collateral rule =
+let collateral regime =
   (* Gaming/workstation devices the rule captures = negative externality. *)
   List.partition
     (fun g -> g.Gpu.segment = Gpu.Data_center)
-    (List.filter rule.captures Database.survey)
+    (List.filter
+       (fun g -> Regime.regulated regime (Gpu.subject g))
+       Database.survey)
 
-let predictability rule =
+let predictability regime =
   (* Simulate the restricted design space, generated just under the rule's
      TPP cap (future compliant designs sit at the cap), and ask how tight
      the TBT distribution of rule-compliant designs is: tight = the rule
      actually pins down attainable AI performance. *)
   let tpp_target =
-    match rule.design_limits.Proposals.max_tpp with
-    | Some cap -> cap
-    | None -> 4800.
+    Option.value (Regime.threshold regime Regime.Tpp) ~default:4800.
   in
   let designs =
     Design.evaluate_sweep ~model:Model.gpt3_175b ~tpp_target Space.restricted
     |> List.filter Design.manufacturable
   in
   let all_tbt = List.map (fun d -> d.Design.tbt_s) designs in
-  let compliant =
-    List.filter
-      (fun d -> Proposals.compliant rule.design_limits d.Design.device)
-      designs
-  in
+  let compliant = List.filter (Design.compliant regime) designs in
   match compliant with
   | [] -> None
   | _ :: _ ->
@@ -86,10 +78,10 @@ let () =
         "compliant designs"; "median TBT vs A100"; "TBT narrowing" ]
   in
   List.iter
-    (fun rule ->
-      let dc, non_dc = collateral rule in
+    (fun regime ->
+      let dc, non_dc = collateral regime in
       let designs_cell, median_cell, narrow_cell =
-        match predictability rule with
+        match predictability regime with
         | None -> ("0", "-", "-")
         | Some (n, med, narrowing) ->
             ( string_of_int n,
@@ -98,7 +90,7 @@ let () =
       in
       Table.add_row t
         [
-          rule.title;
+          regime.Regime.description;
           string_of_int (List.length dc);
           string_of_int (List.length non_dc);
           designs_cell;
@@ -110,11 +102,20 @@ let () =
   print_endline
     "Reading: the TPP-only draft captures a dozen gaming/workstation parts\n\
      (pure externality) yet barely constrains what TBT compliant designs can\n\
-     reach. The bandwidth-scoped drafts capture almost no consumer parts and\n\
-     pin compliant decoding performance in a band dozens of times narrower.";
+     reach. The bandwidth-scoped draft captures no consumer parts and pins\n\
+     compliant decoding performance in a visibly narrower band. The combined\n\
+     draft inherits the clean capture profile but loses the predictive power:\n\
+     as a conjunctive trigger, designs evade it entirely through the TPP\n\
+     prong alone - AND-ing prongs weakens a capture rule, it does not\n\
+     tighten it.";
   print_newline ();
+  (* The drafts are plain serializable values: what a regulator would
+     publish, and exactly what [acs policy-lab --regime FILE] ingests. *)
+  Format.printf "draft %S as JSON:@.%s@.@."
+    (List.hd drafts).Regime.name
+    (Json.to_string ~indent:2 (Regime.to_json (List.hd drafts)));
   (* Show the captured non-DC devices by name for the first draft. *)
   let first = List.hd drafts in
   let _, non_dc = collateral first in
-  Format.printf "non-DC devices captured by %S:@." first.title;
+  Format.printf "non-DC devices captured by %S:@." first.Regime.description;
   List.iter (fun g -> Format.printf "  - %a@." Gpu.pp g) non_dc

@@ -376,7 +376,7 @@ let run_cmd =
     in
     Format.printf "%d designs, %d compliant (%s) and manufacturable@."
       (List.length designs) (List.length ok)
-      (Timeline.regime_to_string scenario.Scenario.regime);
+      (Scenario.regime_token scenario.Scenario.regime);
     let base = Engine.simulate Presets.a100 scenario.Scenario.model in
     List.iter
       (fun (label, objective, metric, baseline) ->
@@ -414,6 +414,194 @@ let run_cmd =
        ~doc:"Evaluate a scenario manifest (file or registry name) and dump \
              its designs.")
     Term.(ret (const run $ target $ jobs_arg $ out $ trace_arg))
+
+(* --- policy-lab --- *)
+
+let policy_lab_cmd =
+  let regimes_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "regime" ] ~docv:"NAME|FILE"
+          ~doc:"A regime to sweep: a registry name (e.g. acr-2023) or a \
+                JSON regime file. Repeatable; default: the whole registry.")
+  in
+  let scenario_arg =
+    Arg.(
+      value
+      & opt string "scorecard"
+      & info [ "scenario" ] ~docv:"SCENARIO"
+          ~doc:"The design-space scenario (JSON manifest file or registry \
+                name) whose sweep the regimes are applied to.")
+  in
+  let market_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("marketing", `Marketing); ("architectural", `Architectural) ])
+          `Marketing
+      & info [ "market" ]
+          ~doc:"How survey devices get their market segment for \
+                market-scoped rules: by marketing segment (the rules as \
+                written) or by the Sec 5.2 architectural classifier.")
+  in
+  let csv_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE"
+          ~doc:"Write the regime comparison as CSV to \\$(docv).")
+  in
+  let dump_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dump-registry" ] ~docv:"FILE"
+          ~doc:"Also write the full regime registry (every rule set as \
+                JSON) to \\$(docv).")
+  in
+  let resolve_regime name =
+    if Sys.file_exists name && not (Sys.is_directory name) then
+      try Ok (Regime.of_json (Json.of_file name))
+      with Json.Error msg -> Error (Printf.sprintf "%s: %s" name msg)
+    else
+      match Regime.find name with
+      | Some r -> Ok r
+      | None ->
+          Error
+            (Printf.sprintf
+               "%S is neither a regime file nor a registry regime (known: %s)"
+               name
+               (String.concat ", " (Regime.names ())))
+  in
+  let exec regimes scenario market jobs csv dump trace =
+    with_jobs_opt jobs @@ fun () ->
+    with_trace_opt trace @@ fun () ->
+    (match dump with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        Json.to_channel ~indent:2 oc (Json.list Regime.to_json Regime.registry);
+        output_char oc '\n';
+        close_out oc;
+        Format.printf "wrote regime registry %s (%d regimes)@." path
+          (List.length Regime.registry));
+    List.iter
+      (fun (r : Regime.t) ->
+        Format.printf "%-26s %s@." r.Regime.name r.Regime.description)
+      regimes;
+    Format.printf "%a@." Scenario.pp scenario;
+    let designs = summarized_run (fun () -> Eval.run scenario) in
+    let base = Engine.simulate Presets.a100 scenario.Scenario.model in
+    let market_of g =
+      match market with
+      | `Marketing -> Gpu.marketing_market g
+      | `Architectural -> Gpu.architectural_market g
+    in
+    let dc, ndc =
+      List.partition (fun g -> g.Gpu.segment = Gpu.Data_center) Database.survey
+    in
+    let header =
+      [
+        "regime"; "scope"; "dc_captured"; "dc_total"; "collateral";
+        "nondc_total"; "designs"; "compliant"; "compliant_mfg";
+        "best_ttft_ms"; "ttft_vs_a100_pct"; "best_tbt_ms"; "tbt_vs_a100_pct";
+      ]
+    in
+    let rows =
+      List.map
+        (fun (r : Regime.t) ->
+          let captured gs =
+            List.length
+              (List.filter
+                 (fun g ->
+                   Regime.regulated ~market:(market_of g) r (Gpu.subject g))
+                 gs)
+          in
+          let compliant = List.filter (fun d -> Design.compliant r d) designs in
+          let ok = List.filter Design.manufacturable compliant in
+          let best objective metric baseline =
+            match Optimum.best objective ok with
+            | Some d ->
+                let v = Units.to_ms (metric d) in
+                ( Printf.sprintf "%.4f" v,
+                  Printf.sprintf "%+.1f"
+                    (100. *. (metric d -. baseline) /. baseline) )
+            | None -> ("-", "-")
+          in
+          let ttft, dttft =
+            best Optimum.Ttft (fun d -> d.Design.ttft_s) base.Engine.ttft_s
+          in
+          let tbt, dtbt =
+            best Optimum.Tbt (fun d -> d.Design.tbt_s) base.Engine.tbt_s
+          in
+          [
+            r.Regime.name;
+            (match r.Regime.scope with
+            | Regime.Per_die -> "per-die"
+            | Regime.Per_package -> "per-package");
+            string_of_int (captured dc);
+            string_of_int (List.length dc);
+            string_of_int (captured ndc);
+            string_of_int (List.length ndc);
+            string_of_int (List.length designs);
+            string_of_int (List.length compliant);
+            string_of_int (List.length ok);
+            ttft; dttft; tbt; dtbt;
+          ])
+        regimes
+    in
+    let t =
+      Table.create
+        ~aligns:
+          [
+            Table.Left; Table.Left; Table.Right; Table.Right; Table.Right;
+            Table.Right; Table.Right; Table.Right; Table.Right; Table.Right;
+            Table.Right; Table.Right; Table.Right;
+          ]
+        header
+    in
+    List.iter (Table.add_row t) rows;
+    Table.print ~title:"regimes x survey devices x design space" t;
+    Format.printf
+      "captured: survey devices regulated (any verdict above unregulated); \
+       collateral: captured non-data-center devices.@.";
+    match csv with
+    | None -> ()
+    | Some path ->
+        Csv.write ~path ~header rows;
+        Format.printf "wrote %s (%d rows)@." path (List.length rows)
+  in
+  let run regimes scenario market jobs csv dump trace =
+    let rec resolve acc = function
+      | [] -> Ok (List.rev acc)
+      | name :: rest -> (
+          match resolve_regime name with
+          | Ok r -> resolve (r :: acc) rest
+          | Error _ as e -> e)
+    in
+    let regimes =
+      if regimes = [] then Ok Regime.registry
+      else resolve [] regimes
+    in
+    match (regimes, scenario_of_target scenario) with
+    | Error msg, _ | _, Error msg -> `Error (false, msg)
+    | Ok regimes, Ok scenario -> (
+        try
+          exec regimes scenario market jobs csv dump trace;
+          `Ok ()
+        with Invalid_argument msg -> `Error (false, msg))
+  in
+  Cmd.v
+    (Cmd.info "policy-lab"
+       ~doc:"Sweep sanction regimes over the device survey and a design \
+             space: capture counts, collateral damage and the best \
+             compliant design under each rule set.")
+    Term.(
+      ret
+        (const run $ regimes_arg $ scenario_arg $ market_arg $ jobs_arg
+       $ csv_arg $ dump_arg $ trace_arg))
 
 (* --- profile --- *)
 
@@ -872,7 +1060,8 @@ let main =
       ~doc:"Chip architectures under advanced computing sanctions: simulator, policy engine and DSE."
   in
   Cmd.group info
-    [ classify_cmd; simulate_cmd; dse_cmd; scenarios_cmd; run_cmd; profile_cmd;
-      survey_cmd; fps_cmd; serve_cmd; fleet_cmd; package_cmd; plan_cmd ]
+    [ classify_cmd; simulate_cmd; dse_cmd; scenarios_cmd; run_cmd;
+      policy_lab_cmd; profile_cmd; survey_cmd; fps_cmd; serve_cmd; fleet_cmd;
+      package_cmd; plan_cmd ]
 
 

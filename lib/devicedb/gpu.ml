@@ -38,6 +38,11 @@ let architectural_market t =
   then Acs_policy.Acr_2023.Data_center
   else Acs_policy.Acr_2023.Non_data_center
 
+let subject t =
+  Acs_policy.Regime.subject
+    ~memory_bw_tb_s:(t.memory_bw_gb_s /. 1000.)
+    ~memory_gb:t.memory_gb (spec t)
+
 let classify_2022 t = Acs_policy.Acr_2022.classify (spec t)
 let classify_2023 t = Acs_policy.Acr_2023.classify (marketing_market t) (spec t)
 

@@ -31,6 +31,13 @@ type t = {
 
 val performance_density : t -> float
 val spec : t -> Acs_policy.Spec.t
+
+val subject : t -> Acs_policy.Regime.subject
+(** The datasheet quantities as a {!Acs_policy.Regime} subject: the spec
+    plus memory capacity and bandwidth. Core-internal quantities
+    (systolic dimensions, L1/L2) are not on datasheets and stay
+    unreported — predicates over them never fire on real products. *)
+
 val marketing_market : t -> Acs_policy.Acr_2023.market
 (** [Data_center] for data-center-marketed devices, [Non_data_center] for
     consumer and workstation devices. *)

@@ -62,6 +62,21 @@ let compliant_2022 d = d.acr2022 = Acs_policy.Acr_2022.Not_applicable
 let compliant_2023 d = d.acr2023_dc = Acs_policy.Acr_2023.Not_applicable
 let manufacturable d = d.within_reticle
 
+(* The subject reuses the design's own spec bit-exactly (rather than the
+   equal one [Regime.of_device] would recompute), so regime verdicts and
+   the stored [acr2022]/[acr2023_dc] fields can never disagree. *)
+let subject d =
+  {
+    (Acs_policy.Regime.of_device ~area_mm2:d.area_mm2 d.device) with
+    Acs_policy.Regime.spec = d.spec;
+  }
+
+let verdict ?market regime d =
+  Acs_policy.Regime.verdict ?market regime (subject d)
+
+let compliant ?market regime d =
+  not (Acs_policy.Regime.regulated ?market regime (subject d))
+
 let ttft_cost_product d = Acs_util.Units.to_ms d.ttft_s *. d.die_cost_usd
 let tbt_cost_product d = Acs_util.Units.to_ms d.tbt_s *. d.die_cost_usd
 

@@ -58,6 +58,23 @@ val compliant_2023 : t -> bool
 val manufacturable : t -> bool
 (** Within the 860 mm^2 reticle limit. *)
 
+val subject : t -> Acs_policy.Regime.subject
+(** The design as a regime subject: the stored spec (bit-exact) plus the
+    template's architectural quantities (memory, systolic, L1/L2). *)
+
+val verdict :
+  ?market:Acs_policy.Regime.market ->
+  Acs_policy.Regime.t ->
+  t ->
+  Acs_policy.Regime.verdict
+(** Verdict under an arbitrary regime value; [market] defaults to
+    [Data_center], how the paper judges simulated designs. *)
+
+val compliant : ?market:Acs_policy.Regime.market -> Acs_policy.Regime.t -> t -> bool
+(** Fully unregulated under the regime: [compliant Regime.acr_2022] is
+    {!compliant_2022} and [compliant Regime.acr_2023] is
+    {!compliant_2023} (the test suite pins both). *)
+
 val ttft_cost_product : t -> float
 (** TTFT(ms) x die cost($): Fig. 8's y-axis. *)
 

@@ -2,7 +2,7 @@ module Json = Acs_util.Json
 module Model = Acs_workload.Model
 module Request = Acs_workload.Request
 module Calib = Acs_perfmodel.Calib
-module Timeline = Acs_policy.Timeline
+module Regime = Acs_policy.Regime
 
 type target = Space of Space.sweep | Point of Space.params
 
@@ -16,11 +16,11 @@ type t = {
   tpp_target : float;
   memory_gb : float option;
   target : target;
-  regime : Timeline.regime;
+  regime : Regime.t;
 }
 
 let make ?(description = "") ?request ?calib ?tp ?memory_gb
-    ?(regime = Timeline.Acr_oct_2023) ~name ~model ~tpp_target target =
+    ?(regime = Regime.acr_2023) ~name ~model ~tpp_target target =
   let pos what v =
     if not (v > 0. && Float.abs v < infinity) then
       invalid_arg (Printf.sprintf "Scenario.make: %s must be positive and finite" what)
@@ -36,11 +36,7 @@ let make ?(description = "") ?request ?calib ?tp ?memory_gb
 let size t =
   match t.target with Space s -> Space.size s | Point _ -> 1
 
-let compliant t =
-  match t.regime with
-  | Timeline.Pre_acr -> fun _ -> true
-  | Timeline.Acr_oct_2022 -> Design.compliant_2022
-  | Timeline.Acr_oct_2023 -> Design.compliant_2023
+let compliant t = Design.compliant t.regime
 
 (* --- context equality and hashing ---
 
@@ -180,21 +176,27 @@ end
 
 (* --- JSON --- *)
 
-let regime_token = function
-  | Timeline.Pre_acr -> "pre-acr"
-  | Timeline.Acr_oct_2022 -> "oct2022"
-  | Timeline.Acr_oct_2023 -> "oct2023"
+let regime_token (r : Regime.t) =
+  if r.Regime.name = "" then "custom" else r.Regime.name
 
-let regime_of_token s =
-  match String.lowercase_ascii (String.trim s) with
-  | "pre-acr" | "pre_acr" -> Timeline.Pre_acr
-  | "oct2022" -> Timeline.Acr_oct_2022
-  | "oct2023" -> Timeline.Acr_oct_2023
-  | other ->
-      raise
-        (Json.Error
-           (Printf.sprintf
-              "unknown regime %S (expected pre-acr, oct2022 or oct2023)" other))
+(* Regimes that are (structurally) registry values serialize by name;
+   anything else inlines the full Regime JSON. *)
+let regime_to_json (r : Regime.t) =
+  match Regime.find r.Regime.name with
+  | Some canonical when Regime.equal canonical r ->
+      Json.string r.Regime.name
+  | Some _ | None -> Regime.to_json r
+
+let regime_of_json = function
+  | Json.String s -> (
+      match Regime.find s with
+      | Some r -> r
+      | None ->
+          raise
+            (Json.Error
+               (Printf.sprintf "unknown regime %S (known: %s)" s
+                  (String.concat ", " (Regime.names ())))))
+  | j -> Regime.of_json j
 
 let model_to_json m =
   (* Presets serialize by name - the manifest stays readable and robust
@@ -223,7 +225,7 @@ let to_json t =
         match t.target with
         | Point p -> Space.params_to_json p
         | Space _ -> Json.Null );
-      ("regime", Json.string (regime_token t.regime));
+      ("regime", regime_to_json t.regime);
     ]
 
 let of_json j =
@@ -243,7 +245,7 @@ let of_json j =
       ?calib:(opt Calib.of_json "calib")
       ?tp:(opt Json.to_int "tp")
       ?memory_gb:(opt Json.to_float "memory_gb")
-      ?regime:(opt (fun v -> regime_of_token (Json.to_str v)) "regime")
+      ?regime:(opt regime_of_json "regime")
       ~name:(Option.value ~default:"" (opt Json.to_str "name"))
       ~model:(Model.of_json (Json.member "model" j))
       ~tpp_target:(Json.to_float (Json.member "tpp_target" j))
@@ -265,7 +267,7 @@ let fig7_family ~fig ~description_of model tag =
       in
       sweep_scenario ~name
         ~description:(description_of tpp)
-        ~model ~tpp_target:tpp ~regime:Timeline.Acr_oct_2023 Space.oct2023)
+        ~model ~tpp_target:tpp ~regime:Regime.acr_2023 Space.oct2023)
     [ (1600., false); (2400., false); (4800., false); (2400., true) ]
 
 let registry =
@@ -274,12 +276,12 @@ let registry =
     sweep_scenario ~name:"fig6-gpt3"
       ~description:
         "Fig 6 / Table 3: October 2022 DSE at 4800 TPP, GPT-3 175B"
-      ~model:gpt3 ~tpp_target:4800. ~regime:Timeline.Acr_oct_2022
+      ~model:gpt3 ~tpp_target:4800. ~regime:Regime.acr_2022
       Space.oct2022;
     sweep_scenario ~name:"fig6-llama3"
       ~description:
         "Fig 6 / Table 3: October 2022 DSE at 4800 TPP, Llama 3 8B"
-      ~model:llama3 ~tpp_target:4800. ~regime:Timeline.Acr_oct_2022
+      ~model:llama3 ~tpp_target:4800. ~regime:Regime.acr_2022
       Space.oct2022;
   ]
   @ fig7_family ~fig:"fig7"
@@ -295,57 +297,57 @@ let registry =
         ~description:
           "Fig 8: latency x die-cost products over the 2400-TPP Fig 7 \
            sweep, GPT-3 175B"
-        ~model:gpt3 ~tpp_target:2400. ~regime:Timeline.Acr_oct_2023
+        ~model:gpt3 ~tpp_target:2400. ~regime:Regime.acr_2023
         Space.oct2023;
       sweep_scenario ~name:"fig8-llama3"
         ~description:
           "Fig 8: latency x die-cost products over the 2400-TPP Fig 7 \
            sweep, Llama 3 8B"
-        ~model:llama3 ~tpp_target:2400. ~regime:Timeline.Acr_oct_2023
+        ~model:llama3 ~tpp_target:2400. ~regime:Regime.acr_2023
         Space.oct2023;
       sweep_scenario ~name:"table4"
         ~description:
           "Table 4: PD-compliance cost at the 2400 TPP target, GPT-3 175B"
-        ~model:gpt3 ~tpp_target:2400. ~regime:Timeline.Acr_oct_2023
+        ~model:gpt3 ~tpp_target:2400. ~regime:Regime.acr_2023
         Space.oct2023;
       sweep_scenario ~name:"fig11-gpt3"
         ~description:
           "Fig 11: indicator distributions over the 4800-TPP Fig 7 sweep, \
            GPT-3 175B"
-        ~model:gpt3 ~tpp_target:4800. ~regime:Timeline.Acr_oct_2023
+        ~model:gpt3 ~tpp_target:4800. ~regime:Regime.acr_2023
         Space.oct2023;
       sweep_scenario ~name:"fig11-llama3"
         ~description:
           "Fig 11: indicator distributions over the 4800-TPP Fig 7 sweep, \
            Llama 3 8B"
-        ~model:llama3 ~tpp_target:4800. ~regime:Timeline.Acr_oct_2023
+        ~model:llama3 ~tpp_target:4800. ~regime:Regime.acr_2023
         Space.oct2023;
       sweep_scenario ~name:"fig12-gpt3"
         ~description:
           "Fig 12 / Table 5: restricted (at-or-below-A100) DSE, GPT-3 175B"
-        ~model:gpt3 ~tpp_target:4800. ~regime:Timeline.Acr_oct_2023
+        ~model:gpt3 ~tpp_target:4800. ~regime:Regime.acr_2023
         Space.restricted;
       sweep_scenario ~name:"fig12-llama3"
         ~description:
           "Fig 12 / Table 5: restricted (at-or-below-A100) DSE, Llama 3 8B"
-        ~model:llama3 ~tpp_target:4800. ~regime:Timeline.Acr_oct_2023
+        ~model:llama3 ~tpp_target:4800. ~regime:Regime.acr_2023
         Space.restricted;
       sweep_scenario ~name:"table5"
         ~description:
           "Table 5 alias of fig12-gpt3: the restricted design space"
-        ~model:gpt3 ~tpp_target:4800. ~regime:Timeline.Acr_oct_2023
+        ~model:gpt3 ~tpp_target:4800. ~regime:Regime.acr_2023
         Space.restricted;
       sweep_scenario ~name:"scorecard"
         ~description:
           "Scorecard: the 2400-TPP October 2023 sweep most paper claims \
            are measured on, GPT-3 175B"
-        ~model:gpt3 ~tpp_target:2400. ~regime:Timeline.Acr_oct_2023
+        ~model:gpt3 ~tpp_target:2400. ~regime:Regime.acr_2023
         Space.oct2023;
       make ~name:"a100-proxy"
         ~description:
           "Single point: the 16x16 x4-lane 103-core A100-like anchor of \
            Fig 5 (4759 TPP under the 4800 target)"
-        ~model:gpt3 ~tpp_target:4800. ~regime:Timeline.Pre_acr
+        ~model:gpt3 ~tpp_target:4800. ~regime:Regime.pre_acr
         (Point
            {
              Space.systolic_dim = 16;

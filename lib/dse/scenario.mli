@@ -21,7 +21,7 @@
 module Model = Acs_workload.Model
 module Request = Acs_workload.Request
 module Calib = Acs_perfmodel.Calib
-module Timeline = Acs_policy.Timeline
+module Regime = Acs_policy.Regime
 
 type target =
   | Space of Space.sweep  (** evaluate every point of the sweep *)
@@ -37,8 +37,9 @@ type t = {
   tpp_target : float;
   memory_gb : float option;  (** HBM capacity; [None]: 80 GB *)
   target : target;
-  regime : Timeline.regime;
-      (** which Advanced Computing Rule the results are judged under *)
+  regime : Regime.t;
+      (** the sanction regime the results are judged under — any
+          {!Acs_policy.Regime} value, not just the shipped eras *)
 }
 
 val make :
@@ -47,13 +48,14 @@ val make :
   ?calib:Calib.t ->
   ?tp:int ->
   ?memory_gb:float ->
-  ?regime:Timeline.regime ->
+  ?regime:Regime.t ->
   name:string ->
   model:Model.t ->
   tpp_target:float ->
   target ->
   t
-(** [regime] defaults to [Acr_oct_2023] (the rules in force). Raises
+(** [regime] defaults to {!Acs_policy.Regime.acr_2023} (the rules in
+    force). Raises
     [Invalid_argument] on a non-positive/non-finite [tpp_target],
     [memory_gb] or [tp]. *)
 
@@ -61,9 +63,11 @@ val size : t -> int
 (** Number of design points the scenario evaluates (1 for a [Point]). *)
 
 val compliant : t -> Design.t -> bool
-(** Compliance of a design under the scenario's {!field-regime}:
-    [Design.compliant_2022] / [Design.compliant_2023], everything
-    compliant pre-ACR. *)
+(** Compliance of a design under the scenario's {!field-regime}
+    ([Design.compliant]): fully unregulated. Under [Regime.acr_2022] /
+    [Regime.acr_2023] this coincides with [Design.compliant_2022] /
+    [Design.compliant_2023]; under [Regime.pre_acr] everything is
+    compliant. *)
 
 (** {2 Context equality and hashing (the [Eval] cache key)}
 
@@ -107,12 +111,15 @@ val of_json : Acs_util.Json.t -> t
 (** Accepts the {!to_json} form: required members [model], [tpp_target]
     and exactly one of [space] (a name or full axes) / [point]; optional
     [name], [description], [request], [calib] (partial - missing knobs
-    keep their defaults), [tp], [memory_gb], [regime] ("pre-acr",
-    "oct2022" or "oct2023", default "oct2023"). Raises
-    {!Acs_util.Json.Error} on malformed manifests. *)
+    keep their defaults), [tp], [memory_gb], [regime] (a registry name
+    such as "acr-2023" — the legacy tokens "pre-acr"/"oct2022"/"oct2023"
+    still resolve — or an inline {!Acs_policy.Regime} object; default
+    [Regime.acr_2023]). Raises {!Acs_util.Json.Error} on malformed
+    manifests. *)
 
-val regime_token : Timeline.regime -> string
-(** The manifest token of a regime ("oct2023", not the display string). *)
+val regime_token : Regime.t -> string
+(** The regime's registry/manifest name ("acr-2023"), or "custom" for an
+    anonymous value. *)
 
 (** {2 The registry of canonical paper scenarios} *)
 

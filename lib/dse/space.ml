@@ -148,6 +148,16 @@ let build ?(memory_gb = 80.) ~tpp_target p =
 let designs ?memory_gb ~tpp_target s =
   Acs_util.Parallel.map (build ?memory_gb ~tpp_target) (enumerate s)
 
+let constrain ?market ?memory_gb ~regime ~tpp_target s =
+  (* Building a device and its area model is cheap next to simulating it,
+     so compliance prunes the sweep before any evaluation happens. *)
+  let keep p =
+    not
+      (Acs_policy.Regime.regulated ?market regime
+         (Acs_policy.Regime.of_device (build ?memory_gb ~tpp_target p)))
+  in
+  List.filter keep (enumerate s)
+
 (* --- JSON codecs --- *)
 
 module Json = Acs_util.Json

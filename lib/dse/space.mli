@@ -69,6 +69,20 @@ val designs : ?memory_gb:float -> tpp_target:float -> sweep -> Acs_hardware.Devi
 (** Devices for every swept combination, in [enumerate] order; built in
     parallel over the {!Acs_util.Parallel} pool. *)
 
+val constrain :
+  ?market:Acs_policy.Regime.market ->
+  ?memory_gb:float ->
+  regime:Acs_policy.Regime.t ->
+  tpp_target:float ->
+  sweep ->
+  params list
+(** The sweep's points whose built device is fully unregulated under the
+    regime, in [enumerate] order: the compliance pre-filter (device
+    construction and the area model are cheap; no simulation runs).
+    Agrees with filtering evaluated designs by {!Design.compliant} —
+    the regime sees the same spec either way. [market] defaults to
+    [Data_center]. *)
+
 (** {2 JSON codecs (scenario manifests)} *)
 
 val params_to_json : params -> Acs_util.Json.t

@@ -1,12 +1,21 @@
+(* Thin wrapper over the [Regime.acr_2022] registry value; the DSL is
+   the implementation. Bit-identity with the historical classifier is
+   pinned by the regime test suite. *)
+
 type classification = Not_applicable | License_required
 
-let tpp_threshold = 4800.
-let bandwidth_threshold_gb_s = 600.
+let tpp_threshold =
+  Option.get (Regime.threshold ~verdict:Regime.License Regime.acr_2022 Regime.Tpp)
+
+let bandwidth_threshold_gb_s =
+  Option.get
+    (Regime.threshold ~verdict:Regime.License Regime.acr_2022
+       Regime.Device_bw_gb_s)
 
 let classify (s : Spec.t) =
-  if s.Spec.tpp >= tpp_threshold && s.Spec.device_bw_gb_s >= bandwidth_threshold_gb_s
-  then License_required
-  else Not_applicable
+  match Regime.verdict Regime.acr_2022 (Regime.of_spec s) with
+  | Regime.License -> License_required
+  | Regime.Nac | Regime.Unregulated -> Not_applicable
 
 let regulated s = classify s = License_required
 

@@ -1,4 +1,10 @@
-type market = Data_center | Non_data_center
+(* Thin wrapper over the [Regime.acr_2023] registry value; the DSL is
+   the implementation. The threshold constants stay literal here (the
+   area-floor math needs them individually, and [Regime.threshold] only
+   reports the lowest bound per quantity); the regime test suite pins
+   them against the registry value so they cannot drift. *)
+
+type market = Regime.market = Data_center | Non_data_center
 type tier = Not_applicable | Nac_eligible | License_required
 
 let tpp_license = 4800.
@@ -9,19 +15,10 @@ let pd_nac = 3.2
 let pd_nac_low = 1.6
 
 let classify market (s : Spec.t) =
-  let tpp = s.Spec.tpp in
-  let pd = Spec.performance_density s in
-  match market with
-  | Non_data_center ->
-      if tpp >= tpp_license then Nac_eligible else Not_applicable
-  | Data_center ->
-      if tpp >= tpp_license || (tpp >= tpp_floor && pd >= pd_license) then
-        License_required
-      else if
-        (tpp >= tpp_nac_low && pd >= pd_nac_low && pd < pd_license)
-        || (tpp >= tpp_floor && pd >= pd_nac && pd < pd_license)
-      then Nac_eligible
-      else Not_applicable
+  match Regime.verdict ~market Regime.acr_2023 (Regime.of_spec s) with
+  | Regime.Unregulated -> Not_applicable
+  | Regime.Nac -> Nac_eligible
+  | Regime.License -> License_required
 
 let regulated market s = classify market s <> Not_applicable
 
@@ -55,6 +52,4 @@ let tier_to_string = function
   | Nac_eligible -> "NAC Eligible"
   | License_required -> "License Required"
 
-let market_to_string = function
-  | Data_center -> "data center"
-  | Non_data_center -> "non-data center"
+let market_to_string = Regime.market_to_string

@@ -12,7 +12,9 @@
     Performance Density (PD) is TPP divided by applicable die area; for a
     planar-process device PD is treated as 0 (no applicable area). *)
 
-type market = Data_center | Non_data_center
+type market = Regime.market = Data_center | Non_data_center
+(** An alias of {!Regime.market}: the classifier here is a thin wrapper
+    over the [Regime.acr_2023] registry value. *)
 
 type tier = Not_applicable | Nac_eligible | License_required
 (** Ordered by severity; [compare_tier] respects that order. *)

@@ -1,15 +1,36 @@
+(* Thin wrapper over the [Regime.hbm_2024] registry value; the DSL is
+   the implementation. A density [d] is presented to the regime as a
+   spec with bandwidth [d] over 1 mm^2 of area, so the regime's
+   bandwidth-density quantity equals [d]. *)
+
 type classification =
   | Not_controlled
   | Controlled_exception_eligible
   | Controlled
 
-let density_threshold = 2.0
-let exception_threshold = 3.3
+let density_threshold =
+  Option.get
+    (Regime.threshold ~verdict:Regime.Nac Regime.hbm_2024
+       Regime.Bw_density_gb_s_mm2)
+
+let exception_threshold =
+  Option.get
+    (Regime.threshold ~verdict:Regime.License Regime.hbm_2024
+       Regime.Bw_density_gb_s_mm2)
 
 let classify_density density =
-  if density <= density_threshold then Not_controlled
-  else if density < exception_threshold then Controlled_exception_eligible
-  else Controlled
+  (* A negative density never exceeds the thresholds; short-circuit it
+     rather than building a spec [Spec.make] would reject. *)
+  if density < 0. then Not_controlled
+  else
+    let subject =
+      Regime.of_spec
+        (Spec.make ~tpp:0. ~device_bw_gb_s:density ~die_area_mm2:1. ())
+    in
+    match Regime.verdict Regime.hbm_2024 subject with
+    | Regime.Unregulated -> Not_controlled
+    | Regime.Nac -> Controlled_exception_eligible
+    | Regime.License -> Controlled
 
 let classify ?(installed_in_device = false) ~bandwidth_gb_s ~package_area_mm2
     () =

@@ -1,10 +1,7 @@
-type date = { year : int; month : int }
+type date = Regime.date = { year : int; month : int }
 
-let date year month =
-  if month < 1 || month > 12 then invalid_arg "Timeline.date: month";
-  { year; month }
-
-let compare_date a b = compare (a.year, a.month) (b.year, b.month)
+let date = Regime.date
+let compare_date = Regime.compare_date
 
 type regime = Pre_acr | Acr_oct_2022 | Acr_oct_2023
 
@@ -21,6 +18,43 @@ let regime_to_string = function
   | Acr_oct_2022 -> "October 2022 ACR"
   | Acr_oct_2023 -> "October 2023 ACR"
 
+let to_value = function
+  | Pre_acr -> Regime.pre_acr
+  | Acr_oct_2022 -> Regime.acr_2022
+  | Acr_oct_2023 -> Regime.acr_2023
+
+(* Schedules: the general form of the timeline. *)
+
+type schedule = (date * Regime.t) list
+
+let schedule entries =
+  let sorted =
+    List.stable_sort (fun (a, _) (b, _) -> compare_date a b) entries
+  in
+  let rec check = function
+    | (a, _) :: ((b, _) :: _ as tl) ->
+        if compare_date a b = 0 then
+          invalid_arg "Timeline.schedule: duplicate effective date";
+        check tl
+    | _ -> ()
+  in
+  check sorted;
+  sorted
+
+let default_schedule =
+  schedule [ (oct_2022, Regime.acr_2022); (oct_2023, Regime.acr_2023) ]
+
+let regime_in_force ?(schedule = default_schedule) d =
+  List.fold_left
+    (fun acc (effective, r) ->
+      if compare_date effective d <= 0 then Some r else acc)
+    None schedule
+
+let verdict_at ?schedule d ~market subject =
+  match regime_in_force ?schedule d with
+  | None -> Regime.Unregulated
+  | Some r -> Regime.verdict ~market r subject
+
 type ruling = Unregulated | Nac_notification | License
 
 let ruling_to_string = function
@@ -28,22 +62,17 @@ let ruling_to_string = function
   | Nac_notification -> "NAC notification required"
   | License -> "license required"
 
-let classify_regime regime ~market spec =
-  match regime with
-  | Pre_acr -> Unregulated
-  | Acr_oct_2022 -> begin
-      match Acr_2022.classify spec with
-      | Acr_2022.Not_applicable -> Unregulated
-      | Acr_2022.License_required -> License
-    end
-  | Acr_oct_2023 -> begin
-      match Acr_2023.classify market spec with
-      | Acr_2023.Not_applicable -> Unregulated
-      | Acr_2023.Nac_eligible -> Nac_notification
-      | Acr_2023.License_required -> License
-    end
+let ruling_of_verdict = function
+  | Regime.Unregulated -> Unregulated
+  | Regime.Nac -> Nac_notification
+  | Regime.License -> License
 
-let classify_at d ~market spec = classify_regime (regime_at d) ~market spec
+let classify_regime regime ~market spec =
+  ruling_of_verdict
+    (Regime.verdict ~market (to_value regime) (Regime.of_spec spec))
+
+let classify_at d ~market spec =
+  ruling_of_verdict (verdict_at d ~market (Regime.of_spec spec))
 
 let history ~market spec =
   List.map

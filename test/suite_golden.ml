@@ -10,6 +10,8 @@ open Helpers
 
      dune exec bin/acs_cli.exe -- run table4 --out test/golden
      dune exec bin/acs_cli.exe -- run scorecard --out test/golden
+     dune exec bin/acs_cli.exe -- policy-lab --scenario table4 \
+       --csv test/golden/policy_lab.csv
 *)
 
 let run args =
@@ -46,8 +48,29 @@ let t_golden name () =
        run %s --out test/golden"
       name name (String.length expected) (String.length actual) name
 
+(* The policy-lab sweep: the full regime registry over the table4 design
+   space. Capture counts, compliance counts and best-compliant
+   performance are all regime-derived, so this also pins the registry
+   values themselves. *)
+let t_policy_lab () =
+  let produced = Filename.temp_file "acs_policy_lab" ".csv" in
+  Alcotest.(check int) "policy-lab runs" 0
+    (run
+       [ "policy-lab"; "--scenario"; "table4"; "--csv"; produced; "--jobs"; "2" ]);
+  let expected = read_file (golden "policy_lab") in
+  let actual = read_file produced in
+  Sys.remove produced;
+  if not (String.equal expected actual) then
+    Alcotest.failf
+      "policy_lab.csv drifted from test/golden/policy_lab.csv (%d vs %d \
+       bytes). If the change is intentional, regenerate with: dune exec \
+       bin/acs_cli.exe -- policy-lab --scenario table4 --csv \
+       test/golden/policy_lab.csv"
+      (String.length expected) (String.length actual)
+
 let suite =
   [
     test "table4 output matches fixture" (t_golden "table4");
     test "scorecard output matches fixture" (t_golden "scorecard");
+    test "policy-lab output matches fixture" t_policy_lab;
   ]

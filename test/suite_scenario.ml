@@ -46,7 +46,7 @@ let t_compliance_regimes () =
     (Scenario.compliant fig6 d);
   Alcotest.(check bool) "oct2023 regime uses 2023 rule" (Design.compliant_2023 d)
     (Scenario.compliant fig7 d);
-  let pre = { fig7 with Scenario.regime = Timeline.Pre_acr } in
+  let pre = { fig7 with Scenario.regime = Regime.pre_acr } in
   Alcotest.(check bool) "pre-ACR: everything compliant" true
     (Scenario.compliant pre d)
 
@@ -59,8 +59,8 @@ let t_manifest_minimal () =
   in
   Alcotest.(check string) "anonymous" "" s.Scenario.name;
   Alcotest.(check bool) "preset model" true (s.Scenario.model = Model.gpt3_175b);
-  Alcotest.(check bool) "defaults to oct2023 regime" true
-    (s.Scenario.regime = Timeline.Acr_oct_2023);
+  Alcotest.(check bool) "defaults to the acr-2023 regime" true
+    (Regime.equal s.Scenario.regime Regime.acr_2023);
   Alcotest.(check bool) "optional fields default" true
     (s.Scenario.request = None && s.Scenario.calib = None && s.Scenario.tp = None
     && s.Scenario.memory_gb = None)
@@ -153,7 +153,16 @@ let scenario_gen =
   let* tpp_target = oneofl [ 123.456; 1600.; 2400.; 4800. ] in
   let* target = target in
   let* regime =
-    oneofl [ Timeline.Pre_acr; Timeline.Acr_oct_2022; Timeline.Acr_oct_2023 ]
+    oneofl
+      [ Regime.pre_acr; Regime.acr_2022; Regime.acr_2023; Regime.hbm_2024;
+        Regime.proposal_ai_targeted;
+        Regime.make ~description:"an inline counterfactual" "memwall"
+          [ Regime.rule Regime.License
+              (Regime.any_of
+                 [ Regime.above Regime.Memory_bw_tb_s 1.2;
+                   Regime.all_of
+                     [ Regime.at_least Regime.Tpp 1600.;
+                       Regime.not_ (Regime.at_least Regime.L1_kb 32.) ] ]) ] ]
   in
   return
     (Scenario.make ~name ~description ?request ?calib ?tp ?memory_gb ~regime
@@ -199,7 +208,7 @@ let t_key_float_semantics () =
   (* name/description/regime are not part of the evaluation context. *)
   let renamed =
     { base with Scenario.name = "other"; description = "x";
-      regime = Timeline.Pre_acr }
+      regime = Regime.pre_acr }
   in
   Alcotest.(check bool) "name/description/regime excluded" true
     (Scenario.equal base renamed);
@@ -215,7 +224,7 @@ let t_cache_shares_context () =
   (* Same context under a different name and regime: all hits, no work. *)
   let b =
     Eval.run
-      { base with Scenario.name = "renamed"; regime = Timeline.Acr_oct_2023 }
+      { base with Scenario.name = "renamed"; regime = Regime.acr_2022 }
   in
   let s2 = Eval.stats () in
   Alcotest.(check bool) "identical designs" true (a = b);

@@ -23,6 +23,7 @@ let () =
       ("cluster", Suite_cluster.suite);
       ("training", Suite_training.suite);
       ("policy", Suite_policy.suite);
+      ("regime", Suite_regime.suite);
       ("derate", Suite_derate.suite);
       ("timeline", Suite_timeline.suite);
       ("devicedb", Suite_devicedb.suite);
