@@ -15,6 +15,7 @@ let wide_sweep =
     l2_mb = [ 8.; 40.; 80. ];
     memory_bw_tb_s = [ 0.8; 1.2; 2.; 3.2 ];
     device_bw_gb_s = [ 600. ];
+    clock_mhz = [ Space.default_clock_mhz ];
   }
 
 let policies =

@@ -15,6 +15,7 @@ let thinned =
     l2_mb = [ 40.; 80. ];
     memory_bw_tb_s = [ 1.; 2.; 3. ];
     device_bw_gb_s = [ 600. ];
+    clock_mhz = [ Core.Space.default_clock_mhz ];
   }
 
 let sweep_once jobs () =
@@ -49,6 +50,7 @@ let tests =
       l2 = 40.;
       memory_bw = 2.;
       device_bw = 600.;
+      clock_mhz = Core.Space.default_clock_mhz;
     }
   in
   Test.make_grouped ~name:"acs"
@@ -552,6 +554,138 @@ let fleet_throughput () =
     (fun () -> Core.Json.to_channel ~indent:2 oc json);
   Common.note "[json] wrote %s (%d variants)" path (List.length rows)
 
+(* --- search throughput: the adaptive strategies and the disk tier ---
+
+   Wall-clock per strategy on the fig6-llama3 oracle space (budget 64,
+   cold memo cache each run, so the timing includes the evaluations the
+   strategy actually chose to pay for), one budget-256 halving run on the
+   ~1e9-point widened lattice, and the disk tier's cold-write vs
+   warm-read cost on a temp directory. *)
+
+let search_throughput () =
+  Common.section "Search throughput: adaptive strategies over the lattice";
+  let s = Common.scenario throughput_scenario in
+  let budget = 64 in
+  let repeats = if quick () then 3 else 5 in
+  let timed_strategy (name, strategy) =
+    let outcome = ref None in
+    let dt =
+      time_best ~repeats (fun () ->
+          Core.Eval.clear ();
+          outcome := Some (Core.Adaptive.search ~budget ~strategy s))
+    in
+    (name, Option.get !outcome, dt)
+  in
+  let rows = List.map timed_strategy Core.Adaptive.strategies in
+  (* The widened lattice: one timed cold run, budget 256. *)
+  let widened = Common.scenario "search-widened" in
+  let wide_outcome = ref None in
+  let wide_dt =
+    time_best ~repeats (fun () ->
+        Core.Eval.clear ();
+        wide_outcome :=
+          Some
+            (Core.Adaptive.search ~budget:256 ~strategy:Core.Adaptive.Halving
+               widened))
+  in
+  let wide = Option.get !wide_outcome in
+  (* Disk tier: cold run writes through, warm run (memo cleared) answers
+     every evaluation from disk. *)
+  let dir = Filename.temp_file "acs_bench_cache" "" in
+  Sys.remove dir;
+  let disk_run () =
+    Core.Eval.clear ();
+    Core.Adaptive.search ~budget ~strategy:Core.Adaptive.Zoom ~cache_dir:dir s
+  in
+  let t0 = Common.wall_s () in
+  let cold_o = disk_run () in
+  let disk_cold = Common.wall_s () -. t0 in
+  let t0 = Common.wall_s () in
+  let warm_o = disk_run () in
+  let disk_warm = Common.wall_s () -. t0 in
+  let rec rm_rf path =
+    if Sys.is_directory path then begin
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+  in
+  (try rm_rf dir with Sys_error _ -> ());
+  let t =
+    Core.Table.create
+      ~aligns:[ Core.Table.Left; Core.Table.Right; Core.Table.Right;
+                Core.Table.Right; Core.Table.Right ]
+      [ "strategy"; "evaluated"; "bounded"; "ms"; "evals/s" ]
+  in
+  List.iter
+    (fun (name, (o : Core.Adaptive.outcome), dt) ->
+      Core.Table.add_row t
+        [ name; string_of_int o.Core.Adaptive.evaluated;
+          string_of_int o.Core.Adaptive.bounded;
+          Printf.sprintf "%.1f" (1e3 *. dt);
+          Printf.sprintf "%.0f" (float_of_int o.Core.Adaptive.evaluated /. dt) ])
+    rows;
+  Core.Table.print t;
+  Common.note
+    "[speed] widened lattice (%.3g implicit points): halving budget 256 \
+     evaluated %d (+%d bound probes) in %.1f ms"
+    wide.Core.Adaptive.implicit wide.Core.Adaptive.evaluated
+    wide.Core.Adaptive.bounded (1e3 *. wide_dt);
+  Common.note
+    "[speed] disk tier (zoom, budget %d): cold %.1f ms (%d stores), \
+     disk-warm %.1f ms (%d hits)"
+    budget (1e3 *. disk_cold)
+    (Option.get cold_o.Core.Adaptive.disk).Core.Disk_cache.stores
+    (1e3 *. disk_warm)
+    warm_o.Core.Adaptive.provenance.Core.Adaptive.disk;
+  (try Sys.mkdir Common.results_dir 0o755 with Sys_error _ -> ());
+  let json =
+    Core.Json.obj
+      [
+        ("scenario", Core.Json.string throughput_scenario);
+        ("budget", Core.Json.int budget);
+        ("repeats", Core.Json.int repeats);
+        ("quick", Core.Json.bool (quick ()));
+        ( "strategies",
+          Core.Json.list
+            (fun (name, (o : Core.Adaptive.outcome), dt) ->
+              Core.Json.obj
+                [
+                  ("strategy", Core.Json.string name);
+                  ("seconds", Core.Json.float dt);
+                  ("evaluated", Core.Json.int o.Core.Adaptive.evaluated);
+                  ("bounded", Core.Json.int o.Core.Adaptive.bounded);
+                  ( "evals_per_second",
+                    Core.Json.float
+                      (float_of_int o.Core.Adaptive.evaluated /. dt) );
+                ])
+            rows );
+        ( "widened",
+          Core.Json.obj
+            [
+              ("implicit", Core.Json.float wide.Core.Adaptive.implicit);
+              ("evaluated", Core.Json.int wide.Core.Adaptive.evaluated);
+              ("bounded", Core.Json.int wide.Core.Adaptive.bounded);
+              ("seconds", Core.Json.float wide_dt);
+            ] );
+        ( "disk",
+          Core.Json.obj
+            [
+              ("cold_seconds", Core.Json.float disk_cold);
+              ("warm_seconds", Core.Json.float disk_warm);
+              ( "warm_disk_hits",
+                Core.Json.int warm_o.Core.Adaptive.provenance.Core.Adaptive.disk
+              );
+            ] );
+      ]
+  in
+  let path = Filename.concat Common.results_dir "search_throughput.json" in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Core.Json.to_channel ~indent:2 oc json);
+  Common.note "[json] wrote %s" path
+
 let run_bechamel () =
   Common.section "Microbenchmarks (bechamel): simulator throughput";
   let ols =
@@ -616,5 +750,6 @@ let run () =
      multi-second quotas to stabilize. *)
   if not (quick ()) then run_bechamel ();
   sweep_throughput ();
+  search_throughput ();
   serving_throughput ();
   fleet_throughput ()

@@ -415,6 +415,232 @@ let run_cmd =
              its designs.")
     Term.(ret (const run $ target $ jobs_arg $ out $ trace_arg))
 
+(* --- search --- *)
+
+let objective_token = function
+  | Optimum.Ttft -> "ttft"
+  | Optimum.Tbt -> "tbt"
+  | Optimum.Ttft_cost -> "ttft-cost"
+  | Optimum.Tbt_cost -> "tbt-cost"
+
+let search_cmd =
+  let target =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SCENARIO"
+          ~doc:"A JSON manifest file, or the name of a registry scenario \
+                with a sweep target (see `acs scenarios`; 'search-widened' \
+                is the ~1e9-point lattice this verb exists for).")
+  in
+  let strategy =
+    Arg.(
+      value
+      & opt (enum Adaptive.strategies) Adaptive.Halving
+      & info [ "strategy" ]
+          ~doc:"Search strategy: halving, pareto, descent or zoom.")
+  in
+  let budget =
+    Arg.(
+      value & opt int 1024
+      & info [ "budget" ]
+          ~doc:"Engine-evaluation budget (hard ceiling, never exceeded). A \
+                budget covering the whole sweep degenerates to exhaustive \
+                enumeration.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Search RNG seed.")
+  in
+  let objective =
+    Arg.(value & opt (enum [ ("ttft", Optimum.Ttft); ("tbt", Optimum.Tbt);
+                             ("ttft-cost", Optimum.Ttft_cost); ("tbt-cost", Optimum.Tbt_cost) ])
+           Optimum.Tbt
+         & info [ "objective" ] ~doc:"ttft, tbt, ttft-cost or tbt-cost.")
+  in
+  let cache_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:(Printf.sprintf
+                  "Persistent on-disk eval cache: evaluations are written \
+                   through and later runs (any process) resume from them. \
+                   The conventional location is %S."
+                  Disk_cache.default_dir))
+  in
+  let report =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE"
+          ~doc:"Write a key,value CSV of the outcome (deterministic for a \
+                fixed scenario/strategy/budget/seed: cache state and \
+                --jobs do not change a byte of it).")
+  in
+  let refine_serving =
+    Arg.(
+      value & flag
+      & info [ "refine-serving" ]
+          ~doc:"Add a final fidelity level: re-rank the top evaluated \
+                designs by p95 latency under a short synthetic \
+                continuous-batching serving trace.")
+  in
+  let exec scenario strategy budget seed objective cache_dir report
+      refine_serving jobs trace =
+    with_trace_opt trace @@ fun () ->
+    Format.printf "%a@." Scenario.pp scenario;
+    Format.printf "strategy %s, objective %s, budget %d, seed %d@."
+      (Adaptive.strategy_to_string strategy)
+      (objective_token objective) budget seed;
+    let refine =
+      if not refine_serving then None
+      else begin
+        let model = scenario.Scenario.model in
+        let config =
+          {
+            Simulator.default_config with
+            Simulator.tp =
+              Option.value scenario.Scenario.tp
+                ~default:Simulator.default_config.Simulator.tp;
+          }
+        in
+        let trace =
+          Trace.synthetic ~seed ~rate_per_s:2. ~duration_s:20.
+            ~mean_input:256 ~mean_output:64 ()
+        in
+        Some
+          (fun (d : Design.t) ->
+            match Simulator.run ~config d.Design.device model trace with
+            | stats -> begin
+                match objective with
+                | Optimum.Ttft | Optimum.Ttft_cost -> stats.Simulator.p95_ttft_s
+                | Optimum.Tbt | Optimum.Tbt_cost -> stats.Simulator.p95_tbt_s
+              end
+            | exception Simulator.Infeasible _ -> infinity)
+      end
+    in
+    let t0 = wall_s () in
+    let o =
+      with_jobs_opt jobs (fun () ->
+          Adaptive.search ~budget ~seed ~objective ?refine ?cache_dir
+            ~strategy scenario)
+    in
+    Format.printf "search finished in %.2f s@." (wall_s () -. t0);
+    Format.printf
+      "implicit space: %.4g designs; evaluated %d (%.2g%%), %d bound \
+       probes, %.4g never simulated@."
+      o.Adaptive.implicit o.Adaptive.evaluated
+      (100. *. float_of_int o.Adaptive.evaluated /. o.Adaptive.implicit)
+      o.Adaptive.bounded o.Adaptive.pruned;
+    let t =
+      Table.create
+        ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ]
+        [ "fidelity"; "candidates"; "evaluated"; "promoted"; "pruned" ]
+    in
+    List.iter
+      (fun r ->
+        Table.add_row t
+          [
+            r.Adaptive.fidelity;
+            string_of_int r.Adaptive.candidates;
+            string_of_int r.Adaptive.evaluated;
+            string_of_int r.Adaptive.promoted;
+            string_of_int r.Adaptive.pruned;
+          ])
+      o.Adaptive.rungs;
+    Table.print t;
+    let pv = o.Adaptive.provenance in
+    Format.printf "eval provenance: %d memory, %d disk, %d cold@."
+      pv.Adaptive.memory pv.Adaptive.disk pv.Adaptive.cold;
+    (match o.Adaptive.disk with
+    | None -> ()
+    | Some st ->
+        Format.printf
+          "disk cache: %d loaded, %d hits, %d stores, %d skipped@."
+          st.Disk_cache.loaded st.Disk_cache.hits st.Disk_cache.stores
+          st.Disk_cache.skipped);
+    (match o.Adaptive.best with
+    | None -> Format.printf "no feasible design found within budget@."
+    | Some d ->
+        Format.printf "best: %a@." Design.pp d;
+        Format.printf "      clock %.0f MHz, %s = %g@."
+          d.Design.params.Space.clock_mhz (objective_token objective)
+          (Optimum.objective_value objective d));
+    match report with
+    | None -> ()
+    | Some path ->
+        (* Key,value rows; everything here is deterministic for a fixed
+           (scenario, strategy, objective, budget, seed) - provenance and
+           disk/wall-clock stats are deliberately excluded, so the golden
+           test can byte-compare across cache states and job counts.
+           Float values use %h (hex bits): exact, locale-proof. *)
+        let rows =
+          [
+            [ "scenario"; scenario.Scenario.name ];
+            [ "strategy"; Adaptive.strategy_to_string strategy ];
+            [ "objective"; objective_token objective ];
+            [ "budget"; string_of_int budget ];
+            [ "seed"; string_of_int seed ];
+            [ "implicit"; Printf.sprintf "%.0f" o.Adaptive.implicit ];
+            [ "evaluated"; string_of_int o.Adaptive.evaluated ];
+            [ "bounded"; string_of_int o.Adaptive.bounded ];
+            [ "pruned"; Printf.sprintf "%.0f" o.Adaptive.pruned ];
+          ]
+          @ List.mapi
+              (fun i r ->
+                [
+                  Printf.sprintf "rung%d" i;
+                  Printf.sprintf
+                    "%s candidates=%d evaluated=%d promoted=%d pruned=%d"
+                    r.Adaptive.fidelity r.Adaptive.candidates
+                    r.Adaptive.evaluated r.Adaptive.promoted r.Adaptive.pruned;
+                ])
+              o.Adaptive.rungs
+          @ (match o.Adaptive.best with
+            | None -> [ [ "best"; "none" ] ]
+            | Some d ->
+                let p = d.Design.params in
+                [
+                  [ "best"; "found" ];
+                  [ "best.systolic_dim"; string_of_int p.Space.systolic_dim ];
+                  [ "best.lanes"; string_of_int p.Space.lanes ];
+                  [ "best.l1_kb"; Printf.sprintf "%g" p.Space.l1 ];
+                  [ "best.l2_mb"; Printf.sprintf "%g" p.Space.l2 ];
+                  [ "best.memory_bw_tb_s"; Printf.sprintf "%g" p.Space.memory_bw ];
+                  [ "best.device_bw_gb_s"; Printf.sprintf "%g" p.Space.device_bw ];
+                  [ "best.clock_mhz"; Printf.sprintf "%g" p.Space.clock_mhz ];
+                  [ "best.ttft_bits"; Printf.sprintf "%h" d.Design.ttft_s ];
+                  [ "best.tbt_bits"; Printf.sprintf "%h" d.Design.tbt_s ];
+                  [
+                    "best.objective_bits";
+                    Printf.sprintf "%h" (Optimum.objective_value objective d);
+                  ];
+                ])
+        in
+        Csv.write ~path ~header:[ "key"; "value" ] rows;
+        Format.printf "wrote %s (%d rows)@." path (List.length rows)
+  in
+  let run target strategy budget seed objective cache_dir report
+      refine_serving jobs trace =
+    match scenario_of_target target with
+    | Error msg -> `Error (false, msg)
+    | Ok s -> (
+        try
+          exec s strategy budget seed objective cache_dir report
+            refine_serving jobs trace;
+          `Ok ()
+        with Invalid_argument msg -> `Error (false, msg))
+  in
+  Cmd.v
+    (Cmd.info "search"
+       ~doc:"Adaptively search a design space under an evaluation budget \
+             (billion-point lattices welcome), with an optional persistent \
+             disk cache.")
+    Term.(
+      ret
+        (const run $ target $ strategy $ budget $ seed $ objective $ cache_dir
+       $ report $ refine_serving $ jobs_arg $ trace_arg))
+
 (* --- policy-lab --- *)
 
 let policy_lab_cmd =
@@ -1061,7 +1287,7 @@ let main =
   in
   Cmd.group info
     [ classify_cmd; simulate_cmd; dse_cmd; scenarios_cmd; run_cmd;
-      policy_lab_cmd; profile_cmd; survey_cmd; fps_cmd; serve_cmd; fleet_cmd;
-      package_cmd; plan_cmd ]
+      search_cmd; policy_lab_cmd; profile_cmd; survey_cmd; fps_cmd;
+      serve_cmd; fleet_cmd; package_cmd; plan_cmd ]
 
 

@@ -19,6 +19,8 @@
     - {!Space}, {!Design}, {!Pareto}, {!Optimum}: design space exploration
     - {!Scenario}, {!Eval}: typed experiment manifests and the parallel,
       memoized evaluation engine keyed on them
+    - {!Adaptive}, {!Disk_cache}: budgeted search over billion-point
+      widened lattices and the persistent on-disk eval-cache tier
     - {!Grouping}: architecture-first performance indicators
     - {!Marketing}, {!Arch_classifier}: externality analyses *)
 
@@ -79,6 +81,8 @@ module Eval = Acs_dse.Eval
 module Pareto = Acs_dse.Pareto
 module Optimum = Acs_dse.Optimum
 module Search = Acs_dse.Search
+module Adaptive = Acs_dse.Adaptive
+module Disk_cache = Acs_dse.Disk_cache
 module Grouping = Acs_indicators.Grouping
 module Market = Acs_externality.Market
 module Latency_cost = Acs_externality.Latency_cost

@@ -16,7 +16,11 @@ type t = {
   tbt_s : float;
 }
 
-let of_result params device (result : Acs_perfmodel.Engine.result) =
+(* Everything except the latencies is derived deterministically from the
+   device, so a design can be reconstituted from (params, device, ttft,
+   tbt) alone - the on-disk eval cache stores exactly that and rebuilds a
+   bitwise-equal value here. *)
+let of_latencies params device ~ttft_s ~tbt_s =
   let area_mm2 = Area_model.total_mm2 device in
   let spec = Acs_policy.Spec.of_device ~area_mm2 device in
   let process = Cost_model.n7 in
@@ -40,9 +44,13 @@ let of_result params device (result : Acs_perfmodel.Engine.result) =
     acr2023_dc = Acs_policy.Acr_2023.classify Acs_policy.Acr_2023.Data_center spec;
     die_cost_usd;
     good_die_cost_usd;
-    ttft_s = result.Acs_perfmodel.Engine.ttft_s;
-    tbt_s = result.Acs_perfmodel.Engine.tbt_s;
+    ttft_s;
+    tbt_s;
   }
+
+let of_result params device (result : Acs_perfmodel.Engine.result) =
+  of_latencies params device ~ttft_s:result.Acs_perfmodel.Engine.ttft_s
+    ~tbt_s:result.Acs_perfmodel.Engine.tbt_s
 
 let evaluate ?calib ?tp ?request ~model params device =
   of_result params device

@@ -18,6 +18,15 @@ type t = {
   tbt_s : float;
 }
 
+val of_latencies :
+  Space.params -> Acs_hardware.Device.t -> ttft_s:float -> tbt_s:float -> t
+(** Reconstitute a design from its parameters, built device and simulated
+    latencies: every other field (area, spec, tiers, cost) is derived
+    deterministically from the device, so the result is structurally
+    identical to what {!evaluate} would have produced with those
+    latencies. The on-disk eval cache stores exactly this tuple and uses
+    it to rebuild bitwise-equal designs on load. *)
+
 val evaluate :
   ?calib:Acs_perfmodel.Calib.t ->
   ?tp:int ->

@@ -1,0 +1,186 @@
+(* Persistent on-disk tier under the in-memory [Eval] cache: one JSON
+   record per evaluated (context, point) pair, so repeated studies - and
+   separate processes - resume instead of re-simulating. Only the
+   latencies are stored; everything else in a [Design.t] is derived
+   deterministically from the built device, so [Design.of_latencies]
+   reconstitutes a bitwise-equal value on load (the test suite asserts
+   it). Latencies are stored as the hex of their IEEE-754 bits - exact by
+   construction, and immune to any printer subtlety - with a readable
+   decimal duplicate alongside for humans.
+
+   Writes go to a temp file in the same directory followed by a
+   [Sys.rename], so a crash mid-write leaves at worst a [.part] file the
+   loader never looks at; a truncated or garbage record is counted in
+   [stats.skipped] and ignored, never fatal. Records carry a version
+   field: bumping [version] orphans every existing entry (skipped on
+   load), which is the invalidation story when the perf model changes. *)
+
+module Json = Acs_util.Json
+
+let version = 1
+let default_dir = Filename.concat "results" "cache"
+
+type stats = { loaded : int; hits : int; stores : int; skipped : int }
+
+module Ptable = Hashtbl.Make (struct
+  type t = Space.params
+
+  let equal = Space.params_equal
+  let hash = Space.params_hash
+end)
+
+type t = {
+  dir : string;
+  ctx_tag : string;  (** hex of [Scenario.context_hash], for filenames *)
+  ctx_str : string;  (** canonical context JSON, compared on load *)
+  scenario : Scenario.t;
+  table : Design.t Ptable.t;
+  mutable loaded : int;
+  mutable hits : int;
+  mutable stores : int;
+  mutable skipped : int;
+}
+
+(* The canonical context string: the scenario manifest restricted to the
+   members [Scenario.context_equal] actually compares (model, request,
+   calib, tp, tpp_target, memory_gb) - name, description, regime and the
+   target are sliced off, so e.g. table4 and fig7-gpt3-2400 share disk
+   entries exactly as they share the in-memory cache. *)
+let context_keys = [ "model"; "request"; "calib"; "tp"; "tpp_target"; "memory_gb" ]
+
+let context_string (s : Scenario.t) =
+  let j = Scenario.to_json s in
+  Json.to_string
+    (Json.Obj
+       (List.filter_map
+          (fun k -> if Json.mem k j then Some (k, Json.member k j) else None)
+          context_keys))
+
+let float_bits f = Printf.sprintf "%016Lx" (Int64.bits_of_float f)
+let bits_float s = Int64.float_of_bits (Int64.of_string ("0x" ^ s))
+
+let entry_path t p =
+  (* Content-addressed name: context hash, then two independent hashes of
+     the point (the lattice hash plus a string hash of its JSON), so
+     distinct points collide with negligible probability and a rewrite of
+     the same point lands on the same file (idempotent). *)
+  let pj = Json.to_string (Space.params_to_json p) in
+  Printf.sprintf "acs-%s-%015x%08x.json" t.ctx_tag
+    (Space.params_hash p land 0xfff_ffff_ffff_ffff)
+    (Hashtbl.hash pj land 0xffff_ffff)
+  |> Filename.concat t.dir
+
+let rec mkdirs dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdirs parent;
+    (* A concurrent process may have won the race; only a still-missing
+       directory is an error. *)
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.is_directory dir -> ()
+  end
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* One record off disk. [Error `Other_context] is a healthy entry that
+   belongs to a different evaluation context (or cache generation) and is
+   silently ignored; every malformed/stale shape is [`Skip]. *)
+let parse_entry t text =
+  match Json.of_string text with
+  | exception Json.Error _ -> Error `Skip
+  | j -> (
+      match Json.to_int (Json.member "version" j) with
+      | exception Json.Error _ -> Error `Skip
+      | v when v <> version -> Error `Skip
+      | _ -> (
+          match Json.to_str (Json.member "context" j) with
+          | exception Json.Error _ -> Error `Skip
+          | ctx when ctx <> t.ctx_str -> Error `Other_context
+          | _ -> (
+              try
+                let p = Space.params_of_json (Json.member "params" j) in
+                let ttft_s = bits_float (Json.to_str (Json.member "ttft_bits" j)) in
+                let tbt_s = bits_float (Json.to_str (Json.member "tbt_bits" j)) in
+                let s = t.scenario in
+                let device =
+                  Space.build ?memory_gb:s.Scenario.memory_gb
+                    ~tpp_target:s.Scenario.tpp_target p
+                in
+                Ok (p, Design.of_latencies p device ~ttft_s ~tbt_s)
+              with _ -> Error `Skip)))
+
+let open_dir ~dir scenario =
+  mkdirs dir;
+  let t =
+    {
+      dir;
+      ctx_tag = Printf.sprintf "%015x" (Scenario.context_hash scenario land max_int);
+      ctx_str = context_string scenario;
+      scenario;
+      table = Ptable.create 256;
+      loaded = 0;
+      hits = 0;
+      stores = 0;
+      skipped = 0;
+    }
+  in
+  let entries = try Sys.readdir dir with Sys_error _ -> [||] in
+  Array.iter
+    (fun name ->
+      if
+        String.length name > 4
+        && String.sub name 0 4 = "acs-"
+        && Filename.check_suffix name ".json"
+      then
+        let path = Filename.concat dir name in
+        match parse_entry t (read_file path) with
+        | Ok (p, d) ->
+            if not (Ptable.mem t.table p) then begin
+              Ptable.add t.table p d;
+              t.loaded <- t.loaded + 1
+            end
+        | Error `Other_context -> ()
+        | Error `Skip | (exception Sys_error _) ->
+            t.skipped <- t.skipped + 1)
+    entries;
+  t
+
+let find t p =
+  match Ptable.find_opt t.table p with
+  | Some d ->
+      t.hits <- t.hits + 1;
+      Some d
+  | None -> None
+
+let store t p (d : Design.t) =
+  if not (Ptable.mem t.table p) then begin
+    Ptable.add t.table p d;
+    let finite_or_null f = if Float.is_finite f then Json.float f else Json.Null in
+    let record =
+      Json.obj
+        [
+          ("version", Json.int version);
+          ("context", Json.string t.ctx_str);
+          ("params", Space.params_to_json p);
+          ("ttft_bits", Json.string (float_bits d.Design.ttft_s));
+          ("tbt_bits", Json.string (float_bits d.Design.tbt_s));
+          (* Readable duplicates, informational only (dropped when not
+             finite - JSON has no literal for nan/infinity). *)
+          ("ttft_s", finite_or_null d.Design.ttft_s);
+          ("tbt_s", finite_or_null d.Design.tbt_s);
+        ]
+    in
+    let tmp = Filename.temp_file ~temp_dir:t.dir "acs_write" ".part" in
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (Json.to_string ~indent:2 record));
+    Sys.rename tmp (entry_path t p);
+    t.stores <- t.stores + 1
+  end
+
+let stats t =
+  { loaded = t.loaded; hits = t.hits; stores = t.stores; skipped = t.skipped }

@@ -1,0 +1,55 @@
+(** Persistent on-disk eval-cache tier (under the in-memory {!Eval}
+    cache).
+
+    One JSON record per evaluated (context, point) pair, content-addressed
+    by {!Scenario.context_hash} and {!Space.params_hash}, conventionally
+    under [results/cache/]. A handle is bound to one scenario's evaluation
+    context at {!open_dir}: records from other contexts in the same
+    directory are ignored, records from the same context load into an
+    in-memory index keyed by {!Space.params_equal}.
+
+    Durability contract:
+    - writes are atomic (temp file + rename in the same directory);
+    - records carry a {!version} header - entries written by a different
+      version are skipped on load, which is how a perf-model change
+      invalidates a stale cache;
+    - corrupt, truncated or otherwise unreadable records are counted in
+      [stats.skipped] and ignored; {!open_dir} never raises on bad cache
+      contents.
+
+    Only (params, ttft, tbt) are stored; the rest of a {!Design.t} is
+    rebuilt via {!Space.build} and {!Design.of_latencies}, producing a
+    bitwise-equal design (latency bits are stored exactly, as IEEE-754 bit
+    patterns). *)
+
+type t
+
+type stats = {
+  loaded : int;  (** healthy same-context records found at {!open_dir} *)
+  hits : int;  (** {!find} calls answered from the loaded index *)
+  stores : int;  (** new records written by {!store} *)
+  skipped : int;  (** corrupt or version-stale records ignored on load *)
+}
+
+val version : int
+(** Record-format/model generation. Bump to orphan every existing cache
+    entry. *)
+
+val default_dir : string
+(** [results/cache] - where the CLI puts the cache unless told otherwise. *)
+
+val open_dir : dir:string -> Scenario.t -> t
+(** Create [dir] if needed (recursively) and index every healthy record
+    matching the scenario's evaluation context. Never raises on cache
+    contents; an unreadable directory simply yields an empty cache. *)
+
+val find : t -> Space.params -> Design.t option
+(** Lookup in the loaded index (no disk I/O after {!open_dir}); counts a
+    hit when found. *)
+
+val store : t -> Space.params -> Design.t -> unit
+(** Write one record (atomic rename) and add it to the index. A point
+    already present - loaded or stored earlier - is left untouched, so
+    warm runs do no I/O. *)
+
+val stats : t -> stats

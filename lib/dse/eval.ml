@@ -131,12 +131,10 @@ let evaluate_point (s : Scenario.t) compiled p =
               ("devbw_gb_s", Span.Float p.Space.device_bw) ]
           eval)
 
-let run ?(cache = true) (s : Scenario.t) =
-  let points =
-    match s.Scenario.target with
-    | Scenario.Point p -> [| p |]
-    | Scenario.Space sweep -> Array.of_list (Space.enumerate sweep)
-  in
+(* Shared evaluation core over an explicit point array: [run] feeds it
+   the scenario's target, [points] an arbitrary list (the adaptive
+   search asks for exactly the lattice points a strategy selected). *)
+let eval_array ~cache (s : Scenario.t) (points : Space.params array) =
   let run_points () =
     if not cache then begin
       let compiled = compile_scenario s in
@@ -183,6 +181,20 @@ let run ?(cache = true) (s : Scenario.t) =
           ("points", Span.Int (Array.length points));
           ("cache", Span.Bool cache) ]
       run_points
+
+let run ?(cache = true) (s : Scenario.t) =
+  let points =
+    match s.Scenario.target with
+    | Scenario.Point p -> [| p |]
+    | Scenario.Space sweep -> Array.of_list (Space.enumerate sweep)
+  in
+  eval_array ~cache s points
+
+let points ?(cache = true) (s : Scenario.t) ps =
+  eval_array ~cache s (Array.of_list ps)
+
+let seed (s : Scenario.t) p d =
+  insert (point_key ~ctx_hash:(Scenario.context_hash s) s p) d
 
 (* Legacy optional-argument entry points: thin wrappers that build an
    anonymous scenario. They share the cache with registry scenarios of

@@ -62,6 +62,17 @@ val sweep :
     inserted. [~cache:false] skips both lookup and insertion (used by the
     speed benchmarks to measure raw evaluation throughput). *)
 
+val points : ?cache:bool -> Scenario.t -> Space.params list -> Design.t list
+(** Evaluates an explicit point list under the scenario's context, in the
+    given order, through the same cache and parallel pool as {!run} (the
+    scenario's own target is ignored). The adaptive search uses this to
+    evaluate exactly the lattice points a strategy selected. *)
+
+val seed : Scenario.t -> Space.params -> Design.t -> unit
+(** Inserts an already-computed design into the memo cache without
+    counting an evaluation - the disk-cache tier uses it to promote
+    on-disk entries into memory. First insertion wins, as with {!run}. *)
+
 val probe : Scenario.t -> Space.params -> bool
 (** Lookup only - no evaluation, no insertion: is this context + point
     cached? Keys exactly as {!run} does (context hash plus

@@ -343,6 +343,13 @@ let registry =
            are measured on, GPT-3 175B"
         ~model:gpt3 ~tpp_target:2400. ~regime:Regime.acr_2023
         Space.oct2023;
+      sweep_scenario ~name:"search-widened"
+        ~description:
+          "Adaptive search demo: the ~1e9-point widened lattice at the \
+           2400 TPP October 2023 target, Llama 3 8B (never enumerated - \
+           use `acs search`)"
+        ~model:llama3 ~tpp_target:2400. ~regime:Regime.acr_2023
+        Space.widened;
       make ~name:"a100-proxy"
         ~description:
           "Single point: the 16x16 x4-lane 103-core A100-like anchor of \
@@ -356,6 +363,7 @@ let registry =
              l2 = 40.;
              memory_bw = 2.;
              device_bw = 600.;
+             clock_mhz = Space.default_clock_mhz;
            });
     ]
 

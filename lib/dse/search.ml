@@ -33,6 +33,8 @@ let neighbors (sweep : Space.sweep) (p : Space.params) =
       (fun v -> { p with Space.memory_bw = v })
   @ with_dim ~cmp:Float.compare sweep.Space.device_bw_gb_s p.Space.device_bw
       (fun v -> { p with Space.device_bw = v })
+  @ with_dim ~cmp:Float.compare sweep.Space.clock_mhz p.Space.clock_mhz
+      (fun v -> { p with Space.clock_mhz = v })
 
 type outcome = { best : Design.t; evaluated : int; steps : int }
 
@@ -126,9 +128,21 @@ let corners (sweep : Space.sweep) =
       l2 = f.pick sweep.Space.l2_mb;
       memory_bw = f.pick sweep.Space.memory_bw_tb_s;
       device_bw = f.pick sweep.Space.device_bw_gb_s;
+      clock_mhz = f.pick sweep.Space.clock_mhz;
     }
   in
   [ corner lo; corner hi; corner mid ]
+
+let dedup_starts starts =
+  (* On sweeps with singleton (or near-singleton) axes the lo/hi/mid
+     corners coincide; without dedup each duplicate would rerun the whole
+     restart and recount the shared start point once per copy in
+     [outcome.evaluated]. *)
+  List.fold_left
+    (fun acc p ->
+      if List.exists (Space.params_equal p) acc then acc else p :: acc)
+    [] starts
+  |> List.rev
 
 let optimize ?calib ~sweep ~tpp_target ~model ~objective ~feasible () =
   (* The restarts are independent hill climbs, so they run in parallel over
@@ -139,7 +153,7 @@ let optimize ?calib ~sweep ~tpp_target ~model ~objective ~feasible () =
       (fun start ->
         local_search ?calib ~sweep ~tpp_target ~model ~objective ~feasible
           start)
-      (corners sweep)
+      (dedup_starts (corners sweep))
   in
   match outcomes with
   | [] -> None

@@ -20,6 +20,11 @@ val neighbors : Space.sweep -> Space.params -> Space.params list
     value (other dimensions unchanged). Parameters whose value is not in
     the sweep contribute no neighbors for that dimension. *)
 
+val corners : Space.sweep -> Space.params list
+(** The deterministic multi-start set: the all-low corner, the all-high
+    corner and the lattice center (not deduplicated — {!optimize} and the
+    adaptive strategies dedup with {!Space.params_equal} themselves). *)
+
 type outcome = {
   best : Design.t;
   evaluated : int;  (** design evaluations performed *)
@@ -50,6 +55,9 @@ val optimize :
   unit ->
   outcome option
 (** Multi-start local search from the lattice corners and center. The
-    restarts run in parallel over the {!Acs_util.Parallel} pool and share
-    the {!Eval} memo cache, so neighbor evaluations common to several
-    restarts are simulated once. *)
+    start set is deduplicated with {!Space.params_equal} first (on sweeps
+    with singleton axes the corners coincide), so a shared start point is
+    evaluated - and counted in [evaluated] - once, not once per restart.
+    The restarts run in parallel over the {!Acs_util.Parallel} pool and
+    share the {!Eval} memo cache, so neighbor evaluations common to
+    several restarts are simulated once. *)

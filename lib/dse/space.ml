@@ -1,6 +1,12 @@
 module Device = Acs_hardware.Device
 module Systolic = Acs_hardware.Systolic
 
+(* The paper's sweeps fix the clock at the A100's 1410 MHz; the widened
+   space below makes it a first-class axis. Keeping the default exactly
+   [Device.default_frequency_mhz] means every pre-existing sweep builds
+   bit-identical devices. *)
+let default_clock_mhz = Device.default_frequency_mhz
+
 type sweep = {
   systolic_dims : int list;
   lanes_per_core : int list;
@@ -8,6 +14,7 @@ type sweep = {
   l2_mb : float list;
   memory_bw_tb_s : float list;
   device_bw_gb_s : float list;
+  clock_mhz : float list;
 }
 
 let table3 ~device_bw =
@@ -18,6 +25,7 @@ let table3 ~device_bw =
     l2_mb = [ 32.; 48.; 64.; 80. ];
     memory_bw_tb_s = [ 2.; 2.4; 2.8; 3.2 ];
     device_bw_gb_s = device_bw;
+    clock_mhz = [ default_clock_mhz ];
   }
 
 let oct2022 = table3 ~device_bw:[ 600. ]
@@ -31,17 +39,47 @@ let restricted =
     l2_mb = [ 8.; 16.; 32.; 40. ];
     memory_bw_tb_s = [ 0.8; 1.2; 1.6; 2. ];
     device_bw_gb_s = [ 400.; 500.; 600. ];
+    clock_mhz = [ default_clock_mhz ];
   }
 
-let named = [ ("oct2022", oct2022); ("oct2023", oct2023); ("restricted", restricted) ]
+(* Axis generators for the widened space. HBM stacks are the memory-bw
+   axis quantized to whole 400 GB/s stacks ([Memory.make] derives the
+   stack count back from the bandwidth); dividing by 1000 after the
+   integer multiply keeps the values on the same floats the hand-written
+   sweeps use (e.g. [1.2], not [3. *. 0.4]). *)
+let lin_axis ~lo ~step n = List.init n (fun i -> lo +. (step *. float_of_int i))
+
+let hbm_stack_axis n =
+  let stack_gb_s = Acs_hardware.Memory.stack_bandwidth /. Acs_util.Units.giga in
+  List.init n (fun i -> float_of_int (i + 1) *. stack_gb_s /. 1000.)
+
+let widened =
+  {
+    systolic_dims = [ 4; 8; 12; 16; 20; 24; 28; 32; 48; 64 ];
+    lanes_per_core = [ 1; 2; 3; 4; 5; 6; 7; 8 ];
+    l1_kb = lin_axis ~lo:32. ~step:32. 32;
+    l2_mb = lin_axis ~lo:4. ~step:4. 32;
+    memory_bw_tb_s = hbm_stack_axis 16;
+    device_bw_gb_s = lin_axis ~lo:100. ~step:100. 16;
+    clock_mhz = lin_axis ~lo:900. ~step:25. 49;
+  }
+
+let named =
+  [
+    ("oct2022", oct2022);
+    ("oct2023", oct2023);
+    ("restricted", restricted);
+    ("widened", widened);
+  ]
 let find_named name = List.assoc_opt (String.lowercase_ascii (String.trim name)) named
 let name_of s = List.find_map (fun (n, s') -> if s = s' then Some n else None) named
 
-let size s =
+let size (s : sweep) =
   List.length s.systolic_dims * List.length s.lanes_per_core
   * List.length s.l1_kb * List.length s.l2_mb
   * List.length s.memory_bw_tb_s
   * List.length s.device_bw_gb_s
+  * List.length s.clock_mhz
 
 type params = {
   systolic_dim : int;
@@ -50,9 +88,12 @@ type params = {
   l2 : float;
   memory_bw : float;
   device_bw : float;
+  clock_mhz : float;
 }
 
-let enumerate s =
+(* The clock loop is innermost so pre-existing (singleton-clock) sweeps
+   keep their historical enumeration order - the golden CSVs pin it. *)
+let enumerate (s : sweep) =
   let acc = ref [] in
   List.iter
     (fun systolic_dim ->
@@ -66,9 +107,20 @@ let enumerate s =
                     (fun memory_bw ->
                       List.iter
                         (fun device_bw ->
-                          acc :=
-                            { systolic_dim; lanes; l1; l2; memory_bw; device_bw }
-                            :: !acc)
+                          List.iter
+                            (fun clock_mhz ->
+                              acc :=
+                                {
+                                  systolic_dim;
+                                  lanes;
+                                  l1;
+                                  l2;
+                                  memory_bw;
+                                  device_bw;
+                                  clock_mhz;
+                                }
+                                :: !acc)
+                            s.clock_mhz)
                         s.device_bw_gb_s)
                     s.memory_bw_tb_s)
                 s.l2_mb)
@@ -107,10 +159,12 @@ let params_equal (a : params) (b : params) =
   && float_eq a.l2 b.l2
   && float_eq a.memory_bw b.memory_bw
   && float_eq a.device_bw b.device_bw
+  && float_eq a.clock_mhz b.clock_mhz
 
 let params_hash (p : params) =
   p.systolic_dim <+> p.lanes <+> float_hash p.l1 <+> float_hash p.l2
   <+> float_hash p.memory_bw <+> float_hash p.device_bw
+  <+> float_hash p.clock_mhz
 
 let sweep_equal (a : sweep) (b : sweep) =
   list_eq ( = ) a.systolic_dims b.systolic_dims
@@ -119,6 +173,7 @@ let sweep_equal (a : sweep) (b : sweep) =
   && list_eq float_eq a.l2_mb b.l2_mb
   && list_eq float_eq a.memory_bw_tb_s b.memory_bw_tb_s
   && list_eq float_eq a.device_bw_gb_s b.device_bw_gb_s
+  && list_eq float_eq a.clock_mhz b.clock_mhz
 
 let sweep_hash (s : sweep) =
   list_hash Fun.id s.systolic_dims
@@ -127,17 +182,20 @@ let sweep_hash (s : sweep) =
   <+> list_hash float_hash s.l2_mb
   <+> list_hash float_hash s.memory_bw_tb_s
   <+> list_hash float_hash s.device_bw_gb_s
+  <+> list_hash float_hash s.clock_mhz
 
 let build ?(memory_gb = 80.) ~tpp_target p =
   let systolic = Systolic.square p.systolic_dim in
   let cores =
-    Device.cores_for_tpp ~tpp:tpp_target ~lanes_per_core:p.lanes ~systolic ()
+    Device.cores_for_tpp ~tpp:tpp_target ~lanes_per_core:p.lanes ~systolic
+      ~frequency_mhz:p.clock_mhz ()
   in
   (* [cores_for_tpp] keeps TPP <= target; the rules use ">= threshold", so
      back off one core when the bound is hit exactly. *)
   let probe c =
     Device.make ~name:(Printf.sprintf "dse-%.0f" tpp_target) ~core_count:c
       ~lanes_per_core:p.lanes ~systolic ~l1_kb:p.l1 ~l2_mb:p.l2
+      ~frequency_mhz:p.clock_mhz
       ~memory:(Acs_hardware.Memory.make ~capacity_gb:memory_gb ~bandwidth_tb_s:p.memory_bw)
       ~interconnect:(Acs_hardware.Interconnect.of_total_gb_s p.device_bw)
       ()
@@ -162,6 +220,9 @@ let constrain ?market ?memory_gb ~regime ~tpp_target s =
 
 module Json = Acs_util.Json
 
+(* The clock member is emitted only away from the 1410 MHz default so
+   pre-widening manifests and dumps stay byte-stable; reading defaults it
+   back, which keeps the codec an exact round-trip either way. *)
 let params_to_json p =
   Json.obj
     [
@@ -171,6 +232,9 @@ let params_to_json p =
       ("l2_mb", Json.float p.l2);
       ("memory_bw_tb_s", Json.float p.memory_bw);
       ("device_bw_gb_s", Json.float p.device_bw);
+      ( "clock_mhz",
+        if float_eq p.clock_mhz default_clock_mhz then Json.Null
+        else Json.float p.clock_mhz );
     ]
 
 let params_of_json j =
@@ -181,6 +245,9 @@ let params_of_json j =
     l2 = Json.to_float (Json.member "l2_mb" j);
     memory_bw = Json.to_float (Json.member "memory_bw_tb_s" j);
     device_bw = Json.to_float (Json.member "device_bw_gb_s" j);
+    clock_mhz =
+      (if Json.mem "clock_mhz" j then Json.to_float (Json.member "clock_mhz" j)
+       else default_clock_mhz);
   }
 
 let sweep_to_json s =
@@ -197,6 +264,9 @@ let sweep_to_json s =
           ("l2_mb", Json.list Json.float s.l2_mb);
           ("memory_bw_tb_s", Json.list Json.float s.memory_bw_tb_s);
           ("device_bw_gb_s", Json.list Json.float s.device_bw_gb_s);
+          ( "clock_mhz",
+            if list_eq float_eq s.clock_mhz [ default_clock_mhz ] then Json.Null
+            else Json.list Json.float s.clock_mhz );
         ]
 
 let sweep_of_json = function
@@ -220,6 +290,9 @@ let sweep_of_json = function
           l2_mb = floats "l2_mb";
           memory_bw_tb_s = floats "memory_bw_tb_s";
           device_bw_gb_s = floats "device_bw_gb_s";
+          clock_mhz =
+            (if Json.mem "clock_mhz" j then floats "clock_mhz"
+             else [ default_clock_mhz ]);
         }
       in
       if size s = 0 then raise (Json.Error "design space has an empty axis");

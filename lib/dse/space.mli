@@ -12,7 +12,13 @@ type sweep = {
   l2_mb : float list;
   memory_bw_tb_s : float list;
   device_bw_gb_s : float list;
+  clock_mhz : float list;  (** core clock; the paper fixes 1410 MHz *)
 }
+
+val default_clock_mhz : float
+(** 1410 MHz - the A100 clock every paper sweep runs at (equals
+    {!Acs_hardware.Device.default_frequency_mhz}, so singleton-clock
+    sweeps build bit-identical devices to the pre-widening code). *)
 
 val oct2022 : sweep
 (** Table 3 with fixed 600 GB/s device bandwidth: 512 designs. *)
@@ -24,10 +30,17 @@ val oct2023 : sweep
 val restricted : sweep
 (** Table 5 (parameters at or below the A100's): 2304 designs. *)
 
+val widened : sweep
+(** Every axis widened into a fine lattice - clock 900..2100 MHz in 25 MHz
+    steps, ten systolic sizes, eight lane counts, 32-step L1/L2 grids,
+    1..16 HBM stacks (the memory-bw axis quantized to whole 400 GB/s
+    stacks) and 16 device bandwidths: ~1.03e9 implicit designs. Meant for
+    {!Adaptive} search, never for enumeration. *)
+
 val size : sweep -> int
 
 val named : (string * sweep) list
-(** The paper's sweeps by manifest name: oct2022, oct2023, restricted. *)
+(** The sweeps by manifest name: oct2022, oct2023, restricted, widened. *)
 
 val find_named : string -> sweep option
 (** Case-insensitive lookup in {!named}. *)
@@ -43,6 +56,7 @@ type params = {
   l2 : float;  (** MB *)
   memory_bw : float;  (** TB/s *)
   device_bw : float;  (** GB/s *)
+  clock_mhz : float;  (** MHz *)
 }
 
 val enumerate : sweep -> params list

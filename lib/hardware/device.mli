@@ -22,6 +22,10 @@ type t = {
   op_bitwidth : int;  (** bitwidth of the peak-TPP operand format (FP16) *)
 }
 
+val default_frequency_mhz : float
+(** 1410 MHz - the modeled A100 clock, the default for {!make} and
+    {!cores_for_tpp}. *)
+
 val make :
   ?name:string ->
   ?vector_width:int ->

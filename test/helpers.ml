@@ -52,3 +52,20 @@ let device_gen =
 
 let device_arb =
   QCheck.make ~print:(fun d -> Core.Device.summary d) device_gen
+
+(* A fresh temporary directory for disk-cache tests, removed recursively
+   afterwards even when the test fails. *)
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let with_cache_dir f =
+  let dir = Filename.temp_file "acs_cache" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir)
+    (fun () -> f dir)

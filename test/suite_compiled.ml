@@ -99,6 +99,7 @@ let thinned =
     l2_mb = [ 32.; 48. ];
     memory_bw_tb_s = [ 2.; 2.4 ];
     device_bw_gb_s = [ 600. ];
+    clock_mhz = [ Space.default_clock_mhz ];
   }
 
 let t_sweep_identity () =

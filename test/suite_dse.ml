@@ -22,7 +22,8 @@ let t_build_paper_config () =
   (* 16x16 x 4 lanes at the 4800 target must give the 103-core / 4759-TPP
      configuration from Fig. 5. *)
   let p =
-    { Space.systolic_dim = 16; lanes = 4; l1 = 192.; l2 = 40.; memory_bw = 2.; device_bw = 600. }
+    { Space.systolic_dim = 16; lanes = 4; l1 = 192.; l2 = 40.; memory_bw = 2.;
+      device_bw = 600.; clock_mhz = Space.default_clock_mhz }
   in
   let d = Space.build ~tpp_target:4800. p in
   Alcotest.(check int) "cores" 103 d.Device.core_count;

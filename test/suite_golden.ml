@@ -12,6 +12,8 @@ open Helpers
      dune exec bin/acs_cli.exe -- run scorecard --out test/golden
      dune exec bin/acs_cli.exe -- policy-lab --scenario table4 \
        --csv test/golden/policy_lab.csv
+     dune exec bin/acs_cli.exe -- search fig6-llama3 --strategy halving \
+       --budget 64 --report test/golden/search_report.csv
 *)
 
 let run args =
@@ -68,9 +70,34 @@ let t_policy_lab () =
        test/golden/policy_lab.csv"
       (String.length expected) (String.length actual)
 
+(* The adaptive-search report: the outcome CSV deliberately excludes
+   provenance and wall-clock, so for a fixed scenario/strategy/budget/seed
+   it is byte-identical across cache states (cold, memory-warm, disk-warm)
+   and job counts - which is exactly what this pins, along with the
+   strategy's decision trace (the rung rows) and the winning design. *)
+let t_search_report () =
+  let produced = Filename.temp_file "acs_search_report" ".csv" in
+  Alcotest.(check int) "search runs" 0
+    (run
+       [
+         "search"; "fig6-llama3"; "--strategy"; "halving"; "--budget"; "64";
+         "--report"; produced; "--jobs"; "2";
+       ]);
+  let expected = read_file (golden "search_report") in
+  let actual = read_file produced in
+  Sys.remove produced;
+  if not (String.equal expected actual) then
+    Alcotest.failf
+      "search_report.csv drifted from test/golden/search_report.csv (%d vs \
+       %d bytes). If the change is intentional, regenerate with: dune exec \
+       bin/acs_cli.exe -- search fig6-llama3 --strategy halving --budget 64 \
+       --report test/golden/search_report.csv"
+      (String.length expected) (String.length actual)
+
 let suite =
   [
     test "table4 output matches fixture" (t_golden "table4");
     test "scorecard output matches fixture" (t_golden "scorecard");
     test "policy-lab output matches fixture" t_policy_lab;
+    test "search report matches fixture" t_search_report;
   ]

@@ -19,8 +19,11 @@ let point_gen =
   let* l2 = oneofl s.Space.l2_mb in
   let* memory_bw = oneofl s.Space.memory_bw_tb_s in
   let* device_bw = oneofl s.Space.device_bw_gb_s in
+  let* clock_mhz = oneofl s.Space.clock_mhz in
   let* tpp_target = oneofl tpp_targets in
-  return ({ Space.systolic_dim; lanes; l1; l2; memory_bw; device_bw }, tpp_target)
+  return
+    ({ Space.systolic_dim; lanes; l1; l2; memory_bw; device_bw; clock_mhz },
+     tpp_target)
 
 let point_arb =
   QCheck.make

@@ -121,7 +121,8 @@ let scenario_gen =
     let* l2 = oneofl [ 8.; 40.; 80. ] in
     let* memory_bw = oneofl [ 0.8; 2.; 3.2 ] in
     let* device_bw = oneofl [ 400.; 600.; 900. ] in
-    return { Space.systolic_dim; lanes; l1; l2; memory_bw; device_bw }
+    let* clock_mhz = oneofl [ Space.default_clock_mhz; 1000.; 1800. ] in
+    return { Space.systolic_dim; lanes; l1; l2; memory_bw; device_bw; clock_mhz }
   in
   let custom_sweep =
     let axis g = list_size (int_range 1 3) g in
@@ -131,9 +132,10 @@ let scenario_gen =
     let* l2_mb = axis (oneofl [ 8.; 40. ]) in
     let* memory_bw_tb_s = axis (oneofl [ 0.8; 2. ]) in
     let* device_bw_gb_s = axis (oneofl [ 400.; 600. ]) in
+    let* clock_mhz = axis (oneofl [ Space.default_clock_mhz; 1100. ]) in
     return
       { Space.systolic_dims; lanes_per_core; l1_kb; l2_mb; memory_bw_tb_s;
-        device_bw_gb_s }
+        device_bw_gb_s; clock_mhz }
   in
   let target =
     oneof

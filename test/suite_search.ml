@@ -7,7 +7,8 @@ let feasible d = Design.compliant_2022 d && Design.manufacturable d
 let objective d = d.Design.tbt_s
 
 let center =
-  { Space.systolic_dim = 16; lanes = 2; l1 = 256.; l2 = 48.; memory_bw = 2.4; device_bw = 600. }
+  { Space.systolic_dim = 16; lanes = 2; l1 = 256.; l2 = 48.; memory_bw = 2.4;
+    device_bw = 600.; clock_mhz = Space.default_clock_mhz }
 
 let t_neighbors () =
   let ns = Search.neighbors sweep center in
@@ -35,7 +36,8 @@ let t_neighbors () =
 
 let t_neighbors_at_edge () =
   let corner =
-    { Space.systolic_dim = 16; lanes = 1; l1 = 192.; l2 = 32.; memory_bw = 2.; device_bw = 600. }
+    { Space.systolic_dim = 16; lanes = 1; l1 = 192.; l2 = 32.; memory_bw = 2.;
+      device_bw = 600.; clock_mhz = Space.default_clock_mhz }
   in
   let ns = Search.neighbors sweep corner in
   (* Every dimension at its low end: one neighbor each for the five
@@ -198,6 +200,43 @@ let t_eval_cache () =
   let c = Eval.sweep ~model ~tpp_target:2400. sweep in
   Alcotest.(check bool) "different target, different designs" true (a <> c)
 
+let t_optimize_dedups_starts () =
+  (* On a near-singleton sweep the hi and mid corners coincide; the
+     duplicate start must not rerun the climb and recount its evaluations
+     (the historical bug: each duplicate restart re-counted the shared
+     start point in [outcome.evaluated]). *)
+  let sweep2 =
+    { Space.systolic_dims = [ 16 ]; lanes_per_core = [ 2 ];
+      l1_kb = [ 192.; 256. ]; l2_mb = [ 32.; 48. ]; memory_bw_tb_s = [ 2. ];
+      device_bw_gb_s = [ 600. ]; clock_mhz = [ Space.default_clock_mhz ] }
+  in
+  let start l1 l2 =
+    { Space.systolic_dim = 16; lanes = 2; l1; l2; memory_bw = 2.;
+      device_bw = 600.; clock_mhz = Space.default_clock_mhz }
+  in
+  (* corners = lo, hi, mid; mid picks the upper of two values on both
+     multi-valued axes, so it equals hi: two distinct starts remain. *)
+  let unique_starts = [ start 192. 32.; start 256. 48. ] in
+  let expected =
+    List.fold_left
+      (fun acc s ->
+        match
+          Search.local_search ~sweep:sweep2 ~tpp_target:4800. ~model ~objective
+            ~feasible s
+        with
+        | Some o -> acc + o.Search.evaluated
+        | None -> acc)
+      0 unique_starts
+  in
+  match
+    Search.optimize ~sweep:sweep2 ~tpp_target:4800. ~model ~objective ~feasible
+      ()
+  with
+  | None -> Alcotest.fail "optimize found nothing"
+  | Some o ->
+      Alcotest.(check int) "evaluations counted once per unique start"
+        expected o.Search.evaluated
+
 let t_infeasible_everywhere () =
   let impossible _ = false in
   Alcotest.(check bool) "no outcome" true
@@ -211,6 +250,8 @@ let suite =
     test "neighbors at the edge" t_neighbors_at_edge;
     test "local search improves to a local optimum" t_local_search_improves;
     test "multi-start matches the sweep optimum" t_optimize_matches_sweep;
+    test "duplicate starts deduplicated and counted once"
+      t_optimize_dedups_starts;
     test "infeasible everywhere" t_infeasible_everywhere;
     test "adjacent swept values" t_adjacent;
     test "adjacent under Float.compare" t_adjacent_float;
