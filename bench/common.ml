@@ -56,6 +56,60 @@ let designs_of name = Eval.run (scenario name)
 let jobs () = Parallel.jobs ()
 let wall_s () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
 
+(* Provenance stamp shared by every results/*.json artifact: schema
+   version, the commit the numbers came from, and the execution
+   environment they were measured in. Bump [results_schema_version]
+   whenever any result file's layout changes shape. *)
+
+let results_schema_version = 2
+
+let read_first_line path =
+  try
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> Some (String.trim (input_line ic)))
+  with Sys_error _ | End_of_file -> None
+
+(* Resolve HEAD without shelling out: loose ref first, then packed-refs.
+   "unknown" when the repo metadata is absent (e.g. a release tarball). *)
+let git_commit =
+  lazy
+    (let git = ".git" in
+     match read_first_line (Filename.concat git "HEAD") with
+     | None -> "unknown"
+     | Some head -> (
+         match String.split_on_char ' ' head with
+         | [ "ref:"; refname ] -> (
+             match read_first_line (Filename.concat git refname) with
+             | Some hash -> hash
+             | None -> (
+                 (* packed ref: lines are "<hash> <refname>" *)
+                 try
+                   let ic = open_in (Filename.concat git "packed-refs") in
+                   Fun.protect
+                     ~finally:(fun () -> close_in ic)
+                     (fun () ->
+                       let rec scan () =
+                         match input_line ic with
+                         | line -> (
+                             match String.split_on_char ' ' line with
+                             | [ hash; name ] when name = refname -> hash
+                             | _ -> scan ())
+                         | exception End_of_file -> "unknown"
+                       in
+                       scan ())
+                 with Sys_error _ -> "unknown"))
+         | _ -> head (* detached HEAD: the line is the hash itself *)))
+
+let stamp () =
+  [
+    ("schema_version", Json.int results_schema_version);
+    ("git_commit", Json.string (Lazy.force git_commit));
+    ("jobs", Json.int (jobs ()));
+    ("ocaml_version", Json.string Sys.ocaml_version);
+  ]
+
 let timed f =
   let before = Eval.stats () in
   let t0 = wall_s () in

@@ -282,7 +282,8 @@ let sweep_throughput () =
   (try Sys.mkdir Common.results_dir 0o755 with Sys_error _ -> ());
   let json =
     Core.Json.obj
-      [
+      (Common.stamp ()
+      @ [
         ("scenario", Core.Json.string throughput_scenario);
         ("points", Core.Json.int n_points);
         ("repeats", Core.Json.int repeats);
@@ -298,7 +299,7 @@ let sweep_throughput () =
                   ("per_second", Core.Json.float rate);
                 ])
             rows );
-      ]
+      ])
   in
   let path = Filename.concat Common.results_dir "sweep_throughput.json" in
   let oc = open_out path in
@@ -395,7 +396,8 @@ let serving_throughput () =
   (try Sys.mkdir Common.results_dir 0o755 with Sys_error _ -> ());
   let json =
     Core.Json.obj
-      [
+      (Common.stamp ()
+      @ [
         ("device", Core.Json.string device.Core.Device.name);
         ("model", Core.Json.string model.Core.Model.name);
         ("requests", Core.Json.int (List.length trace));
@@ -424,7 +426,7 @@ let serving_throughput () =
                   );
                 ])
             rows );
-      ]
+      ])
   in
   let path = Filename.concat Common.results_dir "serving_throughput.json" in
   let oc = open_out path in
@@ -437,9 +439,24 @@ let serving_throughput () =
 
    Wall-clock scheduler iterations/s across a whole fleet: the same trace
    dispatched to a homogeneous pool, a disaggregated prefill/decode
-   split, and a heterogeneous mix. Each pool shares one compiled stepper
-   across its groups, so the fleet's step rate measures routing and
-   bookkeeping overhead on top of the memoized engine path. *)
+   split, and a heterogeneous mix. Each group owns its compiled stepper
+   (memoized per group, so steppers can run on different domains), and
+   the fleet's step rate measures routing and bookkeeping overhead on top
+   of the memoized engine path.
+
+   A second part drives the streamed engine ([Fleet.run_stream]) over an
+   [ACS_BENCH_FLEET_N]-request trace that is never materialized, once on
+   1 domain and once on [par_jobs], recording the parallel speedup (and
+   that the two runs agree token for token). *)
+
+(* Streamed trace length: env override, else 20K quick / 100K full. *)
+let fleet_stream_n () =
+  match Sys.getenv_opt "ACS_BENCH_FLEET_N" with
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n > 0 -> n
+      | _ -> invalid_arg "ACS_BENCH_FLEET_N must be a positive integer")
+  | None -> if quick () then 20_000 else 100_000
 
 let fleet_throughput () =
   Common.section "Fleet throughput: multi-device cluster simulation";
@@ -513,10 +530,68 @@ let fleet_throughput () =
       (Printf.sprintf "Llama 3 8B fleets, %d requests over %.0f s"
          (List.length trace) duration_s)
     t;
+  (* Streamed engine scaling: the same 4-group fleet over a pull-based
+     trace of [fleet_stream_n] requests (never materialized), on 1 domain
+     and on [par_jobs]. The merged stats must be bit-identical; the wall
+     clock gap is the domain-parallel speedup. Offered load is ~80% of
+     what 4 groups sustain, so the router backlog - and with it peak
+     memory - stays bounded however long the trace runs. *)
+  let stream_n = fleet_stream_n () in
+  let stream_rate = 8. in
+  let stream_fleet = Core.Fleet.make [ Core.Fleet.pool ~count:4 device ] in
+  let mk_stream () =
+    Core.Trace.stream ~limit:stream_n ~rate_per_s:stream_rate ~mean_input:512
+      ~mean_output:128 ()
+  in
+  let timed_stream jobs =
+    let stats = ref None in
+    let t0 = Common.wall_s () in
+    Core.Parallel.with_jobs jobs (fun () ->
+        stats := Some (Core.Fleet.run_stream stream_fleet model (mk_stream ())));
+    (Common.wall_s () -. t0, Option.get !stats)
+  in
+  let dt1, fs1 = timed_stream 1 in
+  let dtp, fsp = timed_stream par_jobs in
+  let speedup = dt1 /. dtp in
+  if fs1 <> fsp then
+    Common.note
+      "[speed] WARNING: streamed fleet stats differ between 1 and %d jobs"
+      par_jobs;
+  (* Process high-water mark, for the bounded-memory claim in the docs. *)
+  let peak_rss_mb =
+    try
+      let ic = open_in "/proc/self/status" in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let rec scan () =
+            match input_line ic with
+            | line when String.length line > 6 && String.sub line 0 6 = "VmHWM:"
+              ->
+                Scanf.sscanf
+                  (String.sub line 6 (String.length line - 6))
+                  " %d"
+                  (fun kb -> Some (float_of_int kb /. 1024.))
+            | _ -> scan ()
+            | exception End_of_file -> None
+          in
+          scan ())
+    with Sys_error _ | Scanf.Scan_failure _ -> None
+  in
+  Common.note
+    "[speed] streamed fleet (%d requests, %d groups): 1 job %.2f s, %d jobs \
+     %.2f s (%.2fx); %d completed, %d rejected, %d tokens%s"
+    stream_n fs1.Core.Fleet.groups dt1 par_jobs dtp speedup
+    fs1.Core.Fleet.completed fs1.Core.Fleet.rejected_count
+    fs1.Core.Fleet.generated_tokens
+    (match peak_rss_mb with
+    | Some mb -> Printf.sprintf "; peak RSS %.0f MB" mb
+    | None -> "");
   (try Sys.mkdir Common.results_dir 0o755 with Sys_error _ -> ());
   let json =
     Core.Json.obj
-      [
+      (Common.stamp ()
+      @ [
         ("device", Core.Json.string device.Core.Device.name);
         ("model", Core.Json.string model.Core.Model.name);
         ("requests", Core.Json.int (List.length trace));
@@ -545,7 +620,24 @@ let fleet_throughput () =
                     Core.Json.int fs.Core.Fleet.handoff_transfers );
                 ])
             rows );
-      ]
+        ( "stream",
+          Core.Json.obj
+            [
+              ("requests", Core.Json.int stream_n);
+              ("rate_per_s", Core.Json.float stream_rate);
+              ("groups", Core.Json.int fs1.Core.Fleet.groups);
+              ("seconds_1job", Core.Json.float dt1);
+              ("jobs_parallel", Core.Json.int par_jobs);
+              ("seconds_parallel", Core.Json.float dtp);
+              ("speedup", Core.Json.float speedup);
+              ("identical_across_jobs", Core.Json.bool (fs1 = fsp));
+              ("completed", Core.Json.int fs1.Core.Fleet.completed);
+              ("rejected", Core.Json.int fs1.Core.Fleet.rejected_count);
+              ( "generated_tokens",
+                Core.Json.int fs1.Core.Fleet.generated_tokens );
+              ("peak_rss_mb", Core.Json.option Core.Json.float peak_rss_mb);
+            ] );
+      ])
   in
   let path = Filename.concat Common.results_dir "fleet_throughput.json" in
   let oc = open_out path in
@@ -641,7 +733,8 @@ let search_throughput () =
   (try Sys.mkdir Common.results_dir 0o755 with Sys_error _ -> ());
   let json =
     Core.Json.obj
-      [
+      (Common.stamp ()
+      @ [
         ("scenario", Core.Json.string throughput_scenario);
         ("budget", Core.Json.int budget);
         ("repeats", Core.Json.int repeats);
@@ -677,7 +770,7 @@ let search_throughput () =
                 Core.Json.int warm_o.Core.Adaptive.provenance.Core.Adaptive.disk
               );
             ] );
-      ]
+      ])
   in
   let path = Filename.concat Common.results_dir "search_throughput.json" in
   let oc = open_out path in

@@ -136,7 +136,7 @@ let fleet_plan model ~target_qps =
           | _ -> "-");
           Printf.sprintf "%.1f" (1e3 *. fs.Fleet.p95_tbt_s);
           groups;
-          Printf.sprintf "%.2f" cost;
+          (match cost with Some c -> Printf.sprintf "%.2f" c | None -> "n/a");
         ])
     [ a100; best_2022 model; h20_style ];
   Table.print

@@ -1110,8 +1110,79 @@ let fleet_cmd =
              ~doc:"Also print the per-pool group counts needed to sustain \
                    \\$(docv) completed requests per second.")
   in
+  let requests_arg =
+    Arg.(value & opt (some int) None
+         & info [ "requests" ] ~docv:"N"
+             ~doc:"Bound the trace by request count instead of --duration \
+                   (which is then ignored); with --stream, traces of \
+                   millions of requests run in memory independent of \
+                   \\$(docv).")
+  in
+  let stream_arg =
+    Arg.(value & flag
+         & info [ "stream" ]
+             ~doc:"Use the bounded-memory streamed engine: requests are \
+                   routed in epochs and the groups advance in parallel \
+                   across the ACS_JOBS domain pool, with results \
+                   bit-identical across job counts. Percentiles come from \
+                   online sketches (1% relative error) and the per-request \
+                   outcome list is not retained.")
+  in
+  let epoch_arg =
+    Arg.(value & opt int 512
+         & info [ "epoch" ] ~docv:"N"
+             ~doc:"Streamed router epoch: requests routed per round \
+                   between parallel group advances (only with --stream).")
+  in
+  (* Rate-shape flags compose into one Trace.shape: a diurnal cycle, a
+     burst overlay, or their product. *)
+  let shape_term =
+    let diurnal_period =
+      Arg.(value & opt (some float) None
+           & info [ "diurnal-period" ] ~docv:"SECONDS"
+               ~doc:"Modulate the arrival rate over a diurnal cycle of \
+                     \\$(docv) (trough at t=0, peak rate mid-cycle).")
+    in
+    let diurnal_trough =
+      Arg.(value & opt float 0.25
+           & info [ "diurnal-trough" ] ~docv:"FRACTION"
+               ~doc:"Trough-to-peak rate ratio for --diurnal-period.")
+    in
+    let burst_every =
+      Arg.(value & opt (some float) None
+           & info [ "burst-every" ] ~docv:"SECONDS"
+               ~doc:"Overlay a rate burst every \\$(docv).")
+    in
+    let burst_width =
+      Arg.(value & opt float 1.
+           & info [ "burst-width" ] ~docv:"SECONDS"
+               ~doc:"Duration of each --burst-every burst.")
+    in
+    let burst_factor =
+      Arg.(value & opt float 3.
+           & info [ "burst-factor" ] ~docv:"X"
+               ~doc:"Rate multiplier inside a burst.")
+    in
+    let build period trough every width factor =
+      let diurnal =
+        Option.map (fun period_s -> Trace.Diurnal { period_s; trough }) period
+      in
+      let bursts =
+        Option.map
+          (fun every_s -> Trace.Bursts { every_s; width_s = width; factor })
+          every
+      in
+      match (diurnal, bursts) with
+      | None, None -> None
+      | (Some _ as s), None | None, (Some _ as s) -> s
+      | Some d, Some b -> Some (Trace.Compose (d, b))
+    in
+    Term.(const build $ diurnal_period $ diurnal_trough $ burst_every
+          $ burst_width $ burst_factor)
+  in
   let exec model spec trace_file pools routing handoff_gb_s target_qps tp
-      max_batch policy engine slo_ttft slo_tbt =
+      max_batch policy engine slo_ttft slo_tbt requests stream_mode epoch
+      shape =
     if pools = [] then
       invalid_arg "pass at least one --pool, e.g. --pool H100:4";
     let config =
@@ -1123,7 +1194,14 @@ let fleet_cmd =
            (fun (role, dev, count) -> Fleet.pool ~role ~config ~count dev)
            pools)
     in
-    let trace = synthesize spec in
+    (* --requests replaces the duration bound (otherwise the default
+       --duration would silently cap a long --requests run). *)
+    let mk_stream () =
+      Trace.stream ~seed:spec.seed ?shape ?limit:requests
+        ?duration_s:(if requests = None then Some spec.duration else None)
+        ~rate_per_s:spec.rate ~mean_input:spec.mean_input
+        ~mean_output:spec.mean_output ()
+    in
     Format.printf "fleet: %s routing, %s; pools: %s@."
       (Fleet.routing_to_string routing)
       (if Fleet.disaggregated fleet then "disaggregated" else "unified")
@@ -1133,21 +1211,61 @@ let fleet_cmd =
               Printf.sprintf "%s x%d (tp=%d)" p.Fleet.name p.Fleet.count
                 config.Simulator.tp)
             fleet.Fleet.pools));
-    Format.printf "trace: %d requests, %d output tokens@." (List.length trace)
-      (Trace.total_output_tokens trace);
-    with_trace_opt trace_file @@ fun () ->
-    let fs = Fleet.run fleet model trace in
+    let slo =
+      match (slo_ttft, slo_tbt) with
+      | None, None -> None
+      | a, b ->
+          Some
+            (Option.value a ~default:infinity, Option.value b ~default:infinity)
+    in
+    let fs =
+      if stream_mode then (
+        Format.printf "stream: %g req/s (%s rate), %s; epoch %d@." spec.rate
+          (match shape with None -> "constant" | Some _ -> "shaped")
+          (match requests with
+          | Some n -> Printf.sprintf "up to %d requests" n
+          | None -> Printf.sprintf "%g s" spec.duration)
+          epoch;
+        with_trace_opt trace_file @@ fun () ->
+        Fleet.run_stream ~epoch ?slo fleet model (mk_stream ()))
+      else
+        let trace = Trace.materialize (mk_stream ()) in
+        Format.printf "trace: %d requests, %d output tokens@."
+          (List.length trace)
+          (Trace.total_output_tokens trace);
+        with_trace_opt trace_file @@ fun () -> Fleet.run fleet model trace
+    in
     Format.printf "%a@." Fleet.pp_fleet_stats fs;
-    print_slo (Fleet.slo_attainment fs) (slo_ttft, slo_tbt);
+    (match (fs.Fleet.slo_attained, slo) with
+    | Some a, Some (ttft_s, tbt_s) ->
+        Format.printf "SLO attainment (TTFT <= %g s, TBT <= %g s): %.1f%%@."
+          ttft_s tbt_s (100. *. a)
+    | _ -> print_slo (Fleet.slo_attainment fs) (slo_ttft, slo_tbt));
+    (* A stable, greppable one-liner: CI diffs it across ACS_JOBS settings
+       to hold the streamed engine to its determinism contract. *)
+    let sum f =
+      List.fold_left
+        (fun acc ps ->
+          Array.fold_left (fun a s -> a + f s) acc ps.Fleet.per_group)
+        0 fs.Fleet.pools
+    in
+    Format.printf
+      "totals: completed=%d rejected=%d generated=%d produced=%d \
+       prefill_batches=%d decode_steps=%d@."
+      fs.Fleet.completed fs.Fleet.rejected_count fs.Fleet.generated_tokens
+      fs.Fleet.produced_tokens
+      (sum (fun s -> s.Simulator.prefill_batches))
+      (sum (fun s -> s.Simulator.decode_steps));
     let die_cost dev =
       Cost_model.die_cost_usd ~process:Cost_model.n7
         ~die_area_mm2:(Area_model.total_mm2 dev)
     in
-    let cost = Fleet.silicon_usd_per_mtok ~die_cost_usd:die_cost fleet fs in
-    if Float.is_finite cost then
-      Format.printf "silicon: $%.2f per million tokens (N7 dies, 3-year \
-                     amortization)@."
-        cost;
+    (match Fleet.silicon_usd_per_mtok ~die_cost_usd:die_cost fleet fs with
+    | Some cost ->
+        Format.printf "silicon: $%.2f per million tokens (N7 dies, 3-year \
+                       amortization)@."
+          cost
+    | None -> ());
     match target_qps with
     | None -> ()
     | Some q -> (
@@ -1164,10 +1282,10 @@ let fleet_cmd =
               (groups * config.Simulator.tp))
   in
   let run model spec trace_file pools routing handoff target_qps tp max_batch
-      policy engine slo_ttft slo_tbt =
+      policy engine slo_ttft slo_tbt requests stream_mode epoch shape =
     match
       exec model spec trace_file pools routing handoff target_qps tp max_batch
-        policy engine slo_ttft slo_tbt
+        policy engine slo_ttft slo_tbt requests stream_mode epoch shape
     with
     | () -> `Ok ()
     | exception Simulator.Infeasible msg -> `Error (false, msg)
@@ -1177,11 +1295,12 @@ let fleet_cmd =
     (Cmd.info "fleet"
        ~doc:"Simulate a multi-device serving fleet (homogeneous, \
              heterogeneous or disaggregated prefill/decode) against one \
-             shared trace.")
+             shared trace, materialized or streamed in bounded memory.")
     Term.(ret (const run $ model_arg $ trace_spec_term $ trace_arg
            $ pools_arg $ routing_arg $ handoff_arg $ target_qps_arg $ tp_arg
            $ max_batch_arg $ policy_arg $ engine_arg $ slo_ttft_arg
-           $ slo_tbt_arg))
+           $ slo_tbt_arg $ requests_arg $ stream_arg $ epoch_arg
+           $ shape_term))
 
 (* --- package --- *)
 

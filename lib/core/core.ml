@@ -35,6 +35,7 @@ module Metrics = Acs_util.Metrics
 module Table = Acs_util.Table
 module Scatter = Acs_util.Scatter
 module Boxplot = Acs_util.Boxplot
+module Heap = Acs_util.Heap
 module Csv = Acs_util.Csv
 module Json = Acs_util.Json
 module Units = Acs_util.Units

@@ -3,9 +3,10 @@
 
     A fleet is a list of {e pools}. Each pool is [count] identical
     tensor-parallel groups of one device type under one scheduler config;
-    all groups of a pool share a single {!Simulator.stepper}, so the
-    engine is consulted once per distinct step shape for the whole pool,
-    not once per group. Pools are either all {!Unified} (every group
+    every group owns a private {!Simulator.stepper} (a shared step-shape
+    memo would race once groups step on separate domains - the memo is
+    pure, so this duplicates work, never results). Pools are either all
+    {!Unified} (every group
     serves whole requests - homogeneous fleets are one pool,
     heterogeneous fleets several) or split into {!Prefill} and {!Decode}
     pools (disaggregated serving: prefill runs on one side, the KV cache
@@ -116,6 +117,16 @@ type fleet_stats = {
   rejected : Trace.request list;
       (** original requests whose KV can never fit on any routed-to
           group (either side, for disaggregated fleets) *)
+  completed : int;
+      (** completed originals. Equals [List.length outcomes] for {!run};
+          {!run_stream} keeps [outcomes = []] (bounded memory) and this
+          counter is the only completion count. *)
+  rejected_count : int;  (** likewise for [rejected] *)
+  slo_attained : float option;
+      (** filled by {!run_stream} when its [?slo] was given: the fraction
+          of completed originals meeting both objectives, accumulated
+          online ({!slo_attainment} needs the outcome list and so cannot
+          be applied to streamed stats). [None] from {!run}. *)
   pools : pool_stats list;  (** in fleet pool order *)
   groups : int;  (** total scheduler instances across pools *)
   makespan_s : float;  (** latest group clock at drain *)
@@ -148,7 +159,41 @@ val run :
 (** Simulates the whole trace against the fleet. Raises
     [Invalid_argument] on an empty trace or duplicate request ids (ids
     key the prefill-to-decode match), and {!Simulator.Infeasible} when
-    any pool's weights alone exceed its device's HBM. *)
+    any pool's weights alone exceed its device's HBM. Group drains shard
+    across the {!Acs_util.Parallel} domain pool; results are independent
+    of the job count. *)
+
+val run_stream :
+  ?calib:Acs_perfmodel.Calib.t ->
+  ?epoch:int ->
+  ?slo:float * float ->
+  t ->
+  Acs_workload.Model.t ->
+  Trace.stream ->
+  fleet_stats
+(** Domain-parallel, bounded-memory fleet simulation for traces too large
+    to materialize (consumes the stream destructively). The router
+    alternates routing rounds of [epoch] requests (default 512; must be
+    >= 1) with parallel advances of every group to the next round's first
+    arrival, merging freshly finished outcomes into
+    {!Acs_util.Stats.Online} accumulators in fixed group order - so
+    results are bit-identical across [ACS_JOBS] settings, and peak memory
+    is O(groups * backlog + epoch + sketch), independent of trace length.
+
+    The returned stats carry empty [outcomes]/[rejected] lists; counts
+    live in [completed]/[rejected_count], percentile fields come from the
+    online sketches (nearest-rank within 1% relative error - see
+    {!Acs_util.Stats.Online.quantile} - rather than the interpolated
+    exact percentiles of {!run}), and [slo] (TTFT, TBT objectives in
+    seconds) fills [slo_attained].
+
+    Routing differences against {!run}: [Round_robin] streamed reproduces
+    the materialized run exactly (same totals, steps and makespan);
+    [Least_loaded]/[Phase_affine] price candidates with signals as of the
+    last epoch boundary instead of advancing every group to each arrival,
+    so their (deterministic) decisions can differ from the materialized
+    router's. Raises like {!run}; also [Invalid_argument] on an SLO with
+    non-positive objectives. *)
 
 val slo_attainment : fleet_stats -> ttft_s:float -> tbt_s:float -> float
 (** Fraction of completed originals meeting both objectives, with the
@@ -164,18 +209,21 @@ val devices_for_qps : fleet_stats -> target_qps:float -> (string * int) list
     measured fleet is throughput-bound; it ignores queueing tails, so
     treat it as a lower bound near SLO limits. Returns [(pool_name,
     groups)] in fleet pool order; empty when nothing completed (no
-    achieved rate to extrapolate from). Raises [Invalid_argument] on a
-    non-positive target. *)
+    achieved rate to extrapolate from - the documented sentinel for
+    "no measured throughput", preferred over a division by zero). Raises
+    [Invalid_argument] on a non-positive or non-finite target. *)
 
 val silicon_usd_per_mtok :
   ?lifetime_years:float ->
   die_cost_usd:(Acs_hardware.Device.t -> float) ->
   t ->
   fleet_stats ->
-  float
+  float option
 (** Fleet silicon cost per million generated tokens: every pool's
     [count * tp] dies priced by [die_cost_usd], amortized over
     [lifetime_years] (default 3) of the measured fleet throughput.
-    [infinity] when the fleet generated nothing. *)
+    [None] when the fleet sustained no tokens (zero or non-finite
+    throughput) - there is no meaningful per-token cost to report, and
+    the old [infinity] sentinel leaked into comparisons and tables. *)
 
 val pp_fleet_stats : Format.formatter -> fleet_stats -> unit

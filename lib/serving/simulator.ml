@@ -221,6 +221,16 @@ module Instance = struct
     mutable context_sum : int;
     (* Outstanding-work estimate for router load balancing. *)
     mutable work_tokens : int;
+    (* Counters mirroring [outcomes]/[rejected_rev] so bounded-memory
+       callers (the streaming fleet) can drop the lists entirely. *)
+    mutable completed : int;
+    mutable generated : int;
+    mutable rejected_n : int;
+    (* When set, finished/rejected requests are handed to the sink instead
+       of being retained: memory stays O(resident batch + queue) no matter
+       how many requests pass through. *)
+    mutable on_outcome : (request_outcome -> unit) option;
+    mutable on_reject : (Trace.request -> unit) option;
   }
 
   let reserve inst (r : Trace.request) =
@@ -273,7 +283,16 @@ module Instance = struct
       first_arrival = infinity;
       context_sum = 0;
       work_tokens = 0;
+      completed = 0;
+      generated = 0;
+      rejected_n = 0;
+      on_outcome = None;
+      on_reject = None;
     }
+
+  let set_sinks ?on_outcome ?on_reject inst =
+    inst.on_outcome <- on_outcome;
+    inst.on_reject <- on_reject
 
   (* Requests whose KV can never fit even alone would otherwise pin the
      FCFS queue head forever; mark them rejected at submission instead.
@@ -285,7 +304,10 @@ module Instance = struct
     inst.context_sum <-
       inst.context_sum + r.Trace.input_len + (r.Trace.output_len / 2);
     if reserve inst r > inst.free then begin
-      inst.rejected_rev <- r :: inst.rejected_rev;
+      inst.rejected_n <- inst.rejected_n + 1;
+      (match inst.on_reject with
+      | Some sink -> sink r
+      | None -> inst.rejected_rev <- r :: inst.rejected_rev);
       Metrics.incr (Lazy.force m_rejected)
     end
     else begin
@@ -315,6 +337,9 @@ module Instance = struct
   let now inst = inst.clock
   let idle inst = inst.q_front = [] && inst.q_back = [] && inst.active = []
   let load inst = inst.work_tokens
+  let completed_count inst = inst.completed
+  let rejected_count inst = inst.rejected_n
+  let generated_count inst = inst.generated
 
   let live_bytes inst =
     inst.weights
@@ -326,7 +351,7 @@ module Instance = struct
 
   let finish inst (a : entry) =
     let tokens_after_first = a.req.Trace.output_len - 1 in
-    inst.outcomes <-
+    let outcome =
       {
         request = a.req;
         ttft_s = a.first_token_s -. a.req.Trace.arrival_s;
@@ -336,7 +361,12 @@ module Instance = struct
              (inst.clock -. a.first_token_s) /. float_of_int tokens_after_first);
         finish_s = inst.clock;
       }
-      :: inst.outcomes;
+    in
+    inst.completed <- inst.completed + 1;
+    inst.generated <- inst.generated + a.req.Trace.output_len;
+    (match inst.on_outcome with
+    | Some sink -> sink outcome
+    | None -> inst.outcomes <- outcome :: inst.outcomes);
     inst.reserved <- inst.reserved -. reserve inst a.req
 
   (* FCFS admission: walk the queue head while requests have arrived and
@@ -540,9 +570,9 @@ module Instance = struct
 
   let stats inst =
     let outcomes = List.rev inst.outcomes in
-    let generated_tokens =
-      List.fold_left (fun acc o -> acc + o.request.Trace.output_len) 0 outcomes
-    in
+    (* The counter, not the list: with sinks installed the list is empty
+       by design; without sinks the two are equal. *)
+    let generated_tokens = inst.generated in
     (* Throughput over the span the server was actually serving: the clock
        starts at 0 but the first request may arrive arbitrarily late, and
        that idle lead-in says nothing about the hardware. *)

@@ -223,6 +223,25 @@ module Instance : sig
   val drain : t -> unit
   (** Step until {!idle}. *)
 
+  val set_sinks :
+    ?on_outcome:(request_outcome -> unit) ->
+    ?on_reject:(Trace.request -> unit) ->
+    t ->
+    unit
+  (** Install bounded-memory delivery: finished outcomes and rejected
+      requests are passed to the sinks at the moment they occur instead of
+      being retained for {!stats} (whose [outcomes]/[rejected] then stay
+      empty; the counters below and every other stats field remain
+      exact). Sinks run on whichever domain is stepping the instance, so
+      they must only touch state owned by this instance. *)
+
+  val completed_count : t -> int
+  val rejected_count : t -> int
+
+  val generated_count : t -> int
+  (** Sum of [output_len] over completed requests (equals the
+      [generated_tokens] a full outcome list would yield). *)
+
   val stats : t -> stats
   (** Snapshot of the accounting; call after {!drain} for final stats. *)
 end

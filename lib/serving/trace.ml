@@ -41,32 +41,185 @@ let min_mean_len = 8
 let floored_geometric state ~mean =
   min_mean_len - 1 + geometric state ~mean:(mean - (min_mean_len - 1))
 
+(* ------------------------------------------------------------------ *)
+(* Rate shapes                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type shape =
+  | Constant
+  | Diurnal of { period_s : float; trough : float }
+  | Bursts of { every_s : float; width_s : float; factor : float }
+  | Compose of shape * shape
+
+let rec validate_shape = function
+  | Constant -> ()
+  | Diurnal { period_s; trough } ->
+      if period_s <= 0. then invalid_arg "Trace.stream: diurnal period must be positive";
+      if trough < 0. || trough > 1. then
+        invalid_arg "Trace.stream: diurnal trough must be in [0,1]"
+  | Bursts { every_s; width_s; factor } ->
+      if every_s <= 0. then invalid_arg "Trace.stream: burst interval must be positive";
+      if width_s < 0. || width_s > every_s then
+        invalid_arg "Trace.stream: burst width must be in [0, interval]";
+      if factor <= 0. || not (Float.is_finite factor) then
+        invalid_arg "Trace.stream: burst factor must be finite and positive"
+  | Compose (a, b) ->
+      validate_shape a;
+      validate_shape b
+
+(* Instantaneous rate multiplier m(t) and its supremum over all t. The
+   supremum drives the Lewis-Shedler thinning below: candidates arrive at
+   the peak rate and survive with probability m(t)/peak. *)
+let rec shape_multiplier shape t =
+  match shape with
+  | Constant -> 1.
+  | Diurnal { period_s; trough } ->
+      (* Smooth day/night swing: 1 at mid-period peaks, [trough] at t=0. *)
+      trough
+      +. ((1. -. trough) *. 0.5
+          *. (1. -. cos (2. *. Float.pi *. t /. period_s)))
+  | Bursts { every_s; width_s; factor } ->
+      if Float.rem t every_s < width_s then factor else 1.
+  | Compose (a, b) -> shape_multiplier a t *. shape_multiplier b t
+
+let rec shape_peak = function
+  | Constant -> 1.
+  | Diurnal _ -> 1.
+  | Bursts { factor; _ } -> Float.max factor 1.
+  | Compose (a, b) -> shape_peak a *. shape_peak b
+
+(* ------------------------------------------------------------------ *)
+(* Tenants                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type tenant = { share : float; mean_input : int; mean_output : int }
+
+let check_mean name mean =
+  if mean < min_mean_len then
+    invalid_arg
+      (Printf.sprintf
+         "Trace.%s: mean lengths must be >= %d (the length floor; smaller \
+          means cannot be realized)"
+         name min_mean_len)
+
+(* ------------------------------------------------------------------ *)
+(* Pull-based generation                                              *)
+(* ------------------------------------------------------------------ *)
+
+type stream = { mutable pull : unit -> request option }
+
+let next s = s.pull ()
+
+let of_list requests =
+  let rest = ref requests in
+  {
+    pull =
+      (fun () ->
+        match !rest with
+        | [] -> None
+        | r :: tl ->
+            rest := tl;
+            Some r);
+  }
+
+let stream ?(seed = 42) ?(shape = Constant) ?(tenants = []) ?limit ?duration_s
+    ~rate_per_s ~mean_input ~mean_output () =
+  if rate_per_s <= 0. || not (Float.is_finite rate_per_s) then
+    invalid_arg "Trace.stream: rate must be finite and positive";
+  (match duration_s with
+  | Some d when d <= 0. -> invalid_arg "Trace.stream: duration must be positive"
+  | _ -> ());
+  (match limit with
+  | Some n when n <= 0 -> invalid_arg "Trace.stream: limit must be positive"
+  | _ -> ());
+  if duration_s = None && limit = None then
+    invalid_arg "Trace.stream: unbounded stream (give ~duration_s or ~limit)";
+  check_mean "stream" mean_input;
+  check_mean "stream" mean_output;
+  validate_shape shape;
+  List.iter
+    (fun t ->
+      if t.share <= 0. || not (Float.is_finite t.share) then
+        invalid_arg "Trace.stream: tenant shares must be finite and positive";
+      check_mean "stream" t.mean_input;
+      check_mean "stream" t.mean_output)
+    tenants;
+  let total_share = List.fold_left (fun acc t -> acc +. t.share) 0. tenants in
+  let peak = shape_peak shape in
+  let state = Random.State.make [| seed |] in
+  let id = ref 0 in
+  let clock = ref 0. in
+  let done_ = ref false in
+  let beyond t = match duration_s with Some d -> t > d | None -> false in
+  let at_limit () = match limit with Some n -> !id >= n | None -> false in
+  (* Draw order per emitted request: inter-arrival gap, [thinning accept if
+     the shape is non-constant], [tenant pick if tenants are given], input
+     length, output length. With a constant shape and no tenants this is
+     gap/input/output - exactly the legacy [synthetic] order, which is what
+     keeps [materialize (stream ...)] bit-identical to the seed traces
+     every recorded experiment used. *)
+  let rec gen () =
+    if !done_ || at_limit () then begin
+      done_ := true;
+      None
+    end
+    else begin
+      let t = !clock +. exponential state ~rate:(rate_per_s *. peak) in
+      clock := t;
+      if beyond t then begin
+        done_ := true;
+        None
+      end
+      else begin
+        let accept =
+          match shape with
+          | Constant -> true
+          | _ ->
+              Random.State.float state 1. *. peak <= shape_multiplier shape t
+        in
+        if not accept then gen ()
+        else begin
+          let mean_input, mean_output =
+            match tenants with
+            | [] -> (mean_input, mean_output)
+            | _ :: _ ->
+                let u = Random.State.float state 1. *. total_share in
+                let rec pick acc = function
+                  | [ ten ] -> ten
+                  | ten :: rest ->
+                      let acc = acc +. ten.share in
+                      if u < acc then ten else pick acc rest
+                  | [] -> assert false
+                in
+                let ten = pick 0. tenants in
+                (ten.mean_input, ten.mean_output)
+          in
+          let request =
+            {
+              id = !id;
+              arrival_s = t;
+              input_len = floored_geometric state ~mean:mean_input;
+              output_len = floored_geometric state ~mean:mean_output;
+            }
+          in
+          incr id;
+          Some request
+        end
+      end
+    end
+  in
+  { pull = gen }
+
+let materialize s =
+  let rec go acc = match next s with None -> List.rev acc | Some r -> go (r :: acc) in
+  go []
+
 let synthetic ?(seed = 42) ~rate_per_s ~duration_s ~mean_input ~mean_output () =
   if rate_per_s <= 0. || duration_s <= 0. then
     invalid_arg "Trace.synthetic: rate and duration must be positive";
-  if mean_input < min_mean_len || mean_output < min_mean_len then
-    invalid_arg
-      (Printf.sprintf
-         "Trace.synthetic: mean lengths must be >= %d (the length floor; \
-          smaller means cannot be realized)"
-         min_mean_len);
-  let state = Random.State.make [| seed |] in
-  let rec collect acc id clock =
-    let clock = clock +. exponential state ~rate:rate_per_s in
-    if clock > duration_s then List.rev acc
-    else begin
-      let request =
-        {
-          id;
-          arrival_s = clock;
-          input_len = floored_geometric state ~mean:mean_input;
-          output_len = floored_geometric state ~mean:mean_output;
-        }
-      in
-      collect (request :: acc) (id + 1) clock
-    end
-  in
-  collect [] 0 0.
+  check_mean "synthetic" mean_input;
+  check_mean "synthetic" mean_output;
+  materialize (stream ~seed ~duration_s ~rate_per_s ~mean_input ~mean_output ())
 
 let total_output_tokens requests =
   List.fold_left (fun acc r -> acc + r.output_len) 0 requests

@@ -1,4 +1,10 @@
-(** Deterministic synthetic request traces for the serving simulator. *)
+(** Deterministic synthetic request traces for the serving simulator.
+
+    Two entry points: {!synthetic} materializes a full request list (small
+    traces, structural tests), and {!stream} yields requests one at a time
+    so 10^6-10^7-request fleet traces never exist in memory. At equal
+    parameters the two are bit-identical: [synthetic] {e is}
+    [materialize (stream ...)]. *)
 
 type request = {
   id : int;
@@ -10,6 +16,63 @@ type request = {
 val min_mean_len : int
 (** The length floor (8 tokens): every sampled input/output length is at
     least this, and {!synthetic} rejects requested means below it. *)
+
+(** Time-varying load: a nonnegative rate multiplier m(t) applied to the
+    base Poisson rate, realized by Lewis-Shedler thinning (candidates at
+    the peak rate, accepted with probability m(t)/peak). *)
+type shape =
+  | Constant  (** m(t) = 1: homogeneous Poisson, the legacy behavior. *)
+  | Diurnal of { period_s : float; trough : float }
+      (** Smooth day/night cycle: m(t) swings between [trough] (at t = 0)
+          and 1, period [period_s]. [trough] in [0,1]. *)
+  | Bursts of { every_s : float; width_s : float; factor : float }
+      (** m(t) = [factor] during the first [width_s] seconds of every
+          [every_s]-second window, 1 otherwise. *)
+  | Compose of shape * shape  (** Pointwise product of two shapes. *)
+
+val shape_multiplier : shape -> float -> float
+(** [shape_multiplier shape t] is m(t); exposed for tests and plots. *)
+
+type tenant = { share : float; mean_input : int; mean_output : int }
+(** A traffic class: relative share (positive weight, normalized
+    internally) and its own length means. *)
+
+type stream
+(** A pull-based request generator. O(1) state regardless of how many
+    requests it has produced or will produce. Stateful: each {!next}
+    advances it. *)
+
+val stream :
+  ?seed:int ->
+  ?shape:shape ->
+  ?tenants:tenant list ->
+  ?limit:int ->
+  ?duration_s:float ->
+  rate_per_s:float ->
+  mean_input:int ->
+  mean_output:int ->
+  unit ->
+  stream
+(** Poisson arrivals at [rate_per_s] modulated by [shape] (default
+    {!Constant}); lengths are shifted-geometric with the given means, or
+    per-tenant means drawn by [share] when [tenants] is non-empty. The
+    stream ends after [duration_s] simulated seconds or [limit] requests,
+    whichever comes first; at least one bound is required ([Invalid_argument]
+    otherwise, as for non-positive parameters or means below
+    {!min_mean_len}). Deterministic for a given seed (default 42); arrival
+    times are strictly increasing and ids consecutive from 0. *)
+
+val next : stream -> request option
+(** The next request, or [None] once the stream is exhausted (and forever
+    after). *)
+
+val of_list : request list -> stream
+(** View an already-materialized trace as a stream. *)
+
+val materialize : stream -> request list
+(** Drain a stream into a list. Only for bounded streams you can afford to
+    hold; the point of {!stream} is not to call this on million-request
+    traces. *)
 
 val synthetic :
   ?seed:int ->
@@ -24,7 +87,9 @@ val synthetic :
     the requested mean (the old [max 8] clamp on a plain geometric
     silently inflated small means, overstating offered load). Raises
     [Invalid_argument] when a mean is below {!min_mean_len}. Deterministic
-    for a given seed (default 42). Sorted by arrival time. *)
+    for a given seed (default 42). Sorted by arrival time. Implemented as
+    [materialize (stream ...)] with a constant shape: the two agree
+    bit-for-bit at equal parameters. *)
 
 val exponential_of_u : rate:float -> float -> float
 (** The inverse-CDF transform behind the Poisson inter-arrival gaps,

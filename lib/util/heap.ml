@@ -1,0 +1,79 @@
+(* Array-backed binary min-heap. Stability comes from a monotonically
+   increasing sequence number attached at push time and used as the
+   tie-break, so equal keys behave like a FIFO. *)
+
+type ('k, 'v) entry = { key : 'k; seq : int; value : 'v }
+
+type ('k, 'v) t = {
+  cmp : 'k -> 'k -> int;
+  mutable data : ('k, 'v) entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create ~cmp = { cmp; data = [||]; size = 0; next_seq = 0 }
+let length h = h.size
+let is_empty h = h.size = 0
+
+let before h a b =
+  let c = h.cmp a.key b.key in
+  if c <> 0 then c < 0 else a.seq < b.seq
+
+let grow h entry =
+  let cap = Array.length h.data in
+  if h.size = cap then begin
+    let data = Array.make (max 8 (2 * cap)) entry in
+    Array.blit h.data 0 data 0 h.size;
+    h.data <- data
+  end
+
+let push h key value =
+  let entry = { key; seq = h.next_seq; value } in
+  h.next_seq <- h.next_seq + 1;
+  grow h entry;
+  (* Sift up. *)
+  let i = ref h.size in
+  h.size <- h.size + 1;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if before h entry h.data.(parent) then begin
+      h.data.(!i) <- h.data.(parent);
+      i := parent
+    end
+    else continue := false
+  done;
+  h.data.(!i) <- entry
+
+let min_key h = if h.size = 0 then None else Some h.data.(0).key
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    let last = h.data.(h.size) in
+    if h.size > 0 then begin
+      (* Sift the displaced last entry down from the root. *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        let cur j = if j = !i then last else h.data.(j) in
+        if l < h.size && before h h.data.(l) (cur !smallest) then smallest := l;
+        if r < h.size && before h h.data.(r) (cur !smallest) then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          h.data.(!i) <- h.data.(!smallest);
+          i := !smallest
+        end
+      done;
+      h.data.(!i) <- last
+    end;
+    Some (top.key, top.value)
+  end
+
+let drain h =
+  let rec go acc = match pop h with None -> List.rev acc | Some e -> go (e :: acc) in
+  go []

@@ -1,0 +1,28 @@
+(** Stable binary min-heap.
+
+    Replaces the linear next-event scans in the fleet simulator: pools push
+    future events keyed by time and pop them in nondecreasing order. The heap
+    is stable — entries whose keys compare equal drain in insertion order —
+    which is what makes event-driven replay deterministic when several
+    completions land on the same timestamp. *)
+
+type ('k, 'v) t
+
+val create : cmp:('k -> 'k -> int) -> ('k, 'v) t
+(** Empty heap ordered by [cmp] (a total order on keys; smallest pops
+    first). *)
+
+val length : ('k, 'v) t -> int
+val is_empty : ('k, 'v) t -> bool
+
+val push : ('k, 'v) t -> 'k -> 'v -> unit
+
+val min_key : ('k, 'v) t -> 'k option
+(** Key of the next entry to pop, without removing it. *)
+
+val pop : ('k, 'v) t -> ('k * 'v) option
+(** Remove and return the minimum entry; among equal keys, the one pushed
+    earliest. [None] on an empty heap. *)
+
+val drain : ('k, 'v) t -> ('k * 'v) list
+(** Pop everything, in order. *)

@@ -127,3 +127,132 @@ let pp_summary ppf s =
   Format.fprintf ppf
     "n=%d min=%.4g p25=%.4g med=%.4g p75=%.4g max=%.4g mean=%.4g sd=%.4g"
     s.count s.min s.p25 s.median s.p75 s.max s.mean s.stddev
+
+(* Bounded-memory quantile sketch: a DDSketch-style log-binned histogram.
+   Samples land in geometric buckets [gamma^(i-1), gamma^i) with
+   gamma = (1+alpha)/(1-alpha), so every bucket representative is within
+   relative error alpha of any sample it absorbs. Memory is O(log(max/min))
+   buckets regardless of sample count, and two sketches built with the same
+   alpha merge by adding bucket counts — which is what makes the fleet's
+   per-epoch accumulation order-independent and bit-identical across job
+   counts. *)
+module Online = struct
+  type t = {
+    alpha : float;
+    gamma : float;
+    log_gamma : float;
+    pos : (int, int ref) Hashtbl.t;  (* bucket index -> count, x > 0 *)
+    neg : (int, int ref) Hashtbl.t;  (* bucket index of -x, x < 0 *)
+    mutable zeros : int;
+    mutable count : int;
+    mutable sum : float;
+    mutable sum_sq : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create ?(alpha = 0.01) () =
+    if not (alpha > 0. && alpha < 1.) then
+      invalid_arg "Stats.Online.create: alpha outside (0,1)";
+    let gamma = (1. +. alpha) /. (1. -. alpha) in
+    {
+      alpha;
+      gamma;
+      log_gamma = log gamma;
+      pos = Hashtbl.create 64;
+      neg = Hashtbl.create 8;
+      zeros = 0;
+      count = 0;
+      sum = 0.;
+      sum_sq = 0.;
+      min = infinity;
+      max = neg_infinity;
+    }
+
+  let alpha t = t.alpha
+  let count t = t.count
+
+  let bucket t x = int_of_float (Float.ceil (log x /. t.log_gamma))
+
+  let incr_bucket tbl i =
+    match Hashtbl.find_opt tbl i with
+    | Some r -> incr r
+    | None -> Hashtbl.add tbl i (ref 1)
+
+  let add t x =
+    if Float.is_nan x then invalid_arg "Stats.Online.add: NaN sample";
+    t.count <- t.count + 1;
+    t.sum <- t.sum +. x;
+    t.sum_sq <- t.sum_sq +. (x *. x);
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x;
+    if x > 0. then incr_bucket t.pos (bucket t x)
+    else if x < 0. then incr_bucket t.neg (bucket t (-.x))
+    else t.zeros <- t.zeros + 1
+
+  let merge t other =
+    if t.alpha <> other.alpha then
+      invalid_arg "Stats.Online.merge: mismatched alpha";
+    let blend tbl (i, r) =
+      match Hashtbl.find_opt tbl i with
+      | Some dst -> dst := !dst + !r
+      | None -> Hashtbl.add tbl i (ref !r)
+    in
+    Hashtbl.iter (fun i r -> blend t.pos (i, r)) other.pos;
+    Hashtbl.iter (fun i r -> blend t.neg (i, r)) other.neg;
+    t.zeros <- t.zeros + other.zeros;
+    t.count <- t.count + other.count;
+    t.sum <- t.sum +. other.sum;
+    t.sum_sq <- t.sum_sq +. other.sum_sq;
+    if other.min < t.min then t.min <- other.min;
+    if other.max > t.max then t.max <- other.max
+
+  let mean t = if t.count = 0 then nan else t.sum /. float_of_int t.count
+
+  let stddev t =
+    if t.count = 0 then nan
+    else
+      let n = float_of_int t.count in
+      let m = t.sum /. n in
+      sqrt (Float.max 0. ((t.sum_sq /. n) -. (m *. m)))
+
+  let min_sample t = if t.count = 0 then nan else t.min
+  let max_sample t = if t.count = 0 then nan else t.max
+
+  (* Sorted (key, count) view of the sketch. Negative buckets come first,
+     largest magnitude first, then zeros, then positive buckets ascending —
+     the same order a sort of the raw samples would produce. *)
+  let sorted_buckets tbl =
+    let l = Hashtbl.fold (fun i r acc -> (i, !r) :: acc) tbl [] in
+    List.sort (fun (a, _) (b, _) -> compare a b) l
+
+  let quantile t p =
+    if p < 0. || p > 100. then invalid_arg "Stats.Online.quantile: p outside [0,100]";
+    if t.count = 0 then invalid_arg "Stats.Online.quantile: empty sketch";
+    (* Nearest-rank convention: the k-th order statistic with
+       k = max 1 (ceil (p/100 * n)). The exact-comparison tests use the same
+       convention, so agreement is within the alpha relative-error bound of
+       the bucket representative (interpolated percentiles cannot be
+       reproduced from a histogram without an interpolation error term). *)
+    let k =
+      Stdlib.max 1
+        (int_of_float (Float.ceil (p /. 100. *. float_of_int t.count)))
+    in
+    let representative i =
+      (* Midpoint of [gamma^(i-1), gamma^i] in relative terms. *)
+      2. *. (t.gamma ** float_of_int i) /. (t.gamma +. 1.)
+    in
+    let clamp v = Float.min t.max (Float.max t.min v) in
+    let rec scan remaining = function
+      | [] -> 0 (* unreachable: counts sum to [t.count] >= remaining *)
+      | (i, c) :: rest ->
+          if remaining <= c then i else scan (remaining - c) rest
+    in
+    (* Negative samples sort ascending as magnitude descending. *)
+    let neg_list = List.rev (sorted_buckets t.neg) in
+    let nneg = Hashtbl.fold (fun _ r acc -> acc + !r) t.neg 0 in
+    if k <= nneg then clamp (-.representative (scan k neg_list))
+    else if k <= nneg + t.zeros then 0.
+    else
+      clamp (representative (scan (k - nneg - t.zeros) (sorted_buckets t.pos)))
+end

@@ -54,3 +54,48 @@ val argmin : ('a -> float) -> 'a list -> 'a
 val argmax : ('a -> float) -> 'a list -> 'a
 
 val pp_summary : Format.formatter -> summary -> unit
+
+(** Bounded-memory streaming moments and quantiles.
+
+    A DDSketch-style log-binned histogram: memory is O(log(max/min))
+    buckets independent of how many samples are added, and every quantile
+    is within relative error [alpha] of the true nearest-rank order
+    statistic (for positive samples; zero is exact, negative samples get
+    the same bound on magnitude). Sketches with equal [alpha] merge by
+    bucket-count addition, so a merged sketch is independent of merge
+    order and identical to a sketch fed all samples directly — the
+    property the parallel fleet relies on for 1-vs-N-job bit-identity. *)
+module Online : sig
+  type t
+
+  val create : ?alpha:float -> unit -> t
+  (** [alpha] is the relative quantile error bound, default [0.01] (1%).
+      Raises [Invalid_argument] outside (0,1). *)
+
+  val add : t -> float -> unit
+  (** Raises [Invalid_argument] on NaN (as the exact estimators do). *)
+
+  val merge : t -> t -> unit
+  (** [merge t other] folds [other] into [t]; [other] is unchanged.
+      Raises [Invalid_argument] when the two sketches' [alpha] differ. *)
+
+  val count : t -> int
+  val alpha : t -> float
+
+  val mean : t -> float
+  (** Exact (running sum); NaN on an empty sketch. *)
+
+  val stddev : t -> float
+  (** Exact population stddev via running moments; NaN when empty. *)
+
+  val min_sample : t -> float
+  val max_sample : t -> float
+
+  val quantile : t -> float -> float
+  (** [quantile t p] for p in [0,100] approximates the nearest-rank order
+      statistic [k = max 1 (ceil (p/100 * n))] within relative error
+      [alpha], clamped into [[min_sample, max_sample]]. Note the
+      convention differs from {!percentile}, which interpolates between
+      ranks; the two agree as n grows. Raises [Invalid_argument] on an
+      empty sketch or p outside [0,100]. *)
+end

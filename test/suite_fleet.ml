@@ -230,16 +230,35 @@ let t_devices_for_qps () =
 let t_cost_per_mtok () =
   let fleet = unified () in
   let fs = Fleet.run fleet model heavy_trace in
+  let unwrap what = function
+    | Some c -> c
+    | None -> Alcotest.failf "%s: expected Some cost" what
+  in
   let cost =
-    Fleet.silicon_usd_per_mtok ~die_cost_usd:(fun _ -> 1000.) fleet fs
+    unwrap "measured fleet"
+      (Fleet.silicon_usd_per_mtok ~die_cost_usd:(fun _ -> 1000.) fleet fs)
   in
   Alcotest.(check bool) "cost positive and finite" true
     (cost > 0. && Float.is_finite cost);
   (* Double the die price, double the rate. *)
   let cost2 =
-    Fleet.silicon_usd_per_mtok ~die_cost_usd:(fun _ -> 2000.) fleet fs
+    unwrap "doubled die price"
+      (Fleet.silicon_usd_per_mtok ~die_cost_usd:(fun _ -> 2000.) fleet fs)
   in
-  check_close "cost scales with die price" (2. *. cost) cost2
+  check_close "cost scales with die price" (2. *. cost) cost2;
+  (* Regression: a fleet that sustained nothing has no per-token cost -
+     the old API returned [infinity] here (and NaN for a zero-cost
+     fleet), which leaked straight into comparisons and tables. *)
+  let dead = { fs with Fleet.throughput_tokens_per_s = 0. } in
+  (match Fleet.silicon_usd_per_mtok ~die_cost_usd:(fun _ -> 1000.) fleet dead with
+  | None -> ()
+  | Some c -> Alcotest.failf "zero-throughput fleet costed at %g/Mtok" c);
+  (match
+     Fleet.silicon_usd_per_mtok ~die_cost_usd:(fun _ -> 1000.) fleet
+       { fs with Fleet.throughput_tokens_per_s = infinity }
+   with
+  | None -> ()
+  | Some c -> Alcotest.failf "non-finite throughput costed at %g/Mtok" c)
 
 let t_fleet_slo () =
   let fs = Fleet.run (unified ()) model small_trace in
@@ -290,6 +309,159 @@ let t_fleet_properties =
           check_fleet_invariants ~trace fs;
           true)
 
+(* ---- streamed (bounded-memory, domain-parallel) execution ---- *)
+
+(* Totals that both execution modes must agree on. Streamed stats keep no
+   outcome lists, so the comparison is over counters, per-group step
+   counts and clocks. *)
+let totals fs =
+  ( fs.Fleet.completed,
+    fs.Fleet.rejected_count,
+    fs.Fleet.generated_tokens,
+    fs.Fleet.produced_tokens,
+    fs.Fleet.handoff_transfers,
+    fs.Fleet.makespan_s,
+    sum_groups fs (fun s -> s.Simulator.prefill_batches),
+    sum_groups fs (fun s -> s.Simulator.decode_steps) )
+
+let t_stream_equals_run_round_robin () =
+  (* Round-robin routing is epoch-independent, so the streamed engine
+     must reproduce the materialized run exactly - unified and across the
+     disaggregated handoff, at several epoch sizes including one smaller
+     than the trace. *)
+  List.iter
+    (fun fleet ->
+      let fs_run = Fleet.run fleet model heavy_trace in
+      List.iter
+        (fun epoch ->
+          let fs_stream =
+            Fleet.run_stream ~epoch fleet model (Trace.of_list heavy_trace)
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "streamed totals = run totals (epoch %d)" epoch)
+            true
+            (totals fs_stream = totals fs_run);
+          Alcotest.(check (list int))
+            "no outcome list retained" []
+            (List.map
+               (fun (o : Simulator.request_outcome) ->
+                 o.Simulator.request.Trace.id)
+               fs_stream.Fleet.outcomes))
+        [ 1; 7; 512 ])
+    [ unified ~routing:Fleet.Round_robin (); disagg ~routing:Fleet.Round_robin () ]
+
+let t_stream_single_group_identity () =
+  (* 1-group streamed fleet vs the bare simulator: same counters, steps
+     and makespan, with the percentile fields within the online sketch's
+     1% relative error of the exact ones. *)
+  let solo = Simulator.run dev model small_trace in
+  let fs =
+    Fleet.run_stream (unified ~count:1 ()) model (Trace.of_list small_trace)
+  in
+  Alcotest.(check int) "completed" (List.length solo.Simulator.outcomes)
+    fs.Fleet.completed;
+  Alcotest.(check int) "generated" solo.Simulator.generated_tokens
+    fs.Fleet.generated_tokens;
+  Alcotest.(check int) "produced" solo.Simulator.produced_tokens
+    fs.Fleet.produced_tokens;
+  check_close "makespan" solo.Simulator.makespan_s fs.Fleet.makespan_s;
+  (* nearest-rank vs interpolated differ by at most one order statistic;
+     on these small samples 20% head-room is ample without being vacuous *)
+  check_within "p50 ttft" ~tolerance:0.2 solo.Simulator.p50_ttft_s
+    fs.Fleet.p50_ttft_s;
+  check_within "p50 tbt" ~tolerance:0.2 solo.Simulator.p50_tbt_s
+    fs.Fleet.p50_tbt_s
+
+let t_stream_slo_online () =
+  let fs_run = Fleet.run (unified ()) model small_trace in
+  let exact = Fleet.slo_attainment fs_run ~ttft_s:0.5 ~tbt_s:0.05 in
+  let fs =
+    Fleet.run_stream ~slo:(0.5, 0.05) (unified ()) model
+      (Trace.of_list small_trace)
+  in
+  (match fs.Fleet.slo_attained with
+  | Some a -> check_close "online slo = exact slo" exact a
+  | None -> Alcotest.fail "streamed run with ?slo reported no attainment");
+  let fs_none = Fleet.run_stream (unified ()) model (Trace.of_list small_trace) in
+  Alcotest.(check bool) "no slo requested, none reported" true
+    (fs_none.Fleet.slo_attained = None);
+  check_raises_invalid "bad slo objective" (fun () ->
+      ignore
+        (Fleet.run_stream ~slo:(0., 1.) (unified ()) model
+           (Trace.of_list small_trace)))
+
+let t_stream_validation () =
+  check_raises_invalid "empty stream" (fun () ->
+      ignore (Fleet.run_stream (unified ()) model (Trace.of_list [])));
+  check_raises_invalid "bad epoch" (fun () ->
+      ignore
+        (Fleet.run_stream ~epoch:0 (unified ()) model
+           (Trace.of_list small_trace)));
+  check_raises_invalid "duplicate ids in stream" (fun () ->
+      let r = { Trace.id = 1; arrival_s = 0.; input_len = 64; output_len = 8 } in
+      ignore (Fleet.run_stream (disagg ()) model (Trace.of_list [ r; r ])))
+
+(* The acceptance bar for the parallel engine: the merged stats are
+   bit-identical whether the groups step on 1 domain or 4, over random
+   fleet shapes, routings and epoch sizes. *)
+let t_stream_jobs_identity =
+  let gen =
+    QCheck.make
+      ~print:(fun (count, routing, disagg, epoch, seed) ->
+        Printf.sprintf "count=%d routing=%d disagg=%b epoch=%d seed=%d" count
+          routing disagg epoch seed)
+      QCheck.Gen.(
+        tup5 (int_range 1 3) (int_range 0 2) bool (int_range 1 64)
+          (int_range 0 1000))
+  in
+  qcheck ~count:10 "streamed fleet is job-count independent" gen
+    (fun (count, routing, disaggregated, epoch, seed) ->
+      let routing =
+        match routing with
+        | 0 -> Fleet.Round_robin
+        | 1 -> Fleet.Least_loaded
+        | _ -> Fleet.Phase_affine
+      in
+      let fleet =
+        if disaggregated then
+          Fleet.make ~routing
+            [
+              Fleet.pool ~role:Fleet.Prefill ~count:1 dev;
+              Fleet.pool ~role:Fleet.Decode ~count dev;
+            ]
+        else Fleet.make ~routing [ Fleet.pool ~count dev ]
+      in
+      let trace =
+        Trace.synthetic ~seed ~rate_per_s:6. ~duration_s:5. ~mean_input:128
+          ~mean_output:16 ()
+      in
+      match trace with
+      | [] -> true
+      | trace ->
+          let go jobs =
+            Parallel.with_jobs jobs (fun () ->
+                Fleet.run_stream ~epoch fleet model (Trace.of_list trace))
+          in
+          let fs1 = go 1 and fs4 = go 4 in
+          if fs1 <> fs4 then
+            QCheck.Test.fail_reportf
+              "1-job and 4-job streamed stats differ: %d/%d completed, %g/%g \
+               makespan"
+              fs1.Fleet.completed fs4.Fleet.completed fs1.Fleet.makespan_s
+              fs4.Fleet.makespan_s;
+          (* and the streamed run conserves requests like the materialized
+             one *)
+          Alcotest.(check int) "streamed conservation" (List.length trace)
+            (fs1.Fleet.completed + fs1.Fleet.rejected_count);
+          true)
+
+let t_devices_for_qps_nonfinite () =
+  let fs = Fleet.run (unified ()) model heavy_trace in
+  check_raises_invalid "nan target" (fun () ->
+      ignore (Fleet.devices_for_qps fs ~target_qps:Float.nan));
+  check_raises_invalid "infinite target" (fun () ->
+      ignore (Fleet.devices_for_qps fs ~target_qps:infinity))
+
 let suite =
   [
     test "1-group fleet = bare simulator" t_single_group_identity;
@@ -303,4 +475,10 @@ let suite =
     test "silicon cost per mtok" t_cost_per_mtok;
     test "fleet slo attainment" t_fleet_slo;
     t_fleet_properties;
+    test "streamed round-robin = materialized run" t_stream_equals_run_round_robin;
+    test "streamed 1-group fleet tracks bare simulator" t_stream_single_group_identity;
+    test "streamed slo attainment online" t_stream_slo_online;
+    test "streamed validation" t_stream_validation;
+    t_stream_jobs_identity;
+    test "devices_for_qps rejects non-finite targets" t_devices_for_qps_nonfinite;
   ]

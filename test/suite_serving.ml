@@ -470,6 +470,180 @@ let t_jobs_deterministic () =
   in
   Alcotest.(check bool) "bit-identical stats across pool sizes" true (s1 = s4)
 
+(* --- pull-based trace streams --- *)
+
+let t_stream_equals_synthetic () =
+  (* The load-bearing identity: [synthetic] is defined as materializing a
+     constant-shape stream, so recorded experiment traces are unchanged.
+     Check it from the public API across several parameter points. *)
+  List.iter
+    (fun (seed, rate, dur, mi, mo) ->
+      let s =
+        Trace.stream ~seed ~duration_s:dur ~rate_per_s:rate ~mean_input:mi
+          ~mean_output:mo ()
+      in
+      let a = Trace.materialize s in
+      let b =
+        Trace.synthetic ~seed ~rate_per_s:rate ~duration_s:dur ~mean_input:mi
+          ~mean_output:mo ()
+      in
+      if a <> b then
+        Alcotest.failf "stream <> synthetic at seed %d rate %g" seed rate)
+    [ (42, 4., 10., 256, 32); (7, 2., 20., 100, 50); (11, 60., 3., 8, 8) ]
+
+let t_stream_bounds () =
+  let s =
+    Trace.stream ~limit:25 ~rate_per_s:5. ~mean_input:64 ~mean_output:16 ()
+  in
+  let reqs = Trace.materialize s in
+  Alcotest.(check int) "limit bounds the stream" 25 (List.length reqs);
+  List.iteri
+    (fun i (r : Trace.request) ->
+      Alcotest.(check int) "consecutive ids" i r.Trace.id)
+    reqs;
+  Alcotest.(check bool) "exhausted stays exhausted" true
+    (Trace.next s = None && Trace.next s = None);
+  (* duration + limit: whichever bound bites first. *)
+  let tiny =
+    Trace.materialize
+      (Trace.stream ~limit:1000 ~duration_s:0.5 ~rate_per_s:4. ~mean_input:64
+         ~mean_output:16 ())
+  in
+  List.iter
+    (fun (r : Trace.request) ->
+      if r.Trace.arrival_s > 0.5 then Alcotest.failf "arrival past duration")
+    tiny;
+  (* of_list round-trips. *)
+  let rt = Trace.materialize (Trace.of_list reqs) in
+  Alcotest.(check bool) "of_list round-trip" true (rt = reqs)
+
+let t_stream_shapes () =
+  let count shape =
+    List.length
+      (Trace.materialize
+         (Trace.stream ~seed:3 ~shape ~duration_s:400. ~rate_per_s:2.
+            ~mean_input:64 ~mean_output:16 ()))
+  in
+  let flat = count Trace.Constant in
+  (* A trough-0.25 diurnal averages ~62.5% of the flat rate over whole
+     periods; thinning is exact in expectation. *)
+  let diurnal =
+    count (Trace.Diurnal { period_s = 100.; trough = 0.25 })
+  in
+  check_between "diurnal thins toward the mean multiplier"
+    (0.45 *. float_of_int flat)
+    (0.8 *. float_of_int flat)
+    (float_of_int diurnal);
+  (* Bursts of 3x for a tenth of each window: mean multiplier 1.2. *)
+  let bursty =
+    count (Trace.Bursts { every_s = 50.; width_s = 5.; factor = 3. })
+  in
+  check_between "bursts add load" (1.0 *. float_of_int flat)
+    (1.45 *. float_of_int flat)
+    (float_of_int bursty);
+  (* Composition multiplies pointwise; arrivals stay ordered. *)
+  let composed =
+    Trace.materialize
+      (Trace.stream ~seed:3
+         ~shape:
+           (Trace.Compose
+              ( Trace.Diurnal { period_s = 100.; trough = 0.25 },
+                Trace.Bursts { every_s = 50.; width_s = 5.; factor = 3. } ))
+         ~duration_s:400. ~rate_per_s:2. ~mean_input:64 ~mean_output:16 ())
+  in
+  let rec ordered = function
+    | (a : Trace.request) :: (b :: _ as rest) ->
+        a.Trace.arrival_s < b.Trace.arrival_s && ordered rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "composed arrivals strictly increase" true
+    (ordered composed);
+  (* The multiplier itself: diurnal hits its trough at t=0 and 1 at
+     mid-period; bursts switch at the window edge. *)
+  let d = Trace.Diurnal { period_s = 100.; trough = 0.25 } in
+  check_close "diurnal trough" 0.25 (Trace.shape_multiplier d 0.);
+  check_close "diurnal peak" 1. (Trace.shape_multiplier d 50.);
+  let b = Trace.Bursts { every_s = 50.; width_s = 5.; factor = 3. } in
+  check_close "inside burst" 3. (Trace.shape_multiplier b 51.);
+  check_close "outside burst" 1. (Trace.shape_multiplier b 10.);
+  check_close "compose multiplies" 0.75
+    (Trace.shape_multiplier (Trace.Compose (d, b)) 0.)
+
+let t_stream_tenants () =
+  let tenants =
+    [
+      { Trace.share = 3.; mean_input = 2000; mean_output = 16 };
+      { Trace.share = 1.; mean_input = 16; mean_output = 500 };
+    ]
+  in
+  let reqs =
+    Trace.materialize
+      (Trace.stream ~seed:5 ~tenants ~limit:4000 ~rate_per_s:10.
+         ~mean_input:64 ~mean_output:64 ())
+  in
+  (* The tenants' per-request lengths overlap (geometric tails), so test
+     the mix through the realized overall means: 3/4 prompt-heavy + 1/4
+     decode-heavy traffic pins both to known mixtures. *)
+  let mean f =
+    List.fold_left (fun a r -> a +. float_of_int (f r)) 0. reqs
+    /. float_of_int (List.length reqs)
+  in
+  check_within "mixed input mean" ~tolerance:0.1
+    ((0.75 *. 2000.) +. (0.25 *. 16.))
+    (mean (fun (r : Trace.request) -> r.Trace.input_len));
+  check_within "mixed output mean" ~tolerance:0.1
+    ((0.75 *. 16.) +. (0.25 *. 500.))
+    (mean (fun (r : Trace.request) -> r.Trace.output_len));
+  (* Both regimes are actually present. *)
+  Alcotest.(check bool) "prompt-heavy present" true
+    (List.exists (fun (r : Trace.request) -> r.Trace.input_len > 1500) reqs);
+  Alcotest.(check bool) "decode-heavy present" true
+    (List.exists (fun (r : Trace.request) -> r.Trace.output_len > 400) reqs)
+
+let t_stream_validation () =
+  let ok ?shape ?tenants ?limit ?duration_s () =
+    ignore
+      (Trace.stream ?shape ?tenants ?limit ?duration_s ~rate_per_s:1.
+         ~mean_input:64 ~mean_output:16 ())
+  in
+  check_raises_invalid "unbounded stream" (fun () -> ok ());
+  check_raises_invalid "non-positive limit" (fun () -> ok ~limit:0 ());
+  check_raises_invalid "non-positive duration" (fun () ->
+      ok ~duration_s:0. ());
+  check_raises_invalid "bad diurnal trough" (fun () ->
+      ok ~duration_s:1. ~shape:(Trace.Diurnal { period_s = 10.; trough = 2. }) ());
+  check_raises_invalid "burst width beyond window" (fun () ->
+      ok ~duration_s:1.
+        ~shape:(Trace.Bursts { every_s = 1.; width_s = 2.; factor = 2. })
+        ());
+  check_raises_invalid "non-positive burst factor" (fun () ->
+      ok ~duration_s:1.
+        ~shape:(Trace.Bursts { every_s = 1.; width_s = 0.5; factor = 0. })
+        ());
+  check_raises_invalid "bad tenant share" (fun () ->
+      ok ~duration_s:1.
+        ~tenants:[ { Trace.share = 0.; mean_input = 64; mean_output = 16 } ]
+        ());
+  check_raises_invalid "tenant mean below floor" (fun () ->
+      ok ~duration_s:1.
+        ~tenants:[ { Trace.share = 1.; mean_input = 4; mean_output = 16 } ]
+        ())
+
+let prop_stream_prefix_stable =
+  qcheck "limit-n stream is a prefix of limit-m (n <= m)"
+    QCheck.(pair (int_range 1 50) (int_range 0 50))
+    (fun (n, extra) ->
+      let m = n + extra in
+      let mk limit =
+        Trace.materialize
+          (Trace.stream ~seed:9 ~limit ~rate_per_s:8. ~mean_input:32
+             ~mean_output:16 ())
+      in
+      let a = mk n and b = mk m in
+      List.length a = n
+      && List.length b = m
+      && a = List.filteri (fun i _ -> i < n) b)
+
 let suite =
   [
     test "trace determinism" t_trace_determinism;
@@ -495,4 +669,10 @@ let suite =
     t_scheduler_invariants;
     t_scheduler_invariants_decode_fair;
     test "pool size does not change results" t_jobs_deterministic;
+    test "stream materializes to synthetic" t_stream_equals_synthetic;
+    test "stream bounds and exhaustion" t_stream_bounds;
+    test "stream shapes modulate load" t_stream_shapes;
+    test "stream tenant mix" t_stream_tenants;
+    test "stream validation" t_stream_validation;
+    prop_stream_prefix_stable;
   ]

@@ -125,6 +125,113 @@ let prop_stddev_shift_invariant =
       let shifted = List.map (fun x -> x +. 1000.) xs in
       Float.abs (Stats.stddev xs -. Stats.stddev shifted) < 1e-6 *. (1. +. Stats.stddev xs))
 
+(* Online (bounded-memory sketch) *)
+
+(* The oracle for sketch quantiles: the exact nearest-rank order
+   statistic, the convention Online.quantile documents (interpolated
+   percentiles cannot be recovered from a histogram). *)
+let nearest_rank p xs =
+  let a = Array.of_list xs in
+  Array.sort Float.compare a;
+  let n = Array.length a in
+  let k = max 1 (int_of_float (Float.ceil (p /. 100. *. float_of_int n))) in
+  a.(k - 1)
+
+let check_quantile_bound ~alpha what sketch p xs =
+  let exact = nearest_rank p xs in
+  let approx = Stats.Online.quantile sketch p in
+  let tol = (alpha *. Float.abs exact) +. 1e-12 in
+  if Float.abs (approx -. exact) > tol then
+    Alcotest.failf "%s: p%g exact %.9g approx %.9g (tol %.3g)" what p exact
+      approx tol
+
+let t_online_moments_exact () =
+  let xs = [ 3.; 1.; 4.; 1.5; 9.; 2.6; 5.3; 5.8 ] in
+  let o = Stats.Online.create () in
+  List.iter (Stats.Online.add o) xs;
+  Alcotest.(check int) "count" (List.length xs) (Stats.Online.count o);
+  check_close "mean matches exact" (Stats.mean xs) (Stats.Online.mean o);
+  check_close ~eps:1e-12 "stddev matches exact" (Stats.stddev xs)
+    (Stats.Online.stddev o);
+  check_close "min" 1. (Stats.Online.min_sample o);
+  check_close "max" 9. (Stats.Online.max_sample o)
+
+let t_online_vs_exact_quantiles () =
+  (* A long-tailed positive sample, like the latency distributions the
+     fleet feeds it. *)
+  let st = Random.State.make [| 17 |] in
+  let xs =
+    List.init 5000 (fun _ ->
+        let u = Random.State.float st 1. in
+        0.01 *. exp (6. *. u))
+  in
+  let o = Stats.Online.create () in
+  List.iter (Stats.Online.add o) xs;
+  List.iter
+    (fun p -> check_quantile_bound ~alpha:0.01 "lognormal-ish" o p xs)
+    [ 1.; 10.; 25.; 50.; 75.; 90.; 95.; 99.; 100. ]
+
+let t_online_signs_and_zero () =
+  let xs = [ -5.; -0.5; 0.; 0.; 2.; 40. ] in
+  let o = Stats.Online.create () in
+  List.iter (Stats.Online.add o) xs;
+  List.iter
+    (fun p -> check_quantile_bound ~alpha:0.01 "mixed signs" o p xs)
+    [ 0.; 20.; 40.; 60.; 90.; 100. ];
+  check_close "zero is exact" 0. (Stats.Online.quantile o 50.)
+
+let t_online_merge_identity () =
+  (* Merging shards must equal feeding one sketch directly, whatever the
+     shard boundaries - the fleet's 1-vs-N-job determinism rests on it. *)
+  let st = Random.State.make [| 23 |] in
+  let xs = List.init 2000 (fun _ -> Random.State.float st 100.) in
+  let direct = Stats.Online.create () in
+  List.iter (Stats.Online.add direct) xs;
+  let shards = List.init 7 (fun _ -> Stats.Online.create ()) in
+  List.iteri
+    (fun i x -> Stats.Online.add (List.nth shards (i mod 7)) x)
+    xs;
+  let merged = Stats.Online.create () in
+  List.iter (fun s -> Stats.Online.merge merged s) shards;
+  Alcotest.(check int) "count" (Stats.Online.count direct)
+    (Stats.Online.count merged);
+  List.iter
+    (fun p ->
+      check_close
+        (Printf.sprintf "p%g merge = direct" p)
+        (Stats.Online.quantile direct p)
+        (Stats.Online.quantile merged p))
+    [ 5.; 50.; 95. ];
+  check_close "mean merge = direct" (Stats.Online.mean direct)
+    (Stats.Online.mean merged)
+
+let t_online_validation () =
+  let o = Stats.Online.create () in
+  check_raises_invalid "empty quantile" (fun () ->
+      ignore (Stats.Online.quantile o 50.));
+  check_raises_invalid "NaN add" (fun () -> Stats.Online.add o nan);
+  check_raises_invalid "bad alpha" (fun () ->
+      ignore (Stats.Online.create ~alpha:1.5 ()));
+  check_raises_invalid "p out of range" (fun () ->
+      Stats.Online.add o 1.;
+      ignore (Stats.Online.quantile o 101.));
+  check_raises_invalid "mismatched alpha merge" (fun () ->
+      Stats.Online.merge o (Stats.Online.create ~alpha:0.05 ()))
+
+let prop_online_quantile_bound =
+  qcheck "online quantile within relative bound"
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 300) (float_range 0.001 1000.))
+        (int_range 0 100))
+    (fun (xs, p) ->
+      let p = float_of_int p in
+      let o = Stats.Online.create () in
+      List.iter (Stats.Online.add o) xs;
+      let exact = nearest_rank p xs in
+      Float.abs (Stats.Online.quantile o p -. exact)
+      <= (0.01 *. Float.abs exact) +. 1e-12)
+
 let suite =
   [
     test "mean" t_mean;
@@ -145,4 +252,10 @@ let suite =
     prop_percentile_monotone;
     prop_range_nonneg;
     prop_stddev_shift_invariant;
+    test "online moments exact" t_online_moments_exact;
+    test "online vs exact quantiles" t_online_vs_exact_quantiles;
+    test "online mixed signs and zero" t_online_signs_and_zero;
+    test "online merge = direct" t_online_merge_identity;
+    test "online validation" t_online_validation;
+    prop_online_quantile_bound;
   ]

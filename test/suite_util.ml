@@ -252,8 +252,83 @@ let t_units_pp () =
   Alcotest.(check string) "time ms" "1.43 ms"
     (Format.asprintf "%a" Units.pp_time 0.00143)
 
+(* Heap *)
+
+let t_heap_basics () =
+  let h = Heap.create ~cmp:compare in
+  Alcotest.(check bool) "fresh heap empty" true (Heap.is_empty h);
+  Alcotest.(check (option unit)) "pop empty" None
+    (Option.map (fun _ -> ()) (Heap.pop h));
+  Heap.push h 3 "c";
+  Heap.push h 1 "a";
+  Heap.push h 2 "b";
+  Alcotest.(check int) "length" 3 (Heap.length h);
+  Alcotest.(check (option int)) "min key peek" (Some 1) (Heap.min_key h);
+  Alcotest.(check (list (pair int string)))
+    "ordered drain"
+    [ (1, "a"); (2, "b"); (3, "c") ]
+    (Heap.drain h);
+  Alcotest.(check bool) "drained empty" true (Heap.is_empty h)
+
+let t_heap_stability () =
+  (* Equal keys must drain in insertion order: the fleet's decode
+     re-arrivals tie on time and the tie-break decides routing order. *)
+  let h = Heap.create ~cmp:(fun (a : float) b -> compare a b) in
+  List.iteri (fun i k -> Heap.push h k i) [ 1.; 0.5; 1.; 0.5; 1.; 0.5 ];
+  Alcotest.(check (list (pair (float 0.) int)))
+    "ties drain FIFO"
+    [ (0.5, 1); (0.5, 3); (0.5, 5); (1., 0); (1., 2); (1., 4) ]
+    (Heap.drain h)
+
+let prop_heap_sorts =
+  qcheck "heap drains sorted and complete"
+    QCheck.(list (int_range (-1000) 1000))
+    (fun keys ->
+      let h = Heap.create ~cmp:compare in
+      List.iteri (fun i k -> Heap.push h k i) keys;
+      let drained = Heap.drain h in
+      let ks = List.map fst drained in
+      ks = List.sort compare keys
+      &&
+      (* Stability, in general: equal keys carry increasing payloads
+         (payload = push index). *)
+      let rec stable = function
+        | (k1, v1) :: ((k2, v2) :: _ as rest) ->
+            (k1 < k2 || v1 < v2) && stable rest
+        | _ -> true
+      in
+      stable drained)
+
+let prop_heap_interleaved =
+  qcheck "heap pop is min under interleaved push/pop"
+    QCheck.(list (option (int_range 0 100)))
+    (fun ops ->
+      (* Some k = push k, None = pop; mirror against a sorted list. *)
+      let h = Heap.create ~cmp:compare in
+      let model = ref [] in
+      List.for_all
+        (fun op ->
+          match op with
+          | Some k ->
+              Heap.push h k ();
+              model := List.merge compare [ k ] !model;
+              true
+          | None -> (
+              match (Heap.pop h, !model) with
+              | None, [] -> true
+              | Some (k, ()), m :: rest ->
+                  model := rest;
+                  k = m
+              | _ -> false))
+        ops
+      && Heap.length h = List.length !model)
+
 let suite =
   [
+    test "heap basics" t_heap_basics;
+    test "heap equal keys drain FIFO" t_heap_stability;
+    prop_heap_sorts;
+    prop_heap_interleaved;
     test "table renders aligned" t_table_render;
     test "table pads short rows" t_table_padding;
     test "table float rows" t_table_float_rows;
