@@ -837,6 +837,99 @@ let run_bechamel () =
     [ "benchmark"; "ns_per_run" ]
     (List.map (fun (name, est) -> [ name; Printf.sprintf "%.1f" est ]) rows)
 
+(* --- daemon throughput: job latency over the socket, cold vs warm ---
+
+   Wall-clock for the same scenario submitted to a live in-process daemon
+   twice: once against cold caches and once against the memo tier the
+   first run left warm. The gap is what a long-running `acs daemon` buys
+   over one-shot `acs run` processes. A third number prices the wire
+   itself: round-trips/s of the cheapest endpoint (GET /healthz), i.e.
+   connect + parse + respond with no evaluation behind it. *)
+
+let daemon_throughput () =
+  Common.section "Daemon throughput: warm-vs-cold jobs over the socket";
+  let dir = Filename.temp_file "acs_bench_daemon" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  let rec rm_rf path =
+    if Sys.is_directory path then begin
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+  in
+  let socket = Filename.concat dir "d.sock" in
+  let t =
+    Core.Daemon.Server.start
+      { Core.Daemon.Server.default_config with
+        Core.Daemon.Server.socket;
+        workers = 2;
+        batch = 64;
+        eval_jobs = Some (Common.jobs ());
+        cache_dir = None }
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Core.Daemon.Server.stop ~drain:false t;
+      try rm_rf dir with Sys_error _ -> ())
+  @@ fun () ->
+  let s = Common.scenario throughput_scenario in
+  let manifest = Core.Scenario.to_json s in
+  let n_points = Core.Scenario.size s in
+  let submit () =
+    let t0 = Common.wall_s () in
+    let r = Core.Daemon.Client.submit_wait ~socket manifest in
+    let dt = Common.wall_s () -. t0 in
+    if r.Core.Daemon.Client.status <> 200 then
+      failwith
+        (Printf.sprintf "daemon submit failed: HTTP %d"
+           r.Core.Daemon.Client.status);
+    (dt, r.Core.Daemon.Client.body)
+  in
+  Core.Eval.clear ();
+  let cold_s, _ = submit () in
+  let warm_s, warm_job = submit () in
+  let warm_rate =
+    match Core.Json.member "warm_hit_rate" warm_job with
+    | Core.Json.Number r -> r
+    | _ -> 0.
+  in
+  (* Wire overhead: healthz round-trips (one connection each, like every
+     daemon request). *)
+  let pings = if quick () then 100 else 500 in
+  let t0 = Common.wall_s () in
+  for _ = 1 to pings do
+    ignore (Core.Daemon.Client.health ~socket)
+  done;
+  let ping_dt = Common.wall_s () -. t0 in
+  let ping_rate = float_of_int pings /. ping_dt in
+  Common.note
+    "[speed] daemon %s (%d points): cold %.1f ms, warm %.1f ms (%.1fx, \
+     %.0f%% warm hits); healthz %.0f round-trips/s (%.0f us each)"
+    throughput_scenario n_points (1e3 *. cold_s) (1e3 *. warm_s)
+    (cold_s /. warm_s) (100. *. warm_rate) ping_rate (1e6 /. ping_rate);
+  (try Sys.mkdir Common.results_dir 0o755 with Sys_error _ -> ());
+  let json =
+    Core.Json.obj
+      (Common.stamp ()
+      @ [
+        ("scenario", Core.Json.string throughput_scenario);
+        ("points", Core.Json.int n_points);
+        ("cold_seconds", Core.Json.float cold_s);
+        ("warm_seconds", Core.Json.float warm_s);
+        ("warm_speedup", Core.Json.float (cold_s /. warm_s));
+        ("warm_hit_rate", Core.Json.float warm_rate);
+        ("healthz_round_trips", Core.Json.int pings);
+        ("healthz_per_second", Core.Json.float ping_rate);
+      ])
+  in
+  let path = Filename.concat Common.results_dir "daemon_throughput.json" in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Core.Json.to_channel ~indent:2 oc json);
+  Common.note "[json] wrote %s" path
+
 let run () =
   (* Quick mode (ACS_BENCH_QUICK=1, the CI smoke step) runs only the
      wall-clock sweep-throughput group; the bechamel microbenchmarks need
@@ -845,4 +938,5 @@ let run () =
   sweep_throughput ();
   search_throughput ();
   serving_throughput ();
-  fleet_throughput ()
+  fleet_throughput ();
+  daemon_throughput ()

@@ -1302,6 +1302,309 @@ let fleet_cmd =
            $ slo_tbt_arg $ requests_arg $ stream_arg $ epoch_arg
            $ shape_term))
 
+(* --- daemon / submit / jobs / cancel ---
+
+   The long-running evaluation service and its thin client verbs. All
+   four share one --socket flag; the client verbs open one short-lived
+   connection per call. *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string Daemon.Server.default_config.Daemon.Server.socket
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket the daemon listens on. Keep the path \
+              short (sun_path caps out near 100 bytes).")
+
+let daemon_cmd =
+  let workers =
+    Arg.(
+      value
+      & opt int Daemon.Server.default_config.Daemon.Server.workers
+      & info [ "workers" ] ~docv:"N" ~doc:"Job-runner domains.")
+  in
+  let queue =
+    Arg.(
+      value
+      & opt int Daemon.Server.default_config.Daemon.Server.queue
+      & info [ "queue" ] ~docv:"N"
+          ~doc:"Bounded job-queue capacity; submissions beyond it are \
+                rejected with a structured queue-full error, never \
+                blocked.")
+  in
+  let batch =
+    Arg.(
+      value
+      & opt int Daemon.Server.default_config.Daemon.Server.batch
+      & info [ "batch" ] ~docv:"N"
+          ~doc:"Design points evaluated between cancellation checks and \
+                progress events.")
+  in
+  let throttle =
+    Arg.(
+      value & opt float 0.
+      & info [ "throttle" ] ~docv:"SECONDS"
+          ~doc:"Sleep between batches (a testing aid to keep jobs \
+                observable; leave at 0 in production).")
+  in
+  let cache_dir =
+    Arg.(
+      value
+      & opt string Disk_cache.default_dir
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:"Persistent disk-cache tier kept warm across jobs.")
+  in
+  let no_disk =
+    Arg.(
+      value & flag
+      & info [ "no-disk-cache" ]
+          ~doc:"Run with the in-memory memo tier only (no disk writes).")
+  in
+  let run socket workers queue batch throttle cache_dir no_disk jobs =
+    try
+      let cfg =
+        {
+          Daemon.Server.socket;
+          workers;
+          queue;
+          batch;
+          throttle_s = throttle;
+          eval_jobs = jobs;
+          cache_dir = (if no_disk then None else Some cache_dir);
+        }
+      in
+      let t = Daemon.Server.start cfg in
+      Format.printf "acs daemon listening on %s (%d worker%s, queue %d%s)@."
+        socket workers
+        (if workers = 1 then "" else "s")
+        queue
+        (match cfg.Daemon.Server.cache_dir with
+        | Some d -> ", disk cache " ^ d
+        | None -> ", memo tier only");
+      (* SIGTERM/SIGINT request a graceful drain: stop accepting, let
+         queued and running jobs finish, then exit cleanly. The handler
+         only flips an atomic - the teardown runs here on the main
+         thread. *)
+      let handler = Sys.Signal_handle (fun _ -> Daemon.Server.request_stop t) in
+      (try Sys.set_signal Sys.sigterm handler with Invalid_argument _ -> ());
+      (try Sys.set_signal Sys.sigint handler with Invalid_argument _ -> ());
+      Daemon.Server.wait t;
+      Format.printf "draining: rejecting new jobs, finishing queued ones@.";
+      Daemon.Server.stop ~drain:true t;
+      Format.printf "daemon stopped cleanly@.";
+      `Ok ()
+    with
+    | Invalid_argument msg | Failure msg -> `Error (false, msg)
+    | Unix.Unix_error (e, fn, arg) ->
+        `Error
+          (false, Printf.sprintf "%s %s: %s" fn arg (Unix.error_message e))
+  in
+  Cmd.v
+    (Cmd.info "daemon"
+       ~doc:"Run the long-lived evaluation service: scenario jobs over a \
+             Unix-domain socket, bounded queue with explicit \
+             backpressure, and eval caches kept warm across requests.")
+    Term.(
+      ret
+        (const run $ socket_arg $ workers $ queue $ batch $ throttle
+       $ cache_dir $ no_disk $ jobs_arg))
+
+(* Client-side helpers over the daemon's JSON payloads. *)
+
+let json_int_m name j = Json.to_option Json.to_int (Json.member name j)
+let json_str_m name j = Json.to_option Json.to_str (Json.member name j)
+
+let daemon_error (r : Daemon.Client.response) =
+  match json_str_m "error" r.Daemon.Client.body with
+  | Some m -> m
+  | None | (exception Json.Error _) ->
+      Json.to_string r.Daemon.Client.body
+
+(* The greppable warm-cache provenance line (the CI smoke step asserts
+   it on a repeated submission). *)
+let print_cache_line j =
+  match Json.member "cache" j with
+  | Json.Obj _ as c ->
+      let v n = Option.value ~default:0 (json_int_m n c) in
+      let memo = v "memo" and disk = v "disk" and cold = v "cold" in
+      let looked = memo + disk + cold in
+      if looked > 0 then
+        Format.printf "warm cache: %.1f%% (%d memo + %d disk of %d points)@."
+          (100. *. float_of_int (memo + disk) /. float_of_int looked)
+          memo disk looked
+  | _ | (exception Json.Error _) -> ()
+
+let job_summary j =
+  let v n = Option.value ~default:0 (json_int_m n j) in
+  Format.printf "job %d [%s]: %s, %d/%d points@." (v "id")
+    (Option.value ~default:"?" (json_str_m "scenario" j))
+    (Option.value ~default:"?" (json_str_m "status" j))
+    (v "progress") (v "total");
+  (match json_str_m "error" j with
+  | Some m -> Format.printf "error: %s@." m
+  | None -> ());
+  (match Json.member "result" j with
+  | Json.Obj _ as r ->
+      Format.printf "result: %d designs, %d compliant, %.2f s wall@."
+        (Option.value ~default:0 (json_int_m "designs" r))
+        (Option.value ~default:0 (json_int_m "compliant" r))
+        (Option.value ~default:nan
+           (Json.to_option Json.to_float (Json.member "wall_s" r)))
+  | _ -> ());
+  print_cache_line j
+
+let submit_cmd =
+  let target =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SCENARIO"
+          ~doc:"A JSON manifest file, or the name of a registry scenario \
+                (see `acs scenarios`).")
+  in
+  let detach =
+    Arg.(
+      value & flag
+      & info [ "detach" ]
+          ~doc:"Queue the job and return its id immediately instead of \
+                streaming progress until it finishes.")
+  in
+  let run socket target detach =
+    match scenario_of_target target with
+    | Error msg -> `Error (false, msg)
+    | Ok sc -> (
+        let manifest = Scenario.to_json sc in
+        try
+          if detach then begin
+            let r = Daemon.Client.submit ~socket manifest in
+            if r.Daemon.Client.status = 202 then begin
+              let j = r.Daemon.Client.body in
+              Format.printf "queued job %d (%d points)@."
+                (Option.value ~default:0 (json_int_m "id" j))
+                (Option.value ~default:0 (json_int_m "total" j));
+              `Ok ()
+            end
+            else
+              `Error
+                (false,
+                 Printf.sprintf "daemon rejected the job (%d): %s"
+                   r.Daemon.Client.status (daemon_error r))
+          end
+          else begin
+            let on_event ev =
+              match json_str_m "event" ev with
+              | Some "progress" ->
+                  Format.printf "job %d: %d/%d points (memo %d, disk %d, \
+                                 cold %d)@."
+                    (Option.value ~default:0 (json_int_m "id" ev))
+                    (Option.value ~default:0 (json_int_m "progress" ev))
+                    (Option.value ~default:0 (json_int_m "total" ev))
+                    (Option.value ~default:0 (json_int_m "memo" ev))
+                    (Option.value ~default:0 (json_int_m "disk" ev))
+                    (Option.value ~default:0 (json_int_m "cold" ev))
+              | Some e ->
+                  Format.printf "job %d: %s@."
+                    (Option.value ~default:0 (json_int_m "id" ev))
+                    e
+              | None -> ()
+            in
+            let r = Daemon.Client.submit_wait ~socket ~on_event manifest in
+            if r.Daemon.Client.status <> 200 then
+              `Error
+                (false,
+                 Printf.sprintf "daemon rejected the job (%d): %s"
+                   r.Daemon.Client.status (daemon_error r))
+            else begin
+              job_summary r.Daemon.Client.body;
+              match json_str_m "status" r.Daemon.Client.body with
+              | Some "done" -> `Ok ()
+              | Some other ->
+                  `Error (false, Printf.sprintf "job finished %s" other)
+              | None -> `Error (false, "daemon returned no job record")
+            end
+          end
+        with Daemon.Client.Error msg -> `Error (false, msg))
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:"Submit a scenario to a running `acs daemon` (streams progress \
+             by default; --detach to just queue).")
+    Term.(ret (const run $ socket_arg $ target $ detach))
+
+let daemon_jobs_cmd =
+  let run socket =
+    try
+      let r = Daemon.Client.jobs ~socket in
+      if r.Daemon.Client.status <> 200 then
+        `Error
+          (false,
+           Printf.sprintf "daemon returned %d: %s" r.Daemon.Client.status
+             (daemon_error r))
+      else begin
+        let jobs = Json.to_list (Json.member "jobs" r.Daemon.Client.body) in
+        if jobs = [] then Format.printf "no jobs@."
+        else begin
+          let t =
+            Table.create
+              ~aligns:
+                [ Table.Right; Table.Left; Table.Left; Table.Right;
+                  Table.Right ]
+              [ "id"; "scenario"; "status"; "progress"; "warm%" ]
+          in
+          List.iter
+            (fun j ->
+              let v n = Option.value ~default:0 (json_int_m n j) in
+              Table.add_row t
+                [
+                  string_of_int (v "id");
+                  Option.value ~default:"?" (json_str_m "scenario" j);
+                  Option.value ~default:"?" (json_str_m "status" j);
+                  Printf.sprintf "%d/%d" (v "progress") (v "total");
+                  (match
+                     Json.to_option Json.to_float
+                       (Json.member "warm_hit_rate" j)
+                   with
+                  | Some rate -> Printf.sprintf "%.1f" (100. *. rate)
+                  | None -> "-");
+                ])
+            jobs;
+          Table.print t
+        end;
+        `Ok ()
+      end
+    with Daemon.Client.Error msg -> `Error (false, msg)
+  in
+  Cmd.v
+    (Cmd.info "jobs" ~doc:"List the jobs of a running `acs daemon`.")
+    Term.(ret (const run $ socket_arg))
+
+let cancel_cmd =
+  let id =
+    Arg.(
+      required
+      & pos 0 (some int) None
+      & info [] ~docv:"ID" ~doc:"Job id (see `acs jobs`).")
+  in
+  let run socket id =
+    try
+      let r = Daemon.Client.cancel ~socket id in
+      match r.Daemon.Client.status with
+      | 200 | 202 ->
+          Format.printf "job %d: %s@." id
+            (Option.value ~default:"cancelled"
+               (json_str_m "status" r.Daemon.Client.body));
+          `Ok ()
+      | s ->
+          `Error
+            (false, Printf.sprintf "daemon returned %d: %s" s (daemon_error r))
+    with Daemon.Client.Error msg -> `Error (false, msg)
+  in
+  Cmd.v
+    (Cmd.info "cancel"
+       ~doc:"Cancel a daemon job (immediate when queued; a running job \
+             stops at its next batch boundary).")
+    Term.(ret (const run $ socket_arg $ id))
+
 (* --- package --- *)
 
 let package_cmd =
@@ -1407,6 +1710,7 @@ let main =
   Cmd.group info
     [ classify_cmd; simulate_cmd; dse_cmd; scenarios_cmd; run_cmd;
       search_cmd; policy_lab_cmd; profile_cmd; survey_cmd; fps_cmd;
-      serve_cmd; fleet_cmd; package_cmd; plan_cmd ]
+      serve_cmd; fleet_cmd; daemon_cmd; submit_cmd; daemon_jobs_cmd;
+      cancel_cmd; package_cmd; plan_cmd ]
 
 

@@ -21,6 +21,9 @@
       memoized evaluation engine keyed on them
     - {!Adaptive}, {!Disk_cache}: budgeted search over billion-point
       widened lattices and the persistent on-disk eval-cache tier
+    - {!Daemon}: the long-running evaluation service (HTTP/1.1 over a
+      Unix-domain socket, bounded job queue, warm caches across
+      requests)
     - {!Grouping}: architecture-first performance indicators
     - {!Marketing}, {!Arch_classifier}: externality analyses *)
 
@@ -37,6 +40,7 @@ module Scatter = Acs_util.Scatter
 module Boxplot = Acs_util.Boxplot
 module Heap = Acs_util.Heap
 module Csv = Acs_util.Csv
+module Fs = Acs_util.Fs
 module Json = Acs_util.Json
 module Units = Acs_util.Units
 module Systolic = Acs_hardware.Systolic
@@ -84,6 +88,11 @@ module Optimum = Acs_dse.Optimum
 module Search = Acs_dse.Search
 module Adaptive = Acs_dse.Adaptive
 module Disk_cache = Acs_dse.Disk_cache
+module Daemon = Acs_daemon
+(** The evaluation daemon: {!Acs_daemon.Server} (the service),
+    {!Acs_daemon.Client} (the thin per-call client), {!Acs_daemon.Jobq}
+    (the bounded queue) and {!Acs_daemon.Http} (the wire protocol). *)
+
 module Grouping = Acs_indicators.Grouping
 module Market = Acs_externality.Market
 module Latency_cost = Acs_externality.Latency_cost

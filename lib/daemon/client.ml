@@ -1,0 +1,89 @@
+module Json = Acs_util.Json
+
+exception Error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+type response = { status : int; body : Json.t }
+
+let with_conn ~socket f =
+  let fd =
+    try Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0
+    with Unix.Unix_error (e, _, _) -> err "socket: %s" (Unix.error_message e)
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      (try Unix.connect fd (Unix.ADDR_UNIX socket)
+       with Unix.Unix_error (e, _, _) ->
+         err "cannot reach daemon at %s: %s (is `acs daemon` running?)" socket
+           (Unix.error_message e));
+      f fd)
+
+let parse_reply s =
+  let s = String.trim s in
+  if s = "" then Json.Null
+  else try Json.of_string s with Json.Error m -> err "malformed reply: %s" m
+
+let request ~socket ?body ~meth ~target () =
+  let body = Option.map (fun j -> Json.to_string j ^ "\n") body in
+  with_conn ~socket (fun fd ->
+      match
+        Http.write_request ?body ~meth ~target fd;
+        let r = Http.reader fd in
+        let h = Http.read_head r in
+        (h.Http.status, Http.read_body r h)
+      with
+      | status, reply -> { status; body = parse_reply reply }
+      | exception Http.Bad_request m -> err "protocol error: %s" m
+      | exception Unix.Unix_error (e, _, _) ->
+          err "daemon i/o: %s" (Unix.error_message e))
+
+let health ~socket = request ~socket ~meth:"GET" ~target:"/healthz" ()
+let metrics ~socket = request ~socket ~meth:"GET" ~target:"/metrics" ()
+let jobs ~socket = request ~socket ~meth:"GET" ~target:"/jobs" ()
+
+let job ~socket id =
+  request ~socket ~meth:"GET" ~target:(Printf.sprintf "/jobs/%d" id) ()
+
+let cancel ~socket id =
+  request ~socket ~meth:"DELETE" ~target:(Printf.sprintf "/jobs/%d" id) ()
+
+let submit ~socket manifest =
+  request ~socket ~body:manifest ~meth:"POST" ~target:"/jobs" ()
+
+let submit_wait ~socket ?(on_event = fun _ -> ()) manifest =
+  with_conn ~socket (fun fd ->
+      match
+        Http.write_request
+          ~body:(Json.to_string manifest ^ "\n")
+          ~meth:"POST" ~target:"/jobs?wait=1" fd;
+        let r = Http.reader fd in
+        let h = Http.read_head r in
+        if not (Http.chunked h) then
+          (* Rejected before streaming started (429/503/400). *)
+          { status = h.Http.status; body = parse_reply (Http.read_body r h) }
+        else begin
+          (* Each chunk is one ndjson event line; the stream ends with a
+             "summary" event carrying the finished job record. *)
+          let final = ref Json.Null in
+          Http.iter_chunks r (fun chunk ->
+              String.split_on_char '\n' chunk
+              |> List.iter (fun line ->
+                     let line = String.trim line in
+                     if line <> "" then begin
+                       let ev =
+                         try Json.of_string line
+                         with Json.Error m -> err "malformed event: %s" m
+                       in
+                       match Json.member "event" ev with
+                       | Json.String "summary" -> final := Json.member "job" ev
+                       | _ -> on_event ev
+                     end));
+          { status = h.Http.status; body = !final }
+        end
+      with
+      | resp -> resp
+      | exception Http.Bad_request m -> err "protocol error: %s" m
+      | exception Unix.Unix_error (e, _, _) ->
+          err "daemon i/o: %s" (Unix.error_message e))

@@ -1,0 +1,39 @@
+(** Thin client for the evaluation daemon: one short-lived connection
+    per call over the daemon's Unix-domain socket.
+
+    Everything returns the raw [(status, body)] pair so callers (the CLI
+    verbs, the test suite) decide how to render errors; only transport
+    and protocol failures raise {!Error}. *)
+
+module Json = Acs_util.Json
+
+exception Error of string
+(** Connection failures (daemon not running, stale socket) and protocol
+    violations (malformed framing or JSON in a reply). *)
+
+type response = { status : int; body : Json.t }
+(** [body] is [Json.Null] for empty response bodies. *)
+
+val request :
+  socket:string -> ?body:Json.t -> meth:string -> target:string -> unit -> response
+(** One request/response round trip. The general form behind the
+    conveniences below. *)
+
+val health : socket:string -> response
+val metrics : socket:string -> response
+val jobs : socket:string -> response
+val job : socket:string -> int -> response
+val cancel : socket:string -> int -> response
+
+val submit : socket:string -> Json.t -> response
+(** [POST /jobs], detached: on 202 the body is the queued job record.
+    The payload may be a registry name ([Json.String]), a
+    [{"scenario": name}] object, or a full scenario manifest. *)
+
+val submit_wait :
+  socket:string -> ?on_event:(Json.t -> unit) -> Json.t -> response
+(** [POST /jobs?wait=1]: streams the job's progress, calling [on_event]
+    once per ndjson event, and returns the final job record (from the
+    terminating ["summary"] event) with the stream's 200 status.
+    Rejections (429 queue-full, 503 draining, 400 malformed) come back
+    as plain responses without invoking [on_event]. *)

@@ -1,0 +1,79 @@
+(** The evaluation daemon: a persistent server that accepts scenario
+    jobs over a Unix-domain socket speaking minimal HTTP/1.1.
+
+    One {!start} spawns [workers] job-runner domains plus an accept
+    thread; each accepted connection is handled on its own thread
+    (connections are short-lived: one request each). Jobs flow through
+    the bounded {!Jobq}, so a full queue rejects with a structured
+    429-style payload instead of blocking the client. Because the
+    process is long-lived, the sharded {!Acs_dse.Eval} memo cache and
+    the {!Acs_dse.Disk_cache} tier stay warm across requests - the whole
+    point of running a daemon instead of one [acs run] per scenario.
+
+    Endpoints:
+    - [GET /healthz] - liveness, queue depth, draining flag;
+    - [GET /metrics] - the {!Acs_util.Metrics} registry as JSON;
+    - [GET /jobs], [GET /jobs/<id>] - job listings/records;
+    - [POST /jobs] - submit a scenario (a registry name, ["{\"scenario\":
+      name}"], or a full manifest); [?wait=1] streams progress as
+      chunked ndjson events ending in a ["summary"] event;
+    - [DELETE /jobs/<id>] - cancel (immediate when queued, flagged when
+      running).
+
+    Shutdown is graceful by default: {!stop} drains - submissions are
+    rejected with 503 while queued and running jobs finish - then joins
+    every worker domain and the accept thread. *)
+
+type config = {
+  socket : string;
+      (** Unix-domain socket path. Keep it short: [sun_path] caps out
+          around 100 bytes. *)
+  workers : int;  (** job-runner domains (>= 1) *)
+  queue : int;  (** bounded queue capacity (>= 1) *)
+  batch : int;
+      (** points evaluated between cancellation checks and progress
+          events (>= 1) *)
+  throttle_s : float;
+      (** sleep between batches; 0 in production, positive in tests that
+          need a job to stay running long enough to be observed *)
+  eval_jobs : int option;
+      (** per-worker {!Acs_util.Parallel.with_jobs} override for the
+          evaluation inside a job; [None] uses the pool default *)
+  cache_dir : string option;
+      (** disk-cache tier directory; [None] runs memo-only *)
+}
+
+val default_config : config
+(** [{socket = "acs.sock"; workers = 2; queue = 8; batch = 64;
+    throttle_s = 0.; eval_jobs = None;
+    cache_dir = Some Acs_dse.Disk_cache.default_dir}]. *)
+
+type t
+
+val start : config -> t
+(** Bind the socket (an existing socket file is replaced), spawn the
+    worker domains and the accept thread, and return immediately.
+    Raises [Invalid_argument] on a bad config and [Unix.Unix_error] if
+    the socket cannot be bound. [SIGPIPE] is set to ignore - a client
+    hanging up mid-stream must not kill the daemon. *)
+
+val socket_path : t -> string
+val queue : t -> Jobq.t
+(** The underlying job queue (tests observe and steer it directly). *)
+
+val request_stop : t -> unit
+(** Flag the server for shutdown. Async-signal-safe (one atomic store):
+    this is what the CLI's SIGTERM/SIGINT handlers call; the actual
+    teardown happens on whichever thread calls {!stop} after {!wait}
+    returns. *)
+
+val wait : t -> unit
+(** Block until {!request_stop} is called (or the server was already
+    stopped). The CLI parks its main thread here. *)
+
+val stop : ?drain:bool -> t -> unit
+(** Shut down. [drain] (default [true]) rejects new submissions but lets
+    queued and running jobs finish; [~drain:false] additionally cancels
+    queued jobs and flags running ones, so workers exit at the next
+    batch boundary. Joins the worker domains and the accept thread,
+    closes and unlinks the socket. Idempotent. *)

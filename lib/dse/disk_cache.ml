@@ -70,14 +70,7 @@ let entry_path t p =
     (Hashtbl.hash pj land 0xffff_ffff)
   |> Filename.concat t.dir
 
-let rec mkdirs dir =
-  if not (Sys.file_exists dir) then begin
-    let parent = Filename.dirname dir in
-    if parent <> dir then mkdirs parent;
-    (* A concurrent process may have won the race; only a still-missing
-       directory is an error. *)
-    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.is_directory dir -> ()
-  end
+let mkdirs = Acs_util.Fs.mkdir_p
 
 let read_file path =
   let ic = open_in_bin path in

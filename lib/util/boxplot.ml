@@ -3,6 +3,13 @@ type series = { label : string; values : float list }
 let render ?(width = 60) series_list =
   if series_list = [] then invalid_arg "Boxplot.render: no series";
   if width < 10 then invalid_arg "Boxplot.render: width too small";
+  List.iter
+    (fun s ->
+      if not (List.for_all Float.is_finite s.values) then
+        invalid_arg
+          (Printf.sprintf "Boxplot.render: non-finite value in series %S"
+             s.label))
+    series_list;
   let summaries =
     List.map (fun s -> (s.label, Stats.summarize s.values)) series_list
   in
@@ -14,7 +21,11 @@ let render ?(width = 60) series_list =
   in
   let span = if axis_max > axis_min then axis_max -. axis_min else 1. in
   let col v =
+    (* Clamp the normalized fraction before the int conversion: on a
+       degenerate (zero-range) axis the division can produce 0/0 = NaN,
+       and [int_of_float] of a non-finite float is undefined in OCaml. *)
     let f = (v -. axis_min) /. span in
+    let f = if Float.is_finite f then Float.min 1. (Float.max 0. f) else 0. in
     min (width - 1) (max 0 (int_of_float (f *. float_of_int (width - 1))))
   in
   let label_width =

@@ -7,7 +7,10 @@
 type series = { label : string; values : float list }
 
 val render : ?width:int -> series list -> string
-(** Raises [Invalid_argument] when a series is empty or none are given.
-    Default box width 60 characters. *)
+(** Raises [Invalid_argument] when a series is empty, contains a
+    non-finite value (the axis normalization would otherwise feed an
+    undefined [int_of_float nan] into the column mapping) or none are
+    given. Zero-range data (all values equal) renders on a degenerate
+    one-unit axis. Default box width 60 characters. *)
 
 val print : ?title:string -> ?width:int -> series list -> unit

@@ -55,14 +55,10 @@ let parse_row line =
   unquoted 0;
   List.rev !cells
 
-let rec mkdir_p dir =
-  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
-    mkdir_p (Filename.dirname dir);
-    (try Unix_stub.mkdir dir with Sys_error _ -> ())
-  end
-
 let write ~path ~header rows =
-  mkdir_p (Filename.dirname path);
+  (match Filename.dirname path with
+  | "" | "." | "/" -> ()
+  | dir -> Fs.mkdir_p dir);
   let oc = open_out path in
   let finally () = close_out oc in
   Fun.protect ~finally (fun () ->

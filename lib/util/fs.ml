@@ -1,0 +1,22 @@
+(* Small filesystem helpers on the unix stdlib library. This replaces the
+   old [Unix_stub] module, which shelled out to `mkdir -p` via
+   [Sys.command] and could only report failure through its exit code. *)
+
+let rec mkdir_p dir =
+  match Unix.mkdir dir 0o755 with
+  | () -> ()
+  | exception Unix.Unix_error (Unix.EEXIST, _, _) ->
+      (* Tolerate pre-existing directories (including a concurrent
+         creation race), but a plain file in the way is a real error. *)
+      if not (Sys.is_directory dir) then
+        raise (Sys_error (dir ^ ": exists and is not a directory"))
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) ->
+      let parent = Filename.dirname dir in
+      if parent = dir then
+        raise (Sys_error (dir ^ ": cannot create root directory"));
+      mkdir_p parent;
+      (try Unix.mkdir dir 0o755
+       with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+  | exception Unix.Unix_error (e, _, _) ->
+      raise
+        (Sys_error (Printf.sprintf "mkdir %s: %s" dir (Unix.error_message e)))

@@ -1,0 +1,8 @@
+(** Filesystem helpers on the [unix] stdlib library (the daemon links it
+    anyway, so nothing shells out any more). *)
+
+val mkdir_p : string -> unit
+(** Create a directory and any missing parents, like [mkdir -p]:
+    EEXIST-tolerant, safe against concurrent creation races. Raises
+    [Sys_error] with the underlying [Unix] error message when creation
+    genuinely fails (permissions, a plain file in the way, ...). *)

@@ -16,17 +16,25 @@ let env_jobs =
     | Some s -> parse_jobs s
     | None -> max 1 (Domain.recommended_domain_count () - 1))
 
-(* [with_jobs] override; read and written by the calling domain only. *)
-let forced_jobs = ref None
+(* [with_jobs] override. Domain-local state, not a shared ref: the
+   documented contract is that the override is only visible to calls made
+   from the current domain, and the evaluation daemon relies on it - each
+   of its worker domains pins its own job count while running a job, and
+   concurrent workers must not clobber each other (a shared ref would race
+   on the save/restore). *)
+let forced_jobs : int option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
 
 let jobs () =
-  match !forced_jobs with Some n -> n | None -> Lazy.force env_jobs
+  match Domain.DLS.get forced_jobs with
+  | Some n -> n
+  | None -> Lazy.force env_jobs
 
 let with_jobs n f =
   if n < 1 then invalid_arg "Parallel.with_jobs: job count must be >= 1";
-  let prev = !forced_jobs in
-  forced_jobs := Some n;
-  Fun.protect ~finally:(fun () -> forced_jobs := prev) f
+  let prev = Domain.DLS.get forced_jobs in
+  Domain.DLS.set forced_jobs (Some n);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set forced_jobs prev) f
 
 (* --- observability --- *)
 

@@ -12,7 +12,11 @@ let create ?(width = 72) ?(height = 24) ~xlabel ~ylabel () =
   if width < 8 || height < 4 then invalid_arg "Scatter.create: canvas too small";
   { width; height; xlabel; ylabel; points = [] }
 
-let add t ~marker ~x ~y = t.points <- { marker; x; y } :: t.points
+let add t ~marker ~x ~y =
+  if not (Float.is_finite x && Float.is_finite y) then
+    invalid_arg
+      (Printf.sprintf "Scatter.add: non-finite point (%g, %g)" x y);
+  t.points <- { marker; x; y } :: t.points
 
 let add_series t ~marker pts =
   List.iter (fun (x, y) -> add t ~marker ~x ~y) pts
@@ -34,11 +38,22 @@ let render t =
       let xmin, xmax, ymin, ymax = bounds t in
       let grid = Array.make_matrix t.height t.width ' ' in
       let place p =
-        let fx = (p.x -. xmin) /. (xmax -. xmin) in
-        let fy = (p.y -. ymin) /. (ymax -. ymin) in
-        let col = min (t.width - 1) (int_of_float (fx *. float_of_int (t.width - 1))) in
+        (* [bounds] pads degenerate (zero-range) axes, but clamp the
+           normalized fractions anyway: a 0/0 division would otherwise
+           reach [int_of_float] as NaN, which is undefined in OCaml. *)
+        let frac v lo hi =
+          let f = (v -. lo) /. (hi -. lo) in
+          if Float.is_finite f then Float.min 1. (Float.max 0. f) else 0.
+        in
+        let fx = frac p.x xmin xmax in
+        let fy = frac p.y ymin ymax in
+        let col =
+          min (t.width - 1)
+            (max 0 (int_of_float (fx *. float_of_int (t.width - 1))))
+        in
         let row_from_bottom =
-          min (t.height - 1) (int_of_float (fy *. float_of_int (t.height - 1)))
+          min (t.height - 1)
+            (max 0 (int_of_float (fy *. float_of_int (t.height - 1))))
         in
         grid.(t.height - 1 - row_from_bottom).(col) <- p.marker
       in

@@ -10,6 +10,9 @@ val create : ?width:int -> ?height:int -> xlabel:string -> ylabel:string -> unit
 (** Default canvas is 72x24 character cells. *)
 
 val add : t -> marker:char -> x:float -> y:float -> unit
+(** Raises [Invalid_argument] on a non-finite coordinate: the renderer
+    normalizes against the data range, and a NaN/infinite bound would
+    reach [int_of_float] as a non-finite fraction (undefined in OCaml). *)
 
 val add_series : t -> marker:char -> (float * float) list -> unit
 

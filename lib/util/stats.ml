@@ -180,7 +180,12 @@ module Online = struct
     | None -> Hashtbl.add tbl i (ref 1)
 
   let add t x =
-    if Float.is_nan x then invalid_arg "Stats.Online.add: NaN sample";
+    (* Non-finite samples are rejected like NaN: an infinity would reach
+       [bucket] as [int_of_float (log infinity)], which is undefined in
+       OCaml and silently corrupts the bucket table (and anything the
+       sketch is later merged into). *)
+    if not (Float.is_finite x) then
+      invalid_arg "Stats.Online.add: non-finite sample";
     t.count <- t.count + 1;
     t.sum <- t.sum +. x;
     t.sum_sq <- t.sum_sq +. (x *. x);

@@ -73,7 +73,10 @@ module Online : sig
       Raises [Invalid_argument] outside (0,1). *)
 
   val add : t -> float -> unit
-  (** Raises [Invalid_argument] on NaN (as the exact estimators do). *)
+  (** Raises [Invalid_argument] on any non-finite sample (NaN, like the
+      exact estimators, and ±infinity, whose log-bucket index is an
+      undefined [int_of_float] that would silently corrupt the sketch).
+      A rejected sample leaves the sketch unchanged. *)
 
   val merge : t -> t -> unit
   (** [merge t other] folds [other] into [t]; [other] is unchanged.

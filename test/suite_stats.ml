@@ -218,6 +218,30 @@ let t_online_validation () =
   check_raises_invalid "mismatched alpha merge" (fun () ->
       Stats.Online.merge o (Stats.Online.create ~alpha:0.05 ()))
 
+let t_online_nonfinite () =
+  (* Infinities are as fatal to the log-bucket sketch as NaN:
+     [int_of_float (log infinity)] is undefined in OCaml and silently
+     corrupts the bucket table. The guard must reject them before any
+     mutation, so a rejected sample leaves the sketch untouched. *)
+  let o = Stats.Online.create () in
+  Stats.Online.add o 1.;
+  Stats.Online.add o 2.;
+  check_raises_invalid "+inf add" (fun () -> Stats.Online.add o infinity);
+  check_raises_invalid "-inf add" (fun () ->
+      Stats.Online.add o neg_infinity);
+  Alcotest.(check int) "count unchanged" 2 (Stats.Online.count o);
+  check_close "mean unchanged" 1.5 (Stats.Online.mean o);
+  check_close "min unchanged" 1. (Stats.Online.min_sample o);
+  check_close "max unchanged" 2. (Stats.Online.max_sample o);
+  check_within "quantile still answers" ~tolerance:0.02 2.
+    (Stats.Online.quantile o 100.);
+  (* A sketch that survived a rejected add merges cleanly. *)
+  let m = Stats.Online.create () in
+  Stats.Online.merge m o;
+  Alcotest.(check int) "merged count" 2 (Stats.Online.count m);
+  check_within "merged quantile" ~tolerance:0.02 2.
+    (Stats.Online.quantile m 95.)
+
 let prop_online_quantile_bound =
   qcheck "online quantile within relative bound"
     QCheck.(
@@ -257,5 +281,6 @@ let suite =
     test "online mixed signs and zero" t_online_signs_and_zero;
     test "online merge = direct" t_online_merge_identity;
     test "online validation" t_online_validation;
+    test "online rejects non-finite samples" t_online_nonfinite;
     prop_online_quantile_bound;
   ]

@@ -98,6 +98,70 @@ let t_boxplot_degenerate () =
       ignore
         (Boxplot.render ~width:4 [ { Boxplot.label = "x"; values = [ 1. ] } ]))
 
+let t_scatter_nonfinite () =
+  (* A non-finite coordinate would reach [int_of_float] through the
+     placement fraction (undefined in OCaml), so [add] must reject it
+     up front. *)
+  let p = Scatter.create ~xlabel:"x" ~ylabel:"y" () in
+  check_raises_invalid "nan x" (fun () ->
+      Scatter.add p ~marker:'o' ~x:nan ~y:1.);
+  check_raises_invalid "inf y" (fun () ->
+      Scatter.add p ~marker:'o' ~x:1. ~y:infinity);
+  check_raises_invalid "-inf x" (fun () ->
+      Scatter.add p ~marker:'o' ~x:neg_infinity ~y:1.);
+  (* The rejected points left no state behind. *)
+  Alcotest.(check string) "still empty" "(empty plot)" (Scatter.render p)
+
+let t_scatter_zero_range () =
+  (* Degenerate on one axis only: every x equal, y spread (and the
+     transpose). The zero-extent axis must clamp, not divide to nan. *)
+  let p = Scatter.create ~width:20 ~height:8 ~xlabel:"x" ~ylabel:"y" () in
+  Scatter.add p ~marker:'a' ~x:3. ~y:1.;
+  Scatter.add p ~marker:'b' ~x:3. ~y:9.;
+  let s = Scatter.render p in
+  Alcotest.(check bool) "both markers" true
+    (String.contains s 'a' && String.contains s 'b');
+  let q = Scatter.create ~width:20 ~height:8 ~xlabel:"x" ~ylabel:"y" () in
+  Scatter.add q ~marker:'c' ~x:1. ~y:4.;
+  Scatter.add q ~marker:'d' ~x:9. ~y:4.;
+  let s = Scatter.render q in
+  Alcotest.(check bool) "flat y renders" true
+    (String.contains s 'c' && String.contains s 'd')
+
+let t_boxplot_nonfinite () =
+  check_raises_invalid "nan value" (fun () ->
+      ignore
+        (Boxplot.render [ { Boxplot.label = "x"; values = [ 1.; nan ] } ]));
+  check_raises_invalid "inf value" (fun () ->
+      ignore
+        (Boxplot.render
+           [ { Boxplot.label = "x"; values = [ 1.; infinity ] } ]));
+  check_raises_invalid "-inf value" (fun () ->
+      ignore
+        (Boxplot.render
+           [ { Boxplot.label = "x"; values = [ neg_infinity; 1. ] } ]))
+
+(* Fs *)
+
+let t_mkdir_p () =
+  with_cache_dir @@ fun dir ->
+  let deep = Filename.concat (Filename.concat dir "a") "b/c" in
+  Fs.mkdir_p deep;
+  Alcotest.(check bool) "created" true (Sys.is_directory deep);
+  (* Idempotent on an existing tree. *)
+  Fs.mkdir_p deep;
+  Alcotest.(check bool) "still there" true (Sys.is_directory deep);
+  (* A file in the way is an error, not a silent success. *)
+  let file = Filename.concat dir "plain" in
+  let oc = open_out file in
+  close_out oc;
+  (match Fs.mkdir_p file with
+  | () -> Alcotest.fail "mkdir_p over a file: expected Sys_error"
+  | exception Sys_error _ -> ());
+  match Fs.mkdir_p (Filename.concat file "sub") with
+  | () -> Alcotest.fail "mkdir_p under a file: expected Sys_error"
+  | exception Sys_error _ -> ()
+
 (* Csv *)
 
 let t_csv_escape () =
@@ -337,8 +401,12 @@ let suite =
     test "scatter places markers" t_scatter_points;
     test "scatter single point" t_scatter_degenerate;
     test "scatter series" t_scatter_series;
+    test "scatter rejects non-finite points" t_scatter_nonfinite;
+    test "scatter zero-range axes" t_scatter_zero_range;
     test "boxplot rendering" t_boxplot_renders;
     test "boxplot edge cases" t_boxplot_degenerate;
+    test "boxplot rejects non-finite values" t_boxplot_nonfinite;
+    test "mkdir_p" t_mkdir_p;
     test "csv escaping" t_csv_escape;
     test "csv CR escaping" t_csv_cr_escape;
     test "csv row parsing" t_csv_parse_row;
